@@ -1,0 +1,216 @@
+// Tests of the public facade: everything a downstream user touches
+// goes through package matchmaking, so this file doubles as executable
+// API documentation.
+package matchmaking_test
+
+import (
+	"strings"
+	"testing"
+
+	matchmaking "repro"
+)
+
+func TestFacadeParseAndEval(t *testing.T) {
+	ad, err := matchmaking.Parse(`[ Memory = 64; Twice = Memory * 2 ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := matchmaking.EvalString("Twice + 1", ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := v.IntVal(); !ok || n != 129 {
+		t.Errorf("Twice + 1 = %v", v)
+	}
+	if _, err := matchmaking.Parse("[broken"); err == nil {
+		t.Error("expected parse error")
+	}
+	var se *matchmaking.SyntaxError
+	if _, err := matchmaking.ParseExpr("1 +"); err == nil {
+		t.Error("expected expr error")
+	} else if !strings.Contains(err.Error(), "line") {
+		t.Errorf("error %q lacks position info", err)
+	} else {
+		_ = se
+	}
+}
+
+func TestFacadeFiguresMatch(t *testing.T) {
+	machine := matchmaking.MustParse(matchmaking.Figure1Source)
+	job := matchmaking.MustParse(matchmaking.Figure2Source)
+	res := matchmaking.Match(job, machine)
+	if !res.Matched {
+		t.Fatal("paper figures must match through the facade")
+	}
+	if !matchmaking.EvalConstraint(job, machine, nil) {
+		t.Error("EvalConstraint disagrees with Match")
+	}
+	if r := matchmaking.EvalRank(machine, job, nil); r != 10 {
+		t.Errorf("machine rank of job = %v", r)
+	}
+}
+
+func TestFacadeMatchmaker(t *testing.T) {
+	mm := matchmaking.NewMatchmaker(matchmaking.MatchmakerConfig{FairShare: true})
+	machine := matchmaking.MustParse(matchmaking.Figure1Source)
+	job := matchmaking.MustParse(matchmaking.Figure2Source)
+	matches := mm.Negotiate([]*matchmaking.Ad{job}, []*matchmaking.Ad{machine})
+	if len(matches) != 1 {
+		t.Fatalf("negotiate found %d matches", len(matches))
+	}
+	if matches[0].OfferRank != 10 {
+		t.Errorf("offer rank = %v", matches[0].OfferRank)
+	}
+}
+
+func TestFacadeAnalyze(t *testing.T) {
+	pool := []*matchmaking.Ad{matchmaking.MustParse(matchmaking.Figure1Source)}
+	req := matchmaking.MustParse(`[
+		Owner = "u";
+		Constraint = other.Arch == "VAX";
+	]`)
+	a := matchmaking.Analyze(req, pool, nil)
+	if !a.Unsatisfiable {
+		t.Error("VAX requirement should be unsatisfiable")
+	}
+	if !strings.Contains(a.String(), "unsatisfiable") {
+		t.Errorf("report: %s", a)
+	}
+}
+
+func TestFacadeGang(t *testing.T) {
+	pool := []*matchmaking.Ad{
+		matchmaking.MustParse(`[ Type = "Machine"; Name = "m"; Arch = "INTEL" ]`),
+		matchmaking.MustParse(`[ Type = "TapeDrive"; Name = "t"; TransferRate = 10 ]`),
+	}
+	gang := matchmaking.MustParse(`[
+		Owner = "u";
+		Gang = {
+			[ Constraint = other.Type == "Machine" ],
+			[ Constraint = other.Type == "TapeDrive" ]
+		};
+	]`)
+	gm, ok := matchmaking.MatchGang(gang, pool, nil)
+	if !ok || len(gm.Offers) != 2 {
+		t.Fatalf("gang match failed: ok=%v %+v", ok, gm)
+	}
+}
+
+func TestFacadeAgentsInProcess(t *testing.T) {
+	env := matchmaking.FixedEnv(1000, 1)
+	machineAd := matchmaking.MustParse(matchmaking.Figure1Source)
+	ra := matchmaking.NewResource(machineAd, env)
+	ca := matchmaking.NewCustomer("raman", env)
+	job := ca.Submit(matchmaking.MustParse(matchmaking.Figure2Source), 50)
+
+	ad, err := ra.Advertise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, _ := ad.Eval(matchmaking.AttrTicket).StringVal()
+	requests := ca.IdleRequests()
+	if len(requests) != 1 {
+		t.Fatalf("idle requests = %d", len(requests))
+	}
+	out := ra.RequestClaim(requests[0], ticket)
+	if !out.Accepted {
+		t.Fatalf("claim rejected: %s", out.Reason)
+	}
+	if err := ca.MarkRunning(job.ID, "leonardo.cs.wisc.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if done, _ := ca.Progress(job.ID, 50, false); !done {
+		t.Error("job should complete")
+	}
+	if err := ra.Release("raman"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePoolOverTCP(t *testing.T) {
+	mgr := matchmaking.NewManager(matchmaking.ManagerConfig{})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mgr.Close()
+
+	machineAd := matchmaking.MustParse(matchmaking.Figure1Source)
+	machineAd.SetInt("DayTime", 22*3600)
+	ra := matchmaking.NewResourceDaemon(matchmaking.NewResource(machineAd, nil), addr, 0, t.Logf)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer ra.Close()
+	ca := matchmaking.NewCustomerDaemon(matchmaking.NewCustomer("raman", nil), addr, 0, t.Logf)
+	if _, err := ca.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+
+	ca.CA.Submit(matchmaking.MustParse(matchmaking.Figure2Source), 10)
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if res.Notified != 1 {
+		t.Fatalf("cycle: %+v (errors %v)", res, res.Errors)
+	}
+	if _, ok := ra.RA.CurrentClaim(); !ok {
+		t.Error("claim not established through the facade daemons")
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	cfg := matchmaking.SimConfig{
+		Pool:     matchmaking.PoolSpec{Machines: 5, DesktopFraction: 0, Classes: 1},
+		Workload: matchmaking.JobSpec{Jobs: 10, MeanRuntime: 600},
+		Seed:     1,
+		Duration: 86400,
+	}
+	m := matchmaking.NewSimulation(cfg).Run()
+	if m.Completed != 10 {
+		t.Errorf("completed = %d", m.Completed)
+	}
+	// The baseline schedulers are reachable through the facade too.
+	s := matchmaking.NewSimulation(cfg)
+	cfg.Scheduler = matchmaking.NewQueueScheduler(s.Env())
+	if matchmaking.NewSimulation(cfg).Run().Completed != 10 {
+		t.Error("queue baseline failed the trivial pool")
+	}
+	cfg.Scheduler = matchmaking.NewIntrusiveQueueScheduler(matchmaking.NewSimulation(cfg).Env())
+	if matchmaking.NewSimulation(cfg).Run().Completed != 10 {
+		t.Error("intrusive baseline failed the trivial pool")
+	}
+}
+
+func TestFacadeStoreAndQuery(t *testing.T) {
+	store := matchmaking.NewStore(nil)
+	if err := store.Update(matchmaking.MustParse(matchmaking.Figure1Source), 0); err != nil {
+		t.Fatal(err)
+	}
+	q := matchmaking.MustParse(`[ Constraint = other.Memory >= 32 ]`)
+	if got := store.Query(q); len(got) != 1 {
+		t.Errorf("query = %d ads", len(got))
+	}
+	if !matchmaking.MatchesQuery(q, matchmaking.MustParse(matchmaking.Figure1Source), nil) {
+		t.Error("MatchesQuery disagrees with store query")
+	}
+}
+
+func TestFacadeBestOffer(t *testing.T) {
+	offers := []*matchmaking.Ad{
+		matchmaking.MustParse(`[ Type="Machine"; Name="slow"; Arch="INTEL"; Mips=50; Memory=64 ]`),
+		matchmaking.MustParse(`[ Type="Machine"; Name="fast"; Arch="INTEL"; Mips=500; Memory=64 ]`),
+	}
+	req := matchmaking.MustParse(`[
+		Owner="u"; Constraint = other.Arch == "INTEL"; Rank = other.Mips;
+	]`)
+	idx, pair := matchmaking.BestOffer(req, offers, nil)
+	if idx != 1 || pair.RequestRank != 500 {
+		t.Errorf("best offer = %d rank %v", idx, pair.RequestRank)
+	}
+}

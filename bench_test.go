@@ -1,0 +1,546 @@
+// Benchmark harness: one benchmark (or benchmark family) per
+// experiment row in DESIGN.md §4 / EXPERIMENTS.md. The pool-scale
+// simulations behind E5/E7/E8 have full sweeps in cmd/csim; the
+// benchmarks here measure their per-operation costs and the language
+// micro-costs (E13), the negotiation cycle's scaling (E10), the
+// aggregation ablation (E11), fair-share accounting (E9), and
+// gangmatching (E14).
+package matchmaking_test
+
+import (
+	"fmt"
+	"testing"
+
+	matchmaking "repro"
+	"repro/internal/agent"
+	"repro/internal/baseline"
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/matchmaker"
+	"repro/internal/remote"
+	"repro/internal/sim"
+)
+
+// ---- E13: language micro-costs ----
+
+// BenchmarkParseFigure1 measures parsing the paper's workstation ad.
+func BenchmarkParseFigure1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := classad.Parse(classad.Figure1Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParseFigure2 measures parsing the job ad.
+func BenchmarkParseFigure2(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := classad.Parse(classad.Figure2Source); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvalConstraint measures one evaluation of the Figure 1
+// owner policy against a job — the inner loop of every negotiation
+// cycle.
+func BenchmarkEvalConstraint(b *testing.B) {
+	machine := classad.Figure1()
+	job := classad.Figure2()
+	env := classad.FixedEnv(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !classad.EvalConstraint(machine, job, env) {
+			b.Fatal("figures must match")
+		}
+	}
+}
+
+// BenchmarkEvalRank measures Rank evaluation (arithmetic over both
+// ads).
+func BenchmarkEvalRank(b *testing.B) {
+	machine := classad.Figure1()
+	job := classad.Figure2()
+	env := classad.FixedEnv(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if classad.EvalRank(job, machine, env) == 0 {
+			b.Fatal("rank should be positive")
+		}
+	}
+}
+
+// BenchmarkMatch measures the full bilateral match of Figures 1 and 2.
+func BenchmarkMatch(b *testing.B) {
+	machine := classad.Figure1()
+	job := classad.Figure2()
+	env := classad.FixedEnv(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !classad.MatchEnv(job, machine, env).Matched {
+			b.Fatal("figures must match")
+		}
+	}
+}
+
+// BenchmarkUnparse measures canonical ad rendering (the wire form).
+func BenchmarkUnparse(b *testing.B) {
+	machine := classad.Figure1()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if machine.String() == "" {
+			b.Fatal("empty unparse")
+		}
+	}
+}
+
+// BenchmarkJSONRoundTrip measures the JSON wire mapping.
+func BenchmarkJSONRoundTrip(b *testing.B) {
+	machine := classad.Figure1()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := machine.MarshalJSON()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back classad.Ad
+		if err := back.UnmarshalJSON(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- E10: negotiation cycle scaling ----
+
+func poolAds(n int, seed int64) []*classad.Ad {
+	eng := sim.NewEngine(seed)
+	machines := sim.BuildPool(sim.PoolSpec{
+		Machines: n,
+		ArchMix:  map[string]float64{"INTEL": 0.7, "SPARC": 0.3},
+	}, eng, classad.FixedEnv(0, seed))
+	out := make([]*classad.Ad, n)
+	for i, m := range machines {
+		ad, err := m.Res.Advertise()
+		if err != nil {
+			panic(err)
+		}
+		out[i] = ad
+	}
+	return out
+}
+
+func jobAds(n int, seed int64) []*classad.Ad {
+	eng := sim.NewEngine(seed + 1)
+	customers := sim.BuildWorkload(sim.JobSpec{
+		Jobs:    n,
+		Users:   []string{"u1", "u2", "u3", "u4"},
+		ArchMix: map[string]float64{"INTEL": 0.7, "SPARC": 0.3},
+	}, eng, classad.FixedEnv(0, seed))
+	var out []*classad.Ad
+	for _, c := range customers {
+		out = append(out, c.IdleRequests()...)
+	}
+	return out
+}
+
+// BenchmarkNegotiationCycle measures one full cycle (rank-sorted
+// candidate selection) at several pool sizes; each op matches
+// N/2 requests against N offers.
+func BenchmarkNegotiationCycle(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("machines=%d", n), func(b *testing.B) {
+			offers := poolAds(n, 42)
+			requests := jobAds(n/2, 42)
+			mm := matchmaker.New(matchmaker.Config{Env: classad.FixedEnv(0, 1)})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(mm.Negotiate(requests, offers)) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNegotiationFirstFit is the rank-selection ablation: taking
+// the first compatible offer instead of the best-ranked one.
+func BenchmarkNegotiationFirstFit(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("machines=%d", n), func(b *testing.B) {
+			offers := poolAds(n, 42)
+			requests := jobAds(n/2, 42)
+			mm := matchmaker.New(matchmaker.Config{
+				Env: classad.FixedEnv(0, 1), FirstFit: true,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(mm.Negotiate(requests, offers)) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// ---- E11: aggregation (group matching) ----
+
+func regularPool(n, classes int) []*classad.Ad {
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		c := i % classes
+		ad := classad.NewAd()
+		ad.SetString("Type", "Machine")
+		ad.SetString("Name", fmt.Sprintf("m%05d", i))
+		ad.SetString("Arch", "INTEL")
+		ad.SetString("OpSys", "SOLARIS251")
+		ad.SetInt("Memory", int64(32*(c+1)))
+		ad.SetInt("Mips", int64(100+c))
+		out[i] = ad
+	}
+	return out
+}
+
+// BenchmarkAggregation measures a negotiation cycle over a
+// value-regular pool with and without group matching, across
+// regularity levels. The speedup is the class-count ratio.
+func BenchmarkAggregation(b *testing.B) {
+	const n = 1000
+	requests := jobAds(50, 7)
+	for _, classes := range []int{1, 16, 256} {
+		offers := regularPool(n, classes)
+		for _, agg := range []bool{false, true} {
+			name := fmt.Sprintf("classes=%d/aggregate=%v", classes, agg)
+			b.Run(name, func(b *testing.B) {
+				mm := matchmaker.New(matchmaker.Config{
+					Env: classad.FixedEnv(0, 1), Aggregate: agg,
+				})
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mm.Negotiate(requests, offers)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAggregationBatch measures the two-sided win: a batch of
+// identical jobs against a value-regular pool. Work drops from
+// jobs × offers evaluations to (request classes) × (offer classes).
+func BenchmarkAggregationBatch(b *testing.B) {
+	offers := regularPool(1000, 4)
+	var requests []*classad.Ad
+	for i := 0; i < 200; i++ {
+		r := classad.NewAd()
+		r.SetString("Type", "Job")
+		r.SetString("Owner", "u")
+		r.SetInt("JobId", int64(i+1))
+		r.SetInt("Memory", 32)
+		if err := r.SetExprString("Constraint",
+			`other.Arch == "INTEL" && other.Memory >= self.Memory`); err != nil {
+			b.Fatal(err)
+		}
+		if err := r.SetExprString("Rank", "other.Memory"); err != nil {
+			b.Fatal(err)
+		}
+		requests = append(requests, r)
+	}
+	for _, aggOn := range []bool{false, true} {
+		b.Run(fmt.Sprintf("aggregate=%v", aggOn), func(b *testing.B) {
+			mm := matchmaker.New(matchmaker.Config{
+				Env: classad.FixedEnv(0, 1), Aggregate: aggOn,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(mm.Negotiate(requests, offers)) != 200 {
+					b.Fatal("wrong match count")
+				}
+			}
+		})
+	}
+}
+
+// ---- E9: fair share ----
+
+// BenchmarkFairShare measures a contended cycle with usage-ordered
+// customers (accounting included).
+func BenchmarkFairShare(b *testing.B) {
+	offers := poolAds(100, 3)
+	requests := jobAds(200, 3)
+	for _, fair := range []bool{false, true} {
+		b.Run(fmt.Sprintf("fairshare=%v", fair), func(b *testing.B) {
+			mm := matchmaker.New(matchmaker.Config{
+				Env: classad.FixedEnv(0, 1), FairShare: fair,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mm.Negotiate(requests, offers)
+			}
+		})
+	}
+}
+
+// ---- E14: gangmatching ----
+
+// BenchmarkGangMatch measures co-allocating a two-resource gang out of
+// a mixed pool.
+func BenchmarkGangMatch(b *testing.B) {
+	offers := poolAds(200, 5)
+	for i := 0; i < 10; i++ {
+		tape := classad.NewAd()
+		tape.SetString("Type", "TapeDrive")
+		tape.SetString("Name", fmt.Sprintf("tape%d", i))
+		tape.SetInt("TransferRate", int64(5+i))
+		offers = append(offers, tape)
+	}
+	gang := classad.MustParse(`[
+		Type = "Job"; Owner = "u";
+		Gang = {
+			[ Constraint = other.Type == "Machine" && other.Arch == "INTEL";
+			  Rank = other.Mips ],
+			[ Constraint = other.Type == "TapeDrive" && other.TransferRate >= 8 ]
+		};
+	]`)
+	env := classad.FixedEnv(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := matchmaker.MatchGang(gang, offers, env); !ok {
+			b.Fatal("gang should match")
+		}
+	}
+}
+
+// ---- E12: analyzer ----
+
+// BenchmarkAnalyze measures a full clause-by-clause diagnosis against
+// a 1000-machine pool.
+func BenchmarkAnalyze(b *testing.B) {
+	offers := poolAds(1000, 9)
+	req := classad.MustParse(`[
+		Owner = "u";
+		Constraint = other.Type == "Machine" && other.Arch == "ALPHA"
+		          && other.Memory >= 64 && other.Mips >= 100;
+	]`)
+	env := classad.FixedEnv(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := matchmaker.Analyze(req, offers, env)
+		if !a.Unsatisfiable {
+			b.Fatal("ALPHA clause should be unsatisfiable")
+		}
+	}
+}
+
+// ---- E5: claim-time re-validation cost ----
+
+// BenchmarkClaimRevalidation measures the RA-side claim check — ticket
+// comparison plus bilateral constraint re-evaluation against current
+// state — that the weak-consistency design adds to every allocation.
+func BenchmarkClaimRevalidation(b *testing.B) {
+	env := classad.FixedEnv(1000, 1)
+	base := classad.Figure1()
+	job := classad.Figure2()
+	ra := agent.NewResource(base, env)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ad, err := ra.Advertise()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+		b.StartTimer()
+		out := ra.RequestClaim(job, ticket)
+		if !out.Accepted {
+			b.Fatal(out.Reason)
+		}
+		b.StopTimer()
+		if err := ra.Release("raman"); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// ---- E7/E8: simulation step costs ----
+
+// BenchmarkSimulationDay runs a complete one-day simulation of a
+// 20-machine half-desktop pool per op, for both schedulers. The full
+// parameter sweeps are in cmd/csim.
+func BenchmarkSimulationDay(b *testing.B) {
+	mkCfg := func() sim.Config {
+		return sim.Config{
+			Pool: sim.PoolSpec{Machines: 20, DesktopFraction: 0.5,
+				MeanOwnerActive: 3600, MeanOwnerIdle: 7200, Classes: 1},
+			Workload: sim.JobSpec{Jobs: 100, MeanRuntime: 3600,
+				Users: []string{"u1", "u2"}},
+			Seed:     5,
+			Duration: 86400,
+		}
+	}
+	b.Run("matchmaker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := sim.New(mkCfg()).Run()
+			if m.Completed == 0 {
+				b.Fatal("nothing completed")
+			}
+		}
+	})
+	b.Run("queues", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cfg := mkCfg()
+			s := sim.New(cfg)
+			cfg.Scheduler = baseline.New(s.Env())
+			m := sim.New(cfg).Run()
+			if m.Completed == 0 {
+				b.Fatal("nothing completed")
+			}
+		}
+	})
+}
+
+// BenchmarkPartialEval measures rewriting the Figure 2 constraint to
+// its residual form — the analyzer's per-clause cost.
+func BenchmarkPartialEval(b *testing.B) {
+	job := classad.Figure2()
+	ce, _ := classad.ConstraintOf(job)
+	env := classad.FixedEnv(0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = classad.PartialEval(ce, job, env)
+	}
+}
+
+// ---- protocol and execution-substrate costs ----
+
+// BenchmarkAdvertiseOverTCP measures one advertising-protocol round
+// trip (dial, ADVERTISE, ACK) against a live collector — the cost an
+// RA pays per refresh.
+func BenchmarkAdvertiseOverTCP(b *testing.B) {
+	srv := collector.NewServer(collector.New(nil), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := &collector.Client{Addr: addr}
+	ad := classad.Figure1()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := client.Advertise(ad, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryOverTCP measures a one-way query against a 100-ad
+// collector, full ads returned.
+func BenchmarkQueryOverTCP(b *testing.B) {
+	store := collector.New(nil)
+	for _, ad := range poolAds(100, 13) {
+		if err := store.Update(ad, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := collector.NewServer(store, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := &collector.Client{Addr: addr}
+	query := classad.MustParse(`[ Constraint = other.Memory >= 64 ]`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Query(query); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRemoteSyscallStep measures one record of remote-syscall
+// execution: a read, a write, and their framing — the per-step tax of
+// keeping the execution site stateless.
+func BenchmarkRemoteSyscallStep(b *testing.B) {
+	fs := remote.NewFileStore()
+	fs.Put("in", make([]byte, 1<<20))
+	shadow := remote.NewShadow(fs, nil)
+	addr, err := shadow.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer shadow.Close()
+	c, err := remote.DialShadow(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	in, err := c.Open("in", "r")
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := c.Open("out", "w")
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := int64(i%1000) * 64
+		data, _, err := c.ReadAt(in, off, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(buf, data)
+		if err := c.WriteAt(out, off, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRoundTrip measures saving and reloading a
+// checkpoint at the shadow.
+func BenchmarkCheckpointRoundTrip(b *testing.B) {
+	shadow := remote.NewShadow(remote.NewFileStore(), nil)
+	addr, err := shadow.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer shadow.Close()
+	c, err := remote.DialShadow(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	state := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.SaveCheckpoint("job", state); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok, err := c.LoadCheckpoint("job"); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- facade sanity (keeps the public API exercised from outside) ----
+
+// BenchmarkFacadeMatch goes through the public facade.
+func BenchmarkFacadeMatch(b *testing.B) {
+	machine := matchmaking.MustParse(matchmaking.Figure1Source)
+	job := matchmaking.MustParse(matchmaking.Figure2Source)
+	env := matchmaking.FixedEnv(0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !matchmaking.MatchEnv(job, machine, env).Matched {
+			b.Fatal("figures must match")
+		}
+	}
+}

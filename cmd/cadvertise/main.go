@@ -1,0 +1,69 @@
+// Command cadvertise sends classified advertisements to a pool
+// manager's collector — the advertising protocol (paper Figure 3,
+// step 1) from the command line.
+//
+// Usage:
+//
+//	cadvertise -pool HOST:PORT [-lifetime SECONDS] FILE...
+//	cadvertise -pool HOST:PORT -invalidate NAME
+//
+// Each FILE may contain one or more bracketed classads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+)
+
+func main() {
+	poolAddr := flag.String("pool", "127.0.0.1:9618", "collector address")
+	lifetime := flag.Int64("lifetime", 0, "advertisement lifetime in seconds (0 = collector default)")
+	invalidate := flag.String("invalidate", "", "withdraw the ad stored under this name")
+	flag.Parse()
+
+	client := &collector.Client{Addr: *poolAddr}
+	if *invalidate != "" {
+		if err := client.Invalidate(*invalidate); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("invalidated %q\n", *invalidate)
+		return
+	}
+	if flag.NArg() == 0 {
+		fatalf("no ad files given")
+	}
+	sent := 0
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ads, err := classad.ParseMulti(string(data))
+		if err != nil {
+			// A bare attribute list is a single ad.
+			ad, err2 := classad.Parse(string(data))
+			if err2 != nil {
+				fatalf("%s: %v", path, err)
+			}
+			ads = []*classad.Ad{ad}
+		}
+		for _, ad := range ads {
+			if err := client.Advertise(ad, *lifetime); err != nil {
+				fatalf("%s: %v", path, err)
+			}
+			name, _ := ad.Eval(classad.AttrName).StringVal()
+			fmt.Printf("advertised %q\n", name)
+			sent++
+		}
+	}
+	fmt.Printf("%d advertisement(s) sent to %s\n", sent, *poolAddr)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cadvertise: "+format+"\n", args...)
+	os.Exit(2)
+}

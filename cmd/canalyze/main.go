@@ -1,0 +1,76 @@
+// Command canalyze explains why a request does or does not match a
+// pool — the diagnostic tool the paper's §5 future work calls for
+// ("identifying constraints which can never be satisfied by the
+// pool").
+//
+// Usage:
+//
+//	canalyze -job job.ad -pool HOST:PORT          analyze against a live pool
+//	canalyze -job job.ad machines.ads...          analyze against ad files
+//
+// The report shows, clause by clause, how much of the pool each
+// conjunct of the job's constraint matches, flags clauses no machine
+// satisfies, and separates "can't serve you" from "won't serve you".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/matchmaker"
+)
+
+func main() {
+	jobFile := flag.String("job", "", "request classad file")
+	poolAddr := flag.String("pool", "", "collector address (alternative to machine ad files)")
+	flag.Parse()
+	if *jobFile == "" {
+		fatalf("-job is required")
+	}
+	data, err := os.ReadFile(*jobFile)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	job, err := classad.Parse(string(data))
+	if err != nil {
+		fatalf("%s: %v", *jobFile, err)
+	}
+
+	var offers []*classad.Ad
+	if *poolAddr != "" {
+		client := &collector.Client{Addr: *poolAddr}
+		query := classad.MustParse(`[ Constraint = other.Type != "Job" ]`)
+		offers, err = client.Query(query)
+		if err != nil {
+			fatalf("query: %v", err)
+		}
+	} else {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			ads, err := classad.ParseMulti(string(data))
+			if err != nil {
+				ad, err2 := classad.Parse(string(data))
+				if err2 != nil {
+					fatalf("%s: %v", path, err)
+				}
+				ads = []*classad.Ad{ad}
+			}
+			offers = append(offers, ads...)
+		}
+	}
+	if len(offers) == 0 {
+		fatalf("no machine ads to analyze against (use -pool or list ad files)")
+	}
+	fmt.Print(matchmaker.Analyze(job, offers, nil))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "canalyze: "+format+"\n", args...)
+	os.Exit(2)
+}

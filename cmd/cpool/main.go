@@ -1,0 +1,82 @@
+// Command cpool runs the pool manager: the collector endpoint plus a
+// periodic negotiation cycle (paper §4). It is the only always-on
+// service the framework needs, and it is stateless with respect to
+// matches: restarting it loses nothing but the in-flight cycle.
+//
+// Usage:
+//
+//	cpool [-listen ADDR] [-period SECONDS] [-fairshare] [-aggregate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/matchmaker"
+	"repro/internal/pool"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9618", "collector listen address")
+	period := flag.Int64("period", 300, "negotiation cycle period in seconds")
+	fairShare := flag.Bool("fairshare", true, "order customers by past usage")
+	aggregate := flag.Bool("aggregate", false, "enable group matching over regular ads")
+	usageFile := flag.String("usage", "", "persist fair-share history to this file")
+	historyFile := flag.String("history", "", "append match records (classads) to this file")
+	verbose := flag.Bool("v", false, "log every cycle")
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = log.Printf
+	}
+	var history *os.File
+	if *historyFile != "" {
+		var err error
+		history, err = os.OpenFile(*historyFile, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpool: %v\n", err)
+			os.Exit(2)
+		}
+		defer history.Close()
+	}
+	cfg := pool.ManagerConfig{
+		Matchmaker: matchmaker.Config{FairShare: *fairShare, Aggregate: *aggregate},
+		Logf:       logf,
+		UsageFile:  *usageFile,
+	}
+	if history != nil {
+		cfg.History = history
+	}
+	mgr := pool.NewManager(cfg)
+	addr, err := mgr.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cpool: %v\n", err)
+		os.Exit(2)
+	}
+	defer mgr.Close()
+	log.Printf("cpool: collector on %s, negotiating every %ds", addr, *period)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(time.Duration(*period) * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			res := mgr.RunCycle()
+			log.Printf("cpool: cycle %d: %d requests, %d offers, %d matches, %d notified, %d errors",
+				mgr.Cycles(), res.Requests, res.Offers, len(res.Matches), res.Notified, len(res.Errors))
+			for _, err := range res.Errors {
+				log.Printf("cpool:   %v", err)
+			}
+		case <-stop:
+			log.Printf("cpool: shutting down")
+			return
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command cqueue lists the jobs in a customer agent's queue — the
+// paper's "tools to check on the status of job queues", implemented as
+// a one-way query against the agent.
+//
+// Usage:
+//
+//	cqueue -agent HOST:PORT [-constraint 'EXPR'] [-long]
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/classad"
+	"repro/internal/protocol"
+)
+
+func main() {
+	agentAddr := flag.String("agent", "127.0.0.1:9620", "customer agent address")
+	constraint := flag.String("constraint", "true", "query constraint over other.*")
+	long := flag.Bool("long", false, "print whole ads")
+	flag.Parse()
+
+	query := classad.NewAd()
+	if err := query.SetExprString(classad.AttrConstraint, *constraint); err != nil {
+		fatalf("bad constraint: %v", err)
+	}
+	ads, err := queryAgent(*agentAddr, query)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if *long {
+		for _, ad := range ads {
+			fmt.Println(ad.Pretty())
+			fmt.Println()
+		}
+		fmt.Printf("%d job(s)\n", len(ads))
+		return
+	}
+	fmt.Printf("%-6s %-10s %-12s %-24s %8s %6s\n",
+		"ID", "OWNER", "STATUS", "HOST", "DONE%", "EVICT")
+	for _, ad := range ads {
+		done, _ := ad.Eval("WorkDone").NumberVal()
+		total, _ := ad.Eval("WorkTotal").NumberVal()
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * done / total
+		}
+		id, _ := ad.Eval("JobId").IntVal()
+		evict, _ := ad.Eval("Evictions").IntVal()
+		fmt.Printf("%-6d %-10s %-12s %-24s %7.1f%% %6d\n",
+			id, str(ad, "Owner"), str(ad, "JobStatus"), str(ad, "RemoteHost"), pct, evict)
+	}
+	fmt.Printf("%d job(s)\n", len(ads))
+}
+
+func queryAgent(addr string, query *classad.Ad) ([]*classad.Ad, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, &protocol.Envelope{
+		Type: protocol.TypeQuery, Ad: protocol.EncodeAd(query),
+	}); err != nil {
+		return nil, err
+	}
+	reply, err := protocol.Read(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == protocol.TypeError {
+		return nil, errors.New(reply.Reason)
+	}
+	if reply.Type != protocol.TypeQueryReply {
+		return nil, fmt.Errorf("unexpected reply %s", reply.Type)
+	}
+	out := make([]*classad.Ad, 0, len(reply.Ads))
+	for _, s := range reply.Ads {
+		ad, err := protocol.DecodeAd(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ad)
+	}
+	return out, nil
+}
+
+func str(ad *classad.Ad, attr string) string {
+	if s, ok := ad.Eval(attr).StringVal(); ok {
+		return s
+	}
+	return "-"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cqueue: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,116 @@
+// Command cstatus browses a pool through one-way queries (paper §4:
+// "there are tools to check on the status of job queues and browse
+// existing resources").
+//
+// Usage:
+//
+//	cstatus -pool HOST:PORT [-constraint 'EXPR'] [-long] [-type Machine]
+//
+// The constraint is evaluated with `other` bound to each stored ad;
+// ads for which it is true are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+)
+
+func main() {
+	poolAddr := flag.String("pool", "127.0.0.1:9618", "collector address")
+	constraint := flag.String("constraint", "true", "query constraint over other.*")
+	typeFilter := flag.String("type", "", "restrict to ads of this Type")
+	long := flag.Bool("long", false, "print whole ads instead of a summary table")
+	attrs := flag.String("attrs", "", "comma-separated projection: fetch only these attributes")
+	flag.Parse()
+
+	src := *constraint
+	if *typeFilter != "" {
+		src = fmt.Sprintf("(%s) && other.Type == %q", src, *typeFilter)
+	}
+	query := classad.NewAd()
+	if err := query.SetExprString(classad.AttrConstraint, src); err != nil {
+		fatalf("bad constraint: %v", err)
+	}
+	client := &collector.Client{Addr: *poolAddr}
+	var projection []string
+	if *attrs != "" {
+		for _, a := range strings.Split(*attrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				projection = append(projection, a)
+			}
+		}
+	}
+	ads, err := client.QueryProject(query, projection)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(projection) > 0 {
+		// Projected output: print the requested attributes as-is.
+		for _, ad := range ads {
+			fmt.Println(ad)
+		}
+		fmt.Printf("%d ad(s)\n", len(ads))
+		return
+	}
+	if *long {
+		for _, ad := range ads {
+			fmt.Println(ad.Pretty())
+			fmt.Println()
+		}
+		fmt.Printf("%d ad(s)\n", len(ads))
+		return
+	}
+	fmt.Printf("%-28s %-8s %-12s %-10s %6s %8s\n",
+		"NAME", "TYPE", "STATE", "ARCH", "MEMORY", "MIPS")
+	type archState struct{ arch, state string }
+	totals := make(map[archState]int)
+	for _, ad := range ads {
+		fmt.Printf("%-28s %-8s %-12s %-10s %6s %8s\n",
+			str(ad, "Name"), str(ad, "Type"), str(ad, "State"),
+			str(ad, "Arch"), num(ad, "Memory"), num(ad, "Mips"))
+		totals[archState{str(ad, "Arch"), str(ad, "State")}]++
+	}
+	fmt.Printf("%d ad(s)\n", len(ads))
+	if len(totals) > 1 {
+		fmt.Println("\nTotals by architecture and state:")
+		keys := make([]archState, 0, len(totals))
+		for k := range totals {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].arch != keys[j].arch {
+				return keys[i].arch < keys[j].arch
+			}
+			return keys[i].state < keys[j].state
+		})
+		for _, k := range keys {
+			fmt.Printf("  %-10s %-12s %5d\n", k.arch, k.state, totals[k])
+		}
+	}
+}
+
+func str(ad *classad.Ad, attr string) string {
+	if s, ok := ad.Eval(attr).StringVal(); ok {
+		return s
+	}
+	return "-"
+}
+
+func num(ad *classad.Ad, attr string) string {
+	v := ad.Eval(attr)
+	if n, ok := v.NumberVal(); ok {
+		return fmt.Sprintf("%g", n)
+	}
+	return "-"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cstatus: "+format+"\n", args...)
+	os.Exit(2)
+}

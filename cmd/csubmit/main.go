@@ -1,0 +1,98 @@
+// Command csubmit delivers job classads to a running customer agent's
+// queue.
+//
+// Usage:
+//
+//	csubmit -agent HOST:PORT [-work CPU_SECONDS] FILE...
+//	csubmit -agent HOST:PORT -spec submit.sub [-cluster N]
+//
+// Plain FILEs hold one job ad each in the shape of the paper's
+// Figure 2. With -spec, the file is a submit-description file
+// ("executable = ...; queue 10") expanded into one ad per queued job.
+// The agent stamps Owner, JobId and QDate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"repro/internal/classad"
+	"repro/internal/protocol"
+	"repro/internal/submit"
+)
+
+func main() {
+	agentAddr := flag.String("agent", "127.0.0.1:9620", "customer agent address")
+	work := flag.Int64("work", 0, "job CPU demand in seconds (for simulated execution)")
+	spec := flag.String("spec", "", "submit-description file to expand and queue")
+	cluster := flag.Int("cluster", 1, "cluster number for $(Cluster) in -spec files")
+	flag.Parse()
+	if *spec != "" {
+		data, err := os.ReadFile(*spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		jobs, err := submit.Parse(string(data), *cluster)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, j := range jobs {
+			name, err := submitAd(*agentAddr, j.Ad, int64(j.Work))
+			if err != nil {
+				fatalf("%s: %v", *spec, err)
+			}
+			fmt.Printf("submitted %d.%d as %s\n", j.Cluster, j.Process, name)
+		}
+		fmt.Printf("%d job(s) queued from %s\n", len(jobs), *spec)
+		return
+	}
+	if flag.NArg() == 0 {
+		fatalf("no job files given")
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		ad, err := classad.Parse(string(data))
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		name, err := submitAd(*agentAddr, ad, *work)
+		if err != nil {
+			fatalf("%s: %v", path, err)
+		}
+		fmt.Printf("submitted %s as %s\n", path, name)
+	}
+}
+
+func submitAd(addr string, ad *classad.Ad, work int64) (string, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, &protocol.Envelope{
+		Type:     protocol.TypeSubmit,
+		Ad:       protocol.EncodeAd(ad),
+		Lifetime: work,
+	}); err != nil {
+		return "", err
+	}
+	reply, err := protocol.Read(bufio.NewReader(conn))
+	if err != nil {
+		return "", err
+	}
+	if reply.Type != protocol.TypeAck {
+		return "", fmt.Errorf("%s", reply.Reason)
+	}
+	return reply.Name, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "csubmit: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,113 @@
+package matchmaking_test
+
+import (
+	"fmt"
+
+	matchmaking "repro"
+)
+
+// ExampleMatch reproduces the paper's headline result: the Figure 2
+// job matches the Figure 1 workstation, with the ranks the ads'
+// expressions imply.
+func ExampleMatch() {
+	machine := matchmaking.MustParse(matchmaking.Figure1Source)
+	job := matchmaking.MustParse(matchmaking.Figure2Source)
+	res := matchmaking.Match(job, machine)
+	fmt.Println(res.Matched)
+	fmt.Printf("%.3f\n", res.LeftRank)
+	fmt.Printf("%.0f\n", res.RightRank)
+	// Output:
+	// true
+	// 23.893
+	// 10
+}
+
+// ExampleEvalString shows the three-valued logic: strict comparison
+// against a missing attribute is undefined, while || needs only one
+// defined true.
+func ExampleEvalString() {
+	ad := matchmaking.MustParse(`[ Mips = 104 ]`)
+	v1, _ := matchmaking.EvalString("Kflops >= 1000", ad)
+	v2, _ := matchmaking.EvalString("Mips >= 10 || Kflops >= 1000", ad)
+	fmt.Println(v1)
+	fmt.Println(v2)
+	// Output:
+	// undefined
+	// true
+}
+
+// ExampleNewMatchmaker runs one negotiation cycle: among compatible
+// offers, the request's Rank picks the winner.
+func ExampleNewMatchmaker() {
+	offers := []*matchmaking.Ad{
+		matchmaking.MustParse(`[ Type="Machine"; Name="slow"; Arch="INTEL"; Mips=50 ]`),
+		matchmaking.MustParse(`[ Type="Machine"; Name="fast"; Arch="INTEL"; Mips=500 ]`),
+	}
+	request := matchmaking.MustParse(`[
+		Type = "Job"; Owner = "alice";
+		Constraint = other.Arch == "INTEL";
+		Rank = other.Mips;
+	]`)
+	mm := matchmaking.NewMatchmaker(matchmaking.MatchmakerConfig{})
+	for _, m := range mm.Negotiate([]*matchmaking.Ad{request}, offers) {
+		name, _ := m.Offer.Eval("Name").StringVal()
+		fmt.Printf("%s at rank %.0f\n", name, m.RequestRank)
+	}
+	// Output:
+	// fast at rank 500
+}
+
+// ExampleAnalyze diagnoses an unsatisfiable request, including the
+// pool-range hint for the impossible bound.
+func ExampleAnalyze() {
+	pool := []*matchmaking.Ad{
+		matchmaking.MustParse(`[ Type="Machine"; Name="m1"; Memory=64 ]`),
+		matchmaking.MustParse(`[ Type="Machine"; Name="m2"; Memory=128 ]`),
+	}
+	req := matchmaking.MustParse(`[
+		Owner = "bob";
+		Constraint = other.Memory >= 512;
+	]`)
+	a := matchmaking.Analyze(req, pool, nil)
+	fmt.Println(a.Unsatisfiable)
+	fmt.Println(a.Clauses[0].Suggestion)
+	// Output:
+	// true
+	// pool's Memory ranges 64..128
+}
+
+// ExamplePartialEval folds a request's own attributes out of its
+// constraint, leaving the residual a provider actually faces.
+func ExamplePartialEval() {
+	job := matchmaking.MustParse(`[ Memory = 31; ]`)
+	e := matchmaking.MustParseExpr("other.Memory >= self.Memory && other.Memory >= 16")
+	fmt.Println(matchmaking.PartialEval(e, job, nil))
+	// Output:
+	// (other.Memory >= 31) && (other.Memory >= 16)
+}
+
+// ExampleMatchGang co-allocates a workstation and a tape drive with a
+// single nested-classad request (paper §3.1).
+func ExampleMatchGang() {
+	pool := []*matchmaking.Ad{
+		matchmaking.MustParse(`[ Type="Machine"; Name="ws"; Arch="INTEL" ]`),
+		matchmaking.MustParse(`[ Type="TapeDrive"; Name="tape"; TransferRate=12 ]`),
+	}
+	gang := matchmaking.MustParse(`[
+		Owner = "alice";
+		Gang = {
+			[ Constraint = other.Type == "Machine" ],
+			[ Constraint = other.Type == "TapeDrive" && other.TransferRate >= 10 ]
+		};
+	]`)
+	gm, ok := matchmaking.MatchGang(gang, pool, nil)
+	fmt.Println(ok)
+	for i, oi := range gm.Offers {
+		name, _ := pool[oi].Eval("Name").StringVal()
+		fmt.Printf("slot %d: %s\n", i, name)
+	}
+	// Output:
+	// true
+	// slot 0: ws
+	// slot 1: tape
+}

@@ -1,0 +1,129 @@
+// Condorpool: the paper's Figure 3 running live over loopback TCP —
+// a pool manager, three resource-owner agents with distinct owner
+// policies, and two customer agents, exchanging real protocol
+// messages: advertise → negotiate → match-notify → claim → run →
+// release, plus one priority preemption.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	matchmaking "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// The pool manager: collector + negotiator, stateless about
+	// matches.
+	mgr := matchmaking.NewManager(matchmaking.ManagerConfig{})
+	poolAddr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Close()
+	fmt.Printf("pool manager listening on %s\n\n", poolAddr)
+
+	// Three workstations. leonardo is the paper's Figure 1 machine
+	// (made night-time idle so strangers qualify); the other two are
+	// dedicated nodes with trivial policies but different sizes.
+	leonardoAd := matchmaking.MustParse(matchmaking.Figure1Source)
+	leonardoAd.SetInt("DayTime", 22*3600)
+	leonardoAd.SetInt("KeyboardIdle", 3600)
+	leonardoAd.SetReal("LoadAvg", 0.02)
+	smallAd := matchmaking.MustParse(`[
+		Type = "Machine"; Name = "small.pool.example"; Arch = "INTEL";
+		OpSys = "SOLARIS251"; Memory = 32; Disk = 500000; Mips = 60; KFlops = 9000;
+	]`)
+	bigAd := matchmaking.MustParse(`[
+		Type = "Machine"; Name = "big.pool.example"; Arch = "INTEL";
+		OpSys = "SOLARIS251"; Memory = 256; Disk = 900000; Mips = 200; KFlops = 40000;
+		Rank = other.Memory;  // prefers jobs that use its size
+	]`)
+
+	var ras []*matchmaking.ResourceDaemon
+	for _, ad := range []*matchmaking.Ad{leonardoAd, smallAd, bigAd} {
+		ra := matchmaking.NewResourceDaemon(matchmaking.NewResource(ad, nil), poolAddr, 0, nil)
+		contact, err := ra.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ra.Close()
+		fmt.Printf("RA %-24s claims at %s\n", ra.RA.Name(), contact)
+		ras = append(ras, ra)
+	}
+
+	// Two customers: raman (research group on leonardo) and a
+	// stranger, alice.
+	raman := matchmaking.NewCustomerDaemon(matchmaking.NewCustomer("raman", nil), poolAddr, 0, nil)
+	alice := matchmaking.NewCustomerDaemon(matchmaking.NewCustomer("alice", nil), poolAddr, 0, nil)
+	for _, ca := range []*matchmaking.CustomerDaemon{raman, alice} {
+		contact, err := ca.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ca.Close()
+		fmt.Printf("CA %-24s notified at %s\n", ca.CA.Owner(), contact)
+	}
+	fmt.Println()
+
+	// raman submits the paper's Figure 2 job; alice submits two
+	// memory-hungry jobs that prefer fast machines.
+	ramanJob := raman.CA.Submit(matchmaking.MustParse(matchmaking.Figure2Source), 100)
+	aliceAd := matchmaking.MustParse(`[
+		Type = "Job"; Cmd = "render";
+		Memory = 200;
+		Rank = other.Mips;
+		Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+	]`)
+	aliceJob := alice.CA.Submit(aliceAd, 100)
+	smallJobAd := matchmaking.MustParse(`[
+		Type = "Job"; Cmd = "count";
+		Memory = 16;
+		Constraint = other.Type == "Machine" && other.Memory >= self.Memory;
+	]`)
+	aliceJob2 := alice.CA.Submit(smallJobAd, 100)
+	fmt.Printf("submitted: raman/job%d (Figure 2), alice/job%d (200MB), alice/job%d (16MB)\n\n",
+		ramanJob.ID, aliceJob.ID, aliceJob2.ID)
+
+	// Step 1: everyone advertises.
+	for _, ra := range ras {
+		if err := ra.Advertise(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, ca := range []*matchmaking.CustomerDaemon{raman, alice} {
+		if err := ca.AdvertiseIdle(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("collector holds %d ads\n", mgr.Store().Len())
+
+	// Steps 2-4: one negotiation cycle matches, notifies, and the
+	// CAs claim.
+	res := mgr.RunCycle()
+	fmt.Printf("negotiation cycle: %d requests x %d offers -> %d matches, %d claims driven\n\n",
+		res.Requests, res.Offers, len(res.Matches), res.Notified)
+	time.Sleep(50 * time.Millisecond) // let claim goroutines settle
+
+	for _, ra := range ras {
+		if claim, ok := ra.RA.CurrentClaim(); ok {
+			fmt.Printf("  %-24s claimed by %s (rank %g)\n", ra.RA.Name(), claim.Customer, claim.Rank)
+		} else {
+			fmt.Printf("  %-24s unclaimed\n", ra.RA.Name())
+		}
+	}
+	fmt.Println()
+
+	// Completion: raman's job finishes and releases leonardo; the RA
+	// re-advertises as Unclaimed.
+	if err := raman.Complete(ramanJob.ID); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("raman's job completed; claim released")
+	for _, ra := range ras {
+		fmt.Printf("  %-24s state %s\n", ra.RA.Name(), ra.RA.State())
+	}
+}

@@ -1,0 +1,105 @@
+// Heterogeneous: the dimensions of the paper that conventional queue
+// systems cannot express — dissimilar resource kinds (workstations,
+// tape drives, software licenses) matched by one general mechanism,
+// co-allocation via nested ads (gangmatching), match-failure
+// diagnosis, and the quantitative matchmaker-vs-queues comparison.
+package main
+
+import (
+	"fmt"
+
+	matchmaking "repro"
+)
+
+func main() {
+	// --- One mechanism, many resource kinds (paper §1) ---
+	pool := []*matchmaking.Ad{
+		matchmaking.MustParse(`[
+			Type = "Machine"; Name = "ws1"; Arch = "INTEL"; OpSys = "SOLARIS251";
+			Memory = 128; Disk = 800000; Mips = 150; KFlops = 30000;
+		]`),
+		matchmaking.MustParse(`[
+			Type = "Machine"; Name = "ws2"; Arch = "SPARC"; OpSys = "SOLARIS251";
+			Memory = 64; Disk = 400000; Mips = 90; KFlops = 15000;
+		]`),
+		matchmaking.MustParse(`[
+			Type = "TapeDrive"; Name = "tape0"; TransferRate = 12;
+			Constraint = other.EstimatedTapeHours <= 4;  // owner limits hogging
+		]`),
+		matchmaking.MustParse(`[
+			Type = "License"; Name = "matlab-7"; Product = "matlab"; Seats = 3;
+			Constraint = member(other.Owner, {"astro", "chem"});  // licensed groups only
+		]`),
+	}
+
+	license := matchmaking.MustParse(`[
+		Type = "Job"; Owner = "astro"; Cmd = "matlab-batch";
+		Constraint = other.Type == "License" && other.Product == "matlab";
+	]`)
+	idx, pair := matchmaking.BestOffer(license, pool, nil)
+	name, _ := pool[idx].Eval("Name").StringVal()
+	fmt.Printf("license request matched %q (rank %g)\n", name, pair.RequestRank)
+
+	outsider := license.Copy()
+	outsider.SetString("Owner", "bio")
+	if i, _ := matchmaking.BestOffer(outsider, pool, nil); i == -1 {
+		fmt.Println("bio's identical request rejected: not in the licensed groups")
+	}
+	fmt.Println()
+
+	// --- Co-allocation via nested ads (paper §3.1) ---
+	gang := matchmaking.MustParse(`[
+		Type = "Job"; Owner = "astro"; Cmd = "sky-survey";
+		Gang = {
+			[ Constraint = other.Type == "Machine" && other.Memory >= 96;
+			  Rank = other.Mips ],
+			[ Constraint = other.Type == "TapeDrive" && other.TransferRate >= 10;
+			  EstimatedTapeHours = 3 ]
+		};
+	]`)
+	if gm, ok := matchmaking.MatchGang(gang, pool, nil); ok {
+		fmt.Println("gang request co-allocated:")
+		for i, oi := range gm.Offers {
+			n, _ := pool[oi].Eval("Name").StringVal()
+			fmt.Printf("  slot %d -> %s\n", i, n)
+		}
+	} else {
+		fmt.Println("gang request could not be co-allocated")
+	}
+	fmt.Println()
+
+	// --- Why doesn't my job match? (paper §5 future work) ---
+	impossible := matchmaking.MustParse(`[
+		Type = "Job"; Owner = "chem";
+		Constraint = other.Type == "Machine" && other.Arch == "ALPHA"
+		          && other.Memory >= 32;
+	]`)
+	fmt.Print(matchmaking.Analyze(impossible, pool, nil))
+	fmt.Println()
+
+	// --- Matchmaker vs conventional queues (paper §2) ---
+	fmt.Println("matchmaker vs queue scheduler, half-desktop pool, saturated:")
+	cfg := matchmaking.SimConfig{
+		Pool: matchmaking.PoolSpec{
+			Machines:        30,
+			DesktopFraction: 0.5,
+			MeanOwnerActive: 3600,
+			MeanOwnerIdle:   7200,
+			Classes:         1,
+		},
+		Workload: matchmaking.JobSpec{
+			Jobs: 400, MeanRuntime: 3600,
+			Users: []string{"astro", "bio", "chem"},
+		},
+		Seed:     17,
+		Duration: 86400,
+	}
+	mm := matchmaking.NewSimulation(cfg).Run()
+	qcfg := cfg
+	s := matchmaking.NewSimulation(qcfg)
+	qcfg.Scheduler = matchmaking.NewQueueScheduler(s.Env())
+	qs := matchmaking.NewSimulation(qcfg).Run()
+	fmt.Printf("  %s\n  %s\n", mm, qs)
+	fmt.Printf("  goodput ratio: %.2fx — the margin is the harvested desktop capacity\n",
+		mm.Goodput()/qs.Goodput())
+}

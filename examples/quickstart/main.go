@@ -1,0 +1,64 @@
+// Quickstart: parse the paper's two example classads, evaluate
+// expressions against them, and run the bilateral match — the whole
+// core of the framework in one screen of code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	matchmaking "repro"
+)
+
+func main() {
+	// The workstation ad of the paper's Figure 1 and the job ad of
+	// Figure 2 ship with the library.
+	machine := matchmaking.MustParse(matchmaking.Figure1Source)
+	job := matchmaking.MustParse(matchmaking.Figure2Source)
+
+	fmt.Println("The machine ad (Figure 1):")
+	fmt.Println(machine.Pretty())
+	fmt.Println()
+
+	// Classads are queryable: evaluate any expression against one.
+	for _, expr := range []string{
+		"Memory * 1024",
+		`member("raman", ResearchGroup)`,
+		"KFlops / 1E3",
+		"NoSuchAttribute",          // missing attributes are undefined,
+		"NoSuchAttribute >= 32",    // and comparisons with them too:
+		"Mips >= 10 || Kflops < 1", // but || only needs one defined true
+	} {
+		v, err := matchmaking.EvalString(expr, machine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s = %v  (%s)\n", expr, v, v.Type())
+	}
+	fmt.Println()
+
+	// The bilateral match: both Constraints must be true; Rank
+	// expresses each side's preference (paper §3.2).
+	res := matchmaking.Match(job, machine)
+	fmt.Printf("job and machine match: %v\n", res.Matched)
+	fmt.Printf("  job's rank of the machine:  %.3f  (KFlops/1E3 + other.Memory/32)\n", res.LeftRank)
+	fmt.Printf("  machine's rank of the job:  %.0f  (research group membership)\n", res.RightRank)
+	fmt.Println()
+
+	// Owner policies are just expressions, so "what if" questions
+	// are cheap: the same job from an untrusted user never matches.
+	intruder := job.Copy()
+	intruder.SetString("Owner", "riffraff")
+	fmt.Printf("riffraff's identical job matches: %v\n",
+		matchmaking.Match(intruder, machine).Matched)
+
+	// And a stranger's job matches only at night.
+	stranger := job.Copy()
+	stranger.SetString("Owner", "alice")
+	for _, hour := range []int64{10, 23} {
+		m := machine.Copy()
+		m.SetInt("DayTime", hour*3600)
+		fmt.Printf("alice's job at %02d:00 matches:        %v\n",
+			hour, matchmaking.Match(stranger, m).Matched)
+	}
+}

@@ -1,0 +1,329 @@
+package agent
+
+import (
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/protocol"
+)
+
+// challengeRespond computes the CA side of the claim handshake.
+func challengeRespond(ticket, nonce string) string {
+	return protocol.Respond(ticket, nonce)
+}
+
+// workstation builds an RA around a Figure-1-style policy.
+func workstation(name string) *Resource {
+	base := classad.Figure1()
+	base.SetString("Name", name)
+	return NewResource(base, classad.FixedEnv(1000, 1))
+}
+
+// researchJob returns a job ad owned by a research-group member (the
+// Figure 1 machine always accepts it at rank 10).
+func researchJob() *classad.Ad {
+	ad := classad.Figure2()
+	return ad
+}
+
+func friendJob() *classad.Ad {
+	ad := classad.Figure2()
+	ad.SetString("Owner", "tannenba")
+	return ad
+}
+
+func otherJob(owner string) *classad.Ad {
+	ad := classad.Figure2()
+	ad.SetString("Owner", owner)
+	return ad
+}
+
+func TestResourceAdvertiseCarriesTicketAndState(t *testing.T) {
+	r := workstation("w1")
+	ad, err := r.Advertise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticket, ok := ad.Eval(classad.AttrTicket).StringVal()
+	if !ok || len(ticket) != 32 {
+		t.Fatalf("ticket = %v", ad.Eval(classad.AttrTicket))
+	}
+	if st, _ := ad.Eval("State").StringVal(); st != "Unclaimed" {
+		t.Errorf("State = %q", st)
+	}
+	// Each advertisement mints a fresh ticket.
+	ad2, _ := r.Advertise()
+	ticket2, _ := ad2.Eval(classad.AttrTicket).StringVal()
+	if ticket == ticket2 {
+		t.Error("ticket reused across advertisements")
+	}
+}
+
+func TestClaimHappyPath(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	out := r.RequestClaim(researchJob(), ticket)
+	if !out.Accepted {
+		t.Fatalf("claim rejected: %s", out.Reason)
+	}
+	if r.State() != StateClaimed {
+		t.Errorf("state = %s, want Claimed", r.State())
+	}
+	claim, ok := r.CurrentClaim()
+	if !ok || claim.Customer != "raman" || claim.Rank != 10 {
+		t.Errorf("claim = %+v", claim)
+	}
+}
+
+func TestClaimTicketChecks(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	// Wrong ticket.
+	if out := r.RequestClaim(researchJob(), "bogus"); out.Accepted {
+		t.Error("claim with wrong ticket accepted")
+	}
+	// Stale ticket: a fresh advertisement invalidates the old one.
+	if _, err := r.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if out := r.RequestClaim(researchJob(), ticket); out.Accepted {
+		t.Error("claim with superseded ticket accepted")
+	}
+	// Consumed ticket: after a successful claim the ticket is spent.
+	ad3, _ := r.Advertise()
+	ticket3, _ := ad3.Eval(classad.AttrTicket).StringVal()
+	if out := r.RequestClaim(researchJob(), ticket3); !out.Accepted {
+		t.Fatalf("claim rejected: %s", out.Reason)
+	}
+	if out := r.RequestClaim(researchJob(), ticket3); out.Accepted {
+		t.Error("spent ticket accepted again")
+	}
+	// Empty ticket never matches.
+	if out := r.RequestClaim(researchJob(), ""); out.Accepted {
+		t.Error("empty ticket accepted")
+	}
+}
+
+// TestClaimRevalidation is experiment E5's unit form: state changes
+// between advertisement and claim are caught at claim time (weak
+// consistency, paper §3.2).
+func TestClaimRevalidation(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	// Between match and claim the owner came back: keyboard touched.
+	// A friend's job needed KeyboardIdle > 15 min; the claim must be
+	// re-checked against *current* state and rejected.
+	r.SetDynamic("KeyboardIdle", classad.Int(3))
+	out := r.RequestClaim(friendJob(), ticket)
+	if out.Accepted {
+		t.Fatal("stale match not caught at claim time")
+	}
+	// A research job is still fine — the policy admits it whatever
+	// the keyboard is doing.
+	out = r.RequestClaim(friendJob(), ticket)
+	if out.Accepted {
+		t.Fatal("second attempt should also fail")
+	}
+	out = r.RequestClaim(researchJob(), ticket)
+	if !out.Accepted {
+		t.Fatalf("research claim rejected: %s", out.Reason)
+	}
+}
+
+// TestClaimRevalidationJobSide: the job's own constraint is also
+// re-verified against the provider's current state.
+func TestClaimRevalidationJobSide(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	// Disk shrank below the job's requirement after the ad was sent.
+	r.SetDynamic("Disk", classad.Int(10))
+	out := r.RequestClaim(researchJob(), ticket)
+	if out.Accepted {
+		t.Error("claim accepted though the job's constraint now fails")
+	}
+}
+
+// TestPreemption: a higher-ranked customer displaces the incumbent
+// (paper §4); an equal- or lower-ranked one does not.
+func TestPreemption(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	// Friend claims the idle machine (rank 1).
+	if out := r.RequestClaim(friendJob(), ticket); !out.Accepted {
+		t.Fatalf("friend claim rejected: %s", out.Reason)
+	}
+	// Machine re-advertises while claimed.
+	ad2, _ := r.Advertise()
+	if st, _ := ad2.Eval("State").StringVal(); st != "Claimed" {
+		t.Errorf("claimed machine advertises state %q", st)
+	}
+	if cr := ad2.Eval("CurrentRank").RankVal(); cr != 1 {
+		t.Errorf("CurrentRank = %v, want 1", cr)
+	}
+	ticket2, _ := ad2.Eval(classad.AttrTicket).StringVal()
+	// Another friend (same rank 1): refused, no preemption.
+	out := r.RequestClaim(friendJob(), ticket2)
+	if out.Accepted {
+		t.Fatal("equal-rank claim preempted the incumbent")
+	}
+	// Research job (rank 10): preempts.
+	ad3, _ := r.Advertise()
+	ticket3, _ := ad3.Eval(classad.AttrTicket).StringVal()
+	out = r.RequestClaim(researchJob(), ticket3)
+	if !out.Accepted {
+		t.Fatalf("higher-rank claim rejected: %s", out.Reason)
+	}
+	if out.Preempted == nil || out.Preempted.Customer != "tannenba" {
+		t.Errorf("preempted = %+v, want tannenba's claim", out.Preempted)
+	}
+	preempted, _ := r.Stats()
+	if preempted != 1 {
+		t.Errorf("preemption count = %d", preempted)
+	}
+	claim, _ := r.CurrentClaim()
+	if claim.Customer != "raman" {
+		t.Errorf("claim holder = %s", claim.Customer)
+	}
+}
+
+func TestReleaseAndEvict(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	if err := r.Release("anyone"); err == nil {
+		t.Error("release on unclaimed resource should error")
+	}
+	_ = r.RequestClaim(researchJob(), ticket)
+	if err := r.Release("intruder"); err == nil {
+		t.Error("release by non-holder should error")
+	}
+	if err := r.Release("raman"); err != nil {
+		t.Fatal(err)
+	}
+	if r.State() != StateUnclaimed {
+		t.Errorf("state after release = %s", r.State())
+	}
+	// Eviction by owner activity.
+	ad2, _ := r.Advertise()
+	ticket2, _ := ad2.Eval(classad.AttrTicket).StringVal()
+	_ = r.RequestClaim(researchJob(), ticket2)
+	old, ok := r.Evict()
+	if !ok || old.Customer != "raman" {
+		t.Errorf("evicted claim = %+v", old)
+	}
+	if r.State() != StateOwner {
+		t.Errorf("state after evict = %s, want Owner", r.State())
+	}
+	if _, ok := r.Evict(); ok {
+		t.Error("second evict found a claim")
+	}
+	_, evictions := r.Stats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d", evictions)
+	}
+}
+
+func TestOwnerPresence(t *testing.T) {
+	r := workstation("w1")
+	r.OwnerReturned()
+	if r.State() != StateOwner {
+		t.Errorf("state = %s", r.State())
+	}
+	r.OwnerLeft()
+	if r.State() != StateUnclaimed {
+		t.Errorf("state = %s", r.State())
+	}
+	// Owner presence does not clobber a claim's state directly.
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	_ = r.RequestClaim(researchJob(), ticket)
+	r.OwnerReturned()
+	if r.State() != StateClaimed {
+		t.Errorf("OwnerReturned changed a claimed machine to %s", r.State())
+	}
+}
+
+func TestVerifyChallenge(t *testing.T) {
+	r := workstation("w1")
+	ad, _ := r.Advertise()
+	ticket, _ := ad.Eval(classad.AttrTicket).StringVal()
+	nonce := "abc123"
+	mac := challengeRespond(ticket, nonce)
+	if !r.VerifyChallenge(nonce, mac) {
+		t.Error("valid challenge response rejected")
+	}
+	if r.VerifyChallenge(nonce, challengeRespond("wrong", nonce)) {
+		t.Error("forged response accepted")
+	}
+}
+
+func TestForceClaim(t *testing.T) {
+	// ForceClaim bypasses ticket and policy — the baseline scheduler's
+	// dispatch. Owner policy would reject this job (untrusted), but
+	// force installs it anyway.
+	r := workstation("w1")
+	job := otherJob("rival") // untrusted per Figure 1
+	claim := r.ForceClaim(job)
+	if claim.Customer != "rival" {
+		t.Errorf("claim customer = %q", claim.Customer)
+	}
+	if r.State() != StateClaimed {
+		t.Errorf("state = %s", r.State())
+	}
+	// Force-claim over an existing claim counts as a preemption.
+	r.ForceClaim(otherJob("riffraff"))
+	preempted, _ := r.Stats()
+	if preempted != 1 {
+		t.Errorf("preempted = %d", preempted)
+	}
+	// Release works normally afterwards.
+	if err := r.Release("riffraff"); err != nil {
+		t.Fatal(err)
+	}
+	if r.State() != StateUnclaimed {
+		t.Errorf("state after release = %s", r.State())
+	}
+}
+
+func TestPublishClock(t *testing.T) {
+	// 10:01:47 into some day.
+	env := classad.FixedEnv(36107+1000*86400, 1)
+	base := classad.Figure1()
+	base.Delete("DayTime") // replace the static figure value
+	r := NewResource(base, env)
+	r.PublishClock()
+	ad, err := r.Advertise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ad.Eval("DayTime"); !v.Identical(classad.Int(36107)) {
+		t.Errorf("DayTime = %v, want 36107", v)
+	}
+	if v := ad.Eval("CurrentTime"); !v.Identical(classad.Int(36107 + 1000*86400)) {
+		t.Errorf("CurrentTime = %v", v)
+	}
+	// The published values are snapshots: they parse back as plain
+	// literals, so a stored ad ages while the RA's live view moves.
+	back := classad.MustParse(ad.String())
+	if v := back.Eval("DayTime"); !v.Identical(classad.Int(36107)) {
+		t.Errorf("snapshot DayTime = %v", v)
+	}
+}
+
+func TestDynamicAttributesAppearInAd(t *testing.T) {
+	r := workstation("w1")
+	r.SetDynamic("LoadAvg", classad.Real(1.75))
+	r.SetDynamic("KeyboardIdle", classad.Int(9))
+	ad, _ := r.Advertise()
+	if v := ad.Eval("LoadAvg"); !v.Identical(classad.Real(1.75)) {
+		t.Errorf("LoadAvg = %v", v)
+	}
+	if v := ad.Eval("KeyboardIdle"); !v.Identical(classad.Int(9)) {
+		t.Errorf("KeyboardIdle = %v", v)
+	}
+}

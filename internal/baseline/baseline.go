@@ -1,0 +1,171 @@
+// Package baseline implements the conventional resource management
+// model the paper argues against (§2): systems in the style of NQE,
+// PBS, LSF and LoadLeveler, where "customers of the system have to
+// identify a specific queue to submit to a priori, which then fixes
+// the set of resources that may be used, and hinders dynamic
+// qualitative resource discovery", and where nothing corresponding to
+// a provider-side constraint exists.
+//
+// The scheduler partitions machines into queues by a static attribute
+// chosen at configuration time (architecture, the classic choice) and
+// dispatches jobs FCFS within the queue to any machine that is not
+// already running a job and has enough memory (the one resource
+// quantity conventional job control languages do express). It knows
+// nothing about owner policies, current keyboard or load state,
+// operating systems the admin did not anticipate, or the preferences
+// of either party — those gaps are precisely what experiment E7
+// measures against the matchmaker.
+package baseline
+
+import (
+	"repro/internal/classad"
+	"repro/internal/sim"
+)
+
+// QueueScheduler is the conventional baseline. It implements
+// sim.Scheduler.
+type QueueScheduler struct {
+	// queueAttr is the static attribute that keys the queues; the
+	// canonical configuration uses "Arch".
+	queueAttr string
+	// checkMemory lets the queue honour a memory request the way a
+	// batch system's job control language can.
+	checkMemory bool
+	// dedicatedOnly restricts dispatch to machines that are not
+	// distributively owned — the only configuration an owner of a
+	// desktop workstation would tolerate from a scheduler with no
+	// policy language. The intrusive variant drops the restriction
+	// (and pays for it in owner evictions).
+	dedicatedOnly bool
+	env           *classad.Env
+}
+
+// New builds the deployable baseline: per-architecture queues, memory
+// checking, dedicated machines only — the most generous realistic
+// configuration of a conventional system in a distributively owned
+// environment.
+func New(env *classad.Env) *QueueScheduler {
+	return &QueueScheduler{queueAttr: "Arch", checkMemory: true, dedicatedOnly: true, env: env}
+}
+
+// NewIntrusive builds the variant that dispatches to every machine,
+// owner policies be damned. It exists to measure what a conventional
+// system would cost resource owners: the simulator counts every
+// intrusion as an eviction within a minute.
+func NewIntrusive(env *classad.Env) *QueueScheduler {
+	return &QueueScheduler{queueAttr: "Arch", checkMemory: true, env: env}
+}
+
+// NewCoarse builds a deliberately cruder variant with a single queue
+// and no memory checking, for the sensitivity sweep.
+func NewCoarse(env *classad.Env) *QueueScheduler {
+	return &QueueScheduler{queueAttr: "", checkMemory: false, env: env}
+}
+
+// Name implements sim.Scheduler.
+func (q *QueueScheduler) Name() string {
+	switch {
+	case q.queueAttr == "":
+		return "single-queue"
+	case q.dedicatedOnly:
+		return "queues"
+	default:
+		return "queues-intr"
+	}
+}
+
+// EnforcesPolicies implements sim.Scheduler: the conventional model
+// has no constraint language, so dispatches bypass ad policies.
+func (q *QueueScheduler) EnforcesPolicies() bool { return false }
+
+// queueOf derives the queue a job or machine belongs to: the string
+// value of the queue attribute ("" when unkeyed, which pools
+// everything together). A job names its queue by the same attribute —
+// the simulator's jobs require an architecture, which is exactly the
+// piece of the constraint a user could express by picking a queue.
+func (q *QueueScheduler) queueOf(ad *classad.Ad) string {
+	if q.queueAttr == "" {
+		return ""
+	}
+	if s, ok := ad.Eval(q.queueAttr).StringVal(); ok {
+		return classad.Fold(s)
+	}
+	// A job's Arch lives inside its constraint, not as a top-level
+	// attribute; recover it the way a user reading the submit file
+	// would, by probing which architecture satisfies the constraint.
+	// The probe varies only the dimensions a queue system's submit
+	// language names; anything else the user required (operating
+	// system flavours the admin never made queues for) is invisible,
+	// which is precisely the paper's §2 criticism.
+	for _, arch := range []string{"INTEL", "SPARC", "ALPHA", "HPPA", "SGI"} {
+		for _, opsys := range []string{"SOLARIS251", "LINUX", "IRIX", "OSF1", "HPUX"} {
+			probe := classad.NewAd()
+			probe.SetString("Type", "Machine")
+			probe.SetString(q.queueAttr, arch)
+			probe.SetString("OpSys", opsys)
+			probe.SetInt("Memory", 1<<20)
+			probe.SetInt("Disk", 1<<30)
+			probe.SetInt("Mips", 1<<20)
+			probe.SetInt("KFlops", 1<<20)
+			if classad.EvalConstraint(ad, probe, q.env) {
+				return classad.Fold(arch)
+			}
+		}
+	}
+	return ""
+}
+
+// Assign implements sim.Scheduler: FCFS per queue over the machines
+// statically assigned to that queue.
+func (q *QueueScheduler) Assign(view *sim.CycleView) []sim.Assignment {
+	// Partition machines into queues, shuffling within each queue as
+	// a round-robin dispatcher effectively does — otherwise a job
+	// would deterministically retry the same unsuitable machine
+	// forever, which is unfair to the baseline.
+	machinesByQueue := make(map[string][]int)
+	used := make([]bool, len(view.MachineAds))
+	for i, mad := range view.MachineAds {
+		if q.dedicatedOnly && mad.Eval("DistributivelyOwned").IsTrue() {
+			continue // the admin could not enroll this machine
+		}
+		key := q.queueOf(mad)
+		machinesByQueue[key] = append(machinesByQueue[key], i)
+	}
+	env := q.env
+	if env == nil {
+		env = classad.DefaultEnv()
+	}
+	for _, list := range machinesByQueue {
+		for i := len(list) - 1; i > 0; i-- {
+			j := int(env.Rand() * float64(i+1))
+			list[i], list[j] = list[j], list[i]
+		}
+	}
+	var out []sim.Assignment
+	for j, jad := range view.JobAds {
+		queue := q.queueOf(jad)
+		for _, mi := range machinesByQueue[queue] {
+			if used[mi] {
+				continue
+			}
+			if q.checkMemory && !memoryFits(jad, view.MachineAds[mi]) {
+				continue
+			}
+			used[mi] = true
+			out = append(out, sim.Assignment{Job: j, Machine: mi})
+			break
+		}
+	}
+	return out
+}
+
+// memoryFits checks the one quantitative requirement a conventional
+// job control language expresses.
+func memoryFits(job, machine *classad.Ad) bool {
+	want, okJ := job.Eval("Memory").IntVal()
+	have, okM := machine.Eval("Memory").IntVal()
+	if !okJ || !okM {
+		return true
+	}
+	return have >= want
+}

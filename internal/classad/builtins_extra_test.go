@@ -1,0 +1,86 @@
+package classad
+
+import "testing"
+
+func TestDayTime(t *testing.T) {
+	// 2026-07-06 10:01:47 UTC = epoch 1782122507; midnight offset
+	// computed modulo 86400.
+	env := FixedEnv(36107+20000*86400, 1) // arbitrary day, 10:01:47 into it
+	v := EvalExprEnv(MustParseExpr("dayTime()"), nil, env)
+	if n, _ := v.IntVal(); n != 36107 {
+		t.Errorf("dayTime() = %v, want 36107", v)
+	}
+	// Midnight exactly.
+	env = FixedEnv(86400*3, 1)
+	if v := EvalExprEnv(MustParseExpr("dayTime()"), nil, env); !v.Identical(Int(0)) {
+		t.Errorf("midnight dayTime() = %v", v)
+	}
+	if v := evalStr(t, "dayTime(1)", nil); !v.IsError() {
+		t.Errorf("arity: %v", v)
+	}
+}
+
+func TestDayTimeDrivesFigure1Policy(t *testing.T) {
+	// A live DayTime makes the Figure 1 night clause time-dependent:
+	// the same stranger job matches at 22:00 and not at 10:00.
+	machine := Figure1()
+	machine.Set("DayTime", MustParseExpr("dayTime()"))
+	job := NewAd()
+	job.SetString("Owner", "stranger")
+	night := FixedEnv(22*3600, 1)
+	day := FixedEnv(10*3600, 1)
+	if !EvalConstraint(machine, job, night) {
+		t.Error("stranger should match at night")
+	}
+	if EvalConstraint(machine, job, day) {
+		t.Error("stranger should not match during the day")
+	}
+}
+
+func TestInterval(t *testing.T) {
+	cases := map[string]string{
+		"interval(0)":      "00:00:00",
+		"interval(59)":     "00:00:59",
+		"interval(3661)":   "01:01:01",
+		"interval(86400)":  "1+00:00:00",
+		"interval(93784)":  "1+02:03:04",
+		"interval(-3600)":  "-01:00:00",
+		"interval(172800)": "2+00:00:00",
+	}
+	for src, want := range cases {
+		v := evalStr(t, src, nil)
+		if s, _ := v.StringVal(); s != want {
+			t.Errorf("%s = %v, want %q", src, v, want)
+		}
+	}
+	if v := evalStr(t, `interval("x")`, nil); !v.IsError() {
+		t.Errorf("interval of string = %v", v)
+	}
+	if v := evalStr(t, "interval(Missing)", nil); !v.IsUndefined() {
+		t.Errorf("interval of undefined = %v", v)
+	}
+}
+
+func TestUnparse(t *testing.T) {
+	ad := MustParse(`[
+		Rank = other.Memory * 2;
+		Show = unparse(Rank);
+		ShowMissing = unparse(NotThere);
+		ShowLit = unparse(1 + 2);
+	]`)
+	if s, _ := ad.Eval("Show").StringVal(); s != "other.Memory * 2" {
+		t.Errorf("unparse(Rank) = %q", s)
+	}
+	if v := ad.Eval("ShowMissing"); !v.IsUndefined() {
+		t.Errorf("unparse of missing attribute = %v", v)
+	}
+	if s, _ := ad.Eval("ShowLit").StringVal(); s != "1 + 2" {
+		t.Errorf("unparse(1 + 2) = %q", s)
+	}
+	// The referenced expression is NOT evaluated: unparsing an
+	// attribute whose evaluation would error is still fine.
+	ad2 := MustParse(`[ Boom = 1/0; S = unparse(Boom) ]`)
+	if s, _ := ad2.Eval("S").StringVal(); s != "1 / 0" {
+		t.Errorf("unparse(Boom) = %q", s)
+	}
+}

@@ -1,0 +1,642 @@
+package classad
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxEvalDepth bounds expression recursion so that deeply nested or
+// adversarial ads evaluate to error instead of exhausting the stack.
+const maxEvalDepth = 512
+
+// Env supplies the external environment visible to builtin functions.
+// Injecting it keeps evaluation deterministic under test and lets the
+// discrete-event simulator supply virtual time.
+type Env struct {
+	// Now returns the current time in seconds since the Unix epoch;
+	// used by the time() builtin and by ad-lifetime bookkeeping.
+	Now func() int64
+	// Rand returns a uniform variate in [0,1); used by random().
+	Rand func() float64
+}
+
+var defaultEnvOnce sync.Once
+var defaultEnvVal *Env
+
+// DefaultEnv returns the process-wide environment: real wall-clock
+// time and a private seeded random source.
+func DefaultEnv() *Env {
+	defaultEnvOnce.Do(func() {
+		var mu sync.Mutex
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		defaultEnvVal = &Env{
+			Now: func() int64 { return time.Now().Unix() },
+			Rand: func() float64 {
+				mu.Lock()
+				defer mu.Unlock()
+				return rng.Float64()
+			},
+		}
+	})
+	return defaultEnvVal
+}
+
+// FixedEnv returns a deterministic environment: time frozen at now and
+// a random stream seeded with seed. Tests and simulations use this.
+func FixedEnv(now int64, seed int64) *Env {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return &Env{
+		Now: func() int64 { return now },
+		Rand: func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return rng.Float64()
+		},
+	}
+}
+
+// progKey identifies an (ad, attribute) pair under evaluation, for
+// circular-reference detection.
+type progKey struct {
+	ad   *Ad
+	name string
+}
+
+// evalCtx carries evaluation state: the lexical scope chain
+// (innermost ad first), the candidate ad of a two-way match, the
+// circularity ledger, and the environment.
+type evalCtx struct {
+	chain  []*Ad
+	other  *Ad
+	inprog map[progKey]bool
+	env    *Env
+	depth  int
+}
+
+func newCtx(self *Ad, other *Ad, env *Env) *evalCtx {
+	if env == nil {
+		env = DefaultEnv()
+	}
+	return &evalCtx{
+		chain:  []*Ad{self},
+		other:  other,
+		inprog: make(map[progKey]bool),
+		env:    env,
+	}
+}
+
+// root returns the outermost ad of the scope chain: the advertised ad
+// itself, which is what `self` denotes for top-level expressions.
+func (ctx *evalCtx) root() *Ad { return ctx.chain[len(ctx.chain)-1] }
+
+// flip returns the context for evaluating an attribute that lives in
+// the other ad: scopes swap, the circularity ledger is shared so that
+// mutual recursion across the two ads is still detected.
+func (ctx *evalCtx) flip() *evalCtx {
+	return &evalCtx{
+		chain:  []*Ad{ctx.other},
+		other:  ctx.root(),
+		inprog: ctx.inprog,
+		env:    ctx.env,
+		depth:  ctx.depth,
+	}
+}
+
+// sub returns a context scoped to a nested ad reached by selection or
+// subscripting. The nested ad becomes the only lexical scope; the
+// match candidate is preserved.
+func (ctx *evalCtx) sub(ad *Ad) *evalCtx {
+	return &evalCtx{
+		chain:  []*Ad{ad},
+		other:  ctx.other,
+		inprog: ctx.inprog,
+		env:    ctx.env,
+		depth:  ctx.depth,
+	}
+}
+
+// at returns a context whose scope chain starts at position i of the
+// current chain — used when an unqualified name resolves in an
+// enclosing scope, so the found expression sees its own lexical
+// environment.
+func (ctx *evalCtx) at(i int) *evalCtx {
+	if i == 0 {
+		return ctx
+	}
+	return &evalCtx{
+		chain:  ctx.chain[i:],
+		other:  ctx.other,
+		inprog: ctx.inprog,
+		env:    ctx.env,
+		depth:  ctx.depth,
+	}
+}
+
+// evalAttr evaluates attribute name of ad (which must be a scope in
+// ctx) with circular-reference detection.
+func (ctx *evalCtx) evalAttr(ad *Ad, name string, e Expr) Value {
+	key := progKey{ad, Fold(name)}
+	if ctx.inprog[key] {
+		return Erroneous("circular reference to attribute %q", name)
+	}
+	ctx.inprog[key] = true
+	v := e.eval(ctx)
+	delete(ctx.inprog, key)
+	return v
+}
+
+// EvalExpr evaluates e with ad as the self scope and no match
+// candidate, using the default environment. References to attributes
+// missing from ad evaluate to undefined.
+func EvalExpr(e Expr, ad *Ad) Value { return EvalExprEnv(e, ad, nil) }
+
+// EvalExprEnv is EvalExpr with an explicit environment (nil means the
+// default environment).
+func EvalExprEnv(e Expr, ad *Ad, env *Env) Value {
+	if ad == nil {
+		ad = NewAd()
+	}
+	return e.eval(newCtx(ad, nil, env))
+}
+
+// EvalString parses src as an expression and evaluates it against ad.
+func EvalString(src string, ad *Ad) (Value, error) {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return Undef(), err
+	}
+	return EvalExpr(e, ad), nil
+}
+
+// Eval evaluates the named attribute of the ad with no match
+// candidate. A missing attribute yields undefined.
+func (a *Ad) Eval(name string) Value { return a.EvalEnv(name, nil) }
+
+// EvalEnv is Eval with an explicit environment.
+func (a *Ad) EvalEnv(name string, env *Env) Value {
+	e, ok := a.Lookup(name)
+	if !ok {
+		return Undef()
+	}
+	ctx := newCtx(a, nil, env)
+	return ctx.evalAttr(a, name, e)
+}
+
+// EvalAgainst evaluates the named attribute of ad a in a two-way match
+// context where other is the candidate ad, as the matchmaker does for
+// Constraint and Rank (paper §3.2).
+func (a *Ad) EvalAgainst(name string, other *Ad, env *Env) Value {
+	e, ok := a.Lookup(name)
+	if !ok {
+		return Undef()
+	}
+	ctx := newCtx(a, other, env)
+	return ctx.evalAttr(a, name, e)
+}
+
+// ---- Expr implementations ----
+
+func (e litExpr) eval(ctx *evalCtx) Value { return e.v }
+
+func (e attrRef) eval(ctx *evalCtx) Value {
+	if ctx.depth++; ctx.depth > maxEvalDepth {
+		return Erroneous("expression too deeply nested")
+	}
+	defer func() { ctx.depth-- }()
+	switch e.scope {
+	case ScopeSelf:
+		ad := ctx.chain[0]
+		if ex, ok := ad.Lookup(e.name); ok {
+			return ctx.evalAttr(ad, e.name, ex)
+		}
+		return Undef()
+	case ScopeOther:
+		if ctx.other == nil {
+			return Undef()
+		}
+		if ex, ok := ctx.other.Lookup(e.name); ok {
+			f := ctx.flip()
+			return f.evalAttr(ctx.other, e.name, ex)
+		}
+		return Undef()
+	default:
+		// Unqualified: innermost scope outward, then the other ad.
+		// The fallback to the other ad is what lets the paper's
+		// Figure 2 job constraint mention Arch, OpSys and Disk,
+		// which only the machine ad defines.
+		for i, ad := range ctx.chain {
+			if ex, ok := ad.Lookup(e.name); ok {
+				return ctx.at(i).evalAttr(ad, e.name, ex)
+			}
+		}
+		if ctx.other != nil {
+			if ex, ok := ctx.other.Lookup(e.name); ok {
+				f := ctx.flip()
+				return f.evalAttr(ctx.other, e.name, ex)
+			}
+		}
+		return Undef()
+	}
+}
+
+func (e selectExpr) eval(ctx *evalCtx) Value {
+	base := e.base.eval(ctx)
+	switch base.Type() {
+	case UndefinedType:
+		return Undef()
+	case ErrorType:
+		return base
+	case AdType:
+		ad, _ := base.AdVal()
+		if ex, ok := ad.Lookup(e.name); ok {
+			s := ctx.sub(ad)
+			return s.evalAttr(ad, e.name, ex)
+		}
+		return Undef()
+	default:
+		return Erroneous("selection .%s applied to %s", e.name, base.Type())
+	}
+}
+
+func (e indexExpr) eval(ctx *evalCtx) Value {
+	base := e.base.eval(ctx)
+	idx := e.index.eval(ctx)
+	if base.IsError() {
+		return base
+	}
+	if idx.IsError() {
+		return idx
+	}
+	if base.IsUndefined() || idx.IsUndefined() {
+		return Undef()
+	}
+	switch base.Type() {
+	case ListType:
+		list, _ := base.ListVal()
+		i, ok := idx.IntVal()
+		if !ok {
+			return Erroneous("list subscript must be an integer, got %s", idx.Type())
+		}
+		if i < 0 || i >= int64(len(list)) {
+			return Erroneous("list subscript %d out of range [0,%d)", i, len(list))
+		}
+		return list[i]
+	case AdType:
+		ad, _ := base.AdVal()
+		name, ok := idx.StringVal()
+		if !ok {
+			return Erroneous("classad subscript must be a string, got %s", idx.Type())
+		}
+		if ex, ok := ad.Lookup(name); ok {
+			s := ctx.sub(ad)
+			return s.evalAttr(ad, name, ex)
+		}
+		return Undef()
+	case StringType:
+		s, _ := base.StringVal()
+		i, ok := idx.IntVal()
+		if !ok {
+			return Erroneous("string subscript must be an integer, got %s", idx.Type())
+		}
+		if i < 0 || i >= int64(len(s)) {
+			return Erroneous("string subscript %d out of range [0,%d)", i, len(s))
+		}
+		return Str(string(s[i]))
+	default:
+		return Erroneous("subscript applied to %s", base.Type())
+	}
+}
+
+func (e unaryExpr) eval(ctx *evalCtx) Value {
+	v := e.arg.eval(ctx)
+	switch e.op {
+	case OpNot:
+		switch b := toBool(v); b.Type() {
+		case BooleanType:
+			return Bool(!b.IsTrue())
+		default:
+			return b // undefined or error
+		}
+	case OpNeg:
+		switch v.Type() {
+		case UndefinedType, ErrorType:
+			return v
+		case IntegerType:
+			i, _ := v.IntVal()
+			return Int(-i)
+		case RealType:
+			r, _ := v.RealVal()
+			return Real(-r)
+		case BooleanType:
+			// Booleans coerce to integers in arithmetic, as the
+			// paper's Figure 1 Rank (member(...)*10 + member(...))
+			// requires.
+			if v.IsTrue() {
+				return Int(-1)
+			}
+			return Int(0)
+		default:
+			return Erroneous("unary - applied to %s", v.Type())
+		}
+	case OpPlus:
+		switch v.Type() {
+		case UndefinedType, ErrorType, IntegerType, RealType:
+			return v
+		case BooleanType:
+			if v.IsTrue() {
+				return Int(1)
+			}
+			return Int(0)
+		default:
+			return Erroneous("unary + applied to %s", v.Type())
+		}
+	}
+	return Erroneous("bad unary operator")
+}
+
+func (e binaryExpr) eval(ctx *evalCtx) Value {
+	switch e.op {
+	case OpAnd:
+		return evalAnd(ctx, e.l, e.r)
+	case OpOr:
+		return evalOr(ctx, e.l, e.r)
+	case OpIs:
+		return Bool(e.l.eval(ctx).Identical(e.r.eval(ctx)))
+	case OpIsnt:
+		return Bool(!e.l.eval(ctx).Identical(e.r.eval(ctx)))
+	}
+	l := e.l.eval(ctx)
+	r := e.r.eval(ctx)
+	switch e.op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+		return evalArith(e.op, l, r)
+	case OpLt, OpLe, OpGt, OpGe, OpEq, OpNe:
+		return evalCompare(e.op, l, r)
+	}
+	return Erroneous("bad binary operator")
+}
+
+func (e condExpr) eval(ctx *evalCtx) Value {
+	c := toBool(e.cond.eval(ctx))
+	switch c.Type() {
+	case BooleanType:
+		if c.IsTrue() {
+			return e.then.eval(ctx)
+		}
+		return e.els.eval(ctx)
+	default:
+		return c // undefined or error propagates; neither arm runs
+	}
+}
+
+func (e callExpr) eval(ctx *evalCtx) Value {
+	fn, ok := builtins[Fold(e.name)]
+	if !ok {
+		return Erroneous("call to unknown function %q", e.name)
+	}
+	return fn(ctx, e.args)
+}
+
+func (e listExpr) eval(ctx *evalCtx) Value {
+	out := make([]Value, len(e.elems))
+	for i, el := range e.elems {
+		out[i] = el.eval(ctx)
+	}
+	return ListOf(out...)
+}
+
+func (e adExpr) eval(ctx *evalCtx) Value { return AdValue(e.ad) }
+
+// ---- operator semantics ----
+
+// toBool coerces a value to the three-valued Boolean domain. Booleans
+// pass through; numbers coerce (non-zero is true), matching the
+// deployed Condor system in which WantCheckpoint = 1 (Figure 2) acts
+// as a Boolean; undefined and error pass through; anything else is an
+// error.
+func toBool(v Value) Value {
+	switch v.Type() {
+	case BooleanType, UndefinedType, ErrorType:
+		return v
+	case IntegerType, RealType:
+		n, _ := v.NumberVal()
+		return Bool(n != 0)
+	default:
+		return Erroneous("%s used in Boolean context", v.Type())
+	}
+}
+
+// evalAnd implements the non-strict conjunction of paper §3.1:
+// false dominates (false && undefined == false, false && error ==
+// false), then error, then undefined.
+func evalAnd(ctx *evalCtx, le, re Expr) Value {
+	l := toBool(le.eval(ctx))
+	if l.Type() == BooleanType && !l.IsTrue() {
+		return Bool(false) // short-circuit: right side never runs
+	}
+	r := toBool(re.eval(ctx))
+	switch {
+	case r.Type() == BooleanType && !r.IsTrue():
+		return Bool(false)
+	case l.IsError():
+		return l
+	case r.IsError():
+		return r
+	case l.IsUndefined() || r.IsUndefined():
+		return Undef()
+	default:
+		return Bool(true)
+	}
+}
+
+// evalOr implements the non-strict disjunction: true dominates
+// ("Mips >= 10 || Kflops >= 1000 evaluates to true whenever either
+// attribute exists and satisfies the bound", paper §3.1).
+func evalOr(ctx *evalCtx, le, re Expr) Value {
+	l := toBool(le.eval(ctx))
+	if l.IsTrue() {
+		return Bool(true) // short-circuit
+	}
+	r := toBool(re.eval(ctx))
+	switch {
+	case r.IsTrue():
+		return Bool(true)
+	case l.IsError():
+		return l
+	case r.IsError():
+		return r
+	case l.IsUndefined() || r.IsUndefined():
+		return Undef()
+	case l.Type() != BooleanType:
+		return l // error from coercion
+	case r.Type() != BooleanType:
+		return r
+	default:
+		return Bool(false)
+	}
+}
+
+// numOperand classifies an arithmetic operand: booleans coerce to
+// integers, integers stay integers, reals stay reals.
+func numOperand(v Value) (f float64, isInt bool, out Value, ok bool) {
+	switch v.Type() {
+	case UndefinedType, ErrorType:
+		return 0, false, v, false
+	case BooleanType:
+		if v.IsTrue() {
+			return 1, true, Value{}, true
+		}
+		return 0, true, Value{}, true
+	case IntegerType:
+		return v.num, true, Value{}, true
+	case RealType:
+		return v.num, false, Value{}, true
+	default:
+		return 0, false, Erroneous("%s used in arithmetic", v.Type()), false
+	}
+}
+
+// evalArith implements + - * / % with strict undefined/error
+// propagation (error dominates undefined) and integer/real promotion.
+// Integer division truncates; division and modulus by zero are errors.
+func evalArith(op Op, l, r Value) Value {
+	lf, li, lv, lok := numOperand(l)
+	rf, ri, rv, rok := numOperand(r)
+	if !lok || !rok {
+		// Error dominates undefined regardless of operand order.
+		if lv.IsError() {
+			return lv
+		}
+		if rv.IsError() {
+			return rv
+		}
+		if lv.IsUndefined() || rv.IsUndefined() {
+			return Undef()
+		}
+		if !lok {
+			return lv
+		}
+		return rv
+	}
+	bothInt := li && ri
+	switch op {
+	case OpAdd:
+		if bothInt {
+			return Int(int64(lf) + int64(rf))
+		}
+		return Real(lf + rf)
+	case OpSub:
+		if bothInt {
+			return Int(int64(lf) - int64(rf))
+		}
+		return Real(lf - rf)
+	case OpMul:
+		if bothInt {
+			return Int(int64(lf) * int64(rf))
+		}
+		return Real(lf * rf)
+	case OpDiv:
+		if bothInt {
+			if int64(rf) == 0 {
+				return Erroneous("integer division by zero")
+			}
+			return Int(int64(lf) / int64(rf))
+		}
+		if rf == 0 {
+			return Erroneous("division by zero")
+		}
+		return Real(lf / rf)
+	case OpMod:
+		if bothInt {
+			if int64(rf) == 0 {
+				return Erroneous("modulus by zero")
+			}
+			return Int(int64(lf) % int64(rf))
+		}
+		if rf == 0 {
+			return Erroneous("modulus by zero")
+		}
+		return Real(math.Mod(lf, rf))
+	}
+	return Erroneous("bad arithmetic operator")
+}
+
+// evalCompare implements the strict comparison operators of §3.1:
+// "comparison operators are strict, so other.Memory == 32 evaluates to
+// undefined if the target classad has no Memory attribute". String
+// comparison is case-insensitive (the is operator provides the
+// case-sensitive form). Comparing incompatible types is an error.
+func evalCompare(op Op, l, r Value) Value {
+	if l.IsError() {
+		return l
+	}
+	if r.IsError() {
+		return r
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undef()
+	}
+	// String-string comparison.
+	if ls, ok := l.StringVal(); ok {
+		rs, ok := r.StringVal()
+		if !ok {
+			return Erroneous("comparison of string with %s", r.Type())
+		}
+		c := strings.Compare(strings.ToLower(ls), strings.ToLower(rs))
+		return cmpResult(op, c)
+	}
+	if _, ok := r.StringVal(); ok {
+		return Erroneous("comparison of %s with string", l.Type())
+	}
+	// Boolean equality (relational order on booleans is an error).
+	if l.Type() == BooleanType && r.Type() == BooleanType {
+		switch op {
+		case OpEq:
+			return Bool(l.IsTrue() == r.IsTrue())
+		case OpNe:
+			return Bool(l.IsTrue() != r.IsTrue())
+		default:
+			return Erroneous("relational comparison of booleans")
+		}
+	}
+	// Numeric comparison, with boolean-to-integer coercion on the
+	// mixed side for symmetry with arithmetic.
+	lf, _, lv, lok := numOperand(l)
+	rf, _, rv, rok := numOperand(r)
+	if !lok {
+		return lv
+	}
+	if !rok {
+		return rv
+	}
+	switch {
+	case lf < rf:
+		return cmpResult(op, -1)
+	case lf > rf:
+		return cmpResult(op, 1)
+	default:
+		return cmpResult(op, 0)
+	}
+}
+
+func cmpResult(op Op, c int) Value {
+	switch op {
+	case OpLt:
+		return Bool(c < 0)
+	case OpLe:
+		return Bool(c <= 0)
+	case OpGt:
+		return Bool(c > 0)
+	case OpGe:
+		return Bool(c >= 0)
+	case OpEq:
+		return Bool(c == 0)
+	case OpNe:
+		return Bool(c != 0)
+	}
+	return Erroneous("bad comparison operator")
+}

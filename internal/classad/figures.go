@@ -1,0 +1,67 @@
+package classad
+
+// The paper's two example classads (Figures 1 and 2), reconstructed
+// verbatim where the text is legible. The published scan garbles a few
+// numeric constants (Disk, LoadAvg, DayTime, QDate and the job's Disk
+// bound); the values below are chosen to be consistent with the
+// surrounding prose — e.g. LoadAvg below 0.3 and KeyboardIdle above 15
+// minutes so the machine is harvestable, DayTime mid-morning so the
+// "others only at night" clause is exercised. EXPERIMENTS.md E1/E2
+// record the reconstruction.
+
+// Figure1Source is the workstation ad of the paper's Figure 1.
+const Figure1Source = `
+[
+    Type         = "Machine";
+    Activity     = "Idle";
+    DayTime      = 36107;        // current time in seconds since midnight
+    KeyboardIdle = 1432;         // seconds
+    Disk         = 323496;       // kbytes
+    Memory       = 64;           // megabytes
+    State        = "Unclaimed";
+    LoadAvg      = 0.042969;
+    Mips         = 104;
+    Arch         = "INTEL";
+    OpSys        = "SOLARIS251";
+    KFlops       = 21893;
+    Name         = "leonardo.cs.wisc.edu";
+    ResearchGroup = { "raman", "miron", "solomon", "jbasney" };
+    Friends       = { "tannenba", "wright" };
+    Untrusted     = { "rival", "riffraff" };
+    Rank = member(other.Owner, ResearchGroup) * 10
+         + member(other.Owner, Friends);
+    // The published layout is ambiguous about how far the
+    // !member(..., Untrusted) guard extends; the paper's prose is
+    // explicit — "the workstation is never willing to run
+    // applications submitted by users rival and riffraff" — so the
+    // guard must cover every arm of the conditional:
+    Constraint = !member(other.Owner, Untrusted) &&
+                 ( Rank >= 10 ? true :
+                   Rank > 0 ? LoadAvg < 0.3 && KeyboardIdle > 15*60 :
+                   DayTime < 8*60*60 || DayTime > 18*60*60 );
+]`
+
+// Figure2Source is the submitted-job ad of the paper's Figure 2.
+const Figure2Source = `
+[
+    Type               = "Job";
+    QDate              = 886799469;  // submit time, seconds past 1/1/1970
+    CompletionDate     = 0;
+    Owner              = "raman";
+    Cmd                = "run_sim";
+    WantRemoteSyscalls = 1;
+    WantCheckpoint     = 1;
+    Iwd                = "/usr/raman/sim2";
+    Args               = "-Q 17 3200 10";
+    Memory             = 31;
+    Rank       = KFlops/1E3 + other.Memory/32;
+    Constraint = other.Type == "Machine" && Arch == "INTEL"
+              && OpSys == "SOLARIS251" && Disk >= 6000
+              && other.Memory >= self.Memory;
+]`
+
+// Figure1 returns a fresh copy of the paper's workstation ad.
+func Figure1() *Ad { return MustParse(Figure1Source) }
+
+// Figure2 returns a fresh copy of the paper's job ad.
+func Figure2() *Ad { return MustParse(Figure2Source) }

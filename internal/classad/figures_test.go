@@ -1,0 +1,289 @@
+package classad
+
+import (
+	"math"
+	"testing"
+)
+
+// jobAd builds a minimal job ad for a given owner, for exercising the
+// Figure 1 policy.
+func jobAd(owner string) *Ad {
+	ad := NewAd()
+	ad.SetString("Type", "Job")
+	ad.SetString("Owner", owner)
+	ad.SetInt("Memory", 31)
+	return ad
+}
+
+// withAttrs copies ad and overrides the given attributes with integer
+// or real literal values.
+func withAttrs(ad *Ad, attrs map[string]float64) *Ad {
+	c := ad.Copy()
+	for k, v := range attrs {
+		if v == math.Trunc(v) {
+			c.SetInt(k, int64(v))
+		} else {
+			c.SetReal(k, v)
+		}
+	}
+	return c
+}
+
+// TestFigure1Parses confirms that the workstation ad of the paper's
+// Figure 1 parses with all seventeen attributes intact (experiment E1).
+func TestFigure1Parses(t *testing.T) {
+	m := Figure1()
+	if m.Len() != 18 {
+		t.Errorf("Figure 1 ad has %d attributes, want 18: %v", m.Len(), m.Names())
+	}
+	checks := map[string]Value{
+		"Type":         Str("Machine"),
+		"Activity":     Str("Idle"),
+		"KeyboardIdle": Int(1432),
+		"Memory":       Int(64),
+		"Mips":         Int(104),
+		"Arch":         Str("INTEL"),
+		"OpSys":        Str("SOLARIS251"),
+		"KFlops":       Int(21893),
+		"Name":         Str("leonardo.cs.wisc.edu"),
+	}
+	for name, want := range checks {
+		if got := m.Eval(name); !got.Identical(want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	group := m.Eval("ResearchGroup")
+	if l, ok := group.ListVal(); !ok || len(l) != 4 {
+		t.Errorf("ResearchGroup = %v, want 4-element list", group)
+	}
+}
+
+// TestFigure1PolicyMatrix is experiment E1: the owner policy of
+// Figure 1, exactly as the paper's §4 prose describes it:
+//
+//	"the workstation is never willing to run applications submitted
+//	by users rival and riffraff, it is always willing to run the jobs
+//	of members of the research group, friends may use the resource
+//	only if the workstation is idle (as determined by keyboard
+//	activity and load average), and others may only use the
+//	workstation at night."
+func TestFigure1PolicyMatrix(t *testing.T) {
+	base := Figure1()
+	const (
+		morning = 10 * 60 * 60 // 10:00, working hours
+		night   = 22 * 60 * 60 // 22:00
+		idleKbd = 30 * 60      // half an hour untouched
+		busyKbd = 5            // touched seconds ago
+	)
+	cases := []struct {
+		name    string
+		owner   string
+		daytime float64
+		kbdIdle float64
+		loadAvg float64
+		want    bool
+	}{
+		// Untrusted users: never, even at night on an idle machine.
+		{"untrusted-day", "rival", morning, idleKbd, 0.01, false},
+		{"untrusted-night-idle", "riffraff", night, idleKbd, 0.01, false},
+		// Research group: always, even on a busy machine mid-day.
+		{"research-busy-day", "raman", morning, busyKbd, 2.5, true},
+		{"research-night", "miron", night, idleKbd, 0.01, true},
+		{"research-other-member", "jbasney", morning, busyKbd, 1.0, true},
+		// Friends: only if keyboard idle > 15 min and load < 0.3.
+		{"friend-idle", "tannenba", morning, idleKbd, 0.1, true},
+		{"friend-keyboard-busy", "tannenba", morning, busyKbd, 0.1, false},
+		{"friend-loaded", "wright", morning, idleKbd, 0.5, false},
+		{"friend-night-busy", "wright", night, busyKbd, 0.1, false},
+		// Others: only at night (before 08:00 or after 18:00),
+		// regardless of idleness.
+		{"other-day-idle", "alice", morning, idleKbd, 0.01, false},
+		{"other-night-busy", "alice", night, busyKbd, 3.0, true},
+		{"other-early-morning", "bob", 6 * 60 * 60, busyKbd, 1.0, true},
+		{"other-exactly-8am", "bob", 8 * 60 * 60, idleKbd, 0.01, false},
+		{"other-exactly-6pm", "bob", 18 * 60 * 60, idleKbd, 0.01, false},
+		{"other-just-past-6pm", "bob", 18*60*60 + 1, busyKbd, 9.9, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			machine := withAttrs(base, map[string]float64{
+				"DayTime":      c.daytime,
+				"KeyboardIdle": c.kbdIdle,
+				"LoadAvg":      c.loadAvg,
+			})
+			got := EvalConstraint(machine, jobAd(c.owner), nil)
+			if got != c.want {
+				t.Errorf("owner=%s daytime=%v kbd=%v load=%v: constraint=%v, want %v",
+					c.owner, c.daytime, c.kbdIdle, c.loadAvg, got, c.want)
+			}
+		})
+	}
+}
+
+// TestFigure1RankOrdering verifies the paper's §4 claim that "research
+// jobs have higher priority than friends' jobs, which in turn have
+// higher priority than other jobs".
+func TestFigure1RankOrdering(t *testing.T) {
+	m := Figure1()
+	research := EvalRank(m, jobAd("raman"), nil)
+	friend := EvalRank(m, jobAd("tannenba"), nil)
+	other := EvalRank(m, jobAd("alice"), nil)
+	if research != 10 {
+		t.Errorf("research rank = %v, want 10", research)
+	}
+	if friend != 1 {
+		t.Errorf("friend rank = %v, want 1", friend)
+	}
+	if other != 0 {
+		t.Errorf("other rank = %v, want 0", other)
+	}
+	if !(research > friend && friend > other) {
+		t.Errorf("rank ordering violated: %v, %v, %v", research, friend, other)
+	}
+}
+
+// TestFigure2Match is experiment E2: the job ad of Figure 2 matches
+// the workstation of Figure 1, in both directions, with the ranks the
+// expressions imply.
+func TestFigure2Match(t *testing.T) {
+	machine := Figure1()
+	job := Figure2()
+	res := Match(job, machine)
+	if !res.Matched {
+		t.Fatalf("Figures 1 and 2 must match: left=%v right=%v", res.LeftOK, res.RightOK)
+	}
+	// Job's rank of the machine: KFlops/1E3 + other.Memory/32 =
+	// 21893/1000.0 + 64/32 = 21.893 + 2 = 23.893.
+	if math.Abs(res.LeftRank-23.893) > 1e-9 {
+		t.Errorf("job's rank of machine = %v, want 23.893", res.LeftRank)
+	}
+	// Machine's rank of the job: raman is in the research group,
+	// not in Friends: 1*10 + 0 = 10.
+	if res.RightRank != 10 {
+		t.Errorf("machine's rank of job = %v, want 10", res.RightRank)
+	}
+}
+
+// TestFigure2ConstraintClauses knocks out each clause of the job's
+// constraint in turn and confirms the match fails.
+func TestFigure2ConstraintClauses(t *testing.T) {
+	job := Figure2()
+	breakers := []struct {
+		name string
+		set  func(m *Ad)
+	}{
+		{"wrong-type", func(m *Ad) { m.SetString("Type", "Printer") }},
+		{"wrong-arch", func(m *Ad) { m.SetString("Arch", "SPARC") }},
+		{"wrong-opsys", func(m *Ad) { m.SetString("OpSys", "LINUX") }},
+		{"small-disk", func(m *Ad) { m.SetInt("Disk", 100) }},
+		{"small-memory", func(m *Ad) { m.SetInt("Memory", 16) }},
+		{"missing-memory", func(m *Ad) { m.Delete("Memory") }},
+	}
+	for _, b := range breakers {
+		t.Run(b.name, func(t *testing.T) {
+			m := Figure1()
+			b.set(m)
+			if EvalConstraint(job, m, nil) {
+				t.Errorf("job constraint satisfied despite %s", b.name)
+			}
+		})
+	}
+}
+
+// TestFigure2MissingMemoryIsUndefinedNotError confirms that deleting
+// the machine's Memory makes the job constraint undefined — which the
+// matchmaker treats as no-match — rather than an error (paper §3.1).
+func TestFigure2MissingMemoryIsUndefinedNotError(t *testing.T) {
+	m := Figure1()
+	m.Delete("Memory")
+	job := Figure2()
+	v := job.EvalAgainst(AttrConstraint, m, nil)
+	if !v.IsUndefined() {
+		t.Errorf("constraint with missing Memory = %v, want undefined", v)
+	}
+}
+
+// TestMatchSymmetry: Match(a, b) and Match(b, a) agree.
+func TestMatchSymmetry(t *testing.T) {
+	m, j := Figure1(), Figure2()
+	ab := Match(j, m)
+	ba := Match(m, j)
+	if ab.Matched != ba.Matched {
+		t.Errorf("match not symmetric: %v vs %v", ab.Matched, ba.Matched)
+	}
+	if ab.LeftRank != ba.RightRank || ab.RightRank != ba.LeftRank {
+		t.Errorf("ranks not mirrored: %+v vs %+v", ab, ba)
+	}
+}
+
+// TestUntrustedNeverMatchesFigure2Style: an untrusted owner submitting
+// the Figure 2 job never matches, whatever the machine state.
+func TestUntrustedNeverMatches(t *testing.T) {
+	job := Figure2()
+	job.SetString("Owner", "rival")
+	for _, daytime := range []int64{3 * 3600, 12 * 3600, 23 * 3600} {
+		m := Figure1()
+		m.SetInt("DayTime", daytime)
+		if Match(job, m).Matched {
+			t.Errorf("untrusted owner matched at daytime %d", daytime)
+		}
+	}
+}
+
+// TestMissingConstraintAcceptsAll: an ad without Constraint matches
+// anything its counterpart accepts.
+func TestMissingConstraintAcceptsAll(t *testing.T) {
+	a := MustParse(`[ Name = "anything" ]`)
+	b := MustParse(`[ Constraint = true ]`)
+	if !Match(a, b).Matched {
+		t.Error("constraint-free ads should match")
+	}
+}
+
+// TestRequirementsSpelling: the later Condor spelling Requirements is
+// honoured as the constraint.
+func TestRequirementsSpelling(t *testing.T) {
+	a := MustParse(`[ Requirements = other.X == 1 ]`)
+	yes := MustParse(`[ X = 1 ]`)
+	no := MustParse(`[ X = 2 ]`)
+	if !Match(a, yes).Matched {
+		t.Error("Requirements not honoured")
+	}
+	if Match(a, no).Matched {
+		t.Error("Requirements ignored")
+	}
+	// Constraint wins when both are present.
+	both := MustParse(`[ Requirements = false; Constraint = true ]`)
+	if !Match(both, yes).Matched {
+		t.Error("Constraint should take precedence over Requirements")
+	}
+}
+
+// TestMatchesQuery exercises the one-way protocol used by status
+// tools (paper §4).
+func TestMatchesQuery(t *testing.T) {
+	query := MustParse(`[ Constraint = other.Arch == "INTEL" && other.Memory >= 32 ]`)
+	if !MatchesQuery(query, Figure1(), nil) {
+		t.Error("query should match Figure 1 machine")
+	}
+	small := Figure1()
+	small.SetInt("Memory", 16)
+	if MatchesQuery(query, small, nil) {
+		t.Error("query should reject small machine")
+	}
+	// One-way: the candidate's own constraint is NOT consulted.
+	fussy := Figure1()
+	fussy.Set(AttrConstraint, Lit(Bool(false)))
+	if !MatchesQuery(query, fussy, nil) {
+		t.Error("one-way query must ignore the candidate's constraint")
+	}
+}
+
+// TestEvalRankAgainstNoCandidate: rank evaluation is total even
+// without a candidate.
+func TestEvalRankAgainstNoCandidate(t *testing.T) {
+	m := Figure1()
+	if r := EvalRank(m, nil, nil); r != 0 {
+		t.Errorf("rank with nil candidate = %v, want 0 (undefined member -> undefined -> 0)", r)
+	}
+}

@@ -1,0 +1,393 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens of the classad syntax.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInt
+	tokReal
+	tokString
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLParen   // (
+	tokRParen   // )
+	tokSemi     // ;
+	tokComma    // ,
+	tokAssign   // =
+	tokDot      // .
+	tokQuestion // ?
+	tokColon    // :
+	tokOr       // ||
+	tokAnd      // &&
+	tokNot      // !
+	tokLt       // <
+	tokLe       // <=
+	tokGt       // >
+	tokGe       // >=
+	tokEq       // ==
+	tokNe       // !=
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokPercent  // %
+)
+
+// token is a lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string  // identifier or string payload
+	ival int64   // integer payload
+	rval float64 // real payload
+	pos  int     // byte offset in input
+	line int     // 1-based line number
+}
+
+func (t token) describe() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.ival)
+	case tokReal:
+		return fmt.Sprintf("real %g", t.rval)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError describes a lexical or parse failure, with the 1-based
+// line number in the input.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("classad: line %d: %s", e.Line, e.Msg)
+}
+
+// lexer splits classad source into tokens. Comments use // to end of
+// line or /* ... */, as in the paper's figures.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errorf(format string, args ...any) *SyntaxError {
+	return &SyntaxError{Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// skipSpace advances past whitespace and comments.
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				return lx.errorf("unterminated /* comment")
+			}
+			lx.line += strings.Count(lx.src[lx.pos:lx.pos+2+end+2], "\n")
+			lx.pos += 2 + end + 2
+		case c == '#':
+			// Shell-style comments are accepted for ad files.
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token{}, err
+	}
+	start, line := lx.pos, lx.line
+	mk := func(k tokenKind, text string) token {
+		return token{kind: k, text: text, pos: start, line: line}
+	}
+	if lx.pos >= len(lx.src) {
+		return mk(tokEOF, ""), nil
+	}
+	c := lx.src[lx.pos]
+	switch c {
+	case '[':
+		lx.pos++
+		return mk(tokLBracket, "["), nil
+	case ']':
+		lx.pos++
+		return mk(tokRBracket, "]"), nil
+	case '{':
+		lx.pos++
+		return mk(tokLBrace, "{"), nil
+	case '}':
+		lx.pos++
+		return mk(tokRBrace, "}"), nil
+	case '(':
+		lx.pos++
+		return mk(tokLParen, "("), nil
+	case ')':
+		lx.pos++
+		return mk(tokRParen, ")"), nil
+	case ';':
+		lx.pos++
+		return mk(tokSemi, ";"), nil
+	case ',':
+		lx.pos++
+		return mk(tokComma, ","), nil
+	case '?':
+		lx.pos++
+		return mk(tokQuestion, "?"), nil
+	case ':':
+		lx.pos++
+		return mk(tokColon, ":"), nil
+	case '+':
+		lx.pos++
+		return mk(tokPlus, "+"), nil
+	case '-':
+		lx.pos++
+		return mk(tokMinus, "-"), nil
+	case '*':
+		lx.pos++
+		return mk(tokStar, "*"), nil
+	case '/':
+		lx.pos++
+		return mk(tokSlash, "/"), nil
+	case '%':
+		lx.pos++
+		return mk(tokPercent, "%"), nil
+	case '|':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '|' {
+			lx.pos += 2
+			return mk(tokOr, "||"), nil
+		}
+		return token{}, lx.errorf("unexpected character '|'")
+	case '&':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '&' {
+			lx.pos += 2
+			return mk(tokAnd, "&&"), nil
+		}
+		return token{}, lx.errorf("unexpected character '&'")
+	case '!':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokNe, "!="), nil
+		}
+		lx.pos++
+		return mk(tokNot, "!"), nil
+	case '<':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokLe, "<="), nil
+		}
+		lx.pos++
+		return mk(tokLt, "<"), nil
+	case '>':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokGe, ">="), nil
+		}
+		lx.pos++
+		return mk(tokGt, ">"), nil
+	case '=':
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '=' {
+			lx.pos += 2
+			return mk(tokEq, "=="), nil
+		}
+		// =?= and =!= are the Condor spellings of is / isnt.
+		if lx.pos+2 < len(lx.src) && lx.src[lx.pos+1] == '?' && lx.src[lx.pos+2] == '=' {
+			lx.pos += 3
+			t := mk(tokIdent, "is")
+			return t, nil
+		}
+		if lx.pos+2 < len(lx.src) && lx.src[lx.pos+1] == '!' && lx.src[lx.pos+2] == '=' {
+			lx.pos += 3
+			t := mk(tokIdent, "isnt")
+			return t, nil
+		}
+		lx.pos++
+		return mk(tokAssign, "="), nil
+	case '"':
+		return lx.lexString()
+	case '.':
+		// A leading dot can begin a real literal (.5); otherwise it
+		// is the selection operator.
+		if lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] >= '0' && lx.src[lx.pos+1] <= '9' {
+			return lx.lexNumber()
+		}
+		lx.pos++
+		return mk(tokDot, "."), nil
+	}
+	if c >= '0' && c <= '9' {
+		return lx.lexNumber()
+	}
+	r := rune(c)
+	if isIdentStart(r) {
+		j := lx.pos
+		for j < len(lx.src) && isIdentPart(rune(lx.src[j])) {
+			j++
+		}
+		text := lx.src[lx.pos:j]
+		lx.pos = j
+		return mk(tokIdent, text), nil
+	}
+	return token{}, lx.errorf("unexpected character %q", string(c))
+}
+
+// lexString scans a double-quoted string with C-style escapes.
+func (lx *lexer) lexString() (token, error) {
+	start, line := lx.pos, lx.line
+	lx.pos++ // consume opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case '"':
+			lx.pos++
+			return token{kind: tokString, text: b.String(), pos: start, line: line}, nil
+		case '\n':
+			return token{}, lx.errorf("newline in string literal")
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf("unterminated string literal")
+			}
+			switch e := lx.src[lx.pos]; e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return token{}, lx.errorf("unknown escape \\%c in string", e)
+			}
+			lx.pos++
+		default:
+			b.WriteByte(c)
+			lx.pos++
+		}
+	}
+	return token{}, lx.errorf("unterminated string literal")
+}
+
+// lexNumber scans an integer or real literal. A number containing a
+// decimal point or exponent is real; otherwise integer. Octal and hex
+// integers are accepted with 0o/0x prefixes for completeness.
+func (lx *lexer) lexNumber() (token, error) {
+	start, line := lx.pos, lx.line
+	j := lx.pos
+	isReal := false
+	if lx.src[j] == '0' && j+1 < len(lx.src) && (lx.src[j+1] == 'x' || lx.src[j+1] == 'X') {
+		j += 2
+		for j < len(lx.src) && isHexDigit(lx.src[j]) {
+			j++
+		}
+		v, err := strconv.ParseInt(lx.src[lx.pos:j], 0, 64)
+		if err != nil {
+			return token{}, lx.errorf("bad hexadecimal literal %q", lx.src[lx.pos:j])
+		}
+		lx.pos = j
+		return token{kind: tokInt, ival: v, pos: start, line: line}, nil
+	}
+	for j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
+		j++
+	}
+	if j < len(lx.src) && lx.src[j] == '.' {
+		// Only a real if followed by a digit; "3.attr" would be
+		// selection on an integer (an error caught later), but
+		// classad syntax has no such form, so a bare trailing dot
+		// still belongs to the number.
+		isReal = true
+		j++
+		for j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
+			j++
+		}
+	}
+	if j < len(lx.src) && (lx.src[j] == 'e' || lx.src[j] == 'E') {
+		k := j + 1
+		if k < len(lx.src) && (lx.src[k] == '+' || lx.src[k] == '-') {
+			k++
+		}
+		if k < len(lx.src) && lx.src[k] >= '0' && lx.src[k] <= '9' {
+			isReal = true
+			j = k
+			for j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
+				j++
+			}
+		}
+	}
+	text := lx.src[lx.pos:j]
+	lx.pos = j
+	if isReal {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, lx.errorf("bad real literal %q", text)
+		}
+		return token{kind: tokReal, rval: v, pos: start, line: line}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		// Out-of-range integers degrade to reals, matching the
+		// tolerant behaviour of the deployed system.
+		f, ferr := strconv.ParseFloat(text, 64)
+		if ferr != nil {
+			return token{}, lx.errorf("bad integer literal %q", text)
+		}
+		return token{kind: tokReal, rval: f, pos: start, line: line}, nil
+	}
+	return token{kind: tokInt, ival: v, pos: start, line: line}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

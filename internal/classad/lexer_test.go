@@ -1,0 +1,223 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	lx := newLexer(src)
+	var out []token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexPunctuation(t *testing.T) {
+	toks := lexAll(t, "[ ] { } ( ) ; , = . ? : || && ! < <= > >= == != + - * / %")
+	want := []tokenKind{
+		tokLBracket, tokRBracket, tokLBrace, tokRBrace, tokLParen, tokRParen,
+		tokSemi, tokComma, tokAssign, tokDot, tokQuestion, tokColon,
+		tokOr, tokAnd, tokNot, tokLt, tokLe, tokGt, tokGe, tokEq, tokNe,
+		tokPlus, tokMinus, tokStar, tokSlash, tokPercent,
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Errorf("token %d: got kind %d, want %d", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexIntegers(t *testing.T) {
+	cases := map[string]int64{
+		"0":        0,
+		"42":       42,
+		"1000000":  1000000,
+		"0x1f":     31,
+		"0X10":     16,
+		"21893":    21893,
+		"88679946": 88679946,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].kind != tokInt {
+			t.Fatalf("%q: expected one integer token, got %v", src, toks)
+		}
+		if toks[0].ival != want {
+			t.Errorf("%q: got %d, want %d", src, toks[0].ival, want)
+		}
+	}
+}
+
+func TestLexReals(t *testing.T) {
+	cases := map[string]float64{
+		"3.5":      3.5,
+		"0.042969": 0.042969,
+		".5":       0.5,
+		"1E3":      1000,
+		"1e-3":     0.001,
+		"2.5e2":    250,
+		"6.0":      6,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].kind != tokReal {
+			t.Fatalf("%q: expected one real token, got %+v", src, toks)
+		}
+		if toks[0].rval != want {
+			t.Errorf("%q: got %g, want %g", src, toks[0].rval, want)
+		}
+	}
+}
+
+func TestLexHugeIntegerDegradesToReal(t *testing.T) {
+	toks := lexAll(t, "99999999999999999999999999")
+	if len(toks) != 1 || toks[0].kind != tokReal {
+		t.Fatalf("expected real token for out-of-range integer, got %+v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:            "hello",
+		`""`:                 "",
+		`"with \"quotes\""`:  `with "quotes"`,
+		`"tab\there"`:        "tab\there",
+		`"line\nbreak"`:      "line\nbreak",
+		`"back\\slash"`:      `back\slash`,
+		`"-Q 17 3200 10"`:    "-Q 17 3200 10",
+		`"/usr/raman/sim2"`:  "/usr/raman/sim2",
+		`"unicode: héllo"`:   "unicode: héllo",
+		`"carriage\rreturn"`: "carriage\rreturn",
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].kind != tokString {
+			t.Fatalf("%q: expected one string token, got %+v", src, toks)
+		}
+		if toks[0].text != want {
+			t.Errorf("%q: got %q, want %q", src, toks[0].text, want)
+		}
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad \q escape"`, "\"newline\nin string\""} {
+		lx := newLexer(src)
+		if _, err := lx.next(); err == nil {
+			t.Errorf("%q: expected lex error", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, `
+		// a line comment
+		42 /* a block
+		      comment */ 43
+		# shell comment
+		44`)
+	if len(toks) != 3 {
+		t.Fatalf("expected 3 tokens, got %d: %+v", len(toks), toks)
+	}
+	for i, want := range []int64{42, 43, 44} {
+		if toks[i].ival != want {
+			t.Errorf("token %d: got %d, want %d", i, toks[i].ival, want)
+		}
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	lx := newLexer("42 /* never closed")
+	if _, err := lx.next(); err != nil {
+		t.Fatalf("first token: %v", err)
+	}
+	if _, err := lx.next(); err == nil {
+		t.Error("expected error for unterminated block comment")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	lx := newLexer("a\nb\n\nc")
+	wantLines := []int{1, 2, 4}
+	for i, want := range wantLines {
+		tok, err := lx.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.line != want {
+			t.Errorf("token %d: line %d, want %d", i, tok.line, want)
+		}
+	}
+}
+
+func TestLexIdentifiers(t *testing.T) {
+	toks := lexAll(t, "Memory _private KeyboardIdle x86_64 Op2Sys")
+	want := []string{"Memory", "_private", "KeyboardIdle", "x86_64", "Op2Sys"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].kind != tokIdent || toks[i].text != w {
+			t.Errorf("token %d: got %q, want %q", i, toks[i].text, w)
+		}
+	}
+}
+
+func TestLexCondorMetaOperators(t *testing.T) {
+	// =?= and =!= are the Condor spellings of is / isnt.
+	toks := lexAll(t, "a =?= b =!= c")
+	var words []string
+	for _, tok := range toks {
+		if tok.kind == tokIdent {
+			words = append(words, strings.ToLower(tok.text))
+		}
+	}
+	got := strings.Join(words, " ")
+	if got != "a is b isnt c" {
+		t.Errorf("meta operators lexed as %q", got)
+	}
+}
+
+func TestLexSingleAmpersandAndPipeAreErrors(t *testing.T) {
+	for _, src := range []string{"a & b", "a | b", "a @ b"} {
+		lx := newLexer(src)
+		var err error
+		for err == nil {
+			var tok token
+			tok, err = lx.next()
+			if err == nil && tok.kind == tokEOF {
+				t.Errorf("%q: expected lex error, reached EOF", src)
+				break
+			}
+		}
+	}
+}
+
+func TestSyntaxErrorMessageIncludesLine(t *testing.T) {
+	_, err := Parse("[\n  a = 1;\n  b = @;\n]")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3 (%v)", se.Line, se)
+	}
+	if !strings.Contains(se.Error(), "line 3") {
+		t.Errorf("error text %q should mention line 3", se.Error())
+	}
+}

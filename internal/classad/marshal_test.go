@@ -1,0 +1,81 @@
+package classad
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	for _, src := range []string{Figure1Source, Figure2Source, "[]", "[a = {1, [b = 2]}]"} {
+		ad := MustParse(src)
+		text, err := ad.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Ad
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("unmarshal %q: %v", text, err)
+		}
+		if !ad.Equal(&back) {
+			t.Errorf("text round trip changed ad:\n%s\nvs\n%s", ad, &back)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, src := range []string{Figure1Source, Figure2Source, "[]"} {
+		ad := MustParse(src)
+		data, err := json.Marshal(ad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Ad
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal: %v\njson: %s", err, data)
+		}
+		if !ad.Equal(&back) {
+			t.Errorf("json round trip changed ad:\n%s\nvs\n%s", ad, &back)
+		}
+		// Order must be preserved, not just the attribute set.
+		for i, n := range ad.Names() {
+			if back.Names()[i] != n {
+				t.Errorf("attribute %d renamed/reordered: %q vs %q", i, n, back.Names()[i])
+			}
+		}
+	}
+}
+
+func TestJSONWithoutOrder(t *testing.T) {
+	// Hand-written JSON with no _order still decodes (sorted).
+	var ad Ad
+	err := json.Unmarshal([]byte(`{"attrs": {"b": "2", "a": "1"}}`), &ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Len() != 2 {
+		t.Fatalf("got %d attributes", ad.Len())
+	}
+	if v := ad.Eval("a"); !v.Identical(Int(1)) {
+		t.Errorf("a = %v", v)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	var ad Ad
+	// Order references a missing attribute.
+	if err := json.Unmarshal([]byte(`{"_order": ["x"], "attrs": {}}`), &ad); err == nil {
+		t.Error("expected error for order/attrs mismatch")
+	}
+	// Unparseable expression.
+	if err := json.Unmarshal([]byte(`{"_order": ["x"], "attrs": {"x": "1 +"}}`), &ad); err == nil {
+		t.Error("expected error for bad expression")
+	}
+	// Invalid JSON.
+	if err := json.Unmarshal([]byte(`{nope`), &ad); err == nil {
+		t.Error("expected error for invalid json")
+	}
+	// Bad text form.
+	if err := ad.UnmarshalText([]byte("[ not an ad")); err == nil {
+		t.Error("expected error for bad text")
+	}
+}

@@ -1,0 +1,235 @@
+package classad
+
+// Exhaustive operator/type matrix: every binary operator applied to
+// every ordered pair of value types, and every unary operator to every
+// type. The assertions encode the semantic *classes* of §3.1 — strict
+// undefined propagation, error domination, non-strict Boolean
+// connectives, total is/isnt — and guarantee the evaluator is closed
+// (always yields a value, never panics) over the whole domain.
+
+import (
+	"testing"
+)
+
+// representatives maps each value type to a literal representative.
+var representatives = map[ValueType]Value{
+	UndefinedType: Undef(),
+	ErrorType:     Erroneous("rep"),
+	BooleanType:   Bool(true),
+	IntegerType:   Int(7),
+	RealType:      Real(2.5),
+	StringType:    Str("s"),
+	ListType:      ListOf(Int(1)),
+	AdType:        AdValue(MustParse("[x = 1]")),
+}
+
+var allTypes = []ValueType{
+	UndefinedType, ErrorType, BooleanType, IntegerType,
+	RealType, StringType, ListType, AdType,
+}
+
+func isScalarNumeric(t ValueType) bool {
+	return t == IntegerType || t == RealType || t == BooleanType
+}
+
+func TestBinaryOperatorMatrix(t *testing.T) {
+	arith := []Op{OpAdd, OpSub, OpMul, OpDiv, OpMod}
+	relational := []Op{OpLt, OpLe, OpGt, OpGe}
+	equality := []Op{OpEq, OpNe}
+	boolean := []Op{OpAnd, OpOr}
+	identity := []Op{OpIs, OpIsnt}
+
+	for _, lt := range allTypes {
+		for _, rt := range allTypes {
+			l, r := Lit(representatives[lt]), Lit(representatives[rt])
+			eval := func(op Op) Value {
+				return EvalExpr(NewBinary(op, l, r), nil)
+			}
+
+			// Arithmetic: strict; numeric (incl. boolean coercion)
+			// operands give numbers, anything else errors; undefined
+			// propagates unless error dominates.
+			for _, op := range arith {
+				v := eval(op)
+				switch {
+				case lt == ErrorType || rt == ErrorType:
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error", lt, op, rt, v)
+					}
+				case lt == UndefinedType || rt == UndefinedType:
+					// Undefined propagates — except when the other
+					// operand is a type that can never participate
+					// (the implementation may report error first);
+					// both are strict outcomes. Accept undefined,
+					// and error only when a non-numeric operand is
+					// present.
+					if !v.IsUndefined() && !(v.IsError() && (!isScalarNumeric(lt) && lt != UndefinedType || !isScalarNumeric(rt) && rt != UndefinedType)) {
+						t.Errorf("%v %s %v = %v, want undefined", lt, op, rt, v)
+					}
+				case isScalarNumeric(lt) && isScalarNumeric(rt):
+					if _, ok := v.NumberVal(); !ok && !v.IsError() {
+						t.Errorf("%v %s %v = %v, want numeric (or division error)", lt, op, rt, v)
+					}
+				default:
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error", lt, op, rt, v)
+					}
+				}
+			}
+
+			// Relational: strict; ordered types compare, others
+			// error.
+			for _, op := range relational {
+				v := eval(op)
+				switch {
+				case lt == ErrorType || rt == ErrorType:
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error", lt, op, rt, v)
+					}
+				case lt == UndefinedType || rt == UndefinedType:
+					if !v.IsUndefined() {
+						t.Errorf("%v %s %v = %v, want undefined", lt, op, rt, v)
+					}
+				case lt == StringType && rt == StringType:
+					if _, ok := v.BoolVal(); !ok {
+						t.Errorf("string %s string = %v, want boolean", op, v)
+					}
+				case isScalarNumeric(lt) && isScalarNumeric(rt) &&
+					lt != BooleanType && rt != BooleanType:
+					if _, ok := v.BoolVal(); !ok {
+						t.Errorf("%v %s %v = %v, want boolean", lt, op, rt, v)
+					}
+				case lt == BooleanType && rt == BooleanType:
+					if !v.IsError() {
+						t.Errorf("bool %s bool = %v, want error (no order on booleans)", op, v)
+					}
+				case lt == ListType || rt == ListType || lt == AdType || rt == AdType ||
+					lt == StringType || rt == StringType:
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error", lt, op, rt, v)
+					}
+				default:
+					// mixed bool/number: defined (coerces).
+					if _, ok := v.BoolVal(); !ok {
+						t.Errorf("%v %s %v = %v, want boolean", lt, op, rt, v)
+					}
+				}
+			}
+
+			// Equality: strict; compatible types give booleans.
+			for _, op := range equality {
+				v := eval(op)
+				switch {
+				case lt == ErrorType || rt == ErrorType:
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error", lt, op, rt, v)
+					}
+				case lt == UndefinedType || rt == UndefinedType:
+					if !v.IsUndefined() {
+						t.Errorf("%v %s %v = %v, want undefined", lt, op, rt, v)
+					}
+				case lt == ListType || rt == ListType || lt == AdType || rt == AdType:
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error (no == on aggregates)", lt, op, rt, v)
+					}
+				case (lt == StringType) != (rt == StringType):
+					if !v.IsError() {
+						t.Errorf("%v %s %v = %v, want error", lt, op, rt, v)
+					}
+				default:
+					if _, ok := v.BoolVal(); !ok {
+						t.Errorf("%v %s %v = %v, want boolean", lt, op, rt, v)
+					}
+				}
+			}
+
+			// Boolean connectives: non-strict, never panic; result
+			// is always boolean, undefined, or error.
+			for _, op := range boolean {
+				v := eval(op)
+				switch v.Type() {
+				case BooleanType, UndefinedType, ErrorType:
+				default:
+					t.Errorf("%v %s %v = %v (%s), want three-valued",
+						lt, op, rt, v, v.Type())
+				}
+			}
+
+			// is/isnt: total — always a boolean, whatever the
+			// operands.
+			for _, op := range identity {
+				v := eval(op)
+				if _, ok := v.BoolVal(); !ok {
+					t.Errorf("%v %s %v = %v, want boolean always", lt, op, rt, v)
+				}
+			}
+		}
+	}
+}
+
+func TestUnaryOperatorMatrix(t *testing.T) {
+	for _, ty := range allTypes {
+		arg := Lit(representatives[ty])
+		not := EvalExpr(NewUnary(OpNot, arg), nil)
+		switch ty {
+		case UndefinedType:
+			if !not.IsUndefined() {
+				t.Errorf("!%v = %v", ty, not)
+			}
+		case ErrorType:
+			if !not.IsError() {
+				t.Errorf("!%v = %v", ty, not)
+			}
+		case BooleanType, IntegerType, RealType:
+			if _, ok := not.BoolVal(); !ok {
+				t.Errorf("!%v = %v, want boolean", ty, not)
+			}
+		default:
+			if !not.IsError() {
+				t.Errorf("!%v = %v, want error", ty, not)
+			}
+		}
+
+		neg := EvalExpr(NewUnary(OpNeg, arg), nil)
+		switch ty {
+		case UndefinedType:
+			if !neg.IsUndefined() {
+				t.Errorf("-%v = %v", ty, neg)
+			}
+		case ErrorType:
+			if !neg.IsError() {
+				t.Errorf("-%v = %v", ty, neg)
+			}
+		case BooleanType, IntegerType, RealType:
+			if _, ok := neg.NumberVal(); !ok {
+				t.Errorf("-%v = %v, want numeric", ty, neg)
+			}
+		default:
+			if !neg.IsError() {
+				t.Errorf("-%v = %v, want error", ty, neg)
+			}
+		}
+	}
+}
+
+// TestIdentityTotality: is/isnt are total and complementary over the
+// full type matrix.
+func TestIdentityTotality(t *testing.T) {
+	for _, lt := range allTypes {
+		for _, rt := range allTypes {
+			l, r := Lit(representatives[lt]), Lit(representatives[rt])
+			is := EvalExpr(NewBinary(OpIs, l, r), nil)
+			isnt := EvalExpr(NewBinary(OpIsnt, l, r), nil)
+			ib, ok1 := is.BoolVal()
+			nb, ok2 := isnt.BoolVal()
+			if !ok1 || !ok2 || ib == nb {
+				t.Errorf("%v is/isnt %v = %v / %v, want complementary booleans",
+					lt, rt, is, isnt)
+			}
+			// Reflexivity on identical representatives.
+			if lt == rt && !ib {
+				t.Errorf("%v is %v = false, want reflexive", lt, rt)
+			}
+		}
+	}
+}

@@ -1,0 +1,335 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLiterals(t *testing.T) {
+	cases := map[string]Value{
+		"42":        Int(42),
+		"-7":        Int(-7),
+		"3.5":       Real(3.5),
+		"-2.5":      Real(-2.5),
+		`"hi"`:      Str("hi"),
+		"true":      Bool(true),
+		"false":     Bool(false),
+		"TRUE":      Bool(true),
+		"False":     Bool(false),
+		"undefined": Undef(),
+		"UNDEFINED": Undef(),
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		got := EvalExpr(e, nil)
+		if !got.Identical(want) {
+			t.Errorf("%q evaluated to %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestParseErrorLiteral(t *testing.T) {
+	v := EvalExpr(MustParseExpr("error"), nil)
+	if !v.IsError() {
+		t.Errorf("error literal evaluated to %v", v)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := map[string]Value{
+		"1 + 2 * 3":             Int(7),
+		"(1 + 2) * 3":           Int(9),
+		"10 - 4 - 3":            Int(3), // left associative
+		"2 * 3 + 4 * 5":         Int(26),
+		"1 < 2 && 3 < 4":        Bool(true),
+		"1 < 2 || 1 / 0 == 1":   Bool(true), // || short-circuits
+		"false && true || true": Bool(true),
+		"1 + 2 == 3":            Bool(true),
+		"1 == 1 is true":        Bool(true), // == binds before is? same level, left assoc
+		"10 % 3":                Int(1),
+		"7 / 2":                 Int(3),
+		"7.0 / 2":               Real(3.5),
+		"-2 * 3":                Int(-6),
+		"!(1 == 2)":             Bool(true),
+		"!true || true":         Bool(true),
+		"2 < 3 == true":         Bool(true),
+	}
+	for src, want := range cases {
+		got := EvalExpr(MustParseExpr(src), nil)
+		if !got.Identical(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestParseConditionalRightAssociative(t *testing.T) {
+	// a ? b : c ? d : e parses as a ? b : (c ? d : e).
+	got := EvalExpr(MustParseExpr("false ? 1 : true ? 2 : 3"), nil)
+	if !got.Identical(Int(2)) {
+		t.Errorf("nested conditional = %v, want 2", got)
+	}
+	got = EvalExpr(MustParseExpr("false ? 1 : false ? 2 : 3"), nil)
+	if !got.Identical(Int(3)) {
+		t.Errorf("nested conditional = %v, want 3", got)
+	}
+}
+
+func TestParseConditionalMatchesPaperConstraint(t *testing.T) {
+	// The Figure 1 constraint relies on ?: binding loosest:
+	// A && B ? X : C ? Y : Z  ==  (A && B) ? X : ((C) ? Y : Z).
+	ad := MustParse(`[
+		cond = 1 > 2 && 3 > 2 ? "first" : 5 > 4 ? "second" : "third";
+	]`)
+	got := ad.Eval("cond")
+	if s, _ := got.StringVal(); s != "second" {
+		t.Errorf("cond = %v, want \"second\"", got)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	v := EvalExpr(MustParseExpr(`{1, 2.5, "three", {4}}`), nil)
+	list, ok := v.ListVal()
+	if !ok || len(list) != 4 {
+		t.Fatalf("list = %v", v)
+	}
+	if !list[0].Identical(Int(1)) || !list[1].Identical(Real(2.5)) {
+		t.Errorf("list elements wrong: %v", v)
+	}
+	inner, ok := list[3].ListVal()
+	if !ok || len(inner) != 1 {
+		t.Errorf("nested list wrong: %v", list[3])
+	}
+	// Empty list and trailing comma.
+	for _, src := range []string{"{}", "{1,}"} {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("parse %q: %v", src, err)
+		}
+	}
+}
+
+func TestParseNestedAd(t *testing.T) {
+	e := MustParseExpr(`[a = 1; b = [c = 2]]`)
+	v := EvalExpr(e, nil)
+	ad, ok := v.AdVal()
+	if !ok {
+		t.Fatalf("not an ad: %v", v)
+	}
+	if got := ad.Eval("a"); !got.Identical(Int(1)) {
+		t.Errorf("a = %v", got)
+	}
+	inner := EvalExpr(MustParseExpr("[a=1; b=[c=2]].b.c"), nil)
+	if !inner.Identical(Int(2)) {
+		t.Errorf("b.c = %v, want 2", inner)
+	}
+}
+
+func TestParseAdForms(t *testing.T) {
+	bracketed := MustParse(`[ a = 1; b = "x" ]`)
+	trailingSemi := MustParse(`[ a = 1; b = "x"; ]`)
+	bare := MustParse("a = 1\nb = \"x\"")
+	bareSemis := MustParse(`a = 1; b = "x";`)
+	for i, ad := range []*Ad{bracketed, trailingSemi, bare, bareSemis} {
+		if ad.Len() != 2 {
+			t.Errorf("form %d: %d attributes, want 2", i, ad.Len())
+		}
+		if v := ad.Eval("a"); !v.Identical(Int(1)) {
+			t.Errorf("form %d: a = %v", i, v)
+		}
+	}
+	empty := MustParse("[]")
+	if empty.Len() != 0 {
+		t.Errorf("empty ad has %d attributes", empty.Len())
+	}
+}
+
+func TestParseMulti(t *testing.T) {
+	ads, err := ParseMulti(`[a=1] [b=2]
+		[c=3]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ads) != 3 {
+		t.Fatalf("got %d ads, want 3", len(ads))
+	}
+	if v := ads[2].Eval("c"); !v.Identical(Int(3)) {
+		t.Errorf("third ad c = %v", v)
+	}
+	if _, err := ParseMulti("[a=1] garbage"); err == nil {
+		t.Error("expected error for trailing garbage")
+	}
+}
+
+func TestParseScopedReferences(t *testing.T) {
+	for src, want := range map[string]string{
+		"self.Memory":   "self.Memory",
+		"my.Memory":     "self.Memory",
+		"other.Memory":  "other.Memory",
+		"target.Memory": "other.Memory",
+		"SELF.Memory":   "self.Memory",
+		"Other.Disk":    "other.Disk",
+	} {
+		e := MustParseExpr(src)
+		if e.String() != want {
+			t.Errorf("%q unparses as %q, want %q", src, e.String(), want)
+		}
+	}
+}
+
+func TestParseSelectionOnExpression(t *testing.T) {
+	// A dot after a non-qualifier base is record selection.
+	e := MustParseExpr("([x = 5]).x")
+	if v := EvalExpr(e, nil); !v.Identical(Int(5)) {
+		t.Errorf("selection = %v, want 5", v)
+	}
+}
+
+func TestParseSubscripts(t *testing.T) {
+	cases := map[string]Value{
+		"{10, 20, 30}[1]": Int(20),
+		"{10, 20, 30}[0]": Int(10),
+		`[a = 7]["a"]`:    Int(7),
+		`"hello"[1]`:      Str("e"),
+	}
+	for src, want := range cases {
+		got := EvalExpr(MustParseExpr(src), nil)
+		if !got.Identical(want) {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	for _, src := range []string{"{1,2}[5]", "{1,2}[-1]", `{1}["x"]`, "5[0]"} {
+		if got := EvalExpr(MustParseExpr(src), nil); !got.IsError() {
+			t.Errorf("%q = %v, want error", src, got)
+		}
+	}
+}
+
+func TestParseFunctionCalls(t *testing.T) {
+	v := EvalExpr(MustParseExpr(`member("b", {"a", "b"})`), nil)
+	if !v.IsTrue() {
+		t.Errorf("member call = %v", v)
+	}
+	// Case-insensitive function names.
+	v = EvalExpr(MustParseExpr(`MEMBER("b", {"a", "b"})`), nil)
+	if !v.IsTrue() {
+		t.Errorf("MEMBER call = %v", v)
+	}
+	// Unknown functions evaluate to error, not parse error.
+	v = EvalExpr(MustParseExpr("noSuchFn(1)"), nil)
+	if !v.IsError() {
+		t.Errorf("unknown function = %v, want error", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",           // empty expression
+		"1 +",        // dangling operator
+		"(1",         // unclosed paren
+		"[a = ]",     // missing expression
+		"[a 1]",      // missing =
+		"[1 = 2]",    // non-identifier attribute
+		"{1, 2",      // unclosed list
+		"a ? b",      // incomplete conditional
+		"f(1, ",      // unclosed call
+		"a.",         // dangling dot
+		"a[1",        // unclosed subscript
+		"1 2",        // trailing token
+		"[a=1] asdf", // trailing token after ad
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			if _, err2 := Parse(src); err2 == nil {
+				t.Errorf("%q: expected a parse error", src)
+			}
+		}
+	}
+}
+
+func TestParseCaseInsensitiveAttributes(t *testing.T) {
+	ad := MustParse("[ Memory = 64 ]")
+	for _, name := range []string{"Memory", "memory", "MEMORY", "mEmOrY"} {
+		if v := ad.Eval(name); !v.Identical(Int(64)) {
+			t.Errorf("Eval(%q) = %v, want 64", name, v)
+		}
+	}
+	// Redefining with different case replaces, not duplicates.
+	ad.SetInt("MEMORY", 128)
+	if ad.Len() != 1 {
+		t.Errorf("ad has %d attributes after case-variant Set, want 1", ad.Len())
+	}
+	if v := ad.Eval("memory"); !v.Identical(Int(128)) {
+		t.Errorf("after redefinition memory = %v", v)
+	}
+}
+
+func TestUnparseRoundTrip(t *testing.T) {
+	sources := []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"a && b || !c",
+		`member(other.Owner, ResearchGroup) * 10 + member(other.Owner, Friends)`,
+		"x < 0.3 && y > 15 * 60",
+		`a ? b : c ? d : e`,
+		`{1, 2.5, "three"}`,
+		`[a = 1; b = {2}]`,
+		`other.Memory >= self.Memory`,
+		`undefined is undefined`,
+		`x isnt error`,
+		`-y + 3`,
+		`f(g(1), 2)`,
+		`list[2].field`,
+		`"string with \"escapes\" and \n"`,
+	}
+	for _, src := range sources {
+		e1 := MustParseExpr(src)
+		text := e1.String()
+		e2, err := ParseExpr(text)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", text, src, err)
+		}
+		if e2.String() != text {
+			t.Errorf("unparse not a fixed point: %q -> %q -> %q", src, text, e2.String())
+		}
+	}
+}
+
+func TestAdRoundTrip(t *testing.T) {
+	for _, src := range []string{Figure1Source, Figure2Source} {
+		ad1 := MustParse(src)
+		ad2, err := Parse(ad1.String())
+		if err != nil {
+			t.Fatalf("re-parse: %v\ntext: %s", err, ad1.String())
+		}
+		if !ad1.Equal(ad2) {
+			t.Errorf("round trip changed ad:\n%s\nvs\n%s", ad1, ad2)
+		}
+		// Pretty form re-parses too.
+		ad3, err := Parse(ad1.Pretty())
+		if err != nil {
+			t.Fatalf("re-parse pretty: %v", err)
+		}
+		if !ad1.Equal(ad3) {
+			t.Errorf("pretty round trip changed ad")
+		}
+	}
+}
+
+func TestParsePreservesAttributeOrder(t *testing.T) {
+	ad := MustParse("[ zebra = 1; alpha = 2; mid = 3 ]")
+	got := strings.Join(ad.Names(), ",")
+	if got != "zebra,alpha,mid" {
+		t.Errorf("attribute order %q, want insertion order", got)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse of garbage did not panic")
+		}
+	}()
+	MustParse("[this is not valid")
+}

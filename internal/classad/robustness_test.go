@@ -1,0 +1,136 @@
+package classad
+
+// Robustness: the parser and evaluator must never panic, whatever
+// bytes arrive — ads cross the network from arbitrary peers.
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanicsOnRandomBytes feeds raw random byte strings.
+func TestParseNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(data []byte) (ok bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Logf("input %q panicked: %v", data, p)
+				ok = false
+			}
+		}()
+		_, _ = Parse(string(data))
+		_, _ = ParseExpr(string(data))
+		_, _ = ParseMulti(string(data))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParseNeverPanicsOnTokenSoup feeds syntactically plausible token
+// sequences, which reach deeper into the parser than raw bytes do.
+func TestParseNeverPanicsOnTokenSoup(t *testing.T) {
+	tokens := []string{
+		"[", "]", "{", "}", "(", ")", ";", ",", "=", ".", "?", ":",
+		"||", "&&", "!", "<", "<=", ">", ">=", "==", "!=", "+", "-",
+		"*", "/", "%", "is", "isnt", "true", "false", "undefined",
+		"error", "self", "other", "member", "42", "3.5", `"str"`,
+		"Memory", "Constraint", "=?=", "=!=",
+	}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		var b strings.Builder
+		for i, n := 0, r.Intn(40); i < n; i++ {
+			b.WriteString(tokens[r.Intn(len(tokens))])
+			b.WriteByte(' ')
+		}
+		src := b.String()
+		if e, err := ParseExpr(src); err == nil {
+			// Whatever parsed must also evaluate without panicking.
+			_ = EvalExprEnv(e, genAd(r), FixedEnv(0, seed))
+		}
+		if ad, err := Parse(src); err == nil {
+			for _, n := range ad.Names() {
+				_ = ad.Eval(n)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDeeplyNestedInputs: pathological nesting must error or succeed,
+// not overflow the stack. Parser recursion depth is proportional to
+// input size, so keep inputs bounded but deep.
+func TestDeeplyNestedInputs(t *testing.T) {
+	depth := 10000
+	cases := []string{
+		strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth),
+		strings.Repeat("{", depth) + "1" + strings.Repeat("}", depth),
+		strings.Repeat("!", depth) + "true",
+		strings.Repeat("[a=", depth) + "1" + strings.Repeat("]", depth),
+		strings.Repeat("-", depth) + "5",
+	}
+	for i, src := range cases {
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					// A stack-overflow panic would kill the process
+					// before reaching here, so any recoverable
+					// panic is still a bug.
+					t.Errorf("case %d panicked: %v", i, p)
+				}
+			}()
+			if e, err := ParseExpr(src); err == nil {
+				_ = EvalExpr(e, nil)
+			}
+		}()
+	}
+}
+
+// TestHugeFlatAd: width is cheap even when depth is limited.
+func TestHugeFlatAd(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("[")
+	for i := 0; i < 20000; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString("a")
+		b.WriteString(itoa(i))
+		b.WriteString(" = ")
+		b.WriteString(itoa(i))
+	}
+	b.WriteString("]")
+	ad, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Len() != 20000 {
+		t.Errorf("len = %d", ad.Len())
+	}
+	if v := ad.Eval("a19999"); !v.Identical(Int(19999)) {
+		t.Errorf("a19999 = %v", v)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var digits []byte
+	for i > 0 {
+		digits = append([]byte{byte('0' + i%10)}, digits...)
+		i /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,190 @@
+// Package collector implements the pool manager's advertisement store
+// (paper §4): RAs and CAs "periodically send classads to a Condor pool
+// manager, describing the resources and job queues respectively". The
+// store keys ads by their Name attribute, expires ads that are not
+// refreshed within their advertised lifetime, and answers the one-way
+// queries that status and browse tools pose ("One-way matching
+// protocols are used to find all objects matching a given pattern").
+package collector
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/classad"
+)
+
+// DefaultLifetime is how long an advertisement stays valid when the
+// advertiser does not say: three negotiation cycles of the deployed
+// system's five-minute period.
+const DefaultLifetime int64 = 900
+
+// entry is one stored advertisement.
+type entry struct {
+	ad      *classad.Ad
+	expires int64 // absolute seconds; 0 means never
+}
+
+// Store is a thread-safe advertisement store. The zero value is not
+// usable; construct with New.
+type Store struct {
+	mu  sync.RWMutex
+	ads map[string]entry // folded Name -> entry
+	env *classad.Env
+}
+
+// New returns an empty store reading time from env (nil for the
+// process default).
+func New(env *classad.Env) *Store {
+	if env == nil {
+		env = classad.DefaultEnv()
+	}
+	return &Store{ads: make(map[string]entry), env: env}
+}
+
+// NameOf extracts the identity an ad is stored under.
+func NameOf(ad *classad.Ad) (string, error) {
+	v := ad.Eval(classad.AttrName)
+	s, ok := v.StringVal()
+	if !ok || s == "" {
+		return "", fmt.Errorf("collector: advertisement has no usable Name attribute (got %s)", v.Type())
+	}
+	return s, nil
+}
+
+// Update stores or refreshes an advertisement. lifetime <= 0 selects
+// DefaultLifetime. Re-advertising under the same Name replaces the
+// previous ad, which is how agents publish state changes.
+func (s *Store) Update(ad *classad.Ad, lifetime int64) error {
+	name, err := NameOf(ad)
+	if err != nil {
+		return err
+	}
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ads[classad.Fold(name)] = entry{ad: ad, expires: s.env.Now() + lifetime}
+	return nil
+}
+
+// Invalidate removes the ad stored under name, reporting whether one
+// was present. Agents send this on clean shutdown.
+func (s *Store) Invalidate(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := classad.Fold(name)
+	_, ok := s.ads[key]
+	delete(s.ads, key)
+	return ok
+}
+
+// prune drops expired entries; the caller holds the write lock.
+func (s *Store) pruneLocked() {
+	now := s.env.Now()
+	for k, e := range s.ads {
+		if e.expires != 0 && e.expires <= now {
+			delete(s.ads, k)
+		}
+	}
+}
+
+// Prune removes expired advertisements immediately.
+func (s *Store) Prune() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+}
+
+// Len reports the number of live advertisements.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	return len(s.ads)
+}
+
+// All returns the live advertisements, sorted by folded name for
+// deterministic negotiation cycles.
+func (s *Store) All() []*classad.Ad {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	keys := make([]string, 0, len(s.ads))
+	for k := range s.ads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*classad.Ad, len(keys))
+	for i, k := range keys {
+		out[i] = s.ads[k].ad
+	}
+	return out
+}
+
+// Query returns the live ads matching a one-way query: only the
+// query's constraint is evaluated, with the stored ad as the
+// candidate.
+func (s *Store) Query(query *classad.Ad) []*classad.Ad {
+	var out []*classad.Ad
+	for _, ad := range s.All() {
+		if classad.MatchesQuery(query, ad, s.env) {
+			out = append(out, ad)
+		}
+	}
+	return out
+}
+
+// QueryProject is Query with a projection: each returned ad carries
+// only the requested attributes (plus Name, always, so results stay
+// identifiable). Projected attributes are evaluated to literals, so
+// the caller sees values even when the stored attribute was an
+// expression over other attributes of the ad. Tools browsing large
+// pools use this to avoid shipping whole ads.
+func (s *Store) QueryProject(query *classad.Ad, attrs []string) []*classad.Ad {
+	full := s.Query(query)
+	out := make([]*classad.Ad, 0, len(full))
+	for _, ad := range full {
+		p := classad.NewAd()
+		if name, ok := ad.Eval(classad.AttrName).StringVal(); ok {
+			p.SetString(classad.AttrName, name)
+		}
+		for _, a := range attrs {
+			if classad.Fold(a) == classad.Fold(classad.AttrName) {
+				continue
+			}
+			if _, ok := ad.Lookup(a); !ok {
+				continue
+			}
+			p.Set(a, classad.Lit(ad.EvalEnv(a, s.env)))
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Lookup fetches the live ad stored under name.
+func (s *Store) Lookup(name string) (*classad.Ad, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	e, ok := s.ads[classad.Fold(name)]
+	if !ok {
+		return nil, false
+	}
+	return e.ad, true
+}
+
+// SelectType returns live ads whose Type attribute equals t — the
+// convenience the negotiator uses to split machines from jobs.
+func (s *Store) SelectType(t string) []*classad.Ad {
+	var out []*classad.Ad
+	for _, ad := range s.All() {
+		if typ, ok := ad.Eval(classad.AttrType).StringVal(); ok && classad.Fold(typ) == classad.Fold(t) {
+			out = append(out, ad)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package collector
+
+import (
+	"testing"
+
+	"repro/internal/classad"
+)
+
+func TestQueryProject(t *testing.T) {
+	s := New(nil)
+	machine := classad.Figure1()
+	if err := s.Update(machine, 0); err != nil {
+		t.Fatal(err)
+	}
+	q := classad.MustParse(`[ Constraint = other.Memory >= 32 ]`)
+	got := s.QueryProject(q, []string{"Arch", "Memory", "Rank"})
+	if len(got) != 1 {
+		t.Fatalf("matched %d", len(got))
+	}
+	p := got[0]
+	// Name always included; projected attrs present; others gone.
+	if name, _ := p.Eval("Name").StringVal(); name != "leonardo.cs.wisc.edu" {
+		t.Errorf("Name = %q", name)
+	}
+	if v := p.Eval("Arch"); !v.Identical(classad.Str("INTEL")) {
+		t.Errorf("Arch = %v", v)
+	}
+	if v := p.Eval("Memory"); !v.Identical(classad.Int(64)) {
+		t.Errorf("Memory = %v", v)
+	}
+	if _, ok := p.Lookup("OpSys"); ok {
+		t.Error("unprojected attribute survived")
+	}
+	if _, ok := p.Lookup("Constraint"); ok {
+		t.Error("Constraint survived projection")
+	}
+	// The Rank expression was evaluated to a literal (undefined here,
+	// since there is no match candidate during projection).
+	if e, ok := p.Lookup("Rank"); ok {
+		if e.String() != "undefined" {
+			t.Errorf("projected Rank = %s, want evaluated literal", e.String())
+		}
+	} else {
+		t.Error("Rank missing from projection")
+	}
+	// Projection size is genuinely smaller.
+	if p.Len() >= machine.Len() {
+		t.Errorf("projection has %d attrs, original %d", p.Len(), machine.Len())
+	}
+	// Requesting absent attributes is harmless.
+	got = s.QueryProject(q, []string{"NoSuchThing"})
+	if got[0].Len() != 1 { // just Name
+		t.Errorf("projection of absent attr has %d attrs", got[0].Len())
+	}
+}
+
+func TestQueryProjectOverTCP(t *testing.T) {
+	srv, client := startServer(t)
+	if err := client.Advertise(classad.Figure1(), 0); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv
+	q := classad.MustParse(`[ Constraint = true ]`)
+	got, err := client.QueryProject(q, []string{"Arch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Len() != 2 {
+		t.Fatalf("projection over TCP: %v", got)
+	}
+	if v := got[0].Eval("Arch"); !v.Identical(classad.Str("INTEL")) {
+		t.Errorf("Arch = %v", v)
+	}
+}

@@ -1,0 +1,237 @@
+package collector
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/classad"
+	"repro/internal/protocol"
+)
+
+// Server exposes a Store over TCP using the advertising protocol:
+// ADVERTISE, INVALIDATE and QUERY envelopes, one or more per
+// connection, each acknowledged.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+	wg     sync.WaitGroup
+	logf   func(format string, args ...any)
+}
+
+// NewServer wraps store in a protocol server. logf may be nil to
+// discard diagnostics.
+func NewServer(store *Store, logf func(string, ...any)) *Server {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Server{store: store, conns: make(map[net.Conn]bool), logf: logf}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting
+// connections in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for
+// handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Store returns the underlying advertisement store (the negotiator
+// reads it directly when co-located, as the deployed pool manager's
+// collector and negotiator are).
+func (s *Server) Store() *Store { return s.store }
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := protocol.Read(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("collector: read: %v", err)
+			}
+			return
+		}
+		reply := s.dispatch(env)
+		if err := protocol.Write(conn, reply); err != nil {
+			s.logf("collector: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeAdvertise:
+		ad, err := protocol.DecodeAd(env.Ad)
+		if err != nil {
+			return protocol.Errorf("bad advertisement: %v", err)
+		}
+		if err := s.store.Update(ad, env.Lifetime); err != nil {
+			return protocol.Errorf("%v", err)
+		}
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeInvalidate:
+		if env.Name == "" {
+			return protocol.Errorf("invalidate requires a name")
+		}
+		s.store.Invalidate(env.Name)
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeQuery:
+		query, err := protocol.DecodeAd(env.Ad)
+		if err != nil {
+			return protocol.Errorf("bad query: %v", err)
+		}
+		var matches []*classad.Ad
+		if len(env.Projection) > 0 {
+			matches = s.store.QueryProject(query, env.Projection)
+		} else {
+			matches = s.store.Query(query)
+		}
+		out := make([]string, len(matches))
+		for i, ad := range matches {
+			out[i] = protocol.EncodeAd(ad)
+		}
+		return &protocol.Envelope{Type: protocol.TypeQueryReply, Ads: out}
+	default:
+		return protocol.Errorf("collector does not handle %s", env.Type)
+	}
+}
+
+// Client is a thin dialer for talking to a collector server; tools and
+// agents share it.
+type Client struct {
+	Addr string
+}
+
+// roundTrip sends one envelope and reads one reply on a fresh
+// connection.
+func (c *Client) roundTrip(env *protocol.Envelope) (*protocol.Envelope, error) {
+	conn, err := net.Dial("tcp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, env); err != nil {
+		return nil, err
+	}
+	return protocol.Read(bufio.NewReader(conn))
+}
+
+// Advertise sends an ad with the given lifetime (0 for the default).
+func (c *Client) Advertise(ad *classad.Ad, lifetime int64) error {
+	reply, err := c.roundTrip(&protocol.Envelope{
+		Type: protocol.TypeAdvertise, Ad: protocol.EncodeAd(ad), Lifetime: lifetime,
+	})
+	if err != nil {
+		return err
+	}
+	return ackOrError(reply)
+}
+
+// Invalidate withdraws the ad stored under name.
+func (c *Client) Invalidate(name string) error {
+	reply, err := c.roundTrip(&protocol.Envelope{Type: protocol.TypeInvalidate, Name: name})
+	if err != nil {
+		return err
+	}
+	return ackOrError(reply)
+}
+
+// Query poses a one-way query and returns the matching ads.
+func (c *Client) Query(query *classad.Ad) ([]*classad.Ad, error) {
+	return c.QueryProject(query, nil)
+}
+
+// QueryProject is Query restricted to the named attributes (Name is
+// always included).
+func (c *Client) QueryProject(query *classad.Ad, attrs []string) ([]*classad.Ad, error) {
+	reply, err := c.roundTrip(&protocol.Envelope{
+		Type: protocol.TypeQuery, Ad: protocol.EncodeAd(query), Projection: attrs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == protocol.TypeError {
+		return nil, errors.New(reply.Reason)
+	}
+	if reply.Type != protocol.TypeQueryReply {
+		return nil, errors.New("collector: unexpected reply " + string(reply.Type))
+	}
+	out := make([]*classad.Ad, 0, len(reply.Ads))
+	for _, s := range reply.Ads {
+		ad, err := protocol.DecodeAd(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ad)
+	}
+	return out, nil
+}
+
+func ackOrError(reply *protocol.Envelope) error {
+	switch reply.Type {
+	case protocol.TypeAck:
+		return nil
+	case protocol.TypeError:
+		return errors.New(reply.Reason)
+	default:
+		return errors.New("collector: unexpected reply " + string(reply.Type))
+	}
+}

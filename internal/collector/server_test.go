@@ -1,0 +1,118 @@
+package collector
+
+import (
+	"bufio"
+	"net"
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/protocol"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(New(nil), t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, &Client{Addr: addr}
+}
+
+func TestServerAdvertiseQueryInvalidate(t *testing.T) {
+	srv, client := startServer(t)
+	if err := client.Advertise(classad.Figure1(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Store().Len() != 1 {
+		t.Fatalf("store len = %d", srv.Store().Len())
+	}
+	got, err := client.Query(classad.MustParse(`[Constraint = other.Arch == "INTEL"]`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("query returned %d ads", len(got))
+	}
+	if name, _ := got[0].Eval("Name").StringVal(); name != "leonardo.cs.wisc.edu" {
+		t.Errorf("queried ad name = %q", name)
+	}
+	if err := client.Invalidate("leonardo.cs.wisc.edu"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Store().Len() != 0 {
+		t.Errorf("store len after invalidate = %d", srv.Store().Len())
+	}
+}
+
+func TestServerRejectsBadMessages(t *testing.T) {
+	_, client := startServer(t)
+	// Bad ad.
+	reply, err := client.roundTrip(&protocol.Envelope{Type: protocol.TypeAdvertise, Ad: "[broken"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeError {
+		t.Errorf("bad ad reply = %s, want ERROR", reply.Type)
+	}
+	// Nameless ad.
+	reply, _ = client.roundTrip(&protocol.Envelope{Type: protocol.TypeAdvertise, Ad: "[x = 1]"})
+	if reply.Type != protocol.TypeError {
+		t.Errorf("nameless ad reply = %s, want ERROR", reply.Type)
+	}
+	// Invalidate without a name.
+	reply, _ = client.roundTrip(&protocol.Envelope{Type: protocol.TypeInvalidate})
+	if reply.Type != protocol.TypeError {
+		t.Errorf("nameless invalidate reply = %s, want ERROR", reply.Type)
+	}
+	// Unknown message type.
+	reply, _ = client.roundTrip(&protocol.Envelope{Type: protocol.TypeClaim})
+	if reply.Type != protocol.TypeError {
+		t.Errorf("claim to collector reply = %s, want ERROR", reply.Type)
+	}
+	// Invalidating a missing ad is still acknowledged (idempotent).
+	reply, _ = client.roundTrip(&protocol.Envelope{Type: protocol.TypeInvalidate, Name: "ghost"})
+	if reply.Type != protocol.TypeAck {
+		t.Errorf("idempotent invalidate reply = %s, want ACK", reply.Type)
+	}
+}
+
+func TestServerPipelinedRequests(t *testing.T) {
+	srv, client := startServer(t)
+	conn, err := net.Dial("tcp", client.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Several requests on one connection.
+	for i := 0; i < 3; i++ {
+		ad := classad.NewAd()
+		ad.SetString("Name", string(rune('a'+i)))
+		ad.SetString("Type", "Machine")
+		if err := protocol.Write(conn, &protocol.Envelope{
+			Type: protocol.TypeAdvertise, Ad: protocol.EncodeAd(ad),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(conn)
+	for i := 0; i < 3; i++ {
+		reply, err := protocol.Read(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reply.Type != protocol.TypeAck {
+			t.Fatalf("reply %d = %s", i, reply.Type)
+		}
+	}
+	if srv.Store().Len() != 3 {
+		t.Errorf("store len = %d, want 3", srv.Store().Len())
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, _ := startServer(t)
+	srv.Close()
+	srv.Close() // second close must not panic or hang
+}

@@ -1,0 +1,155 @@
+package matchmaker
+
+import (
+	"strings"
+
+	"repro/internal/classad"
+)
+
+// Ad aggregation (paper §5, future work): "lists of classads
+// representing resources and customers exhibit a high degree of
+// regularity ... We are currently investigating techniques for
+// exploiting this regularity, and automatically aggregating classads
+// so that matches may be performed in groups."
+//
+// The implementation groups offers into equivalence classes by a
+// structural signature — the canonical unparse of the ad with
+// identity-only attributes removed — and evaluates each request
+// against one representative per class instead of every offer. When a
+// pool has high value regularity (many identical workstations), a
+// negotiation cycle's matching work drops from O(offers) to
+// O(classes) per request.
+//
+// The optimization is sound exactly when constraints and ranks do not
+// discriminate between members of a class, i.e. they do not reference
+// the excluded identity attributes. That is the same assumption the
+// deployed negotiator's auto-clustering makes.
+
+// identityAttrs are excluded from the aggregation signature: they
+// identify an individual resource or queue entry without describing
+// its capability or requirements. (The deployed system computes the
+// "significant attributes" actually referenced by pool expressions;
+// this static list covers the conventional schema and carries the same
+// caveat — constraints that discriminate on identity attributes defeat
+// aggregation's assumption.)
+var identityAttrs = map[string]bool{
+	classad.Fold(classad.AttrName):    true,
+	classad.Fold(classad.AttrContact): true,
+	classad.Fold(classad.AttrTicket):  true,
+	"machine":                         true,
+	// Job-side identity: queue position, not requirements.
+	"jobid":   true,
+	"cluster": true,
+	"process": true,
+	"qdate":   true,
+}
+
+// Signature returns the aggregation key of an ad: attributes sorted
+// case-insensitively, identity attributes removed, expressions in
+// canonical unparsed form.
+func Signature(ad *classad.Ad) string {
+	var b strings.Builder
+	for _, n := range ad.SortedNames() {
+		if identityAttrs[classad.Fold(n)] {
+			continue
+		}
+		e, _ := ad.Lookup(n)
+		b.WriteString(classad.Fold(n))
+		b.WriteByte('=')
+		b.WriteString(e.String())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// aggregation holds the equivalence classes of one cycle's offers.
+type aggregation struct {
+	groups [][]int // offer indices per class, in first-seen order
+}
+
+// aggregate partitions offers into classes by Signature.
+func aggregate(offers []*classad.Ad) *aggregation {
+	index := make(map[string]int)
+	a := &aggregation{}
+	for i, off := range offers {
+		sig := Signature(off)
+		gi, ok := index[sig]
+		if !ok {
+			gi = len(a.groups)
+			index[sig] = gi
+			a.groups = append(a.groups, nil)
+		}
+		a.groups[gi] = append(a.groups[gi], i)
+	}
+	return a
+}
+
+// NumClasses reports how many equivalence classes the offers formed —
+// the benchmark's measure of value regularity.
+func (a *aggregation) NumClasses() int { return len(a.groups) }
+
+// classCand is one offer class a request is compatible with, with the
+// ranks every member of the class shares. Candidate lists are computed
+// once per *request signature* and reused across a whole batch of
+// identical jobs.
+type classCand struct {
+	group            int
+	reqRank, offRank float64
+}
+
+// candidates evaluates the request against one representative per
+// class and returns the compatible classes. Members of a class are
+// identical modulo identity attributes, so any member represents.
+func (a *aggregation) candidates(req *classad.Ad, offers []*classad.Ad, env *classad.Env) []classCand {
+	var out []classCand
+	for gi, group := range a.groups {
+		res := classad.MatchEnv(req, offers[group[0]], env)
+		if !res.Matched {
+			continue
+		}
+		out = append(out, classCand{group: gi, reqRank: res.LeftRank, offRank: res.RightRank})
+	}
+	return out
+}
+
+// pick selects the offer for one request from its candidate classes,
+// reproducing the linear scan's choice exactly: the best-ranked
+// compatible offer, ties broken by the earliest available offer index
+// (first-fit mode: simply the earliest available compatible offer).
+func (a *aggregation) pick(cands []classCand, available []bool, firstFit bool) (best int, reqRank, offRank float64) {
+	best = -1
+	for _, c := range cands {
+		oi := a.firstAvailable(c.group, available)
+		if oi < 0 {
+			continue
+		}
+		switch {
+		case firstFit:
+			if best < 0 || oi < best {
+				best, reqRank, offRank = oi, c.reqRank, c.offRank
+			}
+		case best < 0 || c.reqRank > reqRank ||
+			(c.reqRank == reqRank && c.offRank > offRank) ||
+			(c.reqRank == reqRank && c.offRank == offRank && oi < best):
+			best, reqRank, offRank = oi, c.reqRank, c.offRank
+		}
+	}
+	return best, reqRank, offRank
+}
+
+// firstAvailable returns the smallest available offer index in a
+// class, or -1.
+func (a *aggregation) firstAvailable(group int, available []bool) int {
+	for _, oi := range a.groups[group] {
+		if available[oi] {
+			return oi
+		}
+	}
+	return -1
+}
+
+// AggregateClasses exposes the class decomposition for tools and
+// benchmarks: it returns the offer indices of each class.
+func AggregateClasses(offers []*classad.Ad) [][]int {
+	return aggregate(offers).groups
+}

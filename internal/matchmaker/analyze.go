@@ -1,0 +1,346 @@
+package matchmaker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/classad"
+)
+
+// Constraint diagnostics (paper §5, future work): "The complexity of
+// constraints imposed by resources and customers may hinder the
+// diagnostic capability of administrators and customers who may wonder
+// why certain requests are unable to find resources with particular
+// characteristics. To alleviate this problem, we are researching
+// methods for identifying constraints which can never be satisfied by
+// the pool."
+//
+// Analyze tests each top-level conjunct of a request's constraint
+// against every offer in the pool and reports, per clause, how many
+// offers satisfy it — so a clause satisfied by zero offers is
+// immediately visible as the culprit. It also reports the offers that
+// the request would accept but that reject the request, separating
+// "the pool can't serve you" from "the pool won't serve you".
+
+// ClauseReport describes one conjunct of the request's constraint.
+type ClauseReport struct {
+	// Expr is the conjunct in source form.
+	Expr string
+	// Residual is the conjunct after partial evaluation against the
+	// request's own attributes — the requirement as a provider
+	// actually experiences it (e.g. "other.Memory >= self.Memory"
+	// becomes "other.Memory >= 31"). Empty when identical to Expr.
+	Residual string
+	// Satisfied counts offers for which the conjunct is true.
+	Satisfied int
+	// Undefined counts offers for which it is undefined (usually a
+	// missing attribute — a schema mismatch worth flagging).
+	Undefined int
+	// Errored counts offers for which evaluation was an error.
+	Errored int
+	// Suggestion, when non-empty, tells the user what the pool
+	// actually offers for an unsatisfied numeric bound — e.g.
+	// "pool's Memory ranges 32..256" against a clause demanding
+	// other.Memory >= 512. The paper's §5 diagnostics goal is not
+	// just flagging the impossible clause but "discovering hidden
+	// characteristics of a pool".
+	Suggestion string
+}
+
+// Analysis is the report produced by Analyze.
+type Analysis struct {
+	// Owner and Name identify the analyzed request.
+	Owner, Name string
+	// TotalOffers is the pool size examined.
+	TotalOffers int
+	// Clauses reports each top-level conjunct separately, in source
+	// order.
+	Clauses []ClauseReport
+	// RequestOK counts offers satisfying the request's whole
+	// constraint.
+	RequestOK int
+	// OfferOK counts offers whose own constraint accepts the
+	// request.
+	OfferOK int
+	// Compatible counts offers passing both directions — the number
+	// of genuine candidates.
+	Compatible int
+	// Unsatisfiable is true when some single clause is satisfied by
+	// no offer: no state change elsewhere in the pool can produce a
+	// match until the request or the pool changes.
+	Unsatisfiable bool
+}
+
+// Analyze explains the match prospects of a request against a pool of
+// offers.
+func Analyze(req *classad.Ad, offers []*classad.Ad, env *classad.Env) *Analysis {
+	a := &Analysis{TotalOffers: len(offers)}
+	if s, ok := req.Eval(classad.AttrOwner).StringVal(); ok {
+		a.Owner = s
+	}
+	if s, ok := req.Eval(classad.AttrName).StringVal(); ok {
+		a.Name = s
+	}
+
+	var conjuncts []classad.Expr
+	if ce, ok := classad.ConstraintOf(req); ok {
+		conjuncts = classad.SplitConjuncts(ce)
+	}
+	a.Clauses = make([]ClauseReport, len(conjuncts))
+	for i, c := range conjuncts {
+		a.Clauses[i].Expr = c.String()
+		if res := classad.PartialEval(c, req, env).String(); res != a.Clauses[i].Expr {
+			a.Clauses[i].Residual = res
+		}
+	}
+
+	for _, off := range offers {
+		reqOK := classad.EvalConstraint(req, off, env)
+		offOK := classad.EvalConstraint(off, req, env)
+		if reqOK {
+			a.RequestOK++
+		}
+		if offOK {
+			a.OfferOK++
+		}
+		if reqOK && offOK {
+			a.Compatible++
+		}
+		for i, c := range conjuncts {
+			v := classad.EvalExprAgainst(c, req, off, env)
+			switch {
+			case v.IsTrue():
+				a.Clauses[i].Satisfied++
+			case v.IsUndefined():
+				a.Clauses[i].Undefined++
+			case v.IsError():
+				a.Clauses[i].Errored++
+			}
+		}
+	}
+	for i, c := range a.Clauses {
+		if c.Satisfied == 0 && a.TotalOffers > 0 {
+			a.Unsatisfiable = true
+			a.Clauses[i].Suggestion = suggestBound(conjuncts[i], req, offers, env)
+		}
+	}
+	return a
+}
+
+// suggestBound inspects an unsatisfied clause: if (after partial
+// evaluation against the request) it has the shape
+//
+//	other.X <cmp> <literal>      or      <literal> <cmp> other.X
+//
+// it reports the actual range of X across the pool, and the set of
+// values when X is a string attribute with few distinct values.
+func suggestBound(clause classad.Expr, req *classad.Ad, offers []*classad.Ad, env *classad.Env) string {
+	residual := classad.PartialEval(clause, req, env)
+	attr, ok := comparedOtherAttr(residual)
+	if !ok {
+		return ""
+	}
+	var lo, hi float64
+	var haveNum bool
+	strValues := map[string]bool{}
+	defined := 0
+	for _, off := range offers {
+		v := off.EvalEnv(attr, env)
+		if n, isNum := v.NumberVal(); isNum {
+			if !haveNum || n < lo {
+				lo = n
+			}
+			if !haveNum || n > hi {
+				hi = n
+			}
+			haveNum = true
+			defined++
+		} else if s, isStr := v.StringVal(); isStr {
+			strValues[s] = true
+			defined++
+		}
+	}
+	switch {
+	case defined == 0:
+		return fmt.Sprintf("no offer defines %s at all", attr)
+	case haveNum:
+		return fmt.Sprintf("pool's %s ranges %g..%g", attr, lo, hi)
+	case len(strValues) > 0 && len(strValues) <= 8:
+		vals := make([]string, 0, len(strValues))
+		for s := range strValues {
+			vals = append(vals, fmt.Sprintf("%q", s))
+		}
+		sort.Strings(vals)
+		return fmt.Sprintf("pool offers %s in {%s}", attr, strings.Join(vals, ", "))
+	default:
+		return ""
+	}
+}
+
+// comparedOtherAttr recognizes a comparison with exactly one
+// other-scoped attribute reference on either side and returns that
+// attribute's name.
+func comparedOtherAttr(e classad.Expr) (string, bool) {
+	// Parse the unparsed form — cheap and avoids exporting AST
+	// internals: the shapes we accept are "other.X op LIT" and
+	// "LIT op other.X" possibly parenthesized.
+	s := e.String()
+	s = strings.TrimSpace(s)
+	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		inner := s[1 : len(s)-1]
+		if balanced(inner) {
+			s = strings.TrimSpace(inner)
+		} else {
+			break
+		}
+	}
+	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">"} {
+		idx := strings.Index(s, " "+op+" ")
+		if idx < 0 {
+			continue
+		}
+		left := strings.TrimSpace(s[:idx])
+		right := strings.TrimSpace(s[idx+len(op)+2:])
+		if name, ok := otherRef(left); ok && isLiteralText(right) {
+			return name, true
+		}
+		if name, ok := otherRef(right); ok && isLiteralText(left) {
+			return name, true
+		}
+		return "", false
+	}
+	return "", false
+}
+
+func balanced(s string) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+func otherRef(s string) (string, bool) {
+	s = strings.TrimSpace(s)
+	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") && balanced(s[1:len(s)-1]) {
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	if rest, ok := strings.CutPrefix(strings.ToLower(s), "other."); ok {
+		// Return the original casing of the attribute name.
+		name := s[len(s)-len(rest):]
+		if isIdentText(name) {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+func isIdentText(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
+		digit := r >= '0' && r <= '9'
+		if !alpha && !(digit && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isLiteralText(s string) bool {
+	s = strings.TrimSpace(s)
+	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") && balanced(s[1:len(s)-1]) {
+		s = strings.TrimSpace(s[1 : len(s)-1])
+	}
+	if s == "" {
+		return false
+	}
+	if s[0] == '"' && s[len(s)-1] == '"' {
+		return true
+	}
+	if s == "true" || s == "false" {
+		return true
+	}
+	// Numeric literal (possibly negative real).
+	dot := false
+	for i, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+		case r == '-' && i == 0:
+		case (r == '.' || r == 'e' || r == 'E' || r == '+') && i > 0:
+			dot = true
+		default:
+			return false
+		}
+	}
+	_ = dot
+	return true
+}
+
+// String renders the analysis in the style of a queue-analysis tool:
+// one line per clause with its pool coverage, then the bilateral
+// summary.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	who := a.Owner
+	if who == "" {
+		who = "(anonymous)"
+	}
+	fmt.Fprintf(&b, "Analysis for request of %s against %d offer(s):\n", who, a.TotalOffers)
+	if len(a.Clauses) == 0 {
+		b.WriteString("  request has no constraint: every offer is acceptable to it\n")
+	}
+	for i, c := range a.Clauses {
+		marker := " "
+		if c.Satisfied == 0 {
+			marker = "!"
+		}
+		shown := c.Expr
+		if c.Residual != "" {
+			shown = c.Residual
+		}
+		fmt.Fprintf(&b, " %s clause %d: %-50s matched %d/%d", marker, i+1,
+			truncate(shown, 50), c.Satisfied, a.TotalOffers)
+		if c.Undefined > 0 {
+			fmt.Fprintf(&b, " (undefined on %d)", c.Undefined)
+		}
+		if c.Errored > 0 {
+			fmt.Fprintf(&b, " (error on %d)", c.Errored)
+		}
+		b.WriteByte('\n')
+		if c.Suggestion != "" {
+			fmt.Fprintf(&b, "             hint: %s\n", c.Suggestion)
+		}
+	}
+	fmt.Fprintf(&b, "  request accepts %d offer(s); %d offer(s) accept the request; %d compatible\n",
+		a.RequestOK, a.OfferOK, a.Compatible)
+	switch {
+	case a.Unsatisfiable:
+		b.WriteString("  VERDICT: unsatisfiable — the flagged clause(s) match nothing in this pool\n")
+	case a.Compatible == 0 && a.RequestOK > 0:
+		b.WriteString("  VERDICT: rejected — offers exist that suit the request, but their owner policies refuse it\n")
+	case a.Compatible == 0:
+		b.WriteString("  VERDICT: no match in the current pool state\n")
+	default:
+		fmt.Fprintf(&b, "  VERDICT: matchable (%d candidate(s))\n", a.Compatible)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

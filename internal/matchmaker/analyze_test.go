@@ -1,0 +1,188 @@
+package matchmaker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+func smallPool() []*classad.Ad {
+	return []*classad.Ad{
+		machine("i1", "INTEL", 64),
+		machine("i2", "INTEL", 128),
+		machine("s1", "SPARC", 256),
+	}
+}
+
+func TestAnalyzeSatisfiable(t *testing.T) {
+	req := job("u", "INTEL", 64)
+	a := Analyze(req, smallPool(), nil)
+	if a.Unsatisfiable {
+		t.Error("satisfiable request flagged unsatisfiable")
+	}
+	if a.Compatible != 2 {
+		t.Errorf("compatible = %d, want 2", a.Compatible)
+	}
+	if len(a.Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2 conjuncts", len(a.Clauses))
+	}
+	// Arch clause: 2 of 3; Memory clause: all 3.
+	if a.Clauses[0].Satisfied != 2 {
+		t.Errorf("arch clause satisfied by %d, want 2", a.Clauses[0].Satisfied)
+	}
+	if a.Clauses[1].Satisfied != 3 {
+		t.Errorf("memory clause satisfied by %d, want 3", a.Clauses[1].Satisfied)
+	}
+	if !strings.Contains(a.String(), "matchable") {
+		t.Errorf("report verdict wrong:\n%s", a)
+	}
+}
+
+// TestAnalyzeUnsatisfiable is experiment E12's core case: a clause no
+// offer can satisfy is identified by name.
+func TestAnalyzeUnsatisfiable(t *testing.T) {
+	req := job("u", "ALPHA", 64) // no ALPHA machines exist
+	a := Analyze(req, smallPool(), nil)
+	if !a.Unsatisfiable {
+		t.Fatal("impossible request not flagged")
+	}
+	if a.Clauses[0].Satisfied != 0 {
+		t.Errorf("arch clause satisfied by %d, want 0", a.Clauses[0].Satisfied)
+	}
+	report := a.String()
+	if !strings.Contains(report, "unsatisfiable") {
+		t.Errorf("report should say unsatisfiable:\n%s", report)
+	}
+	if !strings.Contains(report, "!") {
+		t.Errorf("culprit clause not flagged:\n%s", report)
+	}
+}
+
+// TestAnalyzeSchemaMismatch: a clause referencing an attribute no
+// offer publishes shows up as undefined, the paper's "hidden
+// characteristics of a pool" diagnostic.
+func TestAnalyzeSchemaMismatch(t *testing.T) {
+	req := classad.MustParse(`[
+		Owner = "u";
+		Constraint = other.HasGPU == true && other.Memory >= 1;
+	]`)
+	a := Analyze(req, smallPool(), nil)
+	if !a.Unsatisfiable {
+		t.Error("GPU clause should be unsatisfiable")
+	}
+	if a.Clauses[0].Undefined != 3 {
+		t.Errorf("GPU clause undefined on %d offers, want 3", a.Clauses[0].Undefined)
+	}
+	if !strings.Contains(a.String(), "undefined on 3") {
+		t.Errorf("report should count undefined offers:\n%s", a)
+	}
+}
+
+// TestAnalyzeRejectedByOwners: the pool could serve the request, but
+// owner policies refuse it — a different verdict than unsatisfiable.
+func TestAnalyzeRejectedByOwners(t *testing.T) {
+	pool := smallPool()
+	for _, m := range pool {
+		if err := m.SetExprString("Constraint", `other.Owner == "vip"`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req := job("pleb", "INTEL", 1)
+	a := Analyze(req, pool, nil)
+	if a.Unsatisfiable {
+		t.Error("owner rejection is not unsatisfiability")
+	}
+	if a.Compatible != 0 || a.RequestOK != 2 || a.OfferOK != 0 {
+		t.Errorf("counts wrong: %+v", a)
+	}
+	if !strings.Contains(a.String(), "owner policies refuse") {
+		t.Errorf("verdict should blame owner policies:\n%s", a)
+	}
+}
+
+func TestAnalyzeNoConstraint(t *testing.T) {
+	req := classad.MustParse(`[ Owner = "u" ]`)
+	a := Analyze(req, smallPool(), nil)
+	if len(a.Clauses) != 0 {
+		t.Errorf("constraint-free request has %d clauses", len(a.Clauses))
+	}
+	if a.Compatible != 3 {
+		t.Errorf("compatible = %d, want 3", a.Compatible)
+	}
+	if !strings.Contains(a.String(), "no constraint") {
+		t.Errorf("report:\n%s", a)
+	}
+}
+
+func TestAnalyzeEmptyPool(t *testing.T) {
+	a := Analyze(job("u", "INTEL", 1), nil, nil)
+	if a.Unsatisfiable {
+		t.Error("empty pool must not be reported as clause unsatisfiability")
+	}
+	if a.Compatible != 0 {
+		t.Errorf("compatible = %d", a.Compatible)
+	}
+	if !strings.Contains(a.String(), "no match") {
+		t.Errorf("report:\n%s", a)
+	}
+}
+
+func TestAnalyzeClauseErrorCounting(t *testing.T) {
+	req := classad.MustParse(`[
+		Owner = "u";
+		Constraint = (other.Memory / 0 > 1) && other.Memory >= 1;
+	]`)
+	a := Analyze(req, smallPool(), nil)
+	if a.Clauses[0].Errored != 3 {
+		t.Errorf("division-by-zero clause errored on %d, want 3", a.Clauses[0].Errored)
+	}
+	if !strings.Contains(a.String(), "error on 3") {
+		t.Errorf("report:\n%s", a)
+	}
+}
+
+func TestAnalyzeResiduals(t *testing.T) {
+	// A constraint over the job's own Memory shows providers the
+	// concrete bound.
+	req := classad.MustParse(`[
+		Owner = "u";
+		Memory = 48;
+		Constraint = other.Memory >= self.Memory && other.Arch == "INTEL";
+	]`)
+	a := Analyze(req, smallPool(), nil)
+	if a.Clauses[0].Residual != "other.Memory >= 48" {
+		t.Errorf("residual = %q", a.Clauses[0].Residual)
+	}
+	// The arch clause has nothing to fold.
+	if a.Clauses[1].Residual != "" {
+		t.Errorf("unexpected residual %q", a.Clauses[1].Residual)
+	}
+	if !strings.Contains(a.String(), "other.Memory >= 48") {
+		t.Errorf("report should show the residual:\n%s", a)
+	}
+	// Counts still computed against the real constraint: machines
+	// with >= 48 MB are i1(64), i2(128), s1(256) = 3.
+	if a.Clauses[0].Satisfied != 3 {
+		t.Errorf("memory clause satisfied = %d", a.Clauses[0].Satisfied)
+	}
+}
+
+func TestSplitConjunctsOrder(t *testing.T) {
+	e := classad.MustParseExpr("a && b && c && d")
+	parts := classad.SplitConjuncts(e)
+	if len(parts) != 4 {
+		t.Fatalf("got %d conjuncts, want 4", len(parts))
+	}
+	got := make([]string, len(parts))
+	for i, p := range parts {
+		got[i] = p.String()
+	}
+	if strings.Join(got, ",") != "a,b,c,d" {
+		t.Errorf("conjunct order = %v", got)
+	}
+	// Disjunctions and other expressions do not split.
+	if n := len(classad.SplitConjuncts(classad.MustParseExpr("a || b"))); n != 1 {
+		t.Errorf("|| split into %d parts", n)
+	}
+}

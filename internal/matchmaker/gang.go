@@ -1,0 +1,214 @@
+package matchmaker
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/classad"
+)
+
+// Co-allocation via nested classads (paper §3.1: ads "can be
+// arbitrarily nested, leading to a natural language for expressing
+// resource aggregates or co-allocation requests").
+//
+// A gang request is a customer ad whose Gang attribute is a list of
+// nested classads, each a sub-request with its own Constraint and
+// Rank. The gang is served only if every sub-request can be introduced
+// to a distinct offer with both sides' constraints satisfied — the
+// all-or-nothing semantics co-allocation needs (e.g. a job that
+// requires a workstation and a tape drive simultaneously).
+
+// AttrGang is the attribute holding the list of sub-request ads.
+const AttrGang = "Gang"
+
+// IsGang reports whether the ad carries a gang request.
+func IsGang(ad *classad.Ad) bool {
+	_, ok := ad.Lookup(AttrGang)
+	return ok
+}
+
+// GangSubRequests extracts the sub-request ads of a gang request. Each
+// sub-request inherits the parent's Owner (for fair-share accounting
+// and owner policies) unless it sets its own.
+func GangSubRequests(req *classad.Ad) ([]*classad.Ad, error) {
+	v := req.Eval(AttrGang)
+	list, ok := v.ListVal()
+	if !ok {
+		return nil, fmt.Errorf("matchmaker: %s attribute is %s, want a list of classads", AttrGang, v.Type())
+	}
+	subs := make([]*classad.Ad, 0, len(list))
+	for i, el := range list {
+		sub, ok := el.AdVal()
+		if !ok {
+			return nil, fmt.Errorf("matchmaker: %s[%d] is %s, want a classad", AttrGang, i, el.Type())
+		}
+		c := sub.Copy()
+		for _, inherited := range []string{classad.AttrOwner, classad.AttrContact} {
+			if _, has := c.Lookup(inherited); has {
+				continue
+			}
+			if v, ok := req.Eval(inherited).StringVal(); ok {
+				c.SetString(inherited, v)
+			}
+		}
+		subs = append(subs, c)
+	}
+	if len(subs) == 0 {
+		return nil, fmt.Errorf("matchmaker: empty %s list", AttrGang)
+	}
+	return subs, nil
+}
+
+// GangMatch is the assignment produced for a gang request: one offer
+// index per sub-request, in sub-request order.
+type GangMatch struct {
+	// SubRequests are the extracted sub-request ads.
+	SubRequests []*classad.Ad
+	// Offers[i] is the index (into the offers slice passed to
+	// MatchGang) assigned to SubRequests[i].
+	Offers []int
+}
+
+// MatchGang finds an all-or-nothing assignment of distinct offers to
+// the gang's sub-requests, preferring higher sub-request ranks. It
+// returns ok=false if no complete assignment exists.
+//
+// The search is exact: candidates are enumerated per sub-request,
+// sub-requests are ordered most-constrained-first, and assignment
+// backtracks on conflict. Pools are small relative to gang sizes in
+// practice, and the candidate pre-filter keeps the search shallow.
+func MatchGang(req *classad.Ad, offers []*classad.Ad, env *classad.Env) (GangMatch, bool) {
+	subs, err := GangSubRequests(req)
+	if err != nil {
+		return GangMatch{}, false
+	}
+	// Enumerate candidates per sub-request, rank-sorted.
+	type cand struct {
+		offer int
+		rank  float64
+	}
+	cands := make([][]cand, len(subs))
+	for si, sub := range subs {
+		for oi, off := range offers {
+			res := classad.MatchEnv(sub, off, env)
+			if res.Matched {
+				cands[si] = append(cands[si], cand{oi, res.LeftRank})
+			}
+		}
+		sort.SliceStable(cands[si], func(a, b int) bool {
+			return cands[si][a].rank > cands[si][b].rank
+		})
+		if len(cands[si]) == 0 {
+			return GangMatch{SubRequests: subs}, false
+		}
+	}
+	// Most-constrained-variable order.
+	order := make([]int, len(subs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(cands[order[a]]) < len(cands[order[b]])
+	})
+
+	assigned := make([]int, len(subs))
+	for i := range assigned {
+		assigned[i] = -1
+	}
+	used := make(map[int]bool)
+	var search func(k int) bool
+	search = func(k int) bool {
+		if k == len(order) {
+			return true
+		}
+		si := order[k]
+		for _, c := range cands[si] {
+			if used[c.offer] {
+				continue
+			}
+			used[c.offer] = true
+			assigned[si] = c.offer
+			if search(k + 1) {
+				return true
+			}
+			used[c.offer] = false
+			assigned[si] = -1
+		}
+		return false
+	}
+	if !search(0) {
+		return GangMatch{SubRequests: subs}, false
+	}
+	return GangMatch{SubRequests: subs, Offers: assigned}, true
+}
+
+// NegotiateMixed runs a negotiation cycle over a request list that may
+// contain both ordinary requests and gang (co-allocation) requests, in
+// submission/fair-share order. A gang request is served all-or-nothing
+// against the offers still available when its turn comes; its matches
+// appear as one Match per slot, all sharing the gang's parent ad as
+// Request context via the sub-request's inherited Owner. Ordinary
+// requests behave exactly as in Negotiate.
+func (m *Matchmaker) NegotiateMixed(requests, offers []*classad.Ad) []Match {
+	order := m.requestOrder(requests)
+	available := make([]bool, len(offers))
+	remaining := make([]*classad.Ad, 0, len(offers))
+	idxMap := make([]int, 0, len(offers))
+	for i := range offers {
+		available[i] = true
+	}
+	var out []Match
+	for _, ri := range order {
+		req := requests[ri]
+		if IsGang(req) {
+			// Build the currently available offer slice.
+			remaining = remaining[:0]
+			idxMap = idxMap[:0]
+			for oi, ok := range available {
+				if ok {
+					remaining = append(remaining, offers[oi])
+					idxMap = append(idxMap, oi)
+				}
+			}
+			gm, ok := MatchGang(req, remaining, m.cfg.Env)
+			if !ok {
+				continue
+			}
+			for si, rem := range gm.Offers {
+				oi := idxMap[rem]
+				available[oi] = false
+				sub := gm.SubRequests[si]
+				out = append(out, Match{
+					Request:     sub,
+					Offer:       offers[oi],
+					RequestRank: classad.EvalRank(sub, offers[oi], m.cfg.Env),
+					OfferRank:   classad.EvalRank(offers[oi], sub, m.cfg.Env),
+				})
+			}
+			m.usage.Record(owner(req), float64(len(gm.Offers)))
+			continue
+		}
+		best, bestMatch := -1, Match{}
+		for oi := range offers {
+			if !available[oi] {
+				continue
+			}
+			res := classad.MatchEnv(req, offers[oi], m.cfg.Env)
+			if !res.Matched {
+				continue
+			}
+			if best < 0 || res.LeftRank > bestMatch.RequestRank ||
+				(res.LeftRank == bestMatch.RequestRank && res.RightRank > bestMatch.OfferRank) {
+				best = oi
+				bestMatch = Match{Request: req, Offer: offers[oi],
+					RequestRank: res.LeftRank, OfferRank: res.RightRank}
+			}
+		}
+		if best >= 0 {
+			available[best] = false
+			out = append(out, bestMatch)
+			m.usage.Record(owner(req), 1)
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package matchmaker
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+// tapeDrive builds a provider ad for a tape drive resource, showing
+// the heterogeneity the paper emphasizes ("workstations, tape drives,
+// network links, application instances, and software licenses").
+func tapeDrive(name string, mbps int64) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Type", "TapeDrive")
+	ad.SetString("Name", name)
+	ad.SetInt("TransferRate", mbps)
+	ad.Set("Constraint", classad.Lit(classad.Bool(true)))
+	return ad
+}
+
+// gangRequest is a co-allocation request needing one INTEL workstation
+// and one tape drive simultaneously.
+func gangRequest(owner string) *classad.Ad {
+	return classad.MustParse(fmt.Sprintf(`[
+		Type  = "Job";
+		Owner = %q;
+		Gang  = {
+			[ Constraint = other.Type == "Machine" && other.Arch == "INTEL";
+			  Rank = other.Memory ],
+			[ Constraint = other.Type == "TapeDrive" && other.TransferRate >= 5 ]
+		};
+	]`, owner))
+}
+
+func TestIsGang(t *testing.T) {
+	if !IsGang(gangRequest("u")) {
+		t.Error("gang request not recognized")
+	}
+	if IsGang(job("u", "INTEL", 1)) {
+		t.Error("plain job recognized as gang")
+	}
+}
+
+func TestGangSubRequests(t *testing.T) {
+	subs, err := GangSubRequests(gangRequest("raman"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d sub-requests, want 2", len(subs))
+	}
+	for i, sub := range subs {
+		if who, _ := sub.Eval("Owner").StringVal(); who != "raman" {
+			t.Errorf("sub-request %d owner = %q, want inherited \"raman\"", i, who)
+		}
+	}
+	// A sub-request with its own Owner keeps it.
+	req := classad.MustParse(`[
+		Owner = "parent";
+		Gang = { [ Owner = "delegate"; Constraint = true ] };
+	]`)
+	subs, err = GangSubRequests(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if who, _ := subs[0].Eval("Owner").StringVal(); who != "delegate" {
+		t.Errorf("sub-request owner = %q, want \"delegate\"", who)
+	}
+}
+
+func TestGangSubRequestErrors(t *testing.T) {
+	for _, src := range []string{
+		`[ Gang = 5 ]`,
+		`[ Gang = {} ]`,
+		`[ Gang = {1, 2} ]`,
+	} {
+		if _, err := GangSubRequests(classad.MustParse(src)); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+}
+
+// TestGangMatchSuccess is experiment E14's happy path: both slots
+// filled by distinct offers of the right kinds.
+func TestGangMatchSuccess(t *testing.T) {
+	offers := []*classad.Ad{
+		tapeDrive("t1", 10),
+		machine("w1", "INTEL", 64),
+		machine("w2", "SPARC", 128),
+	}
+	gm, ok := MatchGang(gangRequest("u"), offers, nil)
+	if !ok {
+		t.Fatal("gang should match")
+	}
+	if len(gm.Offers) != 2 {
+		t.Fatalf("assignment covers %d slots", len(gm.Offers))
+	}
+	ws := offers[gm.Offers[0]]
+	td := offers[gm.Offers[1]]
+	if typ, _ := ws.Eval("Type").StringVal(); typ != "Machine" {
+		t.Errorf("slot 0 filled by %s", typ)
+	}
+	if typ, _ := td.Eval("Type").StringVal(); typ != "TapeDrive" {
+		t.Errorf("slot 1 filled by %s", typ)
+	}
+	if gm.Offers[0] == gm.Offers[1] {
+		t.Error("gang assigned the same offer twice")
+	}
+}
+
+// TestGangAllOrNothing: if any slot cannot be filled, no assignment is
+// returned at all.
+func TestGangAllOrNothing(t *testing.T) {
+	offers := []*classad.Ad{
+		machine("w1", "INTEL", 64), // workstation available...
+		tapeDrive("slow", 1),       // ...but tape drive too slow
+	}
+	if _, ok := MatchGang(gangRequest("u"), offers, nil); ok {
+		t.Error("gang matched despite unsatisfiable tape slot")
+	}
+}
+
+// TestGangDistinctness: two identical slots need two distinct offers;
+// one matching offer is not enough.
+func TestGangDistinctness(t *testing.T) {
+	req := classad.MustParse(`[
+		Owner = "u";
+		Gang = {
+			[ Constraint = other.Type == "Machine" ],
+			[ Constraint = other.Type == "Machine" ]
+		};
+	]`)
+	one := []*classad.Ad{machine("only", "INTEL", 64)}
+	if _, ok := MatchGang(req, one, nil); ok {
+		t.Error("two slots matched to one offer")
+	}
+	two := append(one, machine("second", "INTEL", 64))
+	gm, ok := MatchGang(req, two, nil)
+	if !ok {
+		t.Fatal("two slots with two machines should match")
+	}
+	if gm.Offers[0] == gm.Offers[1] {
+		t.Error("slots share an offer")
+	}
+}
+
+// TestGangBacktracking: a greedy rank-first assignment would grab the
+// versatile offer for slot A and strand slot B; backtracking must find
+// the crossed assignment.
+func TestGangBacktracking(t *testing.T) {
+	// versatile satisfies both slots; special satisfies only slot A.
+	versatile := classad.MustParse(`[ Type = "R"; A = true; B = true; Name = "versatile" ]`)
+	special := classad.MustParse(`[ Type = "R"; A = true; Name = "special" ]`)
+	req := classad.MustParse(`[
+		Owner = "u";
+		Gang = {
+			[ Constraint = other.A == true; Rank = other.Name == "versatile" ? 10 : 0 ],
+			[ Constraint = other.B == true ]
+		};
+	]`)
+	gm, ok := MatchGang(req, []*classad.Ad{versatile, special}, nil)
+	if !ok {
+		t.Fatal("backtracking should find the crossed assignment")
+	}
+	a := gm.Offers[0]
+	b := gm.Offers[1]
+	if nameOf(t, gm, a) != "special" || nameOf(t, gm, b) != "versatile" {
+		t.Errorf("assignment = slot0:%d slot1:%d, want special/versatile", a, b)
+	}
+	_ = gm
+}
+
+func nameOf(t *testing.T, gm GangMatch, idx int) string {
+	t.Helper()
+	offers := []*classad.Ad{
+		classad.MustParse(`[ Type = "R"; A = true; B = true; Name = "versatile" ]`),
+		classad.MustParse(`[ Type = "R"; A = true; Name = "special" ]`),
+	}
+	s, _ := offers[idx].Eval("Name").StringVal()
+	return s
+}
+
+// TestGangRespectsProviderConstraints: a provider's own policy can
+// veto one slot of a gang.
+func TestGangRespectsProviderConstraints(t *testing.T) {
+	fussy := machine("fussy", "INTEL", 64)
+	if err := fussy.SetExprString("Constraint", `other.Owner == "vip"`); err != nil {
+		t.Fatal(err)
+	}
+	offers := []*classad.Ad{fussy, tapeDrive("t", 10)}
+	if _, ok := MatchGang(gangRequest("pleb"), offers, nil); ok {
+		t.Error("gang matched against a provider that rejects the owner")
+	}
+	if _, ok := MatchGang(gangRequest("vip"), offers, nil); !ok {
+		t.Error("vip gang should match")
+	}
+}
+
+// TestGangRankPreference: among feasible assignments, higher-ranked
+// offers are preferred when no conflict forces otherwise.
+func TestGangRankPreference(t *testing.T) {
+	offers := []*classad.Ad{
+		machine("small", "INTEL", 32),
+		machine("big", "INTEL", 256),
+		tapeDrive("t", 10),
+	}
+	gm, ok := MatchGang(gangRequest("u"), offers, nil)
+	if !ok {
+		t.Fatal("gang should match")
+	}
+	ws := offers[gm.Offers[0]]
+	if name, _ := ws.Eval("Name").StringVal(); name != "big" {
+		t.Errorf("workstation slot = %q, want rank-preferred \"big\"", name)
+	}
+}

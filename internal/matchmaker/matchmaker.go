@@ -1,0 +1,202 @@
+// Package matchmaker implements the matchmaking algorithm of paper
+// §3.2/§4: the periodic negotiation cycle that pairs customer request
+// ads with compatible provider ads, ranks candidates, enforces a fair
+// matching policy from past resource usage, and — per the paper's
+// future-work section — aggregates regular ads for group matching,
+// diagnoses unsatisfiable constraints, and services co-allocation
+// (gang) requests expressed as nested classads.
+//
+// The matchmaker is deliberately stateless with respect to matches: a
+// match is an introduction, not an allocation, and nothing here needs
+// to survive a restart except the (advisory) usage history used for
+// fairness.
+package matchmaker
+
+import (
+	"sort"
+
+	"repro/internal/classad"
+)
+
+// Match is one pairing produced by a negotiation cycle. It carries
+// both ads so the matchmaking protocol can forward each party the
+// other's ad (paper §3.2 step 3).
+type Match struct {
+	// Request is the customer ad; Offer is the provider ad.
+	Request, Offer *classad.Ad
+	// RequestRank is the request's Rank of the offer (the primary
+	// selection key); OfferRank is the offer's Rank of the request
+	// (the tie-breaker).
+	RequestRank, OfferRank float64
+}
+
+// Config tunes a negotiation cycle.
+type Config struct {
+	// Env supplies time and randomness to constraint evaluation; nil
+	// means the process default.
+	Env *classad.Env
+	// FairShare orders customers by accumulated usage (lightest
+	// first) instead of submission order.
+	FairShare bool
+	// Aggregate enables group matching over equivalence classes of
+	// offers (paper §5 future work). Results are identical to the
+	// linear scan; only the work per request shrinks when offers are
+	// value-regular.
+	Aggregate bool
+	// FirstFit skips rank maximization and takes the first
+	// compatible offer; exists for the ablation benchmark only.
+	FirstFit bool
+}
+
+// Matchmaker runs negotiation cycles. The zero value is usable; usage
+// history accumulates across cycles when fair share is on.
+type Matchmaker struct {
+	cfg   Config
+	usage *PriorityTable
+}
+
+// New returns a matchmaker with the given configuration.
+func New(cfg Config) *Matchmaker {
+	return &Matchmaker{cfg: cfg, usage: NewPriorityTable()}
+}
+
+// Usage exposes the fair-share accounting table.
+func (m *Matchmaker) Usage() *PriorityTable { return m.usage }
+
+// owner extracts the customer identity from a request ad; requests
+// without an Owner share the anonymous customer "".
+func owner(ad *classad.Ad) string {
+	v := ad.Eval(classad.AttrOwner)
+	if s, ok := v.StringVal(); ok {
+		return s
+	}
+	return ""
+}
+
+// Negotiate runs one cycle: it considers requests customer by
+// customer — ordered by fair-share priority when enabled — and for
+// each request selects, among compatible offers, the one the request
+// ranks highest, breaking ties by the offer's rank of the request
+// (paper §3.2). Each offer is introduced to at most one request per
+// cycle; the matchmaker retains no state about the matches it hands
+// out.
+//
+// With aggregation on, group matching applies on both sides (paper §5
+// future work): offers are partitioned into equivalence classes and
+// each request is evaluated against one representative per class; the
+// per-request candidate list is additionally memoized by the request's
+// own signature, so a batch of identical jobs — the high-throughput
+// norm — costs one evaluation sweep instead of one per job. Outcomes
+// are identical to the linear scan (property-tested) provided
+// constraints and ranks are pure and do not reference identity
+// attributes.
+func (m *Matchmaker) Negotiate(requests, offers []*classad.Ad) []Match {
+	order := m.requestOrder(requests)
+	available := make([]bool, len(offers))
+	for i := range available {
+		available[i] = true
+	}
+
+	var agg *aggregation
+	var memo map[string][]classCand
+	if m.cfg.Aggregate {
+		agg = aggregate(offers)
+		memo = make(map[string][]classCand)
+	}
+
+	var out []Match
+	for _, ri := range order {
+		req := requests[ri]
+		var best int
+		var reqRank, offRank float64
+		if agg != nil {
+			sig := Signature(req)
+			cands, seen := memo[sig]
+			if !seen {
+				cands = agg.candidates(req, offers, m.cfg.Env)
+				memo[sig] = cands
+			}
+			best, reqRank, offRank = agg.pick(cands, available, m.cfg.FirstFit)
+		} else {
+			best, reqRank, offRank = linearScan(req, offers, available, m.cfg)
+		}
+		if best >= 0 {
+			available[best] = false
+			out = append(out, Match{
+				Request:     req,
+				Offer:       offers[best],
+				RequestRank: reqRank,
+				OfferRank:   offRank,
+			})
+			m.usage.Record(owner(req), 1)
+		}
+	}
+	return out
+}
+
+// linearScan picks the offer for one request by scanning every
+// available offer: highest request rank, ties to the higher offer
+// rank, remaining ties to the earliest offer.
+func linearScan(req *classad.Ad, offers []*classad.Ad, available []bool, cfg Config) (best int, reqRank, offRank float64) {
+	best = -1
+	for oi := range offers {
+		if !available[oi] {
+			continue
+		}
+		res := classad.MatchEnv(req, offers[oi], cfg.Env)
+		if !res.Matched {
+			continue
+		}
+		if cfg.FirstFit {
+			return oi, res.LeftRank, res.RightRank
+		}
+		if best < 0 || res.LeftRank > reqRank ||
+			(res.LeftRank == reqRank && res.RightRank > offRank) {
+			best, reqRank, offRank = oi, res.LeftRank, res.RightRank
+		}
+	}
+	return best, reqRank, offRank
+}
+
+// requestOrder returns the indices of requests in service order. With
+// fair share on, customers are ordered by effective usage (lightest
+// first, the paper's "fair matching policy" from "past resource usage
+// information"); requests within a customer keep submission order.
+// Without fair share, submission order is preserved.
+func (m *Matchmaker) requestOrder(requests []*classad.Ad) []int {
+	order := make([]int, len(requests))
+	for i := range order {
+		order[i] = i
+	}
+	if !m.cfg.FairShare {
+		return order
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ua := m.usage.Effective(owner(requests[order[a]]))
+		ub := m.usage.Effective(owner(requests[order[b]]))
+		return ua < ub
+	})
+	return order
+}
+
+// BestOffer is the single-request entry point: it returns the index of
+// the offer the request should be introduced to, or -1, applying the
+// same selection rule as Negotiate. Tools use it for "what would I
+// match?" queries.
+func BestOffer(req *classad.Ad, offers []*classad.Ad, env *classad.Env) (int, Match) {
+	best := -1
+	var bestMatch Match
+	for oi, off := range offers {
+		res := classad.MatchEnv(req, off, env)
+		if !res.Matched {
+			continue
+		}
+		if best < 0 || res.LeftRank > bestMatch.RequestRank ||
+			(res.LeftRank == bestMatch.RequestRank && res.RightRank > bestMatch.OfferRank) {
+			best = oi
+			bestMatch = Match{Request: req, Offer: off,
+				RequestRank: res.LeftRank, OfferRank: res.RightRank}
+		}
+	}
+	return best, bestMatch
+}

@@ -1,0 +1,163 @@
+package matchmaker
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+func TestPriorityTableBasics(t *testing.T) {
+	pt := NewPriorityTable()
+	if u := pt.Effective("nobody"); u != 0 {
+		t.Errorf("unknown customer usage = %v, want 0", u)
+	}
+	pt.Record("alice", 10)
+	pt.Record("bob", 3)
+	if ua, ub := pt.Effective("alice"), pt.Effective("bob"); ua <= ub {
+		t.Errorf("alice (%v) should have more usage than bob (%v)", ua, ub)
+	}
+	customers := pt.Customers()
+	if len(customers) != 2 || customers[0] != "bob" || customers[1] != "alice" {
+		t.Errorf("customers order = %v, want [bob alice]", customers)
+	}
+	pt.Reset()
+	if u := pt.Effective("alice"); u != 0 {
+		t.Errorf("after reset usage = %v, want 0", u)
+	}
+}
+
+func TestPriorityDecayHalfLife(t *testing.T) {
+	pt := NewPriorityTable()
+	pt.SetHalfLife(100)
+	pt.Advance(0)
+	pt.Record("u", 8)
+	pt.Advance(100) // one half-life
+	if u := pt.Effective("u"); math.Abs(u-4) > 1e-9 {
+		t.Errorf("after one half-life usage = %v, want 4", u)
+	}
+	pt.Advance(300) // two more half-lives
+	if u := pt.Effective("u"); math.Abs(u-1) > 1e-9 {
+		t.Errorf("after three half-lives usage = %v, want 1", u)
+	}
+	// Time never goes backward.
+	pt.Advance(100)
+	if u := pt.Effective("u"); math.Abs(u-1) > 1e-9 {
+		t.Errorf("backward Advance changed usage to %v", u)
+	}
+}
+
+func TestPriorityDecayDisabled(t *testing.T) {
+	pt := NewPriorityTable()
+	pt.SetHalfLife(0)
+	pt.Record("u", 5)
+	pt.Advance(1e12)
+	if u := pt.Effective("u"); u != 5 {
+		t.Errorf("usage decayed with decay disabled: %v", u)
+	}
+}
+
+// TestFairShare is experiment E9: with fair share on, a light user's
+// requests are served before a heavy user's when they contend for the
+// same resource.
+func TestFairShare(t *testing.T) {
+	m := New(Config{FairShare: true})
+	// The heavy user has history.
+	m.Usage().Record("heavy", 100)
+
+	offers := []*classad.Ad{machine("only", "INTEL", 64)}
+	requests := []*classad.Ad{
+		job("heavy", "INTEL", 1), // submitted first
+		job("light", "INTEL", 1),
+	}
+	matches := m.Negotiate(requests, offers)
+	if len(matches) != 1 {
+		t.Fatalf("got %d matches", len(matches))
+	}
+	if who, _ := matches[0].Request.Eval("Owner").StringVal(); who != "light" {
+		t.Errorf("fair share served %q first, want \"light\"", who)
+	}
+}
+
+// TestFairShareConverges: two users with equal demand on a
+// one-machine pool alternate cycles instead of one starving.
+func TestFairShareConverges(t *testing.T) {
+	m := New(Config{FairShare: true})
+	m.Usage().SetHalfLife(0) // pure accumulation for determinism
+	offers := []*classad.Ad{machine("only", "INTEL", 64)}
+	served := map[string]int{}
+	for cycle := 0; cycle < 10; cycle++ {
+		requests := []*classad.Ad{
+			job("a", "INTEL", 1),
+			job("b", "INTEL", 1),
+		}
+		for _, match := range m.Negotiate(requests, offers) {
+			who, _ := match.Request.Eval("Owner").StringVal()
+			served[who]++
+		}
+	}
+	if served["a"] != 5 || served["b"] != 5 {
+		t.Errorf("unfair split over 10 cycles: %v, want 5/5", served)
+	}
+}
+
+// TestFairShareOffStarves documents the ablation: without fair share,
+// submission order wins every cycle and the second user starves.
+func TestFairShareOffStarves(t *testing.T) {
+	m := New(Config{FairShare: false})
+	offers := []*classad.Ad{machine("only", "INTEL", 64)}
+	served := map[string]int{}
+	for cycle := 0; cycle < 10; cycle++ {
+		requests := []*classad.Ad{
+			job("greedy", "INTEL", 1),
+			job("meek", "INTEL", 1),
+		}
+		for _, match := range m.Negotiate(requests, offers) {
+			who, _ := match.Request.Eval("Owner").StringVal()
+			served[who]++
+		}
+	}
+	if served["greedy"] != 10 || served["meek"] != 0 {
+		t.Errorf("expected starvation without fair share, got %v", served)
+	}
+}
+
+// TestFairShareThreeUsersUnequalDemand: heavy demand is throttled to
+// its share; light users get everything they ask for.
+func TestFairShareThreeUsersUnequalDemand(t *testing.T) {
+	m := New(Config{FairShare: true})
+	m.Usage().SetHalfLife(0)
+	offers := []*classad.Ad{
+		machine("m1", "INTEL", 64),
+		machine("m2", "INTEL", 64),
+	}
+	served := map[string]int{}
+	for cycle := 0; cycle < 12; cycle++ {
+		// "hog" submits 4 requests every cycle; "calm" and "rare"
+		// submit 1 each.
+		var requests []*classad.Ad
+		for i := 0; i < 4; i++ {
+			requests = append(requests, job("hog", "INTEL", 1))
+		}
+		requests = append(requests, job("calm", "INTEL", 1))
+		if cycle%2 == 0 {
+			requests = append(requests, job("rare", "INTEL", 1))
+		}
+		for _, match := range m.Negotiate(requests, offers) {
+			who, _ := match.Request.Eval("Owner").StringVal()
+			served[who]++
+		}
+	}
+	// 24 slots over 12 cycles. calm asks for 12, rare for 6; with
+	// fairness both should be served most of their demand, with hog
+	// absorbing the remainder rather than everything.
+	if served["calm"] < 9 {
+		t.Errorf("calm served %d of 12, want >= 9 (%v)", served["calm"], served)
+	}
+	if served["rare"] < 5 {
+		t.Errorf("rare served %d of 6, want >= 5 (%v)", served["rare"], served)
+	}
+	if served["hog"] <= served["calm"]-4 || served["hog"] == 0 {
+		t.Errorf("hog should still get leftover capacity: %v", served)
+	}
+}

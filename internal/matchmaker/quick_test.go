@@ -1,0 +1,211 @@
+package matchmaker
+
+// Property-based tests of the negotiation cycle's invariants over
+// randomly generated pools and workloads.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/classad"
+)
+
+// randomPool builds a random offer list; some machines carry owner
+// constraints.
+func randomPool(r *rand.Rand, n int) []*classad.Ad {
+	archs := []string{"INTEL", "SPARC", "ALPHA"}
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		m := machine(fmt.Sprintf("m%d", i), archs[r.Intn(len(archs))],
+			int64(32*(1+r.Intn(8))))
+		switch r.Intn(4) {
+		case 0:
+			_ = m.SetExprString("Constraint", `other.Memory <= Memory`)
+		case 1:
+			_ = m.SetExprString("Constraint", fmt.Sprintf(`other.Owner != "u%d"`, r.Intn(4)))
+		}
+		if r.Intn(2) == 0 {
+			_ = m.SetExprString("Rank", "other.Memory")
+		}
+		out[i] = m
+	}
+	return out
+}
+
+func randomRequests(r *rand.Rand, n int) []*classad.Ad {
+	archs := []string{"INTEL", "SPARC", "ALPHA"}
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		j := job(fmt.Sprintf("u%d", r.Intn(4)), archs[r.Intn(len(archs))],
+			int64(16*(1+r.Intn(8))))
+		j.SetInt("Memory", int64(16*(1+r.Intn(8))))
+		if r.Intn(2) == 0 {
+			_ = j.SetExprString("Rank", "other.Memory")
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// TestQuickNegotiateInvariants: every produced match is bilaterally
+// valid, no offer is used twice, no request is served twice, and the
+// cycle is deterministic.
+func TestQuickNegotiateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := randomPool(r, 1+r.Intn(20))
+		requests := randomRequests(r, 1+r.Intn(20))
+		env := classad.FixedEnv(0, seed)
+		for _, cfg := range []Config{
+			{Env: env},
+			{Env: env, FairShare: true},
+			{Env: env, Aggregate: true},
+			{Env: env, FirstFit: true},
+		} {
+			matches := New(cfg).Negotiate(requests, offers)
+			usedOffer := map[*classad.Ad]bool{}
+			usedReq := map[*classad.Ad]bool{}
+			for _, m := range matches {
+				if usedOffer[m.Offer] || usedReq[m.Request] {
+					t.Logf("seed %d cfg %+v: duplicate use", seed, cfg)
+					return false
+				}
+				usedOffer[m.Offer] = true
+				usedReq[m.Request] = true
+				res := classad.MatchEnv(m.Request, m.Offer, env)
+				if !res.Matched {
+					t.Logf("seed %d cfg %+v: invalid match emitted", seed, cfg)
+					return false
+				}
+			}
+			again := New(cfg).Negotiate(requests, offers)
+			if len(again) != len(matches) {
+				t.Logf("seed %d cfg %+v: nondeterministic cycle", seed, cfg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNegotiateMaximalForSatisfiableRequests: any request left
+// unmatched has no compatible offer left unused (the cycle does not
+// strand work it could have served). This holds for the greedy
+// algorithm because each request takes at most one offer.
+func TestQuickNegotiateNoStrandedWork(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := randomPool(r, 1+r.Intn(15))
+		requests := randomRequests(r, 1+r.Intn(15))
+		env := classad.FixedEnv(0, seed)
+		matches := New(Config{Env: env}).Negotiate(requests, offers)
+		usedOffer := map[*classad.Ad]bool{}
+		usedReq := map[*classad.Ad]bool{}
+		for _, m := range matches {
+			usedOffer[m.Offer] = true
+			usedReq[m.Request] = true
+		}
+		for _, req := range requests {
+			if usedReq[req] {
+				continue
+			}
+			for _, off := range offers {
+				if usedOffer[off] {
+					continue
+				}
+				if classad.MatchEnv(req, off, env).Matched {
+					t.Logf("seed %d: request stranded despite compatible free offer", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAggregationEquivalence: aggregation never changes who gets
+// served or the rank they get, over random value-regular pools.
+func TestQuickAggregationEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		classes := 1 + r.Intn(5)
+		n := classes * (1 + r.Intn(6))
+		offers := make([]*classad.Ad, n)
+		for i := range offers {
+			c := i % classes
+			m := machine(fmt.Sprintf("m%d", i), "INTEL", int64(32*(c+1)))
+			m.SetInt("Class", int64(c))
+			offers[i] = m
+		}
+		requests := randomRequests(r, 1+r.Intn(12))
+		env := classad.FixedEnv(0, seed)
+		plain := New(Config{Env: env}).Negotiate(requests, offers)
+		agg := New(Config{Env: env, Aggregate: true}).Negotiate(requests, offers)
+		if len(plain) != len(agg) {
+			t.Logf("seed %d: counts differ %d vs %d", seed, len(plain), len(agg))
+			return false
+		}
+		for i := range plain {
+			if plain[i].Request != agg[i].Request ||
+				plain[i].RequestRank != agg[i].RequestRank ||
+				Signature(plain[i].Offer) != Signature(agg[i].Offer) {
+				t.Logf("seed %d: match %d differs", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGangInvariants: gang assignments use distinct offers and
+// every slot's bilateral constraints hold.
+func TestQuickGangInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := randomPool(r, 2+r.Intn(15))
+		// Random 2-3 slot gang over arch/memory requirements.
+		slots := 2 + r.Intn(2)
+		gangSrc := `[ Type = "Job"; Owner = "u0"; Gang = {`
+		for s := 0; s < slots; s++ {
+			if s > 0 {
+				gangSrc += ", "
+			}
+			gangSrc += fmt.Sprintf(
+				`[ Constraint = other.Memory >= %d ]`, 32*(1+r.Intn(4)))
+		}
+		gangSrc += `} ]`
+		req := classad.MustParse(gangSrc)
+		env := classad.FixedEnv(0, seed)
+		gm, ok := MatchGang(req, offers, env)
+		if !ok {
+			return true // nothing to check; all-or-nothing respected
+		}
+		seen := map[int]bool{}
+		for si, oi := range gm.Offers {
+			if seen[oi] {
+				t.Logf("seed %d: offer %d reused", seed, oi)
+				return false
+			}
+			seen[oi] = true
+			if !classad.MatchEnv(gm.SubRequests[si], offers[oi], env).Matched {
+				t.Logf("seed %d: slot %d invalid", seed, si)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,472 @@
+package pool
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+)
+
+// CustomerDaemon exposes a Customer Agent over TCP: it advertises the
+// queue's idle jobs, receives MATCH notifications from the pool
+// manager (Figure 3 step 3), and drives the claiming protocol against
+// the matched provider (step 4). A PREEMPT notice returns the job to
+// the queue for the next cycle.
+type CustomerDaemon struct {
+	CA *agent.Customer
+
+	// collectors are the pools this CA participates in. The first is
+	// the home pool; additional entries are flock targets (in the
+	// tradition of "A Worldwide Flock of Condors", the paper's
+	// reference [3]): idle jobs advertise to every pool, whichever
+	// matchmaker finds a match first wins, and a second pool's
+	// belated match is rejected harmlessly at claim-initiation time
+	// because the job is no longer idle — weak consistency again.
+	collectors []*collector.Client
+	lifetime   int64
+
+	mu      sync.Mutex
+	ln      net.Listener
+	contact string
+	closed  bool
+	wg      sync.WaitGroup
+	logf    func(string, ...any)
+
+	// claims maps job ID -> provider contact for release.
+	claims map[int]claimRef
+	// stats
+	claimsOK, claimsRejected int
+
+	// shadow serves remote syscalls and checkpoints for this CA's
+	// executing jobs, when execution is enabled.
+	shadow     *remote.Shadow
+	shadowAddr string
+}
+
+type claimRef struct {
+	contact string
+	machine string
+}
+
+// NewCustomerDaemon builds a daemon around a CA.
+func NewCustomerDaemon(ca *agent.Customer, collectorAddr string, lifetime int64, logf func(string, ...any)) *CustomerDaemon {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &CustomerDaemon{
+		CA:         ca,
+		collectors: []*collector.Client{{Addr: collectorAddr}},
+		lifetime:   lifetime,
+		logf:       logf,
+		claims:     make(map[int]claimRef),
+	}
+}
+
+// EnableExecution gives the CA a shadow: jobs carrying
+// WantRemoteSyscalls with In/Out attributes will actually execute on
+// the machines that claim them, doing all I/O against fs at this site.
+// Returns the shadow's address (also stamped into claim ads as
+// ShadowContact).
+func (d *CustomerDaemon) EnableExecution(fs *remote.FileStore) (string, error) {
+	shadow := remote.NewShadow(fs, d.logf)
+	addr, err := shadow.Listen("127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.shadow = shadow
+	d.shadowAddr = addr
+	d.mu.Unlock()
+	return addr, nil
+}
+
+// Shadow exposes the CA's shadow, when execution is enabled.
+func (d *CustomerDaemon) Shadow() *remote.Shadow {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.shadow
+}
+
+// AddFlockTarget registers an additional pool whose collector receives
+// this CA's idle-job advertisements.
+func (d *CustomerDaemon) AddFlockTarget(collectorAddr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.collectors = append(d.collectors, &collector.Client{Addr: collectorAddr})
+}
+
+// Listen binds the notification endpoint.
+func (d *CustomerDaemon) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.contact = ln.Addr().String()
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(ln)
+	return d.contact, nil
+}
+
+// Contact returns the daemon's notification address.
+func (d *CustomerDaemon) Contact() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.contact
+}
+
+// Close stops the daemon and its shadow.
+func (d *CustomerDaemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	ln := d.ln
+	shadow := d.shadow
+	d.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	if shadow != nil {
+		shadow.Close()
+	}
+	d.wg.Wait()
+}
+
+// ClaimStats reports accepted and rejected claim attempts.
+func (d *CustomerDaemon) ClaimStats() (ok, rejected int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.claimsOK, d.claimsRejected
+}
+
+// AdvertiseIdle sends one request ad per idle job to every pool this
+// CA participates in, each stamped with the daemon's Contact and a
+// unique Name (paper §4: CAs advertise "per-customer queues of
+// submitted jobs, represented as lists of classads").
+func (d *CustomerDaemon) AdvertiseIdle() error {
+	d.mu.Lock()
+	clients := append([]*collector.Client(nil), d.collectors...)
+	d.mu.Unlock()
+	for _, ad := range d.CA.IdleRequests() {
+		stamped := ad.Copy()
+		stamped.SetString(classad.AttrContact, d.Contact())
+		id, _ := agent.JobIDOf(ad)
+		stamped.SetString(classad.AttrName,
+			fmt.Sprintf("%s/job%d", d.CA.Owner(), id))
+		for _, c := range clients {
+			if err := c.Advertise(stamped, d.lifetime); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (d *CustomerDaemon) acceptLoop(ln net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handle(conn)
+		}()
+	}
+}
+
+func (d *CustomerDaemon) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := protocol.Read(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				d.logf("ca %s: read: %v", d.CA.Owner(), err)
+			}
+			return
+		}
+		var reply *protocol.Envelope
+		switch env.Type {
+		case protocol.TypeMatch:
+			reply = d.handleMatch(env)
+		case protocol.TypePreempt:
+			reply = d.handlePreempt(env)
+		case protocol.TypeSubmit:
+			reply = d.handleSubmit(env)
+		case protocol.TypeQuery:
+			reply = d.handleQuery(env)
+		case protocol.TypeJobDone:
+			reply = d.handleJobDone(env)
+		default:
+			reply = protocol.Errorf("customer daemon does not handle %s", env.Type)
+		}
+		if err := protocol.Write(conn, reply); err != nil {
+			d.logf("ca %s: write: %v", d.CA.Owner(), err)
+			return
+		}
+	}
+}
+
+// handleMatch receives a match notification and immediately runs the
+// claiming protocol against the provider. The matchmaker is done; from
+// here on the two parties speak directly.
+func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope {
+	machine, err := protocol.DecodeAd(env.PeerAd)
+	if err != nil {
+		return protocol.Errorf("bad peer ad: %v", err)
+	}
+	// Which of our jobs was matched? The manager negotiated with the
+	// ad we advertised, which carries the JobId stamp.
+	// The notification does not include our own ad back, so we
+	// locate the job via the session-free convention: claim the
+	// first idle job whose constraint accepts this machine.
+	job, found := d.pickJobFor(machine)
+	if !found {
+		// Not an error: with flocking, a second pool's match for a
+		// job that already started elsewhere lands here; the match
+		// was simply stale and the provider will be re-advertised.
+		return &protocol.Envelope{Type: protocol.TypeAck,
+			Reason: fmt.Sprintf("no idle job wants machine %s", adName(machine))}
+	}
+	// The claim carries a contactable copy of the job ad so the RA
+	// can reach this CA later (e.g. to deliver a PREEMPT notice),
+	// plus the shadow address when this CA executes jobs for real.
+	claimAd := job.Ad.Copy()
+	claimAd.SetString(classad.AttrContact, d.Contact())
+	d.mu.Lock()
+	if d.shadowAddr != "" {
+		claimAd.SetString("ShadowContact", d.shadowAddr)
+	}
+	d.mu.Unlock()
+	accepted, reason, err := d.claim(machine, claimAd, env.Ticket)
+	if err != nil {
+		return protocol.Errorf("claim: %v", err)
+	}
+	d.mu.Lock()
+	if accepted {
+		d.claimsOK++
+	} else {
+		d.claimsRejected++
+	}
+	d.mu.Unlock()
+	if !accepted {
+		// Weak consistency at work: the provider's state moved on.
+		// The job stays idle and will be re-advertised next cycle.
+		d.logf("ca %s: claim of %s rejected: %s", d.CA.Owner(), adName(machine), reason)
+		return &protocol.Envelope{Type: protocol.TypeAck, Reason: reason}
+	}
+	contact, _ := machine.Eval(classad.AttrContact).StringVal()
+	if err := d.CA.MarkRunning(job.ID, adName(machine)); err != nil {
+		return protocol.Errorf("%v", err)
+	}
+	d.mu.Lock()
+	d.claims[job.ID] = claimRef{contact: contact, machine: adName(machine)}
+	d.mu.Unlock()
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// pickJobFor selects the idle job this match should serve: the first
+// idle job whose bilateral constraints accept the machine, in
+// submission order.
+func (d *CustomerDaemon) pickJobFor(machine *classad.Ad) (agent.Job, bool) {
+	for _, ad := range d.CA.IdleRequests() {
+		if classad.Match(ad, machine).Matched {
+			if id, ok := agent.JobIDOf(ad); ok {
+				if j, ok := d.CA.Job(id); ok {
+					return j, true
+				}
+			}
+		}
+	}
+	return agent.Job{}, false
+}
+
+// claim dials the provider and runs the claiming protocol, answering
+// a challenge if one is issued.
+func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket string) (bool, string, error) {
+	contact, ok := machine.Eval(classad.AttrContact).StringVal()
+	if !ok || contact == "" {
+		return false, "", errors.New("provider ad has no Contact")
+	}
+	conn, err := net.Dial("tcp", contact)
+	if err != nil {
+		return false, "", err
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, &protocol.Envelope{
+		Type:   protocol.TypeClaim,
+		Ad:     protocol.EncodeAd(jobAd),
+		Ticket: ticket,
+	}); err != nil {
+		return false, "", err
+	}
+	r := bufio.NewReader(conn)
+	reply, err := protocol.Read(r)
+	if err != nil {
+		return false, "", err
+	}
+	if reply.Type == protocol.TypeChallenge {
+		if err := protocol.Write(conn, &protocol.Envelope{
+			Type: protocol.TypeChalReply,
+			MAC:  protocol.Respond(ticket, reply.Nonce),
+		}); err != nil {
+			return false, "", err
+		}
+		reply, err = protocol.Read(r)
+		if err != nil {
+			return false, "", err
+		}
+	}
+	switch reply.Type {
+	case protocol.TypeClaimReply:
+		return reply.Accepted, reply.Reason, nil
+	case protocol.TypeError:
+		return false, reply.Reason, nil
+	default:
+		return false, "", fmt.Errorf("unexpected claim reply %s", reply.Type)
+	}
+}
+
+// handlePreempt processes an eviction notice from an RA: the job
+// returns to Idle and will be re-advertised.
+func (d *CustomerDaemon) handlePreempt(env *protocol.Envelope) *protocol.Envelope {
+	jobAd, err := protocol.DecodeAd(env.Ad)
+	if err != nil {
+		return protocol.Errorf("bad preempt ad: %v", err)
+	}
+	id, ok := agent.JobIDOf(jobAd)
+	if !ok {
+		return protocol.Errorf("preempt notice without JobId")
+	}
+	if err := d.CA.Evicted(id); err != nil {
+		return protocol.Errorf("%v", err)
+	}
+	d.mu.Lock()
+	delete(d.claims, id)
+	d.mu.Unlock()
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleSubmit queues a job ad delivered by the submission tool. The
+// envelope's Lifetime field carries the job's CPU demand in seconds
+// (zero is fine for protocol-only use).
+func (d *CustomerDaemon) handleSubmit(env *protocol.Envelope) *protocol.Envelope {
+	ad, err := protocol.DecodeAd(env.Ad)
+	if err != nil {
+		return protocol.Errorf("bad job ad: %v", err)
+	}
+	j := d.CA.Submit(ad, float64(env.Lifetime))
+	return &protocol.Envelope{Type: protocol.TypeAck,
+		Name: fmt.Sprintf("%s/job%d", d.CA.Owner(), j.ID)}
+}
+
+// handleJobDone settles the queue when a starter ran the job to
+// completion: the job is credited its full work and the claim record
+// dropped (the RA already released its side).
+func (d *CustomerDaemon) handleJobDone(env *protocol.Envelope) *protocol.Envelope {
+	jobAd, err := protocol.DecodeAd(env.Ad)
+	if err != nil {
+		return protocol.Errorf("bad job-done ad: %v", err)
+	}
+	id, ok := agent.JobIDOf(jobAd)
+	if !ok {
+		return protocol.Errorf("job-done without JobId")
+	}
+	j, ok := d.CA.Job(id)
+	if !ok {
+		return protocol.Errorf("no job %d", id)
+	}
+	if _, err := d.CA.Progress(id, j.Work-j.Done, false); err != nil {
+		return protocol.Errorf("%v", err)
+	}
+	d.mu.Lock()
+	delete(d.claims, id)
+	d.mu.Unlock()
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleQuery answers a one-way query over the queue: each job is
+// rendered as its ad augmented with live status attributes (JobStatus,
+// RemoteHost, Evictions), and the query's constraint filters them —
+// the per-queue flavour of the paper's "tools to check on the status
+// of job queues".
+func (d *CustomerDaemon) handleQuery(env *protocol.Envelope) *protocol.Envelope {
+	query, err := protocol.DecodeAd(env.Ad)
+	if err != nil {
+		return protocol.Errorf("bad query: %v", err)
+	}
+	var out []string
+	for _, j := range d.CA.Snapshot() {
+		ad := j.Ad.Copy()
+		ad.SetString("JobStatus", string(j.Status))
+		if j.Resource != "" {
+			ad.SetString("RemoteHost", j.Resource)
+		}
+		ad.SetInt("Evictions", int64(j.Evictions))
+		ad.SetReal("WorkDone", j.Done)
+		ad.SetReal("WorkTotal", j.Work)
+		if classad.MatchesQuery(query, ad, nil) {
+			out = append(out, protocol.EncodeAd(ad))
+		}
+	}
+	return &protocol.Envelope{Type: protocol.TypeQueryReply, Ads: out}
+}
+
+// Complete finishes a running job: credit its full remaining work and
+// release the claim ("When the CA finishes using the resource, it
+// relinquishes the claim").
+func (d *CustomerDaemon) Complete(jobID int) error {
+	j, ok := d.CA.Job(jobID)
+	if !ok {
+		return fmt.Errorf("pool: no job %d", jobID)
+	}
+	if _, err := d.CA.Progress(jobID, j.Work-j.Done, false); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	ref, had := d.claims[jobID]
+	delete(d.claims, jobID)
+	d.mu.Unlock()
+	if !had {
+		return nil
+	}
+	conn, err := net.Dial("tcp", ref.contact)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, &protocol.Envelope{
+		Type: protocol.TypeRelease, Name: d.CA.Owner(),
+	}); err != nil {
+		return err
+	}
+	reply, err := protocol.Read(bufio.NewReader(conn))
+	if err != nil {
+		return err
+	}
+	if reply.Type == protocol.TypeError {
+		return errors.New(reply.Reason)
+	}
+	return nil
+}
+
+func adName(ad *classad.Ad) string {
+	s, _ := ad.Eval(classad.AttrName).StringVal()
+	return s
+}

@@ -1,0 +1,88 @@
+package pool
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+)
+
+// syncBuffer is a concurrency-safe bytes.Buffer: history writes happen
+// inside RunCycle while tests may read.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestMatchHistoryLog(t *testing.T) {
+	var buf syncBuffer
+	mgr := NewManager(ManagerConfig{Logf: t.Logf, History: &buf})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	ra := NewResourceDaemon(agent.NewResource(figure1Machine(), nil), addr, 0, t.Logf)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ra.Close)
+	ca := NewCustomerDaemon(agent.NewCustomer("raman", nil), addr, 0, t.Logf)
+	if _, err := ca.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ca.Close)
+
+	ca.CA.Submit(classad.Figure2(), 10)
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if res := mgr.RunCycle(); res.Notified != 1 {
+		t.Fatalf("cycle: %+v", res)
+	}
+
+	// The log holds one parseable classad record.
+	records, err := classad.ParseMulti(buf.String())
+	if err != nil {
+		t.Fatalf("history does not parse: %v\n%s", err, buf.String())
+	}
+	if len(records) != 1 {
+		t.Fatalf("records = %d", len(records))
+	}
+	rec := records[0]
+	if typ, _ := rec.Eval("Type").StringVal(); typ != "Match" {
+		t.Errorf("Type = %q", typ)
+	}
+	if who, _ := rec.Eval("Customer").StringVal(); who != "raman" {
+		t.Errorf("Customer = %q", who)
+	}
+	if offer, _ := rec.Eval("OfferName").StringVal(); offer != "leonardo.cs.wisc.edu" {
+		t.Errorf("OfferName = %q", offer)
+	}
+	if r := rec.Eval("OfferRank").RankVal(); r != 10 {
+		t.Errorf("OfferRank = %v", r)
+	}
+	// And the log is queryable by the same one-way mechanism.
+	q := classad.MustParse(`[ Constraint = other.Customer == "raman" && other.OfferRank >= 10 ]`)
+	if !classad.MatchesQuery(q, rec, nil) {
+		t.Error("history record not queryable")
+	}
+}

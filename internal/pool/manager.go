@@ -1,0 +1,301 @@
+// Package pool wires the framework's components into a running pool:
+// a Manager (collector + negotiator, the paper's "pool manager"),
+// ResourceDaemon (an RA with a TCP claiming endpoint), and
+// CustomerDaemon (a CA that receives match notifications and runs the
+// claiming protocol). Together they execute the paper's Figure 3:
+//
+//	(1) RAs and CAs advertise to the matchmaker;
+//	(2) the matchmaker runs the matchmaking algorithm;
+//	(3) both matched parties are notified and receive each other's
+//	    ads (the CA also receiving the RA's authorization ticket);
+//	(4) the CA claims the RA directly, the matchmaker uninvolved.
+//
+// Periodic activities (advertising, negotiation cycles) are explicit
+// methods so tests and simulations control time; the daemon binaries
+// drive them with tickers.
+package pool
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/matchmaker"
+	"repro/internal/protocol"
+)
+
+// Manager is the pool manager: it owns the collector store and runs
+// negotiation cycles against snapshots of it. It retains no state
+// about matches — the paper's stateless-matchmaker property — so a
+// crashed manager is replaced by constructing a new one against an
+// empty store and letting the agents' periodic advertisements refill
+// it.
+type Manager struct {
+	store     *collector.Store
+	server    *collector.Server
+	mm        *matchmaker.Matchmaker
+	env       *classad.Env
+	logf      func(string, ...any)
+	usageFile string
+	history   io.Writer
+
+	mu     sync.Mutex
+	cycles int
+}
+
+// ManagerConfig tunes a Manager.
+type ManagerConfig struct {
+	// Env supplies time; nil for the process default.
+	Env *classad.Env
+	// Matchmaker tunes the negotiation algorithm.
+	Matchmaker matchmaker.Config
+	// Logf receives diagnostics; nil discards them.
+	Logf func(string, ...any)
+	// UsageFile, when set, persists the fair-share accounting table
+	// there: loaded at construction, saved after every cycle. Match
+	// state itself is never persisted — the matchmaker stays
+	// stateless — but fairness is advisory history worth keeping.
+	UsageFile string
+	// History, when set, receives one classad per successful match
+	// notification — an append-only accounting log. Everything in
+	// the system is a classad, including its own records (paper §4),
+	// so the log is queryable with the same one-way matching the
+	// status tools use (cmd/chistory).
+	History io.Writer
+}
+
+// NewManager builds a pool manager.
+func NewManager(cfg ManagerConfig) *Manager {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Matchmaker.Env == nil {
+		cfg.Matchmaker.Env = cfg.Env
+	}
+	store := collector.New(cfg.Env)
+	m := &Manager{
+		store:     store,
+		mm:        matchmaker.New(cfg.Matchmaker),
+		env:       cfg.Env,
+		logf:      cfg.Logf,
+		usageFile: cfg.UsageFile,
+		history:   cfg.History,
+	}
+	if m.usageFile != "" {
+		if err := m.mm.Usage().Load(m.usageFile); err != nil {
+			m.logf("pool: usage history %s unreadable, starting fresh: %v", m.usageFile, err)
+		}
+	}
+	return m
+}
+
+// Usage exposes the fair-share accounting table.
+func (m *Manager) Usage() *matchmaker.PriorityTable { return m.mm.Usage() }
+
+// Listen starts the collector endpoint on addr and returns the bound
+// address that agents should advertise to.
+func (m *Manager) Listen(addr string) (string, error) {
+	m.server = collector.NewServer(m.store, m.logf)
+	return m.server.Listen(addr)
+}
+
+// Close shuts the collector endpoint down.
+func (m *Manager) Close() {
+	if m.server != nil {
+		m.server.Close()
+	}
+}
+
+// Store exposes the ad store for direct (in-process) advertising.
+func (m *Manager) Store() *collector.Store { return m.store }
+
+// Cycles reports how many negotiation cycles have run.
+func (m *Manager) Cycles() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cycles
+}
+
+// CycleResult summarizes one negotiation cycle.
+type CycleResult struct {
+	Requests, Offers int
+	Matches          []matchmaker.Match
+	// Notified counts matches whose parties were both reachable.
+	Notified int
+	// Errors collects notification failures (unreachable contacts).
+	Errors []error
+}
+
+// RunCycle executes one negotiation cycle (paper §4: "Periodically,
+// the pool manager enters a negotiation cycle"): snapshot the store,
+// split job ads from provider ads, run the matchmaking algorithm, and
+// invoke the matchmaking protocol for every match — sending each party
+// the other's ad, the session identifier, and (to the customer) the
+// provider's authorization ticket.
+func (m *Manager) RunCycle() CycleResult {
+	m.mu.Lock()
+	m.cycles++
+	m.mu.Unlock()
+
+	requests := m.store.SelectType("Job")
+	var offers []*classad.Ad
+	for _, ad := range m.store.All() {
+		typ, ok := ad.Eval(classad.AttrType).StringVal()
+		if ok {
+			switch classad.Fold(typ) {
+			case "job", "negotiator":
+				continue // requests, and the manager's own ad
+			}
+		}
+		offers = append(offers, ad)
+	}
+	res := CycleResult{Requests: len(requests), Offers: len(offers)}
+	res.Matches = m.mm.Negotiate(requests, offers)
+	for _, match := range res.Matches {
+		if err := m.notify(match); err != nil {
+			res.Errors = append(res.Errors, err)
+			continue
+		}
+		res.Notified++
+		m.logMatch(match)
+		// The matched request leaves the store: its CA will
+		// re-advertise if the claim falls through. The provider ad
+		// stays — its ticket is consumed by the claim, so a stale
+		// re-match is caught by the claiming protocol, which is
+		// exactly the weak-consistency design.
+		if name, err := collector.NameOf(match.Request); err == nil {
+			m.store.Invalidate(name)
+		}
+	}
+	if m.usageFile != "" {
+		if err := m.mm.Usage().Save(m.usageFile); err != nil {
+			m.logf("pool: saving usage history: %v", err)
+		}
+	}
+	m.publishSelf(res)
+	return res
+}
+
+// publishSelf stores the negotiator's own classad in the collector
+// after each cycle — "All entities are represented with classads"
+// (paper §4), the matchmaker included. Status tools can then browse
+// cycle statistics and the fair-share table with the same one-way
+// queries they use for machines:
+//
+//	cstatus -constraint 'other.Type == "Negotiator"' -long
+func (m *Manager) publishSelf(res CycleResult) {
+	ad := classad.NewAd()
+	ad.SetString(classad.AttrType, "Negotiator")
+	ad.SetString(classad.AttrName, "negotiator@pool")
+	m.mu.Lock()
+	ad.SetInt("Cycle", int64(m.cycles))
+	m.mu.Unlock()
+	ad.SetInt("LastRequests", int64(res.Requests))
+	ad.SetInt("LastOffers", int64(res.Offers))
+	ad.SetInt("LastMatches", int64(len(res.Matches)))
+	ad.SetInt("LastNotified", int64(res.Notified))
+	// The fair-share table, as a nested ad: user -> decayed usage.
+	usage := classad.NewAd()
+	table := m.mm.Usage()
+	for _, customer := range table.Customers() {
+		usage.SetReal(customer, table.Effective(customer))
+	}
+	ad.Set("Usage", classad.NewAdExpr(usage))
+	if err := m.store.Update(ad, 0); err != nil {
+		m.logf("pool: publishing negotiator ad: %v", err)
+	}
+}
+
+// logMatch appends one match record — itself a classad — to the
+// history writer.
+func (m *Manager) logMatch(match matchmaker.Match) {
+	if m.history == nil {
+		return
+	}
+	rec := classad.NewAd()
+	rec.SetString(classad.AttrType, "Match")
+	env := m.env
+	if env == nil {
+		env = classad.DefaultEnv()
+	}
+	rec.SetInt("Time", env.Now())
+	m.mu.Lock()
+	rec.SetInt("Cycle", int64(m.cycles))
+	m.mu.Unlock()
+	if owner, ok := match.Request.Eval(classad.AttrOwner).StringVal(); ok {
+		rec.SetString("Customer", owner)
+	}
+	if name, ok := match.Request.Eval(classad.AttrName).StringVal(); ok {
+		rec.SetString("RequestName", name)
+	}
+	if name, ok := match.Offer.Eval(classad.AttrName).StringVal(); ok {
+		rec.SetString("OfferName", name)
+	}
+	rec.SetReal("RequestRank", match.RequestRank)
+	rec.SetReal("OfferRank", match.OfferRank)
+	if _, err := fmt.Fprintln(m.history, rec.String()); err != nil {
+		m.logf("pool: writing history: %v", err)
+	}
+}
+
+// notify runs the matchmaking protocol for one match: a MATCH envelope
+// to each party's Contact address carrying the peer's ad; the
+// customer's copy also carries the provider's ticket.
+func (m *Manager) notify(match matchmaker.Match) error {
+	session, err := protocol.NewSession()
+	if err != nil {
+		return err
+	}
+	ticket, _ := match.Offer.Eval(classad.AttrTicket).StringVal()
+
+	// Customer first: it drives the claiming protocol.
+	if err := sendToContact(match.Request, &protocol.Envelope{
+		Type:    protocol.TypeMatch,
+		PeerAd:  protocol.EncodeAd(match.Offer),
+		Ticket:  ticket,
+		Session: session,
+	}); err != nil {
+		return fmt.Errorf("pool: notify customer: %w", err)
+	}
+	// Provider notification is advisory; a provider without a
+	// reachable contact still works because the claim itself carries
+	// everything the RA needs.
+	if err := sendToContact(match.Offer, &protocol.Envelope{
+		Type:    protocol.TypeMatch,
+		PeerAd:  protocol.EncodeAd(match.Request),
+		Session: session,
+	}); err != nil {
+		m.logf("pool: notify provider: %v", err)
+	}
+	return nil
+}
+
+// sendToContact dials the ad's Contact address, delivers one envelope,
+// and waits for an ACK.
+func sendToContact(ad *classad.Ad, env *protocol.Envelope) error {
+	contact, ok := ad.Eval(classad.AttrContact).StringVal()
+	if !ok || contact == "" {
+		return errors.New("ad has no Contact address")
+	}
+	conn, err := net.Dial("tcp", contact)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, env); err != nil {
+		return err
+	}
+	reply, err := protocol.Read(bufio.NewReader(conn))
+	if err != nil {
+		return err
+	}
+	if reply.Type == protocol.TypeError {
+		return errors.New(reply.Reason)
+	}
+	return nil
+}

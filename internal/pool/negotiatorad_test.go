@@ -1,0 +1,88 @@
+package pool
+
+import (
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/matchmaker"
+)
+
+// TestNegotiatorPublishesItself: after a cycle, the manager's own
+// classad is in the store, carrying cycle statistics and the
+// fair-share table — queryable like any other entity (paper §4).
+func TestNegotiatorPublishesItself(t *testing.T) {
+	mgr := NewManager(ManagerConfig{
+		Matchmaker: matchmaker.Config{FairShare: true},
+		Logf:       t.Logf,
+	})
+	machine := figure1Machine()
+	machine.SetString(classad.AttrTicket, "t")
+	if err := mgr.Store().Update(machine, 0); err != nil {
+		t.Fatal(err)
+	}
+	job := classad.Figure2()
+	job.SetString(classad.AttrName, "raman/job1")
+	if err := mgr.Store().Update(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if len(res.Matches) != 1 {
+		t.Fatalf("cycle: %+v", res)
+	}
+
+	// The negotiator ad answers a one-way query.
+	q := classad.MustParse(`[ Constraint = other.Type == "Negotiator" ]`)
+	got := mgr.Store().Query(q)
+	if len(got) != 1 {
+		t.Fatalf("negotiator ads = %d", len(got))
+	}
+	ad := got[0]
+	if c, _ := ad.Eval("Cycle").IntVal(); c != 1 {
+		t.Errorf("Cycle = %d", c)
+	}
+	if n, _ := ad.Eval("LastMatches").IntVal(); n != 1 {
+		t.Errorf("LastMatches = %d", n)
+	}
+	if n, _ := ad.Eval("LastOffers").IntVal(); n != 1 {
+		t.Errorf("LastOffers = %d", n)
+	}
+	// The fair-share table rides along as a nested ad.
+	usage := ad.Eval("Usage")
+	inner, ok := usage.AdVal()
+	if !ok {
+		t.Fatalf("Usage = %v", usage)
+	}
+	if u := inner.Eval("raman").RankVal(); u != 1 {
+		t.Errorf("raman's published usage = %v", u)
+	}
+	// Expression access works end to end.
+	v, err := classad.EvalString("Usage.raman", ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.RankVal() != 1 {
+		t.Errorf("Usage.raman = %v", v)
+	}
+}
+
+// TestNegotiatorAdNeverMatchesJobs: the manager's own ad must not be
+// handed out as an offer, even to constraint-free requests.
+func TestNegotiatorAdNeverMatchesJobs(t *testing.T) {
+	mgr := NewManager(ManagerConfig{Logf: t.Logf})
+	mgr.RunCycle() // publishes the negotiator ad into an empty store
+	greedy := classad.NewAd()
+	greedy.SetString(classad.AttrType, "Job")
+	greedy.SetString(classad.AttrName, "u/job1")
+	greedy.SetString(classad.AttrOwner, "u")
+	// No constraint: accepts anything offered.
+	if err := mgr.Store().Update(greedy, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if res.Offers != 0 {
+		t.Errorf("offers = %d, the negotiator ad leaked into negotiation", res.Offers)
+	}
+	if len(res.Matches) != 0 {
+		t.Errorf("the job matched %d offers", len(res.Matches))
+	}
+}

@@ -1,0 +1,387 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/matchmaker"
+)
+
+// testPool spins up a manager, one RA daemon and one CA daemon on
+// loopback TCP, all torn down with the test.
+type testPool struct {
+	mgr  *Manager
+	addr string
+	ra   *ResourceDaemon
+	ca   *CustomerDaemon
+}
+
+func newTestPool(t *testing.T, raAd *classad.Ad, owner string) *testPool {
+	t.Helper()
+	mgr := NewManager(ManagerConfig{Logf: t.Logf})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	ra := NewResourceDaemon(agent.NewResource(raAd, nil), addr, 0, t.Logf)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ra.Close)
+
+	ca := NewCustomerDaemon(agent.NewCustomer(owner, nil), addr, 0, t.Logf)
+	if _, err := ca.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ca.Close)
+
+	return &testPool{mgr: mgr, addr: addr, ra: ra, ca: ca}
+}
+
+// figure1Machine is the paper's workstation with the friendliest
+// dynamic state (idle keyboard, low load, night), so matches hinge on
+// the tested condition, not the example policy.
+func figure1Machine() *classad.Ad {
+	ad := classad.Figure1()
+	ad.SetInt("DayTime", 22*3600)
+	ad.SetInt("KeyboardIdle", 3600)
+	ad.SetReal("LoadAvg", 0.01)
+	return ad
+}
+
+// TestFigure3EndToEnd is experiment E3: advertise, match, notify and
+// claim over real sockets — every arrow of the paper's Figure 3.
+func TestFigure3EndToEnd(t *testing.T) {
+	p := newTestPool(t, figure1Machine(), "raman")
+	job := p.ca.CA.Submit(classad.Figure2(), 100)
+
+	// Step 1: both entities advertise.
+	if err := p.ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.mgr.Store().Len(); got != 2 {
+		t.Fatalf("store has %d ads, want 2", got)
+	}
+
+	// Steps 2 and 3: the negotiation cycle matches and notifies.
+	res := p.mgr.RunCycle()
+	if len(res.Matches) != 1 {
+		t.Fatalf("cycle matched %d pairs, want 1", len(res.Matches))
+	}
+	if res.Notified != 1 {
+		t.Fatalf("notified %d, errors: %v", res.Notified, res.Errors)
+	}
+
+	// Step 4 happened synchronously inside the notification: the CA
+	// claimed the RA.
+	if p.ra.RA.State() != agent.StateClaimed {
+		t.Errorf("RA state = %s, want Claimed", p.ra.RA.State())
+	}
+	claim, ok := p.ra.RA.CurrentClaim()
+	if !ok || claim.Customer != "raman" {
+		t.Errorf("claim = %+v", claim)
+	}
+	j, _ := p.ca.CA.Job(job.ID)
+	if j.Status != agent.JobRunning {
+		t.Errorf("job status = %s, want Running", j.Status)
+	}
+	if j.Resource != "leonardo.cs.wisc.edu" {
+		t.Errorf("job resource = %q", j.Resource)
+	}
+	okClaims, rejected := p.ca.ClaimStats()
+	if okClaims != 1 || rejected != 0 {
+		t.Errorf("claim stats = %d ok / %d rejected", okClaims, rejected)
+	}
+
+	// Completion releases the claim and the RA returns to Unclaimed.
+	if err := p.ca.Complete(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.ra.RA.State() != agent.StateUnclaimed {
+		t.Errorf("RA state after release = %s", p.ra.RA.State())
+	}
+	j, _ = p.ca.CA.Job(job.ID)
+	if j.Status != agent.JobCompleted {
+		t.Errorf("job status after completion = %s", j.Status)
+	}
+}
+
+// TestFigure3WithChallenge runs the same flow with the HMAC
+// challenge-response handshake enabled on the RA.
+func TestFigure3WithChallenge(t *testing.T) {
+	p := newTestPool(t, figure1Machine(), "raman")
+	p.ra.RequireChallenge = true
+	p.ca.CA.Submit(classad.Figure2(), 100)
+	if err := p.ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res := p.mgr.RunCycle()
+	if res.Notified != 1 {
+		t.Fatalf("notified %d, errors: %v", res.Notified, res.Errors)
+	}
+	if p.ra.RA.State() != agent.StateClaimed {
+		t.Errorf("RA state = %s; challenge handshake should still succeed", p.ra.RA.State())
+	}
+}
+
+// TestStaleClaimRejected is experiment E5 over sockets: the machine's
+// state changes between advertisement and claim; the claim is caught
+// at claim time and the job stays idle for the next cycle.
+func TestStaleClaimRejected(t *testing.T) {
+	p := newTestPool(t, figure1Machine(), "tannenba") // a friend
+	job := p.ca.CA.Submit(classad.Figure2(), 100)
+	if err := p.ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Owner touches the keyboard after the ad went out: friends are
+	// no longer welcome.
+	p.ra.RA.SetDynamic("KeyboardIdle", classad.Int(2))
+
+	res := p.mgr.RunCycle()
+	if len(res.Matches) != 1 {
+		t.Fatalf("stale ad should still match in the negotiator; got %d", len(res.Matches))
+	}
+	if p.ra.RA.State() != agent.StateUnclaimed {
+		t.Errorf("RA state = %s, want Unclaimed (claim must be rejected)", p.ra.RA.State())
+	}
+	j, _ := p.ca.CA.Job(job.ID)
+	if j.Status != agent.JobIdle {
+		t.Errorf("job status = %s, want Idle for resubmission", j.Status)
+	}
+	_, rejected := p.ca.ClaimStats()
+	if rejected != 1 {
+		t.Errorf("rejected claims = %d, want 1", rejected)
+	}
+
+	// Progress is still possible: the owner leaves, agents
+	// re-advertise, the next cycle succeeds.
+	p.ra.RA.SetDynamic("KeyboardIdle", classad.Int(3600))
+	if err := p.ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res = p.mgr.RunCycle()
+	if res.Notified != 1 {
+		t.Fatalf("second cycle notified %d, errors: %v", res.Notified, res.Errors)
+	}
+	if p.ra.RA.State() != agent.StateClaimed {
+		t.Errorf("RA state after recovery cycle = %s", p.ra.RA.State())
+	}
+}
+
+// TestMatchmakerCrashRecovery is experiment E6: killing the pool
+// manager loses nothing durable — a fresh manager on a fresh store is
+// fully operational as soon as the agents re-advertise, because
+// matches are introductions and all allocation state lives in the
+// agents (paper §3.2, "the matchmaker is a stateless service").
+func TestMatchmakerCrashRecovery(t *testing.T) {
+	p := newTestPool(t, figure1Machine(), "raman")
+	job := p.ca.CA.Submit(classad.Figure2(), 100)
+	if err := p.ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The manager "crashes" before ever running a cycle.
+	p.mgr.Close()
+
+	// A replacement comes up at a new address with an empty store.
+	mgr2 := NewManager(ManagerConfig{Logf: t.Logf})
+	addr2, err := mgr2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr2.Close)
+
+	// Agents re-target their periodic advertisements (in deployment
+	// the address is fixed and the TCP connection simply succeeds
+	// again; re-pointing the client models the same recovery).
+	ra2 := NewResourceDaemon(p.ra.RA, addr2, 0, t.Logf)
+	ra2.mu.Lock()
+	ra2.contact = p.ra.Contact() // same claiming endpoint
+	ra2.mu.Unlock()
+	ca2 := NewCustomerDaemon(p.ca.CA, addr2, 0, t.Logf)
+	ca2.mu.Lock()
+	ca2.contact = p.ca.Contact()
+	ca2.mu.Unlock()
+	// Route claims through the original CA daemon's listener: the
+	// MATCH notification goes to the original contact address, which
+	// is still served by p.ca. Re-advertise through the new clients.
+	if err := ra2.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca2.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr2.RunCycle()
+	if res.Notified != 1 {
+		t.Fatalf("recovered manager notified %d, errors: %v", res.Notified, res.Errors)
+	}
+	if p.ra.RA.State() != agent.StateClaimed {
+		t.Errorf("RA state = %s after recovery", p.ra.RA.State())
+	}
+	j, _ := p.ca.CA.Job(job.ID)
+	if j.Status != agent.JobRunning {
+		t.Errorf("job status = %s after recovery", j.Status)
+	}
+}
+
+// TestPreemptionOverSockets: a higher-ranked customer's claim evicts
+// the incumbent, whose CA receives a PREEMPT notice and requeues the
+// job.
+func TestPreemptionOverSockets(t *testing.T) {
+	mgr := NewManager(ManagerConfig{Logf: t.Logf})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	ra := NewResourceDaemon(agent.NewResource(figure1Machine(), nil), addr, 0, t.Logf)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ra.Close)
+
+	friend := NewCustomerDaemon(agent.NewCustomer("tannenba", nil), addr, 0, t.Logf)
+	if _, err := friend.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(friend.Close)
+	research := NewCustomerDaemon(agent.NewCustomer("raman", nil), addr, 0, t.Logf)
+	if _, err := research.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(research.Close)
+
+	// Cycle 1: only the friend's job is queued; it claims the
+	// machine at rank 1.
+	friendJob := friend.CA.Submit(classad.Figure2(), 1000)
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := friend.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if res := mgr.RunCycle(); res.Notified != 1 {
+		t.Fatalf("cycle 1: %+v", res)
+	}
+	if st := ra.RA.State(); st != agent.StateClaimed {
+		t.Fatalf("cycle 1 left RA %s", st)
+	}
+
+	// Cycle 2: the machine re-advertises (State=Claimed,
+	// CurrentRank=1) and a research job arrives. The machine's
+	// constraint still accepts research members, the RA ranks the
+	// job at 10 > 1, so the claim preempts.
+	researchJob := research.CA.Submit(classad.Figure2(), 1000)
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := research.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if res := mgr.RunCycle(); res.Notified != 1 {
+		t.Fatalf("cycle 2: %+v", res)
+	}
+	claim, _ := ra.RA.CurrentClaim()
+	if claim.Customer != "raman" {
+		t.Fatalf("claim holder = %s, want raman", claim.Customer)
+	}
+	preempted, _ := ra.RA.Stats()
+	if preempted != 1 {
+		t.Errorf("preemptions = %d", preempted)
+	}
+
+	// The friend's job got its PREEMPT notice and is idle again.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		j, _ := friend.CA.Job(friendJob.ID)
+		if j.Status == agent.JobIdle {
+			if j.Evictions != 1 {
+				t.Errorf("evictions = %d", j.Evictions)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("friend job never returned to Idle (status %s)", j.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	j, _ := research.CA.Job(researchJob.ID)
+	if j.Status != agent.JobRunning {
+		t.Errorf("research job = %s", j.Status)
+	}
+}
+
+// TestCycleWithNoAds: an empty store cycles cleanly.
+func TestCycleWithNoAds(t *testing.T) {
+	mgr := NewManager(ManagerConfig{})
+	res := mgr.RunCycle()
+	if res.Requests != 0 || res.Offers != 0 || len(res.Matches) != 0 {
+		t.Errorf("empty cycle = %+v", res)
+	}
+	if mgr.Cycles() != 1 {
+		t.Errorf("cycles = %d", mgr.Cycles())
+	}
+}
+
+// TestUnreachableCustomerContact: a match whose customer cannot be
+// notified is reported as an error, and the cycle carries on.
+func TestUnreachableCustomerContact(t *testing.T) {
+	mgr := NewManager(ManagerConfig{Logf: t.Logf})
+	machine := figure1Machine()
+	machine.SetString(classad.AttrContact, "127.0.0.1:1") // nothing listens
+	machine.SetString(classad.AttrTicket, "deadbeef")
+	if err := mgr.Store().Update(machine, 0); err != nil {
+		t.Fatal(err)
+	}
+	job := classad.Figure2()
+	job.SetString(classad.AttrName, "raman/job1")
+	job.SetString(classad.AttrContact, "127.0.0.1:1")
+	if err := mgr.Store().Update(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if len(res.Matches) != 1 || res.Notified != 0 || len(res.Errors) != 1 {
+		t.Errorf("cycle = %+v", res)
+	}
+	if !strings.Contains(res.Errors[0].Error(), "notify customer") {
+		t.Errorf("error = %v", res.Errors[0])
+	}
+}
+
+// TestFairShareAcrossDaemons: the manager's fair-share config reaches
+// the negotiation.
+func TestFairShareAcrossDaemons(t *testing.T) {
+	mgr := NewManager(ManagerConfig{
+		Matchmaker: matchmaker.Config{FairShare: true},
+	})
+	if mgr.Cycles() != 0 {
+		t.Fatal("fresh manager has cycles")
+	}
+	// Smoke only: detailed fairness is tested in the matchmaker
+	// package; here we just confirm the wiring accepts the config.
+	res := mgr.RunCycle()
+	if res.Requests != 0 {
+		t.Errorf("requests = %d", res.Requests)
+	}
+}

@@ -1,0 +1,132 @@
+package pool
+
+import (
+	"bufio"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/matchmaker"
+	"repro/internal/protocol"
+)
+
+// queryCA poses a one-way query to a customer daemon, the way cqueue
+// does.
+func queryCA(t *testing.T, addr string, constraint string) []*classad.Ad {
+	t.Helper()
+	query := classad.NewAd()
+	if err := query.SetExprString(classad.AttrConstraint, constraint); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := protocol.Write(conn, &protocol.Envelope{
+		Type: protocol.TypeQuery, Ad: protocol.EncodeAd(query),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := protocol.Read(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeQueryReply {
+		t.Fatalf("reply = %s (%s)", reply.Type, reply.Reason)
+	}
+	out := make([]*classad.Ad, 0, len(reply.Ads))
+	for _, s := range reply.Ads {
+		ad, err := protocol.DecodeAd(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ad)
+	}
+	return out
+}
+
+func TestCustomerQueueQuery(t *testing.T) {
+	ca := NewCustomerDaemon(agent.NewCustomer("raman", nil), "127.0.0.1:1", 0, t.Logf)
+	addr, err := ca.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+
+	j1 := ca.CA.Submit(classad.MustParse(`[ Cmd = "a" ]`), 100)
+	j2 := ca.CA.Submit(classad.MustParse(`[ Cmd = "b" ]`), 100)
+	if err := ca.CA.MarkRunning(j2.ID, "w9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.CA.Progress(j2.ID, 25, false); err != nil {
+		t.Fatal(err)
+	}
+
+	all := queryCA(t, addr, "true")
+	if len(all) != 2 {
+		t.Fatalf("query all = %d jobs", len(all))
+	}
+	running := queryCA(t, addr, `other.JobStatus == "Running"`)
+	if len(running) != 1 {
+		t.Fatalf("running = %d", len(running))
+	}
+	if host, _ := running[0].Eval("RemoteHost").StringVal(); host != "w9" {
+		t.Errorf("RemoteHost = %q", host)
+	}
+	if done, _ := running[0].Eval("WorkDone").NumberVal(); done != 25 {
+		t.Errorf("WorkDone = %v", done)
+	}
+	idle := queryCA(t, addr, `other.JobStatus == "Idle"`)
+	if len(idle) != 1 {
+		t.Fatalf("idle = %d", len(idle))
+	}
+	if id, _ := idle[0].Eval("JobId").IntVal(); id != int64(j1.ID) {
+		t.Errorf("idle job id = %d", id)
+	}
+}
+
+func TestManagerUsagePersistence(t *testing.T) {
+	dir := t.TempDir()
+	usageFile := filepath.Join(dir, "usage.json")
+
+	mgr := NewManager(ManagerConfig{
+		Matchmaker: matchmaker.Config{FairShare: true},
+		UsageFile:  usageFile,
+		Logf:       t.Logf,
+	})
+	// Seed the store directly (in-process advertising): one machine,
+	// one job owned by alice.
+	machine := classad.Figure1()
+	machine.SetInt("DayTime", 22*3600)
+	machine.SetString(classad.AttrTicket, "t")
+	if err := mgr.Store().Update(machine, 0); err != nil {
+		t.Fatal(err)
+	}
+	job := classad.Figure2()
+	job.SetString(classad.AttrName, "raman/job1")
+	if err := mgr.Store().Update(job, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	// Notification fails (no contacts) but usage was recorded for the
+	// match and the table was saved.
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %d", len(res.Matches))
+	}
+	if u := mgr.Usage().Effective("raman"); u != 1 {
+		t.Errorf("usage = %v", u)
+	}
+
+	// A restarted manager inherits the history.
+	mgr2 := NewManager(ManagerConfig{
+		Matchmaker: matchmaker.Config{FairShare: true},
+		UsageFile:  usageFile,
+		Logf:       t.Logf,
+	})
+	if u := mgr2.Usage().Effective("raman"); u != 1 {
+		t.Errorf("restored usage = %v, want 1", u)
+	}
+}

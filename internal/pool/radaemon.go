@@ -1,0 +1,317 @@
+package pool
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+)
+
+// ResourceDaemon exposes a Resource-owner Agent over TCP: it serves
+// the claiming protocol (CLAIM / RELEASE, optionally guarded by a
+// challenge-response handshake) and acknowledges MATCH notifications.
+// It advertises to the collector on demand.
+type ResourceDaemon struct {
+	RA *agent.Resource
+
+	// RequireChallenge makes the daemon demand an HMAC handshake
+	// before considering a claim (paper §3.2 "Authentication").
+	RequireChallenge bool
+
+	collector *collector.Client
+	lifetime  int64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	contact  string
+	closed   bool
+	wg       sync.WaitGroup
+	logf     func(string, ...any)
+	onEvict  func(claim agent.Claim)
+	preempts int
+	// starterCancel stops the starter of the active claim, when the
+	// claimed job executes via remote syscalls.
+	starterCancel chan struct{}
+}
+
+// NewResourceDaemon builds a daemon around an RA that advertises to
+// collectorAddr with the given ad lifetime (0 for the default).
+func NewResourceDaemon(ra *agent.Resource, collectorAddr string, lifetime int64, logf func(string, ...any)) *ResourceDaemon {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &ResourceDaemon{
+		RA:        ra,
+		collector: &collector.Client{Addr: collectorAddr},
+		lifetime:  lifetime,
+		logf:      logf,
+	}
+}
+
+// OnEvict registers a callback invoked when a claim is preempted by a
+// better one; the daemon also notifies the displaced job's CA.
+func (d *ResourceDaemon) OnEvict(fn func(agent.Claim)) { d.onEvict = fn }
+
+// Listen binds the claiming endpoint and returns the contact address
+// that will appear in advertisements.
+func (d *ResourceDaemon) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	d.ln = ln
+	d.contact = ln.Addr().String()
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go d.acceptLoop(ln)
+	return d.contact, nil
+}
+
+// Contact returns the daemon's claiming address.
+func (d *ResourceDaemon) Contact() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.contact
+}
+
+// Close stops the daemon, cancelling any running starter.
+func (d *ResourceDaemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	ln := d.ln
+	d.mu.Unlock()
+	d.stopStarter()
+	if ln != nil {
+		ln.Close()
+	}
+	d.wg.Wait()
+}
+
+// Advertise composes the RA's current ad — adding the Contact address
+// — and sends it to the collector (Figure 3 step 1).
+func (d *ResourceDaemon) Advertise() error {
+	ad, err := d.RA.Advertise()
+	if err != nil {
+		return err
+	}
+	ad.SetString(classad.AttrContact, d.Contact())
+	return d.collector.Advertise(ad, d.lifetime)
+}
+
+// Invalidate withdraws the RA's ad from the collector.
+func (d *ResourceDaemon) Invalidate() error {
+	return d.collector.Invalidate(d.RA.Name())
+}
+
+func (d *ResourceDaemon) acceptLoop(ln net.Listener) {
+	defer d.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			d.handle(conn)
+		}()
+	}
+}
+
+func (d *ResourceDaemon) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	for {
+		env, err := protocol.Read(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				d.logf("ra %s: read: %v", d.RA.Name(), err)
+			}
+			return
+		}
+		var reply *protocol.Envelope
+		switch env.Type {
+		case protocol.TypeMatch:
+			// Step 3: the provider learns who it was matched to.
+			// Advisory — the claim carries everything needed.
+			reply = &protocol.Envelope{Type: protocol.TypeAck}
+		case protocol.TypeClaim:
+			reply = d.handleClaim(conn, r, env)
+		case protocol.TypeRelease:
+			if err := d.RA.Release(env.Name); err != nil {
+				reply = protocol.Errorf("%v", err)
+			} else {
+				d.stopStarter()
+				reply = &protocol.Envelope{Type: protocol.TypeAck}
+			}
+		default:
+			reply = protocol.Errorf("resource daemon does not handle %s", env.Type)
+		}
+		if err := protocol.Write(conn, reply); err != nil {
+			d.logf("ra %s: write: %v", d.RA.Name(), err)
+			return
+		}
+	}
+}
+
+// handleClaim runs the RA side of the claiming protocol (Figure 3
+// step 4): optional challenge handshake, then ticket verification and
+// constraint re-validation via the agent.
+func (d *ResourceDaemon) handleClaim(conn net.Conn, r *bufio.Reader, env *protocol.Envelope) *protocol.Envelope {
+	job, err := protocol.DecodeAd(env.Ad)
+	if err != nil {
+		return protocol.Errorf("bad claim ad: %v", err)
+	}
+	if d.RequireChallenge {
+		nonce, err := protocol.NewNonce()
+		if err != nil {
+			return protocol.Errorf("nonce: %v", err)
+		}
+		if err := protocol.Write(conn, &protocol.Envelope{
+			Type: protocol.TypeChallenge, Nonce: nonce,
+		}); err != nil {
+			return protocol.Errorf("challenge write: %v", err)
+		}
+		resp, err := protocol.Read(r)
+		if err != nil {
+			return protocol.Errorf("challenge read: %v", err)
+		}
+		if resp.Type != protocol.TypeChalReply ||
+			!protocol.VerifyResponse(env.Ticket, nonce, resp.MAC) {
+			return &protocol.Envelope{Type: protocol.TypeClaimReply,
+				Accepted: false, Reason: "challenge failed"}
+		}
+	}
+	out := d.RA.RequestClaim(job, env.Ticket)
+	if out.Accepted {
+		if out.Preempted != nil {
+			d.stopStarter()
+			d.notifyPreempted(*out.Preempted)
+		}
+		d.maybeStartJob(job)
+	}
+	return &protocol.Envelope{
+		Type:     protocol.TypeClaimReply,
+		Accepted: out.Accepted,
+		Reason:   out.Reason,
+	}
+}
+
+// stopStarter cancels the running starter, if any.
+func (d *ResourceDaemon) stopStarter() {
+	d.mu.Lock()
+	cancel := d.starterCancel
+	d.starterCancel = nil
+	d.mu.Unlock()
+	if cancel != nil {
+		close(cancel)
+	}
+}
+
+// EvictClaim forcibly ends the active claim (the daemon-level owner
+// eviction): the starter is cancelled, the RA reclaims the machine,
+// and the displaced job's CA gets a PREEMPT notice so the job
+// requeues.
+func (d *ResourceDaemon) EvictClaim() bool {
+	d.stopStarter()
+	old, ok := d.RA.Evict()
+	if !ok {
+		return false
+	}
+	d.notifyPreempted(old)
+	return true
+}
+
+// maybeStartJob launches a starter for a claimed job that asked for
+// remote-syscall execution (Figure 2's WantRemoteSyscalls): the job's
+// ad names its shadow (ShadowContact), its remote input and output
+// files (In/Out), and the starter runs on this machine, holding no job
+// state locally. Jobs without the attributes simply hold the claim
+// until the CA releases it, as before.
+func (d *ResourceDaemon) maybeStartJob(job *classad.Ad) {
+	if !job.Eval("WantRemoteSyscalls").IsTrue() &&
+		!job.Eval("WantRemoteSyscalls").Identical(classad.Int(1)) {
+		return
+	}
+	shadowAddr, ok := job.Eval("ShadowContact").StringVal()
+	if !ok || shadowAddr == "" {
+		return
+	}
+	input, okIn := job.Eval("In").StringVal()
+	output, okOut := job.Eval("Out").StringVal()
+	if !okIn || !okOut {
+		return
+	}
+	owner, _ := job.Eval(classad.AttrOwner).StringVal()
+	id, _ := agent.JobIDOf(job)
+	spec := remote.JobSpec{
+		Key:    fmt.Sprintf("%s/job%d", owner, id),
+		Input:  input,
+		Output: output,
+	}
+	cancel := make(chan struct{})
+	d.mu.Lock()
+	d.starterCancel = cancel
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		res, err := remote.Run(shadowAddr, spec, cancel)
+		if err != nil {
+			d.logf("ra %s: starter: %v", d.RA.Name(), err)
+			return
+		}
+		if !res.Done {
+			return // evicted; the eviction path notified the CA
+		}
+		d.mu.Lock()
+		if d.starterCancel == cancel {
+			d.starterCancel = nil
+		}
+		d.mu.Unlock()
+		// The job finished: release the claim locally and tell the
+		// CA, which settles its queue bookkeeping.
+		if err := d.RA.Release(owner); err != nil {
+			d.logf("ra %s: release after completion: %v", d.RA.Name(), err)
+		}
+		if err := sendToContact(job, &protocol.Envelope{
+			Type: protocol.TypeJobDone,
+			Ad:   protocol.EncodeAd(job),
+			Name: d.RA.Name(),
+		}); err != nil {
+			d.logf("ra %s: job-done notify: %v", d.RA.Name(), err)
+		}
+	}()
+}
+
+// notifyPreempted tells the displaced job's CA that its claim is gone,
+// via the Contact in the job's own ad.
+func (d *ResourceDaemon) notifyPreempted(claim agent.Claim) {
+	d.mu.Lock()
+	d.preempts++
+	d.mu.Unlock()
+	if d.onEvict != nil {
+		d.onEvict(claim)
+	}
+	err := sendToContact(claim.Job, &protocol.Envelope{
+		Type: protocol.TypePreempt,
+		Ad:   protocol.EncodeAd(claim.Job),
+		Name: d.RA.Name(),
+	})
+	if err != nil {
+		d.logf("ra %s: preempt notify: %v", d.RA.Name(), err)
+	}
+}

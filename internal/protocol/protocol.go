@@ -1,0 +1,215 @@
+// Package protocol defines the wire protocols of the matchmaking
+// framework (paper §3, components 2, 4 and 5):
+//
+//   - the advertising protocol, by which providers and customers send
+//     classads to the pool manager (ADVERTISE, INVALIDATE) and tools
+//     pose one-way queries (QUERY);
+//   - the matchmaking protocol, by which the matchmaker notifies both
+//     parties of a match, forwarding each the other's ad together with
+//     the provider's authorization ticket (MATCH);
+//   - the claiming protocol, by which the customer contacts the
+//     provider directly — the matchmaker is no longer involved — and
+//     the provider re-verifies the ticket and its constraints against
+//     current state (CLAIM/CLAIM_REPLY/RELEASE/PREEMPT), optionally
+//     inside an HMAC challenge–response handshake (paper §3.2,
+//     "Authentication").
+//
+// Messages are newline-delimited JSON envelopes; classads travel in
+// their native source syntax inside the envelopes. The format favours
+// debuggability (every daemon conversation is readable with a pipe
+// through cat) over compactness, like the deployed system's.
+package protocol
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/classad"
+)
+
+// MsgType identifies a protocol message.
+type MsgType string
+
+// The protocol's message vocabulary.
+const (
+	TypeAdvertise  MsgType = "ADVERTISE"
+	TypeInvalidate MsgType = "INVALIDATE"
+	TypeQuery      MsgType = "QUERY"
+	TypeQueryReply MsgType = "QUERY_REPLY"
+	TypeMatch      MsgType = "MATCH"
+	TypeClaim      MsgType = "CLAIM"
+	TypeClaimReply MsgType = "CLAIM_REPLY"
+	TypeRelease    MsgType = "RELEASE"
+	TypePreempt    MsgType = "PREEMPT"
+	TypeChallenge  MsgType = "CHALLENGE"
+	TypeChalReply  MsgType = "CHALLENGE_REPLY"
+	TypeAck        MsgType = "ACK"
+	TypeError      MsgType = "ERROR"
+	// TypeSubmit delivers a job ad to a customer agent's queue (the
+	// submission tool's message; not part of the paper's matchmaker
+	// protocols, which begin once the job is queued).
+	TypeSubmit MsgType = "SUBMIT"
+
+	// Remote-syscall sub-protocol (Figure 2's WantRemoteSyscalls):
+	// spoken between a starter on the claimed machine and the shadow
+	// at the customer's site. The execution site holds no job state.
+	TypeSysOpen  MsgType = "SYS_OPEN"
+	TypeSysFd    MsgType = "SYS_FD"
+	TypeSysRead  MsgType = "SYS_READ"
+	TypeSysData  MsgType = "SYS_DATA"
+	TypeSysWrite MsgType = "SYS_WRITE"
+	TypeSysTrunc MsgType = "SYS_TRUNC"
+	TypeSysClose MsgType = "SYS_CLOSE"
+	// Checkpoint store (Figure 2's WantCheckpoint).
+	TypeCkptSave MsgType = "CKPT_SAVE"
+	TypeCkptLoad MsgType = "CKPT_LOAD"
+	TypeCkptData MsgType = "CKPT_DATA"
+	// TypeJobDone notifies the customer agent that the starter on a
+	// claimed machine ran the job to completion.
+	TypeJobDone MsgType = "JOB_DONE"
+)
+
+// Envelope is the on-wire frame: one JSON object per line.
+type Envelope struct {
+	Type MsgType `json:"type"`
+	// Ad carries a classad in source syntax where the message has a
+	// primary ad (ADVERTISE, QUERY, CLAIM's request ad).
+	Ad string `json:"ad,omitempty"`
+	// PeerAd carries the counterpart's ad in a MATCH notification.
+	PeerAd string `json:"peer_ad,omitempty"`
+	// Ads carries multiple ads (QUERY_REPLY).
+	Ads []string `json:"ads,omitempty"`
+	// Name identifies an ad to invalidate, or the matched entity.
+	Name string `json:"name,omitempty"`
+	// Ticket is the provider's authorization capability.
+	Ticket string `json:"ticket,omitempty"`
+	// Session is the matchmaker-minted session identifier handed to
+	// both parties of a match.
+	Session string `json:"session,omitempty"`
+	// Lifetime is the advertisement's validity in seconds; the
+	// collector expires ads that are not refreshed (advertising
+	// protocol bookkeeping).
+	Lifetime int64 `json:"lifetime,omitempty"`
+	// Accepted reports a claim verdict.
+	Accepted bool `json:"accepted,omitempty"`
+	// Reason explains errors and claim rejections.
+	Reason string `json:"reason,omitempty"`
+	// Nonce and MAC implement the challenge-response handshake.
+	Nonce string `json:"nonce,omitempty"`
+	MAC   string `json:"mac,omitempty"`
+	// Projection restricts QUERY replies to the named attributes
+	// (Name is always included).
+	Projection []string `json:"projection,omitempty"`
+	// Remote-syscall fields.
+	Path   string `json:"path,omitempty"`
+	Mode   string `json:"mode,omitempty"`
+	Fd     int64  `json:"fd,omitempty"`
+	Offset int64  `json:"offset,omitempty"`
+	Count  int64  `json:"count,omitempty"`
+	// Data carries file or checkpoint bytes, base64-encoded.
+	Data string `json:"data,omitempty"`
+	// EOF marks a read that reached end of file.
+	EOF bool `json:"eof,omitempty"`
+}
+
+// maxLine bounds a single message to keep a misbehaving peer from
+// exhausting memory; generous for any realistic classad.
+const maxLine = 16 << 20
+
+// Write frames and sends one envelope.
+func Write(w io.Writer, e *Envelope) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal %s: %w", e.Type, err)
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// Read receives one envelope from a buffered reader.
+func Read(r *bufio.Reader) (*Envelope, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		if err == io.EOF && len(line) > 0 {
+			// Tolerate a missing trailing newline on the final
+			// message of a connection.
+		} else if err != nil && len(line) == 0 {
+			return nil, err
+		}
+	}
+	if len(line) > maxLine {
+		return nil, fmt.Errorf("protocol: message exceeds %d bytes", maxLine)
+	}
+	var e Envelope
+	if err := json.Unmarshal(line, &e); err != nil {
+		return nil, fmt.Errorf("protocol: bad frame: %w", err)
+	}
+	if e.Type == "" {
+		return nil, fmt.Errorf("protocol: frame missing type")
+	}
+	return &e, nil
+}
+
+// EncodeAd renders an ad for an envelope field.
+func EncodeAd(ad *classad.Ad) string { return ad.String() }
+
+// DecodeAd parses an envelope's ad field.
+func DecodeAd(s string) (*classad.Ad, error) {
+	if s == "" {
+		return nil, fmt.Errorf("protocol: empty ad field")
+	}
+	return classad.Parse(s)
+}
+
+// NewTicket mints a fresh 128-bit authorization ticket. The RA
+// includes it in its advertisement; the matchmaker forwards it to the
+// matched customer; the RA honours a claim only if the presented
+// ticket matches (paper §4).
+func NewTicket() (string, error) {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("protocol: ticket entropy: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
+}
+
+// NewSession mints a session identifier for a match notification.
+func NewSession() (string, error) { return NewTicket() }
+
+// NewNonce mints a challenge nonce.
+func NewNonce() (string, error) { return NewTicket() }
+
+// Respond computes the challenge response: HMAC-SHA256 keyed by the
+// shared ticket over the nonce. Both parties know the ticket (the RA
+// minted it; the CA received it via the matchmaker), so each can
+// prove knowledge without sending it again (paper §3.2: "A challenge-
+// response handshake can be added to the claiming protocol at very
+// little cost").
+func Respond(ticket, nonce string) string {
+	mac := hmac.New(sha256.New, []byte(ticket))
+	mac.Write([]byte(nonce))
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifyResponse checks a challenge response in constant time.
+func VerifyResponse(ticket, nonce, response string) bool {
+	want := Respond(ticket, nonce)
+	got, err := hex.DecodeString(response)
+	if err != nil {
+		return false
+	}
+	wantRaw, _ := hex.DecodeString(want)
+	return hmac.Equal(wantRaw, got)
+}
+
+// Errorf builds an ERROR envelope.
+func Errorf(format string, args ...any) *Envelope {
+	return &Envelope{Type: TypeError, Reason: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,175 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sent := []*Envelope{
+		{Type: TypeAdvertise, Ad: classad.Figure1().String(), Lifetime: 300},
+		{Type: TypeQuery, Ad: `[ Constraint = other.Memory >= 32 ]`},
+		{Type: TypeMatch, PeerAd: classad.Figure2().String(), Ticket: "t", Session: "s"},
+		{Type: TypeClaimReply, Accepted: true},
+		{Type: TypeError, Reason: "nope"},
+	}
+	for _, e := range sent {
+		if err := Write(&buf, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range sent {
+		got, err := Read(r)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Ad != want.Ad || got.PeerAd != want.PeerAd ||
+			got.Ticket != want.Ticket || got.Accepted != want.Accepted ||
+			got.Reason != want.Reason || got.Lifetime != want.Lifetime {
+			t.Errorf("message %d mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := Read(r); err != io.EOF {
+		t.Errorf("after all messages: %v, want EOF", err)
+	}
+}
+
+func TestReadToleratesMissingFinalNewline(t *testing.T) {
+	r := bufio.NewReader(strings.NewReader(`{"type":"ACK"}`))
+	e, err := Read(r)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if e.Type != TypeAck {
+		t.Errorf("type = %s", e.Type)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, input := range []string{
+		"not json\n",
+		"{}\n",               // missing type
+		`{"type":""}` + "\n", // empty type
+	} {
+		r := bufio.NewReader(strings.NewReader(input))
+		if _, err := Read(r); err == nil {
+			t.Errorf("input %q: expected error", input)
+		}
+	}
+}
+
+func TestAdEncodingRoundTrip(t *testing.T) {
+	ad := classad.Figure1()
+	back, err := DecodeAd(EncodeAd(ad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ad.Equal(back) {
+		t.Error("ad changed across encode/decode")
+	}
+	if _, err := DecodeAd(""); err == nil {
+		t.Error("empty ad must error")
+	}
+	if _, err := DecodeAd("[broken"); err == nil {
+		t.Error("bad ad must error")
+	}
+}
+
+func TestTicketsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		ticket, err := NewTicket()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ticket) != 32 {
+			t.Fatalf("ticket %q has length %d, want 32 hex chars", ticket, len(ticket))
+		}
+		if seen[ticket] {
+			t.Fatal("duplicate ticket")
+		}
+		seen[ticket] = true
+	}
+}
+
+func TestChallengeResponse(t *testing.T) {
+	ticket, _ := NewTicket()
+	nonce, _ := NewNonce()
+	resp := Respond(ticket, nonce)
+	if !VerifyResponse(ticket, nonce, resp) {
+		t.Error("valid response rejected")
+	}
+	if VerifyResponse(ticket, nonce, Respond("wrong-ticket", nonce)) {
+		t.Error("response with wrong ticket accepted")
+	}
+	if VerifyResponse(ticket, "other-nonce", resp) {
+		t.Error("replayed response accepted for a different nonce")
+	}
+	if VerifyResponse(ticket, nonce, "zz-not-hex") {
+		t.Error("malformed response accepted")
+	}
+	if VerifyResponse(ticket, nonce, "") {
+		t.Error("empty response accepted")
+	}
+}
+
+func TestProtocolOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		e, err := Read(r)
+		if err != nil {
+			done <- err
+			return
+		}
+		if e.Type != TypeAdvertise {
+			done <- io.ErrUnexpectedEOF
+			return
+		}
+		done <- Write(conn, &Envelope{Type: TypeAck})
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := Write(conn, &Envelope{Type: TypeAdvertise, Ad: "[x = 1]"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := Read(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != TypeAck {
+		t.Errorf("reply = %s, want ACK", reply.Type)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorf(t *testing.T) {
+	e := Errorf("bad thing %d", 7)
+	if e.Type != TypeError || e.Reason != "bad thing 7" {
+		t.Errorf("Errorf = %+v", e)
+	}
+}

@@ -1,0 +1,140 @@
+// Package remote implements the execution substrate behind the
+// paper's job attributes WantRemoteSyscalls and WantCheckpoint
+// (Figure 2): the shadow/starter pair of the Condor system the paper's
+// framework manages.
+//
+// When a claim is established, the resource side runs a *starter* that
+// executes the job, and the customer side runs a *shadow* that serves
+// the job's system calls — its files live with the customer, not on
+// the borrowed workstation — and stores its checkpoints. An evicted
+// job restarts on another machine from its last checkpoint, with its
+// partially written output rolled back consistently. These two
+// mechanisms are what make opportunistic scheduling survivable: the
+// borrowed machine keeps no job state whatsoever.
+//
+// Real Condor interposes on the C library; here jobs are synthetic
+// step loops doing genuine remote reads, writes and checkpoints over
+// the same wire protocol the agents use, which preserves every
+// distributed-systems property the paper relies on (statelessness of
+// the execution site, consistency across eviction) without emulating
+// SPARC binaries.
+package remote
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FileStore is the shadow-side file system: the customer's files, kept
+// where the customer is. It is deliberately simple — flat names, byte
+// contents — because the protocol, not POSIX fidelity, is the point.
+type FileStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+}
+
+// NewFileStore returns an empty store.
+func NewFileStore() *FileStore {
+	return &FileStore{files: make(map[string][]byte)}
+}
+
+// Put creates or replaces a file.
+func (fs *FileStore) Put(name string, data []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.files[name] = append([]byte(nil), data...)
+}
+
+// Get returns a copy of a file's contents.
+func (fs *FileStore) Get(name string) ([]byte, bool) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+// Size returns a file's length, or -1 if absent.
+func (fs *FileStore) Size(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[name]
+	if !ok {
+		return -1
+	}
+	return int64(len(data))
+}
+
+// ReadAt copies up to len(p) bytes from offset off of the named file.
+// It reports the bytes copied and whether the end of file was reached.
+func (fs *FileStore) ReadAt(name string, off int64, p []byte) (int, bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data, ok := fs.files[name]
+	if !ok {
+		return 0, false, fmt.Errorf("remote: no such file %q", name)
+	}
+	if off < 0 {
+		return 0, false, fmt.Errorf("remote: negative offset")
+	}
+	if off >= int64(len(data)) {
+		return 0, true, nil
+	}
+	n := copy(p, data[off:])
+	return n, off+int64(n) >= int64(len(data)), nil
+}
+
+// WriteAt writes p at offset off, extending the file as needed.
+// Offsets beyond the current end zero-fill the gap.
+func (fs *FileStore) WriteAt(name string, off int64, p []byte) error {
+	if off < 0 {
+		return fmt.Errorf("remote: negative offset")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data := fs.files[name]
+	need := off + int64(len(p))
+	if int64(len(data)) < need {
+		grown := make([]byte, need)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[off:], p)
+	fs.files[name] = data
+	return nil
+}
+
+// Truncate cuts the named file to length n (creating it empty if
+// absent). The starter uses it to roll partially written output back
+// to the last checkpoint after an eviction.
+func (fs *FileStore) Truncate(name string, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("remote: negative length")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data := fs.files[name]
+	if int64(len(data)) <= n {
+		grown := make([]byte, n)
+		copy(grown, data)
+		fs.files[name] = grown
+		return nil
+	}
+	fs.files[name] = data[:n]
+	return nil
+}
+
+// Names lists the stored files, sorted.
+func (fs *FileStore) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

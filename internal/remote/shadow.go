@@ -1,0 +1,235 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/base64"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/protocol"
+)
+
+// Shadow serves a job's system calls and checkpoints at the customer's
+// site. One Shadow can serve any number of concurrent starter
+// sessions; file descriptors are per-connection.
+type Shadow struct {
+	fs *FileStore
+
+	mu     sync.Mutex
+	ckpts  map[string][]byte
+	ln     net.Listener
+	closed bool
+	wg     sync.WaitGroup
+	logf   func(string, ...any)
+
+	// syscall counters, by message type — the observability the
+	// benchmarks and tests use.
+	counts map[protocol.MsgType]int
+}
+
+// NewShadow builds a shadow over the given file store. logf may be
+// nil.
+func NewShadow(fs *FileStore, logf func(string, ...any)) *Shadow {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Shadow{
+		fs:     fs,
+		ckpts:  make(map[string][]byte),
+		logf:   logf,
+		counts: make(map[protocol.MsgType]int),
+	}
+}
+
+// Listen binds the shadow's syscall endpoint and begins serving.
+func (s *Shadow) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the shadow.
+func (s *Shadow) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Files exposes the underlying store.
+func (s *Shadow) Files() *FileStore { return s.fs }
+
+// SyscallCount reports how many messages of the given type have been
+// served.
+func (s *Shadow) SyscallCount(t protocol.MsgType) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[t]
+}
+
+// Checkpoint returns the stored checkpoint under key, if any.
+func (s *Shadow) Checkpoint(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.ckpts[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), data...), true
+}
+
+func (s *Shadow) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+		}()
+	}
+}
+
+// session is the per-connection descriptor table.
+type session struct {
+	nextFd int64
+	open   map[int64]string // fd -> file name
+}
+
+func (s *Shadow) serve(conn net.Conn) {
+	defer conn.Close()
+	sess := &session{open: make(map[int64]string)}
+	r := bufio.NewReader(conn)
+	for {
+		env, err := protocol.Read(r)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("shadow: read: %v", err)
+			}
+			return
+		}
+		s.mu.Lock()
+		s.counts[env.Type]++
+		s.mu.Unlock()
+		reply := s.dispatch(sess, env)
+		if err := protocol.Write(conn, reply); err != nil {
+			s.logf("shadow: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Shadow) dispatch(sess *session, env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeSysOpen:
+		if env.Path == "" {
+			return protocol.Errorf("open without a path")
+		}
+		switch env.Mode {
+		case "r":
+			if s.fs.Size(env.Path) < 0 {
+				return protocol.Errorf("no such file %q", env.Path)
+			}
+		case "w":
+			if s.fs.Size(env.Path) < 0 {
+				s.fs.Put(env.Path, nil)
+			}
+		default:
+			return protocol.Errorf("bad open mode %q", env.Mode)
+		}
+		sess.nextFd++
+		sess.open[sess.nextFd] = env.Path
+		return &protocol.Envelope{Type: protocol.TypeSysFd, Fd: sess.nextFd}
+	case protocol.TypeSysRead:
+		name, ok := sess.open[env.Fd]
+		if !ok {
+			return protocol.Errorf("read on closed fd %d", env.Fd)
+		}
+		if env.Count <= 0 || env.Count > 1<<20 {
+			return protocol.Errorf("bad read count %d", env.Count)
+		}
+		buf := make([]byte, env.Count)
+		n, eof, err := s.fs.ReadAt(name, env.Offset, buf)
+		if err != nil {
+			return protocol.Errorf("%v", err)
+		}
+		return &protocol.Envelope{
+			Type: protocol.TypeSysData,
+			Data: base64.StdEncoding.EncodeToString(buf[:n]),
+			EOF:  eof,
+		}
+	case protocol.TypeSysWrite:
+		name, ok := sess.open[env.Fd]
+		if !ok {
+			return protocol.Errorf("write on closed fd %d", env.Fd)
+		}
+		data, err := base64.StdEncoding.DecodeString(env.Data)
+		if err != nil {
+			return protocol.Errorf("bad write payload: %v", err)
+		}
+		if err := s.fs.WriteAt(name, env.Offset, data); err != nil {
+			return protocol.Errorf("%v", err)
+		}
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeSysTrunc:
+		name, ok := sess.open[env.Fd]
+		if !ok {
+			return protocol.Errorf("truncate on closed fd %d", env.Fd)
+		}
+		if err := s.fs.Truncate(name, env.Offset); err != nil {
+			return protocol.Errorf("%v", err)
+		}
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeSysClose:
+		if _, ok := sess.open[env.Fd]; !ok {
+			return protocol.Errorf("close on closed fd %d", env.Fd)
+		}
+		delete(sess.open, env.Fd)
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeCkptSave:
+		if env.Path == "" {
+			return protocol.Errorf("checkpoint without a key")
+		}
+		data, err := base64.StdEncoding.DecodeString(env.Data)
+		if err != nil {
+			return protocol.Errorf("bad checkpoint payload: %v", err)
+		}
+		s.mu.Lock()
+		s.ckpts[env.Path] = data
+		s.mu.Unlock()
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeCkptLoad:
+		s.mu.Lock()
+		data, ok := s.ckpts[env.Path]
+		s.mu.Unlock()
+		if !ok {
+			return &protocol.Envelope{Type: protocol.TypeCkptData, EOF: true}
+		}
+		return &protocol.Envelope{
+			Type: protocol.TypeCkptData,
+			Data: base64.StdEncoding.EncodeToString(data),
+		}
+	default:
+		return protocol.Errorf("shadow does not handle %s", env.Type)
+	}
+}

@@ -1,0 +1,287 @@
+package remote
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+
+	"repro/internal/protocol"
+)
+
+// SyscallClient is the starter's connection to its shadow: every file
+// operation and checkpoint crosses the wire, so the execution machine
+// holds nothing the job needs to survive.
+type SyscallClient struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// DialShadow connects a starter to its shadow.
+func DialShadow(addr string) (*SyscallClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &SyscallClient{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Close drops the connection.
+func (c *SyscallClient) Close() error { return c.conn.Close() }
+
+func (c *SyscallClient) call(env *protocol.Envelope) (*protocol.Envelope, error) {
+	if err := protocol.Write(c.conn, env); err != nil {
+		return nil, err
+	}
+	reply, err := protocol.Read(c.r)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Type == protocol.TypeError {
+		return nil, errors.New(reply.Reason)
+	}
+	return reply, nil
+}
+
+// Open opens a remote file; mode is "r" or "w" (which creates).
+func (c *SyscallClient) Open(path, mode string) (int64, error) {
+	reply, err := c.call(&protocol.Envelope{Type: protocol.TypeSysOpen, Path: path, Mode: mode})
+	if err != nil {
+		return 0, err
+	}
+	if reply.Type != protocol.TypeSysFd {
+		return 0, fmt.Errorf("remote: unexpected open reply %s", reply.Type)
+	}
+	return reply.Fd, nil
+}
+
+// ReadAt reads up to count bytes at offset; eof reports end of file.
+func (c *SyscallClient) ReadAt(fd, offset, count int64) (data []byte, eof bool, err error) {
+	reply, err := c.call(&protocol.Envelope{
+		Type: protocol.TypeSysRead, Fd: fd, Offset: offset, Count: count,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if reply.Type != protocol.TypeSysData {
+		return nil, false, fmt.Errorf("remote: unexpected read reply %s", reply.Type)
+	}
+	payload, err := base64.StdEncoding.DecodeString(reply.Data)
+	if err != nil {
+		return nil, false, err
+	}
+	return payload, reply.EOF, nil
+}
+
+// WriteAt writes data at offset.
+func (c *SyscallClient) WriteAt(fd, offset int64, data []byte) error {
+	_, err := c.call(&protocol.Envelope{
+		Type: protocol.TypeSysWrite, Fd: fd, Offset: offset,
+		Data: base64.StdEncoding.EncodeToString(data),
+	})
+	return err
+}
+
+// Truncate cuts the file behind fd to n bytes.
+func (c *SyscallClient) Truncate(fd, n int64) error {
+	_, err := c.call(&protocol.Envelope{Type: protocol.TypeSysTrunc, Fd: fd, Offset: n})
+	return err
+}
+
+// CloseFd releases a descriptor.
+func (c *SyscallClient) CloseFd(fd int64) error {
+	_, err := c.call(&protocol.Envelope{Type: protocol.TypeSysClose, Fd: fd})
+	return err
+}
+
+// SaveCheckpoint stores state under key at the shadow.
+func (c *SyscallClient) SaveCheckpoint(key string, state []byte) error {
+	_, err := c.call(&protocol.Envelope{
+		Type: protocol.TypeCkptSave, Path: key,
+		Data: base64.StdEncoding.EncodeToString(state),
+	})
+	return err
+}
+
+// LoadCheckpoint fetches the state stored under key; ok is false when
+// no checkpoint exists.
+func (c *SyscallClient) LoadCheckpoint(key string) (state []byte, ok bool, err error) {
+	reply, err := c.call(&protocol.Envelope{Type: protocol.TypeCkptLoad, Path: key})
+	if err != nil {
+		return nil, false, err
+	}
+	if reply.Type != protocol.TypeCkptData {
+		return nil, false, fmt.Errorf("remote: unexpected checkpoint reply %s", reply.Type)
+	}
+	if reply.EOF {
+		return nil, false, nil
+	}
+	state, err = base64.StdEncoding.DecodeString(reply.Data)
+	if err != nil {
+		return nil, false, err
+	}
+	return state, true, nil
+}
+
+// JobSpec describes a synthetic remote-syscall job: it consumes Input
+// in ChunkSize records, transforms each, appends the result to Output,
+// and checkpoints every CheckpointEvery steps. The transform is
+// deterministic, so the final Output is byte-identical however many
+// evictions interrupt the run.
+type JobSpec struct {
+	// Key names the job's checkpoint at the shadow.
+	Key string
+	// Input and Output are remote file names.
+	Input, Output string
+	// ChunkSize is the record size in bytes (default 64).
+	ChunkSize int64
+	// CheckpointEvery is the checkpoint period in steps (default 8).
+	CheckpointEvery int
+}
+
+func (s *JobSpec) fill() {
+	if s.ChunkSize <= 0 {
+		s.ChunkSize = 64
+	}
+	if s.CheckpointEvery <= 0 {
+		s.CheckpointEvery = 8
+	}
+}
+
+// checkpoint is the serialized resume state.
+type checkpoint struct {
+	Step      int   `json:"step"`
+	OutputLen int64 `json:"output_len"`
+	Done      bool  `json:"done"`
+}
+
+// RunResult reports a starter session.
+type RunResult struct {
+	// Done is true when the job processed its whole input.
+	Done bool
+	// Steps is the number of records processed in this session.
+	Steps int
+	// ResumedFrom is the checkpoint step this session started at.
+	ResumedFrom int
+}
+
+// Run executes the job against the shadow at shadowAddr until it
+// completes or cancel is closed (eviction). A later Run with the same
+// spec resumes from the last checkpoint, rolling the output back to
+// the checkpointed length first — unbanked partial output never
+// survives, which is exactly the consistency eviction requires.
+func Run(shadowAddr string, spec JobSpec, cancel <-chan struct{}) (RunResult, error) {
+	spec.fill()
+	var res RunResult
+	c, err := DialShadow(shadowAddr)
+	if err != nil {
+		return res, err
+	}
+	defer c.Close()
+
+	// Resume state.
+	var ck checkpoint
+	if state, ok, err := c.LoadCheckpoint(spec.Key); err != nil {
+		return res, err
+	} else if ok {
+		if err := json.Unmarshal(state, &ck); err != nil {
+			return res, fmt.Errorf("remote: corrupt checkpoint: %w", err)
+		}
+	}
+	res.ResumedFrom = ck.Step
+	if ck.Done {
+		res.Done = true
+		return res, nil
+	}
+
+	in, err := c.Open(spec.Input, "r")
+	if err != nil {
+		return res, err
+	}
+	out, err := c.Open(spec.Output, "w")
+	if err != nil {
+		return res, err
+	}
+	// Roll partial output back to the last consistent point.
+	if err := c.Truncate(out, ck.OutputLen); err != nil {
+		return res, err
+	}
+
+	step := ck.Step
+	outOff := ck.OutputLen
+	save := func(done bool) error {
+		state, err := json.Marshal(checkpoint{Step: step, OutputLen: outOff, Done: done})
+		if err != nil {
+			return err
+		}
+		return c.SaveCheckpoint(spec.Key, state)
+	}
+	for {
+		select {
+		case <-cancel:
+			// Evicted: whatever was not checkpointed is rolled back
+			// by the next session's Truncate. Nothing to clean here
+			// — the execution site is stateless by construction.
+			return res, nil
+		default:
+		}
+		chunk, eof, err := c.ReadAt(in, int64(step)*spec.ChunkSize, spec.ChunkSize)
+		if err != nil {
+			return res, err
+		}
+		if len(chunk) > 0 {
+			record := transform(step, chunk)
+			if err := c.WriteAt(out, outOff, record); err != nil {
+				return res, err
+			}
+			outOff += int64(len(record))
+			step++
+			res.Steps++
+			if step%spec.CheckpointEvery == 0 {
+				if err := save(false); err != nil {
+					return res, err
+				}
+			}
+		}
+		if eof {
+			break
+		}
+	}
+	if err := save(true); err != nil {
+		return res, err
+	}
+	_ = c.CloseFd(in)
+	_ = c.CloseFd(out)
+	res.Done = true
+	return res, nil
+}
+
+// transform is the job's deterministic per-record computation: a
+// checksum line, so output correctness is trivially verifiable.
+func transform(step int, chunk []byte) []byte {
+	var sum uint32
+	for _, b := range chunk {
+		sum = sum*31 + uint32(b)
+	}
+	return []byte(fmt.Sprintf("step %06d len %4d sum %08x\n", step, len(chunk), sum))
+}
+
+// ExpectedOutput computes the full output the job should produce for
+// the given input — what tests compare the shadow's file against.
+func ExpectedOutput(input []byte, chunkSize int64) []byte {
+	if chunkSize <= 0 {
+		chunkSize = 64
+	}
+	var out []byte
+	for step := 0; int64(step)*chunkSize < int64(len(input)); step++ {
+		lo := int64(step) * chunkSize
+		hi := lo + chunkSize
+		if hi > int64(len(input)) {
+			hi = int64(len(input))
+		}
+		out = append(out, transform(step, input[lo:hi])...)
+	}
+	return out
+}

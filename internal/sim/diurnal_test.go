@@ -1,0 +1,78 @@
+package sim
+
+import "testing"
+
+// TestDiurnalHarvestConcentratesAtNight: with owners following a
+// day/night pattern, the matchmaker's claims cluster in the off-hours
+// — the "others may only use the workstation at night" world of the
+// paper's Figure 1, emerging here from owner behaviour rather than
+// policy.
+func TestDiurnalHarvestConcentratesAtNight(t *testing.T) {
+	m := New(Config{
+		Pool: PoolSpec{
+			Machines:        20,
+			DesktopFraction: 1.0,
+			MeanOwnerActive: 3600,
+			MeanOwnerIdle:   3600,
+			Diurnal:         true,
+			Classes:         1,
+		},
+		Workload: JobSpec{Jobs: 250, MeanRuntime: 1800,
+			Users: []string{"u1", "u2"}},
+		Seed:     47,
+		Duration: 2 * 86400,
+	}).Run()
+
+	if m.Claims == 0 {
+		t.Fatal("no claims at all")
+	}
+	var day, night int
+	for h, n := range m.ClaimsByHour {
+		if h >= 8 && h < 18 {
+			day += n
+		} else {
+			night += n
+		}
+	}
+	// Per-hour rates: 10 day hours vs 14 night hours.
+	dayRate := float64(day) / 10
+	nightRate := float64(night) / 14
+	t.Logf("claims/hour: day %.1f, night %.1f (total %d)", dayRate, nightRate, m.Claims)
+	if nightRate <= 1.5*dayRate {
+		t.Errorf("night harvest rate %.1f not clearly above day rate %.1f", nightRate, dayRate)
+	}
+}
+
+// TestDiurnalOffUniform: without the diurnal model, claims spread
+// roughly evenly — the control for the test above.
+func TestDiurnalOffUniform(t *testing.T) {
+	m := New(Config{
+		Pool: PoolSpec{
+			Machines:        20,
+			DesktopFraction: 1.0,
+			MeanOwnerActive: 3600,
+			MeanOwnerIdle:   3600,
+			Classes:         1,
+		},
+		Workload: JobSpec{Jobs: 250, MeanRuntime: 1800,
+			Users: []string{"u1", "u2"}},
+		Seed:     47,
+		Duration: 2 * 86400,
+	}).Run()
+	var day, night int
+	for h, n := range m.ClaimsByHour {
+		if h >= 8 && h < 18 {
+			day += n
+		} else {
+			night += n
+		}
+	}
+	dayRate := float64(day) / 10
+	nightRate := float64(night) / 14
+	// Within 2x of each other either way — loose, just "no strong
+	// diurnal signal".
+	if nightRate > 2*dayRate || dayRate > 2*nightRate {
+		t.Errorf("unexpected diurnal signal without the model: day %.1f night %.1f",
+			dayRate, nightRate)
+	}
+}

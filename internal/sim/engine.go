@@ -1,0 +1,99 @@
+// Package sim provides the synthetic cluster substrate that stands in
+// for the paper's production Condor pool (see DESIGN.md §5,
+// substitutions): a deterministic discrete-event engine with a virtual
+// clock, generators for heterogeneous machines with desktop-owner
+// activity models, job workload generators, and a driver that runs
+// opportunistic scheduling experiments — negotiation cycles, claims
+// with re-validation, preemption and eviction — entirely in virtual
+// time.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  int64
+	seq int64 // tie-break: FIFO among simultaneous events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is a single-threaded discrete-event simulator. All callbacks
+// run on the caller's goroutine inside Run; the virtual clock never
+// moves backwards.
+type Engine struct {
+	now  int64
+	seq  int64
+	heap eventHeap
+	rng  *rand.Rand
+}
+
+// NewEngine returns an engine at time 0 with a deterministic random
+// stream derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// Rand exposes the engine's deterministic random stream.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule queues fn to run at now+delay (a non-positive delay means
+// "immediately after the current event").
+func (e *Engine) Schedule(delay int64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.heap, event{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run executes events in time order until the queue empties or the
+// clock passes until. Events scheduled exactly at until still run.
+func (e *Engine) Run(until int64) {
+	for len(e.heap) > 0 {
+		next := e.heap[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.heap)
+		e.now = next.at
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Exp draws an exponential variate with the given mean, floored at 1
+// second so zero-length periods cannot stall state machines.
+func (e *Engine) Exp(mean float64) int64 {
+	if mean <= 0 {
+		return 1
+	}
+	v := int64(e.rng.ExpFloat64() * mean)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

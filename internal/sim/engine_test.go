@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var log []int
+	e.Schedule(30, func() { log = append(log, 3) })
+	e.Schedule(10, func() { log = append(log, 1) })
+	e.Schedule(20, func() { log = append(log, 2) })
+	e.Run(100)
+	if len(log) != 3 || log[0] != 1 || log[1] != 2 || log[2] != 3 {
+		t.Errorf("order = %v", log)
+	}
+	if e.Now() != 100 {
+		t.Errorf("now = %d, want clock advanced to horizon", e.Now())
+	}
+}
+
+func TestEngineFIFOAmongSimultaneous(t *testing.T) {
+	e := NewEngine(1)
+	var log []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(10, func() { log = append(log, i) })
+	}
+	e.Run(10)
+	for i, v := range log {
+		if v != i {
+			t.Fatalf("simultaneous events out of order: %v", log)
+		}
+	}
+}
+
+func TestEngineHorizonExclusive(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(10, func() { ran++ })
+	e.Schedule(11, func() { ran++ })
+	e.Run(10)
+	if ran != 1 {
+		t.Errorf("ran = %d, want only the event at t<=10", ran)
+	}
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+	// Resuming picks the remaining event up.
+	e.Run(20)
+	if ran != 2 {
+		t.Errorf("after resume ran = %d", ran)
+	}
+}
+
+func TestEngineSelfScheduling(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			e.Schedule(5, tick)
+		}
+	}
+	e.Schedule(5, tick)
+	e.Run(1000)
+	if count != 10 {
+		t.Errorf("ticks = %d", count)
+	}
+	if e.Now() != 1000 {
+		t.Errorf("now = %d", e.Now())
+	}
+}
+
+func TestEngineNegativeDelayRunsNow(t *testing.T) {
+	e := NewEngine(1)
+	order := []string{}
+	e.Schedule(10, func() {
+		e.Schedule(-5, func() { order = append(order, "inner") })
+		order = append(order, "outer")
+	})
+	e.Run(10)
+	if len(order) != 2 || order[0] != "outer" || order[1] != "inner" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []int64 {
+		e := NewEngine(42)
+		var draws []int64
+		for i := 0; i < 10; i++ {
+			draws = append(draws, e.Exp(100))
+		}
+		return draws
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineExpPositive(t *testing.T) {
+	e := NewEngine(7)
+	for i := 0; i < 100; i++ {
+		if v := e.Exp(300); v < 1 {
+			t.Fatalf("Exp returned %d", v)
+		}
+	}
+	if e.Exp(0) != 1 || e.Exp(-5) != 1 {
+		t.Error("non-positive mean should floor at 1")
+	}
+}

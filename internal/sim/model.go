@@ -1,0 +1,283 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+)
+
+// PoolSpec configures the synthetic machine population, standing in
+// for the heterogeneous, distributively owned UW-Madison pool of the
+// paper. Architectures, operating systems and capacities are drawn
+// from weighted mixes; a configurable fraction of machines are
+// desktops whose owners come and go (the opportunistic-scheduling
+// driver of §4), the rest dedicated cluster nodes.
+type PoolSpec struct {
+	// Machines is the pool size.
+	Machines int
+	// ArchMix maps architecture name to weight (e.g. INTEL:0.6,
+	// SPARC:0.3, ALPHA:0.1). Empty means all INTEL.
+	ArchMix map[string]float64
+	// OpSysMix maps operating system to weight. Empty means all
+	// SOLARIS251.
+	OpSysMix map[string]float64
+	// MemoryChoicesMB is the set of memory sizes machines come in;
+	// empty means {32, 64, 128, 256}.
+	MemoryChoicesMB []int64
+	// DiskKB is the per-machine disk; zero means 323496 (Figure 1).
+	DiskKB int64
+	// DesktopFraction is the fraction of machines with interactive
+	// owners; the rest are dedicated (always idle).
+	DesktopFraction float64
+	// MeanOwnerActive and MeanOwnerIdle are the means (seconds) of
+	// the exponential owner activity/idleness periods on desktops.
+	// Zeros mean 1800 (30 min active) and 3600 (1 h idle).
+	MeanOwnerActive, MeanOwnerIdle float64
+	// Classes coarsens the Mips/KFlops diversity: machines are
+	// assigned one of this many speed grades (>=1); zero means 4.
+	Classes int
+	// RankExpr is the machines' Rank expression (their preference
+	// over customers); empty means "other.Memory". Priority-
+	// preemption experiments set owner-defined priorities here, e.g.
+	// member(other.Owner, {"raman"}) * 10.
+	RankExpr string
+	// Diurnal makes desktop owners follow a day/night pattern:
+	// during working hours (08:00–18:00, the Figure 1 boundary)
+	// activity periods triple and idle periods shrink to a third;
+	// at night the reverse — so harvested cycles concentrate at
+	// night, the behaviour the paper's owners legislate with their
+	// DayTime policies.
+	Diurnal bool
+}
+
+func (s *PoolSpec) fill() {
+	if len(s.ArchMix) == 0 {
+		s.ArchMix = map[string]float64{"INTEL": 1}
+	}
+	if len(s.OpSysMix) == 0 {
+		s.OpSysMix = map[string]float64{"SOLARIS251": 1}
+	}
+	if len(s.MemoryChoicesMB) == 0 {
+		s.MemoryChoicesMB = []int64{32, 64, 128, 256}
+	}
+	if s.DiskKB == 0 {
+		s.DiskKB = 323496
+	}
+	if s.MeanOwnerActive == 0 {
+		s.MeanOwnerActive = 1800
+	}
+	if s.MeanOwnerIdle == 0 {
+		s.MeanOwnerIdle = 3600
+	}
+	if s.Classes <= 0 {
+		s.Classes = 4
+	}
+}
+
+// meanActive returns the filled owner-activity mean.
+func (s *PoolSpec) meanActive() float64 { return s.MeanOwnerActive }
+
+// meanIdle returns the filled owner-idleness mean.
+func (s *PoolSpec) meanIdle() float64 { return s.MeanOwnerIdle }
+
+// weightedPick draws a key from a weighted map deterministically via
+// rng. Iteration order is made deterministic by sorting keys.
+func weightedPick(rng *rand.Rand, weights map[string]float64) string {
+	keys := make([]string, 0, len(weights))
+	for k := range weights {
+		keys = append(keys, k)
+	}
+	// insertion sort for determinism without importing sort twice
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var total float64
+	for _, k := range keys {
+		total += weights[k]
+	}
+	x := rng.Float64() * total
+	for _, k := range keys {
+		x -= weights[k]
+		if x < 0 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Machine is one simulated workstation: an RA plus its owner-activity
+// state.
+type Machine struct {
+	Res *agent.Resource
+	// Desktop machines have interactive owners; dedicated ones do
+	// not.
+	Desktop bool
+	// OwnerActive mirrors the current owner state.
+	OwnerActive bool
+	// Mips is the machine's speed grade; job progress scales with it.
+	Mips int64
+	// claimGen invalidates scheduled completion events across
+	// evictions/preemptions.
+	claimGen int64
+	// runningJob is the (customer, jobID) currently running, if any.
+	runningCustomer string
+	runningJob      int
+	// busySince tracks utilization accounting.
+	busySince int64
+	busyTotal int64
+	// ownerIdleSince is when the interactive owner last left;
+	// KeyboardIdle is derived from it at advertisement time.
+	ownerIdleSince int64
+}
+
+// DesktopConstraint is the owner policy applied to desktop machines:
+// harvest cycles only when the owner is away (the §1 example policy:
+// "if the keyboard hasn't been touched for over fifteen minutes and
+// the load average is less than 0.1" — we encode owner presence via
+// KeyboardIdle).
+const DesktopConstraint = `KeyboardIdle > 15*60 && LoadAvg < 0.3`
+
+// BuildPool generates the machine population from spec.
+func BuildPool(spec PoolSpec, eng *Engine, env *classad.Env) []*Machine {
+	spec.fill()
+	rng := eng.Rand()
+	machines := make([]*Machine, spec.Machines)
+	for i := range machines {
+		arch := weightedPick(rng, spec.ArchMix)
+		opsys := weightedPick(rng, spec.OpSysMix)
+		mem := spec.MemoryChoicesMB[rng.Intn(len(spec.MemoryChoicesMB))]
+		grade := rng.Intn(spec.Classes) + 1
+		mips := int64(50 * grade)
+		desktop := rng.Float64() < spec.DesktopFraction
+
+		ad := classad.NewAd()
+		ad.SetString(classad.AttrType, "Machine")
+		ad.SetString(classad.AttrName, fmt.Sprintf("node%04d.pool.sim", i))
+		ad.SetString("Arch", arch)
+		ad.SetString("OpSys", opsys)
+		ad.SetInt("Memory", mem)
+		ad.SetInt("Disk", spec.DiskKB)
+		ad.SetInt("Mips", mips)
+		ad.SetInt("KFlops", mips*200)
+		// DistributivelyOwned is config-time truth about who controls
+		// the machine: the conventional baseline's administrator can
+		// only enroll machines whose owners cede control (dedicated
+		// nodes), while the matchmaker serves both kinds because the
+		// owner's policy travels inside the ad.
+		ad.SetBool("DistributivelyOwned", desktop)
+		if desktop {
+			if err := ad.SetExprString(classad.AttrConstraint, DesktopConstraint); err != nil {
+				panic(err)
+			}
+		}
+		// Machines mildly prefer jobs that fit tightly in memory, a
+		// typical owner-supplied Rank, unless the spec supplies an
+		// owner-defined priority scheme.
+		rankExpr := spec.RankExpr
+		if rankExpr == "" {
+			rankExpr = "other.Memory"
+		}
+		if err := ad.SetExprString(classad.AttrRank, rankExpr); err != nil {
+			panic(err)
+		}
+
+		m := &Machine{
+			Res:     agent.NewResource(ad, env),
+			Desktop: desktop,
+			Mips:    mips,
+		}
+		m.Res.SetDynamic("LoadAvg", classad.Real(0.05))
+		m.Res.SetDynamic("KeyboardIdle", classad.Int(3600))
+		machines[i] = m
+	}
+	return machines
+}
+
+// JobSpec configures the synthetic workload: a batch of jobs from a
+// set of users, in the high-throughput style the paper targets (the
+// metric is jobs finished per simulated day, not any single job's
+// latency).
+type JobSpec struct {
+	// Jobs is the batch size.
+	Jobs int
+	// Users submit round-robin; empty means one user "u0".
+	Users []string
+	// MeanRuntime is the mean job CPU demand in seconds at the
+	// reference speed (Mips=100); zero means 3600.
+	MeanRuntime float64
+	// MemoryChoicesMB is the set of job memory requirements; empty
+	// means {16, 32, 64, 128}.
+	MemoryChoicesMB []int64
+	// ArchMix weights the architecture each job requires; empty
+	// means INTEL only.
+	ArchMix map[string]float64
+	// OpSysMix, when non-empty, adds an operating-system requirement
+	// to each job's constraint — the qualitative dimension a
+	// queue-per-architecture baseline cannot see (experiment E7).
+	OpSysMix map[string]float64
+	// Checkpoint marks jobs as checkpointable: evictions lose no
+	// banked progress (WantCheckpoint of Figure 2).
+	Checkpoint bool
+}
+
+func (s *JobSpec) fill() {
+	if len(s.Users) == 0 {
+		s.Users = []string{"u0"}
+	}
+	if s.MeanRuntime == 0 {
+		s.MeanRuntime = 3600
+	}
+	if len(s.MemoryChoicesMB) == 0 {
+		s.MemoryChoicesMB = []int64{16, 32, 64, 128}
+	}
+	if len(s.ArchMix) == 0 {
+		s.ArchMix = map[string]float64{"INTEL": 1}
+	}
+}
+
+// BuildWorkload generates the customers and their queued jobs.
+func BuildWorkload(spec JobSpec, eng *Engine, env *classad.Env) []*agent.Customer {
+	spec.fill()
+	rng := eng.Rand()
+	customers := make(map[string]*agent.Customer, len(spec.Users))
+	order := make([]*agent.Customer, 0, len(spec.Users))
+	for _, u := range spec.Users {
+		c := agent.NewCustomer(u, env)
+		customers[u] = c
+		order = append(order, c)
+	}
+	for i := 0; i < spec.Jobs; i++ {
+		user := spec.Users[i%len(spec.Users)]
+		mem := spec.MemoryChoicesMB[rng.Intn(len(spec.MemoryChoicesMB))]
+		arch := weightedPick(rng, spec.ArchMix)
+		runtime := float64(eng.Exp(spec.MeanRuntime))
+
+		ad := classad.NewAd()
+		ad.SetString(classad.AttrType, "Job")
+		ad.SetString("Cmd", "run_sim")
+		ad.SetInt("Memory", mem)
+		if spec.Checkpoint {
+			ad.SetInt("WantCheckpoint", 1)
+		}
+		constraint := fmt.Sprintf(
+			`other.Type == "Machine" && other.Arch == %q && other.Memory >= self.Memory`,
+			arch)
+		if len(spec.OpSysMix) > 0 {
+			opsys := weightedPick(rng, spec.OpSysMix)
+			constraint += fmt.Sprintf(` && other.OpSys == %q`, opsys)
+		}
+		if err := ad.SetExprString(classad.AttrConstraint, constraint); err != nil {
+			panic(err)
+		}
+		// Jobs prefer fast machines, as Figure 2's Rank does.
+		if err := ad.SetExprString(classad.AttrRank, "other.Mips"); err != nil {
+			panic(err)
+		}
+		customers[user].Submit(ad, runtime)
+	}
+	return order
+}

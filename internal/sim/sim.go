@@ -1,0 +1,530 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/collector"
+)
+
+// Assignment pairs a job (index into CycleView.JobAds) with a machine
+// (index into CycleView.MachineAds).
+type Assignment struct {
+	Job, Machine int
+}
+
+// CycleView is the negotiation-cycle snapshot handed to a Scheduler:
+// the idle jobs' fresh request ads and the providers' possibly stale
+// advertisements from the collector, exactly the information the
+// paper's pool manager has.
+type CycleView struct {
+	Now        int64
+	JobAds     []*classad.Ad
+	MachineAds []*classad.Ad
+}
+
+// Scheduler decides which job is introduced to which machine each
+// cycle. Implementations: the matchmaker (this package) and the
+// conventional queue scheduler (internal/baseline).
+type Scheduler interface {
+	// Assign returns the cycle's pairings. Each machine index may
+	// appear at most once.
+	Assign(view *CycleView) []Assignment
+	// EnforcesPolicies reports whether assignments respect ads'
+	// Constraint expressions. The conventional baseline cannot — its
+	// model has no owner policies — so its dispatches are applied
+	// directly and owner activity evicts them after the fact.
+	EnforcesPolicies() bool
+	// Name labels the scheduler in reports.
+	Name() string
+}
+
+// Metrics aggregates one simulation run. All work figures are in
+// reference CPU-seconds (Mips=100).
+type Metrics struct {
+	Scheduler string
+	// Duration is the simulated horizon in seconds.
+	Duration int64
+	// Completed counts finished jobs; CompletedWork their total
+	// demand.
+	Completed     int
+	CompletedWork float64
+	// Claims counts successful claims; StaleRejects counts claims
+	// rejected at claim time by re-validation (the weak-consistency
+	// safety net); FailedDispatches counts baseline dispatches that
+	// died instantly (owner present, wrong OpSys, ...).
+	Claims, StaleRejects, FailedDispatches int
+	// Evictions counts owner-activity evictions; Preemptions counts
+	// displacements by higher-ranked customers; WastedWork is CPU
+	// time lost to unbanked progress.
+	Evictions   int
+	Preemptions int
+	WastedWork  float64
+	// BusySeconds accumulates machine-seconds spent running jobs;
+	// MachineSeconds is the total capacity offered.
+	BusySeconds, MachineSeconds int64
+	// WaitSum accumulates (completion - submission) over completed
+	// jobs, for mean turnaround.
+	WaitSum int64
+	// Cycles counts negotiation cycles run.
+	Cycles int
+	// ClaimsByHour bins claim starts by virtual hour of day, for the
+	// diurnal-harvest experiment.
+	ClaimsByHour [24]int
+}
+
+// Utilization returns busy machine-seconds over offered
+// machine-seconds.
+func (m Metrics) Utilization() float64 {
+	if m.MachineSeconds == 0 {
+		return 0
+	}
+	return float64(m.BusySeconds) / float64(m.MachineSeconds)
+}
+
+// Goodput returns completed reference CPU-seconds per simulated day.
+func (m Metrics) Goodput() float64 {
+	if m.Duration == 0 {
+		return 0
+	}
+	return m.CompletedWork * 86400 / float64(m.Duration)
+}
+
+// MeanTurnaround returns the mean completion latency of finished jobs.
+func (m Metrics) MeanTurnaround() float64 {
+	if m.Completed == 0 {
+		return 0
+	}
+	return float64(m.WaitSum) / float64(m.Completed)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"%-12s completed=%4d util=%5.1f%% goodput=%8.0f cpu-s/day wasted=%8.0f evict=%4d stale=%3d failedDispatch=%4d",
+		m.Scheduler, m.Completed, 100*m.Utilization(), m.Goodput(),
+		m.WastedWork, m.Evictions, m.StaleRejects, m.FailedDispatches)
+}
+
+// Config assembles a simulation.
+type Config struct {
+	Pool     PoolSpec
+	Workload JobSpec
+	// Seed drives all randomness.
+	Seed int64
+	// Duration is the simulated horizon (seconds); zero means one
+	// day.
+	Duration int64
+	// NegotiationPeriod is the cycle interval (default 300 s, the
+	// deployed value).
+	NegotiationPeriod int64
+	// AdvertisePeriod is how often RAs refresh their ads (default
+	// 300 s). Longer periods mean staler ads and more claim-time
+	// rejections — experiment E5's knob.
+	AdvertisePeriod int64
+	// Scheduler defaults to the matchmaker.
+	Scheduler Scheduler
+	// DisableClaimCheck skips claim-time re-validation (ablation:
+	// shows why weak consistency needs the claiming phase). Jobs
+	// started on machines whose owner is already back are evicted
+	// only at the owner's next activity event.
+	DisableClaimCheck bool
+	// Preemption lets claimed machines keep advertising (State =
+	// "Claimed", CurrentRank published) so that customers the RA
+	// ranks strictly higher can displace the incumbent — paper §4:
+	// "although the workstation is currently busy, it is still
+	// interested in hearing from higher priority customers".
+	Preemption bool
+}
+
+// Simulation is a configured run.
+type Simulation struct {
+	cfg       Config
+	eng       *Engine
+	env       *classad.Env
+	store     *collector.Store
+	machines  []*Machine
+	customers []*agent.Customer
+	metrics   Metrics
+	jobStart  map[string]int64 // "owner/id" -> submit time
+}
+
+// New builds a simulation.
+func New(cfg Config) *Simulation {
+	if cfg.Duration == 0 {
+		cfg.Duration = 86400
+	}
+	if cfg.NegotiationPeriod == 0 {
+		cfg.NegotiationPeriod = 300
+	}
+	if cfg.AdvertisePeriod == 0 {
+		cfg.AdvertisePeriod = 300
+	}
+	eng := NewEngine(cfg.Seed)
+	env := &classad.Env{
+		Now:  func() int64 { return eng.Now() },
+		Rand: func() float64 { return eng.Rand().Float64() },
+	}
+	cfg.Pool.fill()
+	cfg.Workload.fill()
+	s := &Simulation{
+		cfg:      cfg,
+		eng:      eng,
+		env:      env,
+		store:    collector.New(env),
+		jobStart: make(map[string]int64),
+	}
+	s.machines = BuildPool(cfg.Pool, eng, env)
+	s.customers = BuildWorkload(cfg.Workload, eng, env)
+	if s.cfg.Scheduler == nil {
+		s.cfg.Scheduler = NewMatchmakerScheduler(env)
+	}
+	return s
+}
+
+// Env exposes the simulation's virtual-time environment.
+func (s *Simulation) Env() *classad.Env { return s.env }
+
+// Machines exposes the machine population (benchmarks inspect it).
+func (s *Simulation) Machines() []*Machine { return s.machines }
+
+// Customers exposes the customer agents.
+func (s *Simulation) Customers() []*agent.Customer { return s.customers }
+
+// Run executes the simulation and returns its metrics.
+func (s *Simulation) Run() Metrics {
+	s.metrics = Metrics{
+		Scheduler: s.cfg.Scheduler.Name(),
+		Duration:  s.cfg.Duration,
+	}
+	// Owner activity processes on desktops.
+	for _, m := range s.machines {
+		if m.Desktop {
+			s.scheduleOwnerFlip(m)
+		}
+	}
+	// Periodic advertisement per machine, staggered to avoid a
+	// thundering herd at t=0 — the first ads go out within one
+	// period.
+	for i, m := range s.machines {
+		offset := int64(i) % s.cfg.AdvertisePeriod
+		s.scheduleAdvertise(m, offset)
+	}
+	// Record submission times for turnaround accounting.
+	for _, c := range s.customers {
+		for _, j := range c.Snapshot() {
+			s.jobStart[jobKey(c.Owner(), j.ID)] = 0
+		}
+	}
+	// Negotiation cycles.
+	s.scheduleCycle(s.cfg.NegotiationPeriod)
+
+	s.eng.Run(s.cfg.Duration)
+
+	// Final utilization accounting for still-busy machines.
+	for _, m := range s.machines {
+		if m.runningJob != 0 {
+			m.busyTotal += s.eng.Now() - m.busySince
+			m.runningJob = 0
+		}
+		s.metrics.BusySeconds += m.busyTotal
+	}
+	s.metrics.MachineSeconds = int64(len(s.machines)) * s.cfg.Duration
+	return s.metrics
+}
+
+func jobKey(owner string, id int) string { return fmt.Sprintf("%s/%d", owner, id) }
+
+func (s *Simulation) scheduleAdvertise(m *Machine, delay int64) {
+	s.eng.Schedule(delay, func() {
+		s.advertise(m)
+		s.scheduleAdvertise(m, s.cfg.AdvertisePeriod)
+	})
+}
+
+// advertise refreshes the machine's ad in the collector store,
+// reflecting its state at this instant (the RA snapshots its live
+// probes to literals). Claimed machines advertise only when the
+// preemption option is on, in which case their ads carry State =
+// "Claimed" and CurrentRank so higher-priority customers can displace
+// the incumbent.
+func (s *Simulation) advertise(m *Machine) {
+	if m.runningJob != 0 && !s.cfg.Preemption {
+		return
+	}
+	ad, err := m.Res.Advertise()
+	if err != nil {
+		panic(err)
+	}
+	if err := s.store.Update(ad, 3*s.cfg.AdvertisePeriod); err != nil {
+		panic(err)
+	}
+}
+
+func (s *Simulation) scheduleOwnerFlip(m *Machine) {
+	activeMean := s.cfg.Pool.meanActive()
+	idleMean := s.cfg.Pool.meanIdle()
+	if s.cfg.Pool.Diurnal {
+		hour := (s.eng.Now() % 86400) / 3600
+		if hour >= 8 && hour < 18 {
+			activeMean *= 3
+			idleMean /= 3
+		} else {
+			activeMean /= 3
+			idleMean *= 3
+		}
+	}
+	var period int64
+	if m.OwnerActive {
+		period = s.eng.Exp(activeMean)
+	} else {
+		period = s.eng.Exp(idleMean)
+	}
+	s.eng.Schedule(period, func() {
+		m.OwnerActive = !m.OwnerActive
+		if m.OwnerActive {
+			// The RA's probes see the owner immediately; stored
+			// advertisements keep claiming idleness until they are
+			// refreshed — that gap is what claim-time
+			// re-validation exists for.
+			m.Res.SetDynamic("KeyboardIdle", classad.Int(0))
+			m.Res.SetDynamic("LoadAvg", classad.Real(1.2))
+			m.Res.OwnerReturned()
+			s.ownerEvicts(m)
+		} else {
+			m.ownerIdleSince = s.eng.Now()
+			// Keyboard idleness grows with time from here; the
+			// live expression keeps claim-time checks honest.
+			m.Res.SetDynamicExpr("KeyboardIdle",
+				classad.NewBinary(classad.OpSub,
+					classad.NewCall("time"),
+					classad.Lit(classad.Int(s.eng.Now()))))
+			m.Res.SetDynamic("LoadAvg", classad.Real(0.05))
+			m.Res.OwnerLeft()
+		}
+		s.scheduleOwnerFlip(m)
+	})
+}
+
+// ownerEvicts handles the owner reclaiming a busy machine: the claim
+// ends, unbanked progress is lost, the job requeues.
+func (s *Simulation) ownerEvicts(m *Machine) {
+	if m.runningJob == 0 {
+		return
+	}
+	owner, id := m.runningCustomer, m.runningJob
+	c := s.customerOf(owner)
+	elapsed := s.eng.Now() - m.busySince
+	speed := float64(m.Mips) / 100
+	earned := float64(elapsed) * speed
+	job, _ := c.Job(id)
+	remaining := job.Work - job.Done
+	if earned >= remaining {
+		// The job would have completed at this very instant; count
+		// the completion event (scheduled for now) instead.
+		return
+	}
+	checkpoint := job.Ad.Eval("WantCheckpoint").IsTrue() ||
+		job.Ad.Eval("WantCheckpoint").Identical(classad.Int(1))
+	if checkpoint {
+		if _, err := c.Progress(id, earned, true); err != nil {
+			panic(err)
+		}
+	} else {
+		s.metrics.WastedWork += earned
+	}
+	if err := c.Evicted(id); err != nil {
+		panic(err)
+	}
+	if _, ok := m.Res.Evict(); !ok {
+		panic("sim: machine busy but RA unclaimed")
+	}
+	s.metrics.Evictions++
+	m.claimGen++
+	m.busyTotal += elapsed
+	m.runningJob = 0
+	m.runningCustomer = ""
+	s.store.Invalidate(m.Res.Name())
+}
+
+// handlePreempted settles the books when a higher-ranked customer
+// displaces a running claim: the incumbent's progress is credited (or
+// wasted), its job requeues, and its completion event is cancelled.
+// The RA has already swapped the claim itself.
+func (s *Simulation) handlePreempted(m *Machine, old agent.Claim) {
+	owner := old.Customer
+	id, ok := agent.JobIDOf(old.Job)
+	if !ok || m.runningJob != id {
+		panic("sim: preempted claim does not match running job")
+	}
+	c := s.customerOf(owner)
+	elapsed := s.eng.Now() - m.busySince
+	speed := float64(m.Mips) / 100
+	earned := float64(elapsed) * speed
+	job, _ := c.Job(id)
+	// Cap strictly below the remaining work: crediting the full
+	// remainder would mark the job Completed, but the preemption has
+	// already taken its machine — it loses the photo finish.
+	if remaining := job.Work - job.Done; earned >= remaining {
+		earned = remaining - 1
+		if earned < 0 {
+			earned = 0
+		}
+	}
+	checkpoint := job.Ad.Eval("WantCheckpoint").IsTrue() ||
+		job.Ad.Eval("WantCheckpoint").Identical(classad.Int(1))
+	if checkpoint && earned > 0 {
+		if _, err := c.Progress(id, earned, true); err != nil {
+			panic(err)
+		}
+	} else {
+		s.metrics.WastedWork += earned
+	}
+	if err := c.Evicted(id); err != nil {
+		panic(err)
+	}
+	s.metrics.Preemptions++
+	m.claimGen++
+	m.busyTotal += elapsed
+	m.runningJob = 0
+	m.runningCustomer = ""
+}
+
+func (s *Simulation) customerOf(owner string) *agent.Customer {
+	for _, c := range s.customers {
+		if c.Owner() == owner {
+			return c
+		}
+	}
+	panic("sim: unknown customer " + owner)
+}
+
+func (s *Simulation) scheduleCycle(delay int64) {
+	s.eng.Schedule(delay, func() {
+		s.runCycle()
+		s.scheduleCycle(s.cfg.NegotiationPeriod)
+	})
+}
+
+// runCycle gathers fresh job requests and the collector's (possibly
+// stale) machine ads, asks the scheduler for assignments, and executes
+// the claiming protocol for each.
+func (s *Simulation) runCycle() {
+	s.metrics.Cycles++
+	view := &CycleView{Now: s.eng.Now()}
+	type jobRef struct {
+		c  *agent.Customer
+		id int
+	}
+	var jobs []jobRef
+	for _, c := range s.customers {
+		for _, ad := range c.IdleRequests() {
+			id, _ := agent.JobIDOf(ad)
+			jobs = append(jobs, jobRef{c, id})
+			view.JobAds = append(view.JobAds, ad)
+		}
+	}
+	machineByName := make(map[string]*Machine, len(s.machines))
+	for _, m := range s.machines {
+		machineByName[m.Res.Name()] = m
+	}
+	view.MachineAds = s.store.SelectType("Machine")
+
+	for _, a := range s.cfg.Scheduler.Assign(view) {
+		jr := jobs[a.Job]
+		mad := view.MachineAds[a.Machine]
+		name, _ := mad.Eval(classad.AttrName).StringVal()
+		m := machineByName[name]
+		if m == nil {
+			continue
+		}
+		if m.runningJob != 0 && (!s.cfg.Preemption || !s.cfg.Scheduler.EnforcesPolicies()) {
+			continue // stale ad for a machine that got busy
+		}
+		jobAd := view.JobAds[a.Job]
+		if s.cfg.Scheduler.EnforcesPolicies() && !s.cfg.DisableClaimCheck {
+			ticket, _ := mad.Eval(classad.AttrTicket).StringVal()
+			out := m.Res.RequestClaim(jobAd, ticket)
+			if !out.Accepted {
+				s.metrics.StaleRejects++
+				s.store.Invalidate(name)
+				continue
+			}
+			if out.Preempted != nil {
+				s.handlePreempted(m, *out.Preempted)
+			}
+			s.startJob(m, jr.c, jr.id)
+			continue
+		}
+		// Conventional dispatch (or ablated claim check): no policy
+		// gate. A dispatch the job itself cannot use — wrong
+		// architecture, operating system or memory, invisible to a
+		// coarse queue — dies immediately and the job requeues.
+		if !classad.EvalConstraint(jobAd, mad, s.env) {
+			s.metrics.FailedDispatches++
+			continue
+		}
+		m.Res.ForceClaim(jobAd)
+		intruded := m.Desktop && m.OwnerActive
+		s.startJob(m, jr.c, jr.id)
+		if intruded {
+			// The owner is at the keyboard: the intruding job is
+			// killed within a minute, its work wasted — the cost a
+			// policy-blind scheduler pays on distributively owned
+			// machines.
+			gen := m.claimGen
+			s.eng.Schedule(60, func() {
+				if m.claimGen == gen && m.runningJob != 0 {
+					s.ownerEvicts(m)
+				}
+			})
+		}
+	}
+}
+
+// startJob begins execution and schedules completion.
+func (s *Simulation) startJob(m *Machine, c *agent.Customer, id int) {
+	if err := c.MarkRunning(id, m.Res.Name()); err != nil {
+		panic(err)
+	}
+	s.metrics.Claims++
+	s.metrics.ClaimsByHour[(s.eng.Now()%86400)/3600]++
+	m.runningJob = id
+	m.runningCustomer = c.Owner()
+	m.busySince = s.eng.Now()
+	m.claimGen++
+	gen := m.claimGen
+	job, _ := c.Job(id)
+	speed := float64(m.Mips) / 100
+	wall := int64((job.Work-job.Done)/speed) + 1
+	s.store.Invalidate(m.Res.Name())
+	s.eng.Schedule(wall, func() {
+		if m.claimGen != gen || m.runningJob != id {
+			return // evicted in the meantime
+		}
+		remaining := 0.0
+		if j, ok := c.Job(id); ok {
+			remaining = j.Work - j.Done
+		}
+		done, err := c.Progress(id, remaining, false)
+		if err != nil {
+			panic(err)
+		}
+		if !done {
+			panic("sim: completion event without completion")
+		}
+		s.metrics.Completed++
+		s.metrics.CompletedWork += job.Work
+		s.metrics.WaitSum += s.eng.Now() - s.jobStart[jobKey(c.Owner(), id)]
+		m.busyTotal += s.eng.Now() - m.busySince
+		m.runningJob = 0
+		m.runningCustomer = ""
+		if err := m.Res.Release(c.Owner()); err != nil {
+			panic(err)
+		}
+		// The machine rejoins the pool immediately (advertise on
+		// state change).
+		s.advertise(m)
+	})
+}

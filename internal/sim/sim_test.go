@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+)
+
+func TestBuildPoolShape(t *testing.T) {
+	eng := NewEngine(1)
+	env := classad.FixedEnv(0, 1)
+	spec := PoolSpec{
+		Machines:        50,
+		ArchMix:         map[string]float64{"INTEL": 0.5, "SPARC": 0.5},
+		DesktopFraction: 0.5,
+	}
+	machines := BuildPool(spec, eng, env)
+	if len(machines) != 50 {
+		t.Fatalf("pool size = %d", len(machines))
+	}
+	arch := map[string]int{}
+	desktops := 0
+	for _, m := range machines {
+		ad, err := m.Res.Advertise()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := ad.Eval("Arch").StringVal()
+		arch[a]++
+		if m.Desktop {
+			desktops++
+			if _, ok := ad.Lookup(classad.AttrConstraint); !ok {
+				t.Error("desktop without an owner policy")
+			}
+		}
+		if mem, ok := ad.Eval("Memory").IntVal(); !ok || mem < 32 {
+			t.Errorf("Memory = %v", ad.Eval("Memory"))
+		}
+		if name, _ := ad.Eval("Name").StringVal(); name == "" {
+			t.Error("machine without a Name")
+		}
+	}
+	// With a 50/50 mix over 50 machines, both architectures appear.
+	if arch["INTEL"] == 0 || arch["SPARC"] == 0 {
+		t.Errorf("arch mix = %v", arch)
+	}
+	if desktops == 0 || desktops == 50 {
+		t.Errorf("desktops = %d, want a genuine mixture", desktops)
+	}
+}
+
+func TestBuildPoolDeterministic(t *testing.T) {
+	build := func() []string {
+		eng := NewEngine(99)
+		machines := BuildPool(PoolSpec{Machines: 20, DesktopFraction: 0.3,
+			ArchMix: map[string]float64{"INTEL": 0.7, "SPARC": 0.3}}, eng, classad.FixedEnv(0, 1))
+		var sigs []string
+		for _, m := range machines {
+			sigs = append(sigs, m.Res.Name())
+		}
+		return sigs
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pool differs at %d", i)
+		}
+	}
+}
+
+func TestBuildWorkloadShape(t *testing.T) {
+	eng := NewEngine(2)
+	customers := BuildWorkload(JobSpec{
+		Jobs:  30,
+		Users: []string{"alice", "bob", "carol"},
+	}, eng, classad.FixedEnv(0, 1))
+	if len(customers) != 3 {
+		t.Fatalf("customers = %d", len(customers))
+	}
+	total := 0
+	for _, c := range customers {
+		jobs := c.Snapshot()
+		total += len(jobs)
+		for _, j := range jobs {
+			if j.Work <= 0 {
+				t.Errorf("job %d of %s has work %v", j.ID, c.Owner(), j.Work)
+			}
+			if _, ok := classad.ConstraintOf(j.Ad); !ok {
+				t.Error("job without constraint")
+			}
+		}
+	}
+	if total != 30 {
+		t.Errorf("total jobs = %d", total)
+	}
+}
+
+// TestSimulationDedicatedPoolCompletesEverything: a dedicated
+// homogeneous pool with light load finishes the whole batch — the
+// simulator's conservation sanity check.
+func TestSimulationDedicatedPoolCompletesEverything(t *testing.T) {
+	s := New(Config{
+		Pool:     PoolSpec{Machines: 20, DesktopFraction: 0, Classes: 1},
+		Workload: JobSpec{Jobs: 40, MeanRuntime: 1800, Users: []string{"u1", "u2"}},
+		Seed:     7,
+		Duration: 4 * 86400,
+	})
+	m := s.Run()
+	if m.Completed != 40 {
+		t.Errorf("completed = %d of 40 (metrics: %s)", m.Completed, m)
+	}
+	if m.Evictions != 0 {
+		t.Errorf("evictions on a dedicated pool = %d", m.Evictions)
+	}
+	if m.Utilization() <= 0 || m.Utilization() > 1 {
+		t.Errorf("utilization = %v", m.Utilization())
+	}
+	if m.Cycles == 0 {
+		t.Error("no negotiation cycles ran")
+	}
+}
+
+// TestSimulationOpportunistic is experiment E8's smoke form: on a
+// desktop pool, cycles are harvested while owners are away, evictions
+// happen, and checkpointing jobs waste no work.
+func TestSimulationOpportunistic(t *testing.T) {
+	base := Config{
+		Pool: PoolSpec{
+			Machines:        30,
+			DesktopFraction: 1.0,
+			MeanOwnerActive: 1800,
+			MeanOwnerIdle:   7200,
+			Classes:         1,
+		},
+		Workload: JobSpec{Jobs: 120, MeanRuntime: 3600, Users: []string{"u1", "u2", "u3"}},
+		Seed:     11,
+		Duration: 2 * 86400,
+	}
+	m := New(base).Run()
+	if m.Completed == 0 {
+		t.Fatalf("no jobs completed on the desktop pool: %s", m)
+	}
+	if m.Evictions == 0 {
+		t.Error("no owner evictions over two days of desktop activity")
+	}
+	// Checkpointing eliminates wasted work.
+	ckpt := base
+	ckpt.Workload.Checkpoint = true
+	mc := New(ckpt).Run()
+	if mc.WastedWork != 0 {
+		t.Errorf("checkpointing workload wasted %v cpu-s", mc.WastedWork)
+	}
+	if m.WastedWork == 0 && m.Evictions > 0 {
+		t.Error("non-checkpointing evictions should waste work")
+	}
+	if mc.Completed < m.Completed {
+		t.Errorf("checkpointing completed %d < non-checkpointing %d", mc.Completed, m.Completed)
+	}
+}
+
+// TestSimulationPolicyNeverViolated: with the matchmaker, no job ever
+// starts on a desktop whose owner is active (claims re-validate), so
+// every eviction stems from an owner returning mid-run.
+func TestSimulationStaleClaimsCaught(t *testing.T) {
+	// Long advertise period = very stale ads = claim-time rejections.
+	s := New(Config{
+		Pool: PoolSpec{
+			Machines:        20,
+			DesktopFraction: 1.0,
+			MeanOwnerActive: 900,
+			MeanOwnerIdle:   1800, // rapid flapping
+			Classes:         1,
+		},
+		Workload:          JobSpec{Jobs: 100, MeanRuntime: 1200},
+		Seed:              3,
+		Duration:          86400,
+		AdvertisePeriod:   1800, // ads go stale quickly relative to flapping
+		NegotiationPeriod: 300,
+	})
+	m := s.Run()
+	if m.StaleRejects == 0 {
+		t.Errorf("expected stale-claim rejections with flapping owners: %s", m)
+	}
+	if m.Completed == 0 {
+		t.Error("system made no progress despite staleness")
+	}
+}
+
+// TestSimulationAblationNoClaimCheck: disabling claim-time
+// re-validation turns would-be rejections into wasted dispatches onto
+// owner-occupied machines.
+func TestSimulationAblationNoClaimCheck(t *testing.T) {
+	cfg := Config{
+		Pool: PoolSpec{
+			Machines:        20,
+			DesktopFraction: 1.0,
+			MeanOwnerActive: 1800,
+			MeanOwnerIdle:   1800,
+			Classes:         1,
+		},
+		Workload:          JobSpec{Jobs: 100, MeanRuntime: 1200},
+		Seed:              5,
+		Duration:          86400,
+		AdvertisePeriod:   1800,
+		DisableClaimCheck: true,
+	}
+	m := New(cfg).Run()
+	withCheck := cfg
+	withCheck.DisableClaimCheck = false
+	mc := New(withCheck).Run()
+	if m.StaleRejects != 0 {
+		t.Errorf("ablated run still counted %d stale rejects", m.StaleRejects)
+	}
+	if mc.StaleRejects == 0 {
+		t.Errorf("checked run caught no stale claims")
+	}
+	// The ablated run wastes at least as much work (usually far
+	// more) because intrusions run for a minute before dying.
+	if m.Evictions <= mc.Evictions {
+		t.Logf("note: ablated evictions %d vs checked %d", m.Evictions, mc.Evictions)
+	}
+}
+
+// TestSimulationFairShareAcrossUsers: the matchmaker's fair share
+// spreads a contended pool across users.
+func TestSimulationFairShare(t *testing.T) {
+	s := New(Config{
+		Pool:     PoolSpec{Machines: 5, DesktopFraction: 0, Classes: 1},
+		Workload: JobSpec{Jobs: 60, MeanRuntime: 3600, Users: []string{"a", "b", "c"}},
+		Seed:     13,
+		Duration: 86400,
+	})
+	s.Run()
+	done := map[string]int{}
+	for _, c := range s.Customers() {
+		for _, j := range c.Snapshot() {
+			if j.Status == agent.JobCompleted {
+				done[c.Owner()]++
+			}
+		}
+	}
+	for user, n := range done {
+		if n == 0 {
+			t.Errorf("user %s starved: %v", user, done)
+		}
+	}
+	if len(done) != 3 {
+		t.Errorf("served users = %v", done)
+	}
+}
+
+func TestMetricsDerivations(t *testing.T) {
+	m := Metrics{
+		Duration:       86400,
+		Completed:      10,
+		CompletedWork:  36000,
+		BusySeconds:    43200,
+		MachineSeconds: 86400,
+		WaitSum:        100000,
+	}
+	if u := m.Utilization(); u != 0.5 {
+		t.Errorf("utilization = %v", u)
+	}
+	if g := m.Goodput(); g != 36000 {
+		t.Errorf("goodput = %v", g)
+	}
+	if w := m.MeanTurnaround(); w != 10000 {
+		t.Errorf("turnaround = %v", w)
+	}
+	var zero Metrics
+	if zero.Utilization() != 0 || zero.Goodput() != 0 || zero.MeanTurnaround() != 0 {
+		t.Error("zero metrics should not divide by zero")
+	}
+	if zero.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	cfg := Config{
+		Pool:     PoolSpec{Machines: 15, DesktopFraction: 0.5, Classes: 2},
+		Workload: JobSpec{Jobs: 50, MeanRuntime: 2400, Users: []string{"x", "y"}},
+		Seed:     21,
+		Duration: 86400,
+	}
+	a := New(cfg).Run()
+	b := New(cfg).Run()
+	if a.Completed != b.Completed || a.Evictions != b.Evictions ||
+		a.StaleRejects != b.StaleRejects || a.BusySeconds != b.BusySeconds {
+		t.Errorf("same seed, different outcomes:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,204 @@
+// Package submit parses submit-description files — the batch-oriented
+// front end the deployed system's users actually wrote, which the
+// submission tool translates into the job classads of the paper's
+// Figure 2. A submit file sets parameters line by line and emits jobs
+// with "queue [N]" statements; parameters persist across queue
+// statements so a single file can describe a heterogeneous batch:
+//
+//	executable   = run_sim
+//	arguments    = -Q 17 $(Process)
+//	memory       = 31
+//	requirements = other.Arch == "INTEL" && other.OpSys == "SOLARIS251"
+//	rank         = KFlops/1E3 + other.Memory/32
+//	checkpoint   = true
+//	work         = 3600
+//	queue 5
+//
+//	memory = 128
+//	queue 2
+//
+// The macros $(Process) (0-based index within a queue statement) and
+// $(Cluster) (the submission's cluster number) substitute into string
+// values, as users of the deployed system expect.
+package submit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/classad"
+)
+
+// Job is one queued job produced by a submit file.
+type Job struct {
+	// Ad is the job's classad, in the Figure 2 shape.
+	Ad *classad.Ad
+	// Work is the job's synthetic CPU demand in seconds (the "work"
+	// parameter; zero if unset).
+	Work float64
+	// Cluster and Process identify the job within the submission.
+	Cluster, Process int
+}
+
+// knownKeys maps submit-file parameters to the classad attributes they
+// set. Expression-valued parameters parse as classad expressions;
+// string-valued ones become string literals.
+var exprKeys = map[string]string{
+	"requirements": classad.AttrConstraint,
+	"constraint":   classad.AttrConstraint,
+	"rank":         classad.AttrRank,
+}
+
+var stringKeys = map[string]string{
+	"executable": "Cmd",
+	"arguments":  "Args",
+	"initialdir": "Iwd",
+	"input":      "In",
+	"output":     "Out",
+	"error":      "Err",
+}
+
+var intKeys = map[string]string{
+	"memory": "Memory",
+	"disk":   "Disk",
+}
+
+var boolKeys = map[string]string{
+	"checkpoint":      "WantCheckpoint",
+	"remote_syscalls": "WantRemoteSyscalls",
+}
+
+// Parse reads a submit file and expands it into jobs. cluster is the
+// submission's cluster number (for $(Cluster)).
+func Parse(src string, cluster int) ([]Job, error) {
+	type param struct {
+		key, value string
+		line       int
+	}
+	current := map[string]param{}
+	var order []string
+	setParam := func(key, value string, line int) {
+		k := strings.ToLower(key)
+		if _, seen := current[k]; !seen {
+			order = append(order, k)
+		}
+		current[k] = param{key: key, value: value, line: line}
+	}
+
+	var jobs []Job
+	emit := func(n, line int) error {
+		for i := 0; i < n; i++ {
+			ad := classad.NewAd()
+			ad.SetString(classad.AttrType, "Job")
+			var work float64
+			for _, k := range order {
+				p := current[k]
+				value := expandMacros(p.value, cluster, i)
+				switch {
+				case k == "work":
+					w, err := strconv.ParseFloat(value, 64)
+					if err != nil {
+						return fmt.Errorf("submit: line %d: bad work %q", p.line, value)
+					}
+					work = w
+				case exprKeys[k] != "":
+					e, err := classad.ParseExpr(value)
+					if err != nil {
+						return fmt.Errorf("submit: line %d: %s: %v", p.line, p.key, err)
+					}
+					ad.Set(exprKeys[k], e)
+				case stringKeys[k] != "":
+					ad.SetString(stringKeys[k], value)
+				case intKeys[k] != "":
+					v, err := strconv.ParseInt(value, 10, 64)
+					if err != nil {
+						return fmt.Errorf("submit: line %d: %s must be an integer, got %q",
+							p.line, p.key, value)
+					}
+					ad.SetInt(intKeys[k], v)
+				case boolKeys[k] != "":
+					switch strings.ToLower(value) {
+					case "true", "yes", "1":
+						ad.SetInt(boolKeys[k], 1)
+					case "false", "no", "0":
+						ad.SetInt(boolKeys[k], 0)
+					default:
+						return fmt.Errorf("submit: line %d: %s must be boolean, got %q",
+							p.line, p.key, value)
+					}
+				default:
+					// Unknown keys become string attributes with
+					// their original spelling — the extensibility
+					// users rely on ("+ProjectName = ..." in later
+					// systems).
+					name := strings.TrimPrefix(p.key, "+")
+					ad.SetString(name, value)
+				}
+			}
+			ad.SetInt("Cluster", int64(cluster))
+			ad.SetInt("Process", int64(i))
+			jobs = append(jobs, Job{Ad: ad, Work: work, Cluster: cluster, Process: i})
+		}
+		return nil
+	}
+
+	queued := false
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		lower := strings.ToLower(line)
+		if lower == "queue" || strings.HasPrefix(lower, "queue ") || strings.HasPrefix(lower, "queue\t") {
+			n := 1
+			rest := strings.TrimSpace(line[len("queue"):])
+			if rest != "" {
+				v, err := strconv.Atoi(rest)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("submit: line %d: bad queue count %q", lineNo+1, rest)
+				}
+				n = v
+			}
+			if err := emit(n, lineNo+1); err != nil {
+				return nil, err
+			}
+			queued = true
+			continue
+		}
+		eq := strings.Index(line, "=")
+		if eq < 1 {
+			return nil, fmt.Errorf("submit: line %d: expected 'key = value' or 'queue', got %q",
+				lineNo+1, line)
+		}
+		key := strings.TrimSpace(line[:eq])
+		value := strings.TrimSpace(line[eq+1:])
+		if key == "" {
+			return nil, fmt.Errorf("submit: line %d: empty parameter name", lineNo+1)
+		}
+		setParam(key, value, lineNo+1)
+	}
+	if !queued {
+		return nil, fmt.Errorf("submit: no queue statement — nothing submitted")
+	}
+	return jobs, nil
+}
+
+// expandMacros substitutes $(Cluster) and $(Process), case-
+// insensitively.
+func expandMacros(s string, cluster, process int) string {
+	out := s
+	for _, m := range []struct {
+		name  string
+		value int
+	}{{"cluster", cluster}, {"process", process}} {
+		for _, spelling := range []string{
+			"$(" + m.name + ")",
+			"$(" + strings.ToUpper(m.name[:1]) + m.name[1:] + ")",
+			"$(" + strings.ToUpper(m.name) + ")",
+		} {
+			out = strings.ReplaceAll(out, spelling, strconv.Itoa(m.value))
+		}
+	}
+	return out
+}

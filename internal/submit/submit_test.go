@@ -1,0 +1,165 @@
+package submit
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+const basicFile = `
+# the paper's Figure 2 job, submit-file style
+executable   = run_sim
+arguments    = -Q 17 3200 10
+initialdir   = /usr/raman/sim2
+memory       = 31
+requirements = other.Type == "Machine" && Arch == "INTEL" && other.Memory >= self.Memory
+rank         = KFlops/1E3 + other.Memory/32
+checkpoint   = true
+remote_syscalls = true
+work         = 3600
+queue
+`
+
+func TestParseBasic(t *testing.T) {
+	jobs, err := Parse(basicFile, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	j := jobs[0]
+	if j.Work != 3600 || j.Cluster != 7 || j.Process != 0 {
+		t.Errorf("job meta = %+v", j)
+	}
+	ad := j.Ad
+	checks := map[string]classad.Value{
+		"Type":               classad.Str("Job"),
+		"Cmd":                classad.Str("run_sim"),
+		"Args":               classad.Str("-Q 17 3200 10"),
+		"Iwd":                classad.Str("/usr/raman/sim2"),
+		"Memory":             classad.Int(31),
+		"WantCheckpoint":     classad.Int(1),
+		"WantRemoteSyscalls": classad.Int(1),
+		"Cluster":            classad.Int(7),
+		"Process":            classad.Int(0),
+	}
+	for name, want := range checks {
+		if got := ad.Eval(name); !got.Identical(want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+	// The generated ad matches the Figure 1 machine like Figure 2
+	// does.
+	machine := classad.Figure1()
+	ad.SetString("Owner", "raman")
+	if !classad.Match(ad, machine).Matched {
+		t.Error("submit-file job does not match the Figure 1 machine")
+	}
+}
+
+func TestParseQueueN(t *testing.T) {
+	jobs, err := Parse(`
+executable = sweep
+arguments  = -point $(Process) -run $(Cluster)
+queue 5
+`, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 5 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for i, j := range jobs {
+		args, _ := j.Ad.Eval("Args").StringVal()
+		want := "-point " + strconv.Itoa(i) + " -run 42"
+		if args != want {
+			t.Errorf("job %d Args = %q, want %q", i, args, want)
+		}
+		if p, _ := j.Ad.Eval("Process").IntVal(); int(p) != i {
+			t.Errorf("job %d Process = %d", i, p)
+		}
+	}
+}
+
+func TestParameterChangesBetweenQueues(t *testing.T) {
+	jobs, err := Parse(`
+executable = a
+memory     = 32
+queue 2
+memory     = 128
+queue
+`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for i, want := range []int64{32, 32, 128} {
+		if m, _ := jobs[i].Ad.Eval("Memory").IntVal(); m != want {
+			t.Errorf("job %d Memory = %d, want %d", i, m, want)
+		}
+	}
+	// Process restarts per queue statement.
+	if p, _ := jobs[2].Ad.Eval("Process").IntVal(); p != 0 {
+		t.Errorf("third job Process = %d, want 0", p)
+	}
+}
+
+func TestUnknownKeysBecomeAttributes(t *testing.T) {
+	jobs, err := Parse(`
+executable   = x
++ProjectName = hep-sim
+queue
+`, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := jobs[0].Ad.Eval("ProjectName").StringVal(); v != "hep-sim" {
+		t.Errorf("ProjectName = %q", v)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no queue":         "executable = x\n",
+		"bad queue count":  "queue zero\n",
+		"negative queue":   "queue -1\n",
+		"bad memory":       "memory = lots\nqueue\n",
+		"bad requirements": "requirements = 1 +\nqueue\n",
+		"bad checkpoint":   "checkpoint = maybe\nqueue\n",
+		"no equals":        "just some words\nqueue\n",
+		"bad work":         "work = soon\nqueue\n",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src, 1); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	jobs, err := Parse(`
+# comment
+// another comment
+
+executable = x
+
+queue
+`, 1)
+	if err != nil || len(jobs) != 1 {
+		t.Fatalf("err=%v jobs=%d", err, len(jobs))
+	}
+}
+
+func TestConstraintSpelling(t *testing.T) {
+	jobs, err := Parse("constraint = other.Memory >= 64\nqueue\n", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := classad.ConstraintOf(jobs[0].Ad); !ok {
+		t.Error("constraint spelling not honoured")
+	}
+}
