@@ -1,0 +1,33 @@
+# Verification loop for the matchmaking reproduction.
+#
+#   make verify   vet + build + race-enabled tests (the PR gate)
+#   make test     tier-1 check as ROADMAP.md defines it
+#   make fuzz     short protocol fuzz run (FuzzReadEnvelope)
+#   make ci       everything CI runs: verify + fuzz
+
+GO ?= go
+FUZZTIME ?= 15s
+
+.PHONY: verify test build vet fuzz ci
+
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Wire-protocol fuzzing: Read/Write round-trips, oversized frames,
+# malformed JSON. Continuous deep fuzzing raises FUZZTIME.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadEnvelope -fuzztime=$(FUZZTIME) ./internal/protocol
+
+ci: verify fuzz

@@ -12,10 +12,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 
 	"repro/internal/classad"
+	"repro/internal/netx"
 	"repro/internal/protocol"
 )
 
@@ -59,7 +59,7 @@ func main() {
 }
 
 func queryAgent(addr string, query *classad.Ad) ([]*classad.Ad, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := netx.DefaultDialer.Dial(addr)
 	if err != nil {
 		return nil, err
 	}

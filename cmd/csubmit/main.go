@@ -16,10 +16,10 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 
 	"repro/internal/classad"
+	"repro/internal/netx"
 	"repro/internal/protocol"
 	"repro/internal/submit"
 )
@@ -70,7 +70,7 @@ func main() {
 }
 
 func submitAd(addr string, ad *classad.Ad, work int64) (string, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := netx.DefaultDialer.Dial(addr)
 	if err != nil {
 		return "", err
 	}

@@ -1,0 +1,109 @@
+package collector
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/netx"
+)
+
+// TestAdExpiryAndRecoveryAfterCollectorOutage exercises the
+// advertising protocol's whole failure loop: an ad whose heartbeats
+// are interrupted (the collector goes down) expires on schedule, and
+// once the collector is back the advertiser's retry loop re-registers
+// it — the paper's lifetime/refresh design carrying the pool through
+// a collector outage (§4.3).
+func TestAdExpiryAndRecoveryAfterCollectorOutage(t *testing.T) {
+	var now atomic.Int64
+	now.Store(1000)
+	env := &classad.Env{
+		Now:  func() int64 { return now.Load() },
+		Rand: func() float64 { return 0.5 },
+	}
+
+	store := New(env)
+	srv := NewServer(store, t.Logf)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client := &Client{
+		Addr:   addr,
+		Dialer: &netx.Dialer{ConnectTimeout: time.Second, IOTimeout: time.Second},
+		Retry:  netx.RetryPolicy{Attempts: 3, Base: 5 * time.Millisecond, Seed: 1},
+	}
+
+	ad := classad.NewAd()
+	ad.SetString(classad.AttrName, "heartbeat.example")
+	ad.SetString(classad.AttrType, "Machine")
+
+	// Heartbeat while healthy: the ad is live with a 10s lifetime.
+	if err := client.Advertise(ad, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Lookup("heartbeat.example"); !ok {
+		t.Fatal("advertised ad not in store")
+	}
+
+	// The collector dies mid-heartbeat stream; further refreshes fail
+	// even after the client's own retries.
+	srv.Close()
+	if err := client.Advertise(ad, 10); err == nil {
+		t.Fatal("advertise to a dead collector succeeded")
+	}
+
+	// The un-refreshed ad expires exactly on schedule.
+	now.Add(9)
+	if _, ok := store.Lookup("heartbeat.example"); !ok {
+		t.Fatal("ad expired before its lifetime elapsed")
+	}
+	now.Add(2) // past the 10s lifetime
+	if _, ok := store.Lookup("heartbeat.example"); ok {
+		t.Fatal("interrupted ad did not expire on schedule")
+	}
+
+	// The collector comes back on the same address (a restart). The
+	// advertiser's periodic retry loop reconnects and the ad
+	// reappears without any other coordination.
+	store2 := New(env)
+	srv2 := NewServer(store2, t.Logf)
+	if err := rebind(t, srv2, addr); err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if err := client.Advertise(ad, 10); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("advertising loop never reconnected to the restarted collector")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok := store2.Lookup("heartbeat.example"); !ok {
+		t.Fatal("ad not re-established after collector recovery")
+	}
+}
+
+// rebind listens on a specific released address, retrying briefly in
+// case the kernel has not finished tearing the old listener down.
+func rebind(t *testing.T, srv *Server, addr string) error {
+	t.Helper()
+	var err error
+	for i := 0; i < 100; i++ {
+		var ln net.Listener
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			srv.Serve(ln)
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return err
+}

@@ -2,12 +2,16 @@ package collector
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"repro/internal/classad"
+	"repro/internal/netx"
 	"repro/internal/protocol"
 )
 
@@ -17,6 +21,15 @@ import (
 type Server struct {
 	store *Store
 	ln    net.Listener
+
+	// IdleTimeout bounds how long a handler waits for the next
+	// envelope on an open connection; a wedged peer times out instead
+	// of pinning the goroutine. Set before Listen/Serve; defaults to
+	// netx.DefaultIdleTimeout.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write; defaults to
+	// netx.DefaultIOTimeout.
+	WriteTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -31,7 +44,13 @@ func NewServer(store *Store, logf func(string, ...any)) *Server {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	return &Server{store: store, conns: make(map[net.Conn]bool), logf: logf}
+	return &Server{
+		store:        store,
+		IdleTimeout:  netx.DefaultIdleTimeout,
+		WriteTimeout: netx.DefaultIOTimeout,
+		conns:        make(map[net.Conn]bool),
+		logf:         logf,
+	}
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting
@@ -41,10 +60,18 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts accepting connections from an existing listener —
+// tests wrap one in a netx.FaultListener to subject the server to
+// injected failures without touching server code. It returns the
+// listener's address.
+func (s *Server) Serve(ln net.Listener) string {
 	s.ln = ln
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (s *Server) acceptLoop() {
@@ -99,21 +126,33 @@ func (s *Server) Store() *Store { return s.store }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
+	// Idle and write deadlines: a peer that stalls mid-conversation
+	// (or a fault-injected delay) bounds out instead of holding the
+	// handler goroutine hostage.
+	bounded := netx.TimeoutConn(conn, s.IdleTimeout, s.WriteTimeout)
+	r := bufio.NewReader(bounded)
 	for {
 		env, err := protocol.Read(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !quietReadError(err) {
 				s.logf("collector: read: %v", err)
 			}
 			return
 		}
 		reply := s.dispatch(env)
-		if err := protocol.Write(conn, reply); err != nil {
+		if err := protocol.Write(bounded, reply); err != nil {
 			s.logf("collector: write: %v", err)
 			return
 		}
 	}
+}
+
+// quietReadError reports whether a handler read error is ordinary
+// connection lifecycle (clean close, server shutdown, idle timeout)
+// rather than a protocol problem worth logging.
+func quietReadError(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded)
 }
 
 func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
@@ -155,23 +194,50 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 }
 
 // Client is a thin dialer for talking to a collector server; tools and
-// agents share it.
+// agents share it. Round-trips are bounded (connect timeout plus
+// per-envelope deadlines) and retried with capped exponential backoff:
+// every advertising-protocol message is idempotent — re-ADVERTISing
+// refreshes, re-INVALIDATing is a no-op, re-QUERYing re-reads — so a
+// retry against a restarted collector is always safe (the paper's
+// weak-consistency design, §4.3).
 type Client struct {
 	Addr string
+	// Dialer supplies timeouts; nil selects netx.DefaultDialer.
+	Dialer *netx.Dialer
+	// Retry is the backoff policy for transport failures; the zero
+	// value selects the netx defaults. Application-level ERROR
+	// replies are never retried.
+	Retry netx.RetryPolicy
 }
 
 // roundTrip sends one envelope and reads one reply on a fresh
-// connection.
+// connection, retrying transport failures.
 func (c *Client) roundTrip(env *protocol.Envelope) (*protocol.Envelope, error) {
-	conn, err := net.Dial("tcp", c.Addr)
+	d := c.Dialer
+	if d == nil {
+		d = netx.DefaultDialer
+	}
+	var reply *protocol.Envelope
+	err := netx.Retry(context.Background(), c.Retry, func() error {
+		conn, err := d.Dial(c.Addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := protocol.Write(conn, env); err != nil {
+			return err
+		}
+		rep, err := protocol.Read(bufio.NewReader(conn))
+		if err != nil {
+			return err
+		}
+		reply = rep
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	defer conn.Close()
-	if err := protocol.Write(conn, env); err != nil {
-		return nil, err
-	}
-	return protocol.Read(bufio.NewReader(conn))
+	return reply, nil
 }
 
 // Advertise sends an ad with the given lifetime (0 for the default).

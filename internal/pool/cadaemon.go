@@ -2,15 +2,17 @@ package pool
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/classad"
 	"repro/internal/collector"
+	"repro/internal/netx"
 	"repro/internal/protocol"
 	"repro/internal/remote"
 )
@@ -23,6 +25,17 @@ import (
 type CustomerDaemon struct {
 	CA *agent.Customer
 
+	// IdleTimeout bounds a handler's wait for the next envelope;
+	// WriteTimeout bounds each reply write. Set before Listen/Serve.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
+	// ClaimTimeout is the absolute deadline on one whole claim
+	// round-trip (dial-to-verdict, challenge included). On expiry the
+	// claim counts as rejected and the job stays idle for
+	// re-matching — the paper's claim-retry path (§3.2). Defaults to
+	// netx.DefaultIOTimeout.
+	ClaimTimeout time.Duration
+
 	// collectors are the pools this CA participates in. The first is
 	// the home pool; additional entries are flock targets (in the
 	// tradition of "A Worldwide Flock of Condors", the paper's
@@ -32,6 +45,8 @@ type CustomerDaemon struct {
 	// because the job is no longer idle — weak consistency again.
 	collectors []*collector.Client
 	lifetime   int64
+	dialer     *netx.Dialer
+	retry      netx.RetryPolicy
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -44,6 +59,7 @@ type CustomerDaemon struct {
 	claims map[int]claimRef
 	// stats
 	claimsOK, claimsRejected int
+	maxClaimDur              time.Duration
 
 	// shadow serves remote syscalls and checkpoints for this CA's
 	// executing jobs, when execution is enabled.
@@ -62,11 +78,32 @@ func NewCustomerDaemon(ca *agent.Customer, collectorAddr string, lifetime int64,
 		logf = func(string, ...any) {}
 	}
 	return &CustomerDaemon{
-		CA:         ca,
-		collectors: []*collector.Client{{Addr: collectorAddr}},
-		lifetime:   lifetime,
-		logf:       logf,
-		claims:     make(map[int]claimRef),
+		CA:           ca,
+		IdleTimeout:  netx.DefaultIdleTimeout,
+		WriteTimeout: netx.DefaultIOTimeout,
+		ClaimTimeout: netx.DefaultIOTimeout,
+		collectors:   []*collector.Client{{Addr: collectorAddr}},
+		lifetime:     lifetime,
+		dialer:       netx.DefaultDialer,
+		logf:         logf,
+		claims:       make(map[int]claimRef),
+	}
+}
+
+// ConfigureNetwork sets the dialer and retry policy used for all of
+// the daemon's outbound traffic (collector heartbeats, claim dials,
+// releases). Call before Listen/Serve.
+func (d *CustomerDaemon) ConfigureNetwork(dialer *netx.Dialer, retry netx.RetryPolicy) {
+	if dialer == nil {
+		dialer = netx.DefaultDialer
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dialer = dialer
+	d.retry = retry
+	for _, c := range d.collectors {
+		c.Dialer = dialer
+		c.Retry = retry
 	}
 }
 
@@ -100,7 +137,9 @@ func (d *CustomerDaemon) Shadow() *remote.Shadow {
 func (d *CustomerDaemon) AddFlockTarget(collectorAddr string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.collectors = append(d.collectors, &collector.Client{Addr: collectorAddr})
+	d.collectors = append(d.collectors, &collector.Client{
+		Addr: collectorAddr, Dialer: d.dialer, Retry: d.retry,
+	})
 }
 
 // Listen binds the notification endpoint.
@@ -109,13 +148,20 @@ func (d *CustomerDaemon) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return d.Serve(ln), nil
+}
+
+// Serve starts the notification endpoint on an existing listener
+// (which chaos tests wrap in a netx.FaultListener) and returns the
+// contact address.
+func (d *CustomerDaemon) Serve(ln net.Listener) string {
 	d.mu.Lock()
 	d.ln = ln
 	d.contact = ln.Addr().String()
 	d.mu.Unlock()
 	d.wg.Add(1)
 	go d.acceptLoop(ln)
-	return d.contact, nil
+	return d.contact
 }
 
 // Contact returns the daemon's notification address.
@@ -150,6 +196,15 @@ func (d *CustomerDaemon) ClaimStats() (ok, rejected int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.claimsOK, d.claimsRejected
+}
+
+// MaxClaimDuration reports the longest single claim round-trip so
+// far — chaos tests assert it never exceeds ClaimTimeout (plus the
+// dial bound).
+func (d *CustomerDaemon) MaxClaimDuration() time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.maxClaimDur
 }
 
 // AdvertiseIdle sends one request ad per idle job to every pool this
@@ -192,11 +247,12 @@ func (d *CustomerDaemon) acceptLoop(ln net.Listener) {
 
 func (d *CustomerDaemon) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
+	bounded := netx.TimeoutConn(conn, d.IdleTimeout, d.WriteTimeout)
+	r := bufio.NewReader(bounded)
 	for {
 		env, err := protocol.Read(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !quietReadError(err) {
 				d.logf("ca %s: read: %v", d.CA.Owner(), err)
 			}
 			return
@@ -216,7 +272,7 @@ func (d *CustomerDaemon) handle(conn net.Conn) {
 		default:
 			reply = protocol.Errorf("customer daemon does not handle %s", env.Type)
 		}
-		if err := protocol.Write(conn, reply); err != nil {
+		if err := protocol.Write(bounded, reply); err != nil {
 			d.logf("ca %s: write: %v", d.CA.Owner(), err)
 			return
 		}
@@ -254,9 +310,28 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		claimAd.SetString("ShadowContact", d.shadowAddr)
 	}
 	d.mu.Unlock()
+	start := time.Now()
 	accepted, reason, err := d.claim(machine, claimAd, env.Ticket)
+	dur := time.Since(start)
+	d.mu.Lock()
+	if dur > d.maxClaimDur {
+		d.maxClaimDur = dur
+	}
+	d.mu.Unlock()
 	if err != nil {
-		return protocol.Errorf("claim: %v", err)
+		// The provider is dead, wedged past the claim deadline, or
+		// the connection was cut. The job was never marked running,
+		// so it simply stays Idle and re-advertises next cycle — the
+		// claim-retry path of §3.2; nothing is lost. The notification
+		// itself is acknowledged: the matchmaker's introduction was
+		// delivered, it just didn't pan out.
+		d.mu.Lock()
+		d.claimsRejected++
+		d.mu.Unlock()
+		d.logf("ca %s: claim of %s failed, job %d requeued: %v",
+			d.CA.Owner(), adName(machine), job.ID, err)
+		return &protocol.Envelope{Type: protocol.TypeAck,
+			Reason: fmt.Sprintf("claim failed: %v", err)}
 	}
 	d.mu.Lock()
 	if accepted {
@@ -298,13 +373,16 @@ func (d *CustomerDaemon) pickJobFor(machine *classad.Ad) (agent.Job, bool) {
 }
 
 // claim dials the provider and runs the claiming protocol, answering
-// a challenge if one is issued.
+// a challenge if one is issued. The whole exchange — however many
+// envelopes the handshake takes — runs under one absolute deadline
+// (ClaimTimeout), so a wedged provider can never stall the CA's
+// notification handler beyond the configured bound.
 func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket string) (bool, string, error) {
 	contact, ok := machine.Eval(classad.AttrContact).StringVal()
 	if !ok || contact == "" {
 		return false, "", errors.New("provider ad has no Contact")
 	}
-	conn, err := net.Dial("tcp", contact)
+	conn, err := d.dialer.DialTotal(contact, d.ClaimTimeout)
 	if err != nil {
 		return false, "", err
 	}
@@ -430,14 +508,20 @@ func (d *CustomerDaemon) handleQuery(env *protocol.Envelope) *protocol.Envelope 
 
 // Complete finishes a running job: credit its full remaining work and
 // release the claim ("When the CA finishes using the resource, it
-// relinquishes the claim").
+// relinquishes the claim"). Complete is idempotent: when a RELEASE is
+// lost in transit the claim record is kept, and calling Complete
+// again retries only the release — the queue bookkeeping is not
+// redone — so a provider briefly unreachable at completion time is
+// freed as soon as connectivity returns.
 func (d *CustomerDaemon) Complete(jobID int) error {
 	j, ok := d.CA.Job(jobID)
 	if !ok {
 		return fmt.Errorf("pool: no job %d", jobID)
 	}
-	if _, err := d.CA.Progress(jobID, j.Work-j.Done, false); err != nil {
-		return err
+	if j.Status == agent.JobRunning {
+		if _, err := d.CA.Progress(jobID, j.Work-j.Done, false); err != nil {
+			return err
+		}
 	}
 	d.mu.Lock()
 	ref, had := d.claims[jobID]
@@ -446,24 +530,40 @@ func (d *CustomerDaemon) Complete(jobID int) error {
 	if !had {
 		return nil
 	}
-	conn, err := net.Dial("tcp", ref.contact)
+	// RELEASE is idempotent (the RA acknowledges a duplicate release
+	// of an already-unclaimed machine), so transport failures retry
+	// with backoff. If the provider is truly gone the claim dies with
+	// it — its ad expires and the machine returns via re-advertising.
+	err := netx.Retry(context.Background(), d.retry, func() error {
+		conn, err := d.dialer.Dial(ref.contact)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		if err := protocol.Write(conn, &protocol.Envelope{
+			Type: protocol.TypeRelease, Name: d.CA.Owner(),
+		}); err != nil {
+			return err
+		}
+		reply, err := protocol.Read(bufio.NewReader(conn))
+		if err != nil {
+			return err
+		}
+		if reply.Type == protocol.TypeError {
+			return netx.Permanent(errors.New(reply.Reason))
+		}
+		return nil
+	})
 	if err != nil {
-		return err
+		// The release never landed: remember the claim so a later
+		// Complete call can retry it once the provider is reachable.
+		d.mu.Lock()
+		if _, exists := d.claims[jobID]; !exists {
+			d.claims[jobID] = ref
+		}
+		d.mu.Unlock()
 	}
-	defer conn.Close()
-	if err := protocol.Write(conn, &protocol.Envelope{
-		Type: protocol.TypeRelease, Name: d.CA.Owner(),
-	}); err != nil {
-		return err
-	}
-	reply, err := protocol.Read(bufio.NewReader(conn))
-	if err != nil {
-		return err
-	}
-	if reply.Type == protocol.TypeError {
-		return errors.New(reply.Reason)
-	}
-	return nil
+	return err
 }
 
 func adName(ad *classad.Ad) string {

@@ -17,15 +17,18 @@ package pool
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"sync"
 
 	"repro/internal/classad"
 	"repro/internal/collector"
 	"repro/internal/matchmaker"
+	"repro/internal/netx"
 	"repro/internal/protocol"
 )
 
@@ -43,6 +46,9 @@ type Manager struct {
 	logf      func(string, ...any)
 	usageFile string
 	history   io.Writer
+
+	dialer      *netx.Dialer
+	notifyRetry netx.RetryPolicy
 
 	mu     sync.Mutex
 	cycles int
@@ -67,6 +73,14 @@ type ManagerConfig struct {
 	// so the log is queryable with the same one-way matching the
 	// status tools use (cmd/chistory).
 	History io.Writer
+	// Dialer bounds MATCH notification dials; nil selects
+	// netx.DefaultDialer.
+	Dialer *netx.Dialer
+	// NotifyRetry is the backoff policy for notification transport
+	// failures; the zero value selects the netx defaults. Redelivered
+	// MATCH envelopes are harmless: the CA no-ops when the job is no
+	// longer idle, the RA's copy is advisory.
+	NotifyRetry netx.RetryPolicy
 }
 
 // NewManager builds a pool manager.
@@ -79,12 +93,17 @@ func NewManager(cfg ManagerConfig) *Manager {
 	}
 	store := collector.New(cfg.Env)
 	m := &Manager{
-		store:     store,
-		mm:        matchmaker.New(cfg.Matchmaker),
-		env:       cfg.Env,
-		logf:      cfg.Logf,
-		usageFile: cfg.UsageFile,
-		history:   cfg.History,
+		store:       store,
+		mm:          matchmaker.New(cfg.Matchmaker),
+		env:         cfg.Env,
+		logf:        cfg.Logf,
+		usageFile:   cfg.UsageFile,
+		history:     cfg.History,
+		dialer:      cfg.Dialer,
+		notifyRetry: cfg.NotifyRetry,
+	}
+	if m.dialer == nil {
+		m.dialer = netx.DefaultDialer
 	}
 	if m.usageFile != "" {
 		if err := m.mm.Usage().Load(m.usageFile); err != nil {
@@ -102,6 +121,13 @@ func (m *Manager) Usage() *matchmaker.PriorityTable { return m.mm.Usage() }
 func (m *Manager) Listen(addr string) (string, error) {
 	m.server = collector.NewServer(m.store, m.logf)
 	return m.server.Listen(addr)
+}
+
+// Serve starts the collector endpoint on an existing listener (which
+// chaos tests wrap in a netx.FaultListener) and returns its address.
+func (m *Manager) Serve(ln net.Listener) string {
+	m.server = collector.NewServer(m.store, m.logf)
+	return m.server.Serve(ln)
 }
 
 // Close shuts the collector endpoint down.
@@ -253,19 +279,25 @@ func (m *Manager) notify(match matchmaker.Match) error {
 	}
 	ticket, _ := match.Offer.Eval(classad.AttrTicket).StringVal()
 
-	// Customer first: it drives the claiming protocol.
-	if err := sendToContact(match.Request, &protocol.Envelope{
-		Type:    protocol.TypeMatch,
-		PeerAd:  protocol.EncodeAd(match.Offer),
-		Ticket:  ticket,
-		Session: session,
+	// Customer first: it drives the claiming protocol. MATCH is
+	// idempotent for the CA (a duplicate lands after the job left the
+	// idle state and is acknowledged as stale), so transport failures
+	// are retried with backoff before the match is abandoned to the
+	// next cycle.
+	if err := netx.Retry(context.Background(), m.notifyRetry, func() error {
+		return sendToContact(m.dialer, match.Request, &protocol.Envelope{
+			Type:    protocol.TypeMatch,
+			PeerAd:  protocol.EncodeAd(match.Offer),
+			Ticket:  ticket,
+			Session: session,
+		})
 	}); err != nil {
 		return fmt.Errorf("pool: notify customer: %w", err)
 	}
 	// Provider notification is advisory; a provider without a
 	// reachable contact still works because the claim itself carries
-	// everything the RA needs.
-	if err := sendToContact(match.Offer, &protocol.Envelope{
+	// everything the RA needs. One bounded attempt is enough.
+	if err := sendToContact(m.dialer, match.Offer, &protocol.Envelope{
 		Type:    protocol.TypeMatch,
 		PeerAd:  protocol.EncodeAd(match.Request),
 		Session: session,
@@ -275,14 +307,18 @@ func (m *Manager) notify(match matchmaker.Match) error {
 	return nil
 }
 
-// sendToContact dials the ad's Contact address, delivers one envelope,
-// and waits for an ACK.
-func sendToContact(ad *classad.Ad, env *protocol.Envelope) error {
+// sendToContact dials the ad's Contact address with bounded connect
+// and I/O deadlines, delivers one envelope, and waits for an ACK.
+func sendToContact(d *netx.Dialer, ad *classad.Ad, env *protocol.Envelope) error {
 	contact, ok := ad.Eval(classad.AttrContact).StringVal()
 	if !ok || contact == "" {
-		return errors.New("ad has no Contact address")
+		// No retry can conjure a contact address.
+		return netx.Permanent(errors.New("ad has no Contact address"))
 	}
-	conn, err := net.Dial("tcp", contact)
+	if d == nil {
+		d = netx.DefaultDialer
+	}
+	conn, err := d.Dial(contact)
 	if err != nil {
 		return err
 	}
@@ -295,7 +331,15 @@ func sendToContact(ad *classad.Ad, env *protocol.Envelope) error {
 		return err
 	}
 	if reply.Type == protocol.TypeError {
-		return errors.New(reply.Reason)
+		return netx.Permanent(errors.New(reply.Reason))
 	}
 	return nil
+}
+
+// quietReadError reports whether a handler read error is ordinary
+// connection lifecycle (clean close, daemon shutdown, idle timeout)
+// rather than a protocol problem worth logging.
+func quietReadError(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, os.ErrDeadlineExceeded)
 }

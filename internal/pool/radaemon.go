@@ -2,15 +2,15 @@ package pool
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
-	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/classad"
 	"repro/internal/collector"
+	"repro/internal/netx"
 	"repro/internal/protocol"
 	"repro/internal/remote"
 )
@@ -26,8 +26,14 @@ type ResourceDaemon struct {
 	// before considering a claim (paper §3.2 "Authentication").
 	RequireChallenge bool
 
+	// IdleTimeout bounds a handler's wait for the next envelope;
+	// WriteTimeout bounds each reply write. Set before Listen/Serve.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
+
 	collector *collector.Client
 	lifetime  int64
+	dialer    *netx.Dialer
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -49,11 +55,26 @@ func NewResourceDaemon(ra *agent.Resource, collectorAddr string, lifetime int64,
 		logf = func(string, ...any) {}
 	}
 	return &ResourceDaemon{
-		RA:        ra,
-		collector: &collector.Client{Addr: collectorAddr},
-		lifetime:  lifetime,
-		logf:      logf,
+		RA:           ra,
+		IdleTimeout:  netx.DefaultIdleTimeout,
+		WriteTimeout: netx.DefaultIOTimeout,
+		collector:    &collector.Client{Addr: collectorAddr},
+		lifetime:     lifetime,
+		dialer:       netx.DefaultDialer,
+		logf:         logf,
 	}
+}
+
+// ConfigureNetwork sets the dialer and retry policy used for all of
+// the daemon's outbound traffic (collector heartbeats and CA
+// notifications). Call before Listen/Serve.
+func (d *ResourceDaemon) ConfigureNetwork(dialer *netx.Dialer, retry netx.RetryPolicy) {
+	if dialer == nil {
+		dialer = netx.DefaultDialer
+	}
+	d.dialer = dialer
+	d.collector.Dialer = dialer
+	d.collector.Retry = retry
 }
 
 // OnEvict registers a callback invoked when a claim is preempted by a
@@ -67,13 +88,20 @@ func (d *ResourceDaemon) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return d.Serve(ln), nil
+}
+
+// Serve starts the claiming endpoint on an existing listener (which
+// chaos tests wrap in a netx.FaultListener) and returns the contact
+// address.
+func (d *ResourceDaemon) Serve(ln net.Listener) string {
 	d.mu.Lock()
 	d.ln = ln
 	d.contact = ln.Addr().String()
 	d.mu.Unlock()
 	d.wg.Add(1)
 	go d.acceptLoop(ln)
-	return d.contact, nil
+	return d.contact
 }
 
 // Contact returns the daemon's claiming address.
@@ -133,11 +161,12 @@ func (d *ResourceDaemon) acceptLoop(ln net.Listener) {
 
 func (d *ResourceDaemon) handle(conn net.Conn) {
 	defer conn.Close()
-	r := bufio.NewReader(conn)
+	bounded := netx.TimeoutConn(conn, d.IdleTimeout, d.WriteTimeout)
+	r := bufio.NewReader(bounded)
 	for {
 		env, err := protocol.Read(r)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !quietReadError(err) {
 				d.logf("ra %s: read: %v", d.RA.Name(), err)
 			}
 			return
@@ -149,22 +178,33 @@ func (d *ResourceDaemon) handle(conn net.Conn) {
 			// Advisory — the claim carries everything needed.
 			reply = &protocol.Envelope{Type: protocol.TypeAck}
 		case protocol.TypeClaim:
-			reply = d.handleClaim(conn, r, env)
+			reply = d.handleClaim(bounded, r, env)
 		case protocol.TypeRelease:
-			if err := d.RA.Release(env.Name); err != nil {
-				reply = protocol.Errorf("%v", err)
-			} else {
-				d.stopStarter()
-				reply = &protocol.Envelope{Type: protocol.TypeAck}
-			}
+			reply = d.handleRelease(env)
 		default:
 			reply = protocol.Errorf("resource daemon does not handle %s", env.Type)
 		}
-		if err := protocol.Write(conn, reply); err != nil {
+		if err := protocol.Write(bounded, reply); err != nil {
 			d.logf("ra %s: write: %v", d.RA.Name(), err)
 			return
 		}
 	}
+}
+
+// handleRelease ends the active claim. RELEASE is idempotent: when
+// the reply to a successful release is lost in transit, the CA
+// retries, and the duplicate finds the resource already unclaimed —
+// that is success, not an error (DESIGN.md, "Failure semantics").
+func (d *ResourceDaemon) handleRelease(env *protocol.Envelope) *protocol.Envelope {
+	if err := d.RA.Release(env.Name); err != nil {
+		if _, held := d.RA.CurrentClaim(); !held {
+			d.stopStarter()
+			return &protocol.Envelope{Type: protocol.TypeAck, Reason: "already released"}
+		}
+		return protocol.Errorf("%v", err)
+	}
+	d.stopStarter()
+	return &protocol.Envelope{Type: protocol.TypeAck}
 }
 
 // handleClaim runs the RA side of the claiming protocol (Figure 3
@@ -287,7 +327,7 @@ func (d *ResourceDaemon) maybeStartJob(job *classad.Ad) {
 		if err := d.RA.Release(owner); err != nil {
 			d.logf("ra %s: release after completion: %v", d.RA.Name(), err)
 		}
-		if err := sendToContact(job, &protocol.Envelope{
+		if err := sendToContact(d.dialer, job, &protocol.Envelope{
 			Type: protocol.TypeJobDone,
 			Ad:   protocol.EncodeAd(job),
 			Name: d.RA.Name(),
@@ -306,7 +346,7 @@ func (d *ResourceDaemon) notifyPreempted(claim agent.Claim) {
 	if d.onEvict != nil {
 		d.onEvict(claim)
 	}
-	err := sendToContact(claim.Job, &protocol.Envelope{
+	err := sendToContact(d.dialer, claim.Job, &protocol.Envelope{
 		Type: protocol.TypePreempt,
 		Ad:   protocol.EncodeAd(claim.Job),
 		Name: d.RA.Name(),

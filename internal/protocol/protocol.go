@@ -133,19 +133,32 @@ func Write(w io.Writer, e *Envelope) error {
 	return err
 }
 
-// Read receives one envelope from a buffered reader.
+// Read receives one envelope from a buffered reader. Buffering is
+// bounded: the line is accumulated one bufio chunk at a time and the
+// read fails as soon as it exceeds maxLine, so a misbehaving peer can
+// only force ~maxLine of allocation, never an unbounded frame. A
+// truncated frame (the connection died mid-line) returns the
+// transport error rather than attempting to decode partial bytes; the
+// only tolerated irregularity is a missing trailing newline on the
+// final message of a connection.
 func Read(r *bufio.Reader) (*Envelope, error) {
-	line, err := r.ReadBytes('\n')
-	if err != nil {
-		if err == io.EOF && len(line) > 0 {
-			// Tolerate a missing trailing newline on the final
-			// message of a connection.
-		} else if err != nil && len(line) == 0 {
-			return nil, err
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if len(line) > maxLine {
+			return nil, fmt.Errorf("protocol: message exceeds %d bytes", maxLine)
 		}
-	}
-	if len(line) > maxLine {
-		return nil, fmt.Errorf("protocol: message exceeds %d bytes", maxLine)
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			continue // mid-line; keep accumulating, bounded above
+		}
+		if err == io.EOF && len(line) > 0 {
+			break // missing trailing newline on a final message
+		}
+		return nil, err
 	}
 	var e Envelope
 	if err := json.Unmarshal(line, &e); err != nil {

@@ -1,0 +1,117 @@
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// neverNewline yields an endless stream with no frame delimiter — the
+// shape of a peer trying to exhaust the reader's memory.
+type neverNewline struct{}
+
+func (neverNewline) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 'a'
+	}
+	return len(p), nil
+}
+
+// TestReadBoundsOversizedFrame: an endless line fails at the frame
+// bound instead of buffering without limit (the old ReadBytes path
+// buffered the whole line before checking maxLine, so an unbounded
+// line meant unbounded allocation).
+func TestReadBoundsOversizedFrame(t *testing.T) {
+	r := bufio.NewReader(neverNewline{})
+	_, err := Read(r)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want oversize failure", err)
+	}
+}
+
+// TestReadOversizedFrameWithNewline: a finite but over-limit frame is
+// rejected even though it is well-delimited.
+func TestReadOversizedFrameWithNewline(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(`{"type":"ACK","reason":"`)
+	buf.Write(bytes.Repeat([]byte{'x'}, maxLine))
+	buf.WriteString("\"}\n")
+	_, err := Read(bufio.NewReader(&buf))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("err = %v, want oversize failure", err)
+	}
+}
+
+// brokenReader yields its payload, then a non-EOF transport error —
+// a connection dying mid-frame.
+type brokenReader struct {
+	data []byte
+	err  error
+}
+
+func (r *brokenReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestReadTruncatedFrameReturnsTransportError: a partial line ended
+// by a real error must surface that error, not attempt to unmarshal
+// the truncated bytes (which could even parse, silently corrupting
+// the conversation).
+func TestReadTruncatedFrameReturnsTransportError(t *testing.T) {
+	boom := errors.New("connection reset mid-frame")
+	r := bufio.NewReader(&brokenReader{data: []byte(`{"type":"ACK"`), err: boom})
+	_, err := Read(r)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the transport error", err)
+	}
+}
+
+// TestReadTruncatedValidJSONStillFails: the truncated prefix here is
+// itself valid JSON for a smaller envelope — exactly the case where
+// the old code fabricated a wrong message.
+func TestReadTruncatedValidJSONStillFails(t *testing.T) {
+	boom := errors.New("reset")
+	// The full frame carried a reason; the truncation point leaves a
+	// complete JSON object.
+	r := bufio.NewReader(&brokenReader{data: []byte(`{"type":"ACK"}`), err: boom})
+	env, err := Read(r)
+	if err == nil {
+		t.Fatalf("truncated frame decoded as %+v", env)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the transport error", err)
+	}
+}
+
+// TestReadSpansBufioChunks: frames larger than bufio's internal
+// buffer still decode (the bounded loop reassembles chunks).
+func TestReadSpansBufioChunks(t *testing.T) {
+	big := strings.Repeat("x", 64<<10)
+	var buf bytes.Buffer
+	if err := Write(&buf, &Envelope{Type: TypeAck, Reason: big}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := Read(bufio.NewReaderSize(&buf, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Reason != big {
+		t.Fatalf("large frame corrupted: got %d bytes", len(env.Reason))
+	}
+}
+
+// TestReadEOFOnEmptyStream stays a clean EOF.
+func TestReadEOFOnEmptyStream(t *testing.T) {
+	_, err := Read(bufio.NewReader(bytes.NewReader(nil)))
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
