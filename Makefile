@@ -3,12 +3,16 @@
 #   make verify   vet + build + race-enabled tests (the PR gate)
 #   make test     tier-1 check as ROADMAP.md defines it
 #   make fuzz     short protocol fuzz run (FuzzReadEnvelope)
+#   make bench    matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
 #   make ci       everything CI runs: verify + fuzz
 
 GO ?= go
 FUZZTIME ?= 15s
+# The hot paths a matchmaker lives on: classad parse/eval/match and
+# the negotiation-cycle variants.
+BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiation|Aggregation|FairShare|Analyze|ClaimRevalidation
 
-.PHONY: verify test build vet fuzz ci
+.PHONY: verify test build vet fuzz bench ci
 
 verify:
 	$(GO) vet ./...
@@ -29,5 +33,12 @@ vet:
 # malformed JSON. Continuous deep fuzzing raises FUZZTIME.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadEnvelope -fuzztime=$(FUZZTIME) ./internal/protocol
+
+# Benchmark the matchmaking hot paths and refresh the checked-in
+# baseline. benchjson compiles under `make verify` (go build ./...),
+# so the pipeline can never rot silently.
+bench:
+	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchmem . | $(GO) run ./tools/benchjson > BENCH_matchmaker.json
+	@echo "wrote BENCH_matchmaker.json"
 
 ci: verify fuzz

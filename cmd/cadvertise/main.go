@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	cadvertise -pool HOST:PORT [-lifetime SECONDS] FILE...
+//	cadvertise -pool HOST:PORT [-lifetime SECONDS] [-debug-addr ADDR] FILE...
 //	cadvertise -pool HOST:PORT -invalidate NAME
 //
-// Each FILE may contain one or more bracketed classads.
+// Each FILE may contain one or more bracketed classads. With
+// -debug-addr the tool serves /metrics while it runs and prints the
+// netx transport counters (dials, retries, backoff) on exit — handy
+// for seeing what a flaky collector cost.
 package main
 
 import (
@@ -17,13 +20,34 @@ import (
 
 	"repro/internal/classad"
 	"repro/internal/collector"
+	"repro/internal/netx"
+	"repro/internal/obs"
 )
 
 func main() {
 	poolAddr := flag.String("pool", "127.0.0.1:9618", "collector address")
 	lifetime := flag.Int64("lifetime", 0, "advertisement lifetime in seconds (0 = collector default)")
 	invalidate := flag.String("invalidate", "", "withdraw the ad stored under this name")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics and pprof on this address while running")
 	flag.Parse()
+
+	var o *obs.Obs
+	if *debugAddr != "" {
+		o = obs.New()
+		netx.Instrument(o.Registry())
+		ds, err := o.ServeDebug(*debugAddr)
+		if err != nil {
+			fatalf("debug endpoint: %v", err)
+		}
+		defer ds.Close()
+		fmt.Fprintf(os.Stderr, "cadvertise: debug endpoint on http://%s\n", ds.Addr())
+		defer func() {
+			snap := o.Registry().Snapshot()
+			fmt.Fprintf(os.Stderr, "cadvertise: transport: %d dial(s), %d retried, %d ms backoff\n",
+				snap.Counters["netx_dials_total"], snap.Counters["netx_retries_total"],
+				snap.Counters["netx_backoff_ms_total"])
+		}()
+	}
 
 	client := &collector.Client{Addr: *poolAddr}
 	if *invalidate != "" {

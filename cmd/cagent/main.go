@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	cagent -resource machine.ad [-listen ADDR] [-pool ADDR] [-period S] [-challenge]
-//	cagent -customer OWNER      [-listen ADDR] [-pool ADDR] [-period S]
+//	cagent -resource machine.ad [-listen ADDR] [-pool ADDR] [-period S] [-challenge] [-debug-addr ADDR]
+//	cagent -customer OWNER      [-listen ADDR] [-pool ADDR] [-period S] [-debug-addr ADDR]
 //
 // Both periodically advertise to the pool's collector (Figure 3
 // step 1) and then react to the matchmaking and claiming protocols.
@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/classad"
+	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -34,21 +36,38 @@ func main() {
 	period := flag.Int64("period", 300, "advertising period in seconds")
 	challenge := flag.Bool("challenge", false, "RA only: require HMAC challenge-response at claim time")
 	flock := flag.String("flock", "", "CA only: comma-separated additional pool collectors to flock to")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address")
 	flag.Parse()
 
 	switch {
 	case *resourceFile != "" && *customer != "":
 		fatalf("-resource and -customer are mutually exclusive")
 	case *resourceFile != "":
-		runResource(*resourceFile, *listen, *poolAddr, *period, *challenge)
+		runResource(*resourceFile, *listen, *poolAddr, *period, *challenge, *debugAddr)
 	case *customer != "":
-		runCustomer(*customer, *listen, *poolAddr, *period, *flock)
+		runCustomer(*customer, *listen, *poolAddr, *period, *flock, *debugAddr)
 	default:
 		fatalf("one of -resource or -customer is required")
 	}
 }
 
-func runResource(file, listen, poolAddr string, period int64, challenge bool) {
+// startDebug brings up the observability endpoint when requested; the
+// returned Obs is nil (all hooks no-op) when debugAddr is empty.
+func startDebug(debugAddr string) *obs.Obs {
+	if debugAddr == "" {
+		return nil
+	}
+	o := obs.New()
+	netx.Instrument(o.Registry())
+	ds, err := o.ServeDebug(debugAddr)
+	if err != nil {
+		fatalf("debug endpoint: %v", err)
+	}
+	log.Printf("cagent: debug endpoint on http://%s", ds.Addr())
+	return o
+}
+
+func runResource(file, listen, poolAddr string, period int64, challenge bool, debugAddr string) {
 	data, err := os.ReadFile(file)
 	if err != nil {
 		fatalf("%v", err)
@@ -63,6 +82,9 @@ func runResource(file, listen, poolAddr string, period int64, challenge bool) {
 	ra.PublishClock()
 	d := pool.NewResourceDaemon(ra, poolAddr, 3*period, log.Printf)
 	d.RequireChallenge = challenge
+	if o := startDebug(debugAddr); o != nil {
+		d.Instrument(o)
+	}
 	contact, err := d.Listen(listen)
 	if err != nil {
 		fatalf("%v", err)
@@ -80,9 +102,12 @@ func runResource(file, listen, poolAddr string, period int64, challenge bool) {
 	})
 }
 
-func runCustomer(owner, listen, poolAddr string, period int64, flock string) {
+func runCustomer(owner, listen, poolAddr string, period int64, flock, debugAddr string) {
 	ca := agent.NewCustomer(owner, nil)
 	d := pool.NewCustomerDaemon(ca, poolAddr, 3*period, log.Printf)
+	if o := startDebug(debugAddr); o != nil {
+		d.Instrument(o)
+	}
 	if flock != "" {
 		for _, target := range strings.Split(flock, ",") {
 			if target = strings.TrimSpace(target); target != "" {

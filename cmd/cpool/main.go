@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cpool [-listen ADDR] [-period SECONDS] [-fairshare] [-aggregate]
+//	cpool [-listen ADDR] [-period SECONDS] [-fairshare] [-aggregate] [-debug-addr ADDR]
 package main
 
 import (
@@ -17,6 +17,8 @@ import (
 	"time"
 
 	"repro/internal/matchmaker"
+	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -27,6 +29,7 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "enable group matching over regular ads")
 	usageFile := flag.String("usage", "", "persist fair-share history to this file")
 	historyFile := flag.String("history", "", "append match records (classads) to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events and pprof on this address")
 	verbose := flag.Bool("v", false, "log every cycle")
 	flag.Parse()
 
@@ -51,6 +54,18 @@ func main() {
 	}
 	if history != nil {
 		cfg.History = history
+	}
+	if *debugAddr != "" {
+		o := obs.New()
+		netx.Instrument(o.Registry())
+		cfg.Obs = o
+		ds, err := o.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpool: debug endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer ds.Close()
+		log.Printf("cpool: debug endpoint on http://%s", ds.Addr())
 	}
 	mgr := pool.NewManager(cfg)
 	addr, err := mgr.Listen(*listen)

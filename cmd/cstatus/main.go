@@ -5,20 +5,32 @@
 // Usage:
 //
 //	cstatus -pool HOST:PORT [-constraint 'EXPR'] [-long] [-type Machine]
+//	cstatus -debug-addr HOST:PORT -metrics
+//	cstatus -debug-addr HOST:PORT -trace CYCLE-ID
 //
 // The constraint is evaluated with `other` bound to each stored ad;
-// ads for which it is true are printed.
+// ads for which it is true are printed. The -metrics and -trace modes
+// talk to a daemon's observability endpoint (its -debug-addr) instead
+// of the collector: -metrics dumps the metric registry, -trace replays
+// every event stamped with one negotiation-cycle ID — the manager's
+// cycle, the matchmaker's decisions, the CA's claim and the RA's
+// verdict, in order.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/classad"
 	"repro/internal/collector"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,7 +39,23 @@ func main() {
 	typeFilter := flag.String("type", "", "restrict to ads of this Type")
 	long := flag.Bool("long", false, "print whole ads instead of a summary table")
 	attrs := flag.String("attrs", "", "comma-separated projection: fetch only these attributes")
+	debugAddr := flag.String("debug-addr", "", "daemon observability endpoint for -metrics / -trace")
+	metrics := flag.Bool("metrics", false, "print the daemon's metric registry")
+	trace := flag.String("trace", "", "replay the events of this negotiation-cycle ID")
 	flag.Parse()
+
+	if *metrics || *trace != "" {
+		if *debugAddr == "" {
+			fatalf("-metrics and -trace need -debug-addr (the daemon's debug endpoint)")
+		}
+		if *metrics {
+			showMetrics(*debugAddr)
+		}
+		if *trace != "" {
+			showTrace(*debugAddr, *trace)
+		}
+		return
+	}
 
 	src := *constraint
 	if *typeFilter != "" {
@@ -92,6 +120,84 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("  %-10s %-12s %5d\n", k.arch, k.state, totals[k])
 		}
+	}
+}
+
+// fetchJSON GETs one debug-endpoint path and decodes the reply.
+func fetchJSON(addr, path string, out any) {
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get("http://" + addr + path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fatalf("%s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		fatalf("%s: %v", path, err)
+	}
+}
+
+// showMetrics prints a daemon's whole metric registry: counters and
+// gauges as a sorted table, histograms with count, sum and mean.
+func showMetrics(addr string) {
+	var snap obs.Snapshot
+	fetchJSON(addr, "/metrics", &snap)
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-44s %12d\n", name, snap.Counters[name])
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-44s %12g\n", name, snap.Gauges[name])
+	}
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		mean := "-"
+		if h.Count > 0 {
+			mean = fmt.Sprintf("%.6g", h.Sum/float64(h.Count))
+		}
+		fmt.Printf("%-44s %12d  sum=%.6g mean=%s\n", name, h.Count, h.Sum, mean)
+	}
+}
+
+// showTrace replays one negotiation cycle's events in order: the
+// manager opening the cycle, the matchmaker's matches and rejections,
+// the CA's claim attempt and the RA's verdict.
+func showTrace(addr, cycle string) {
+	var events []obs.Event
+	fetchJSON(addr, "/events?cycle="+url.QueryEscape(cycle), &events)
+	if len(events) == 0 {
+		fmt.Printf("no events for cycle %s\n", cycle)
+		return
+	}
+	fmt.Printf("cycle %s: %d event(s)\n", cycle, len(events))
+	for _, ev := range events {
+		fields := make([]string, 0, len(ev.Fields))
+		for k := range ev.Fields {
+			fields = append(fields, k)
+		}
+		sort.Strings(fields)
+		var b strings.Builder
+		for _, k := range fields {
+			fmt.Fprintf(&b, " %s=%s", k, ev.Fields[k])
+		}
+		fmt.Printf("%s  %-10s %-16s%s\n",
+			ev.Time.Format("15:04:05.000"), ev.Src, ev.Type, b.String())
 	}
 }
 

@@ -1,0 +1,123 @@
+package collector
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/netx"
+	"repro/internal/protocol"
+)
+
+// fastRetry keeps transport-failure tests quick: two attempts,
+// millisecond backoff.
+var fastRetry = netx.RetryPolicy{Attempts: 2, Base: time.Millisecond, Max: 2 * time.Millisecond}
+
+// cannedServer accepts one connection at a time, reads one envelope
+// and answers with the scripted reply, until closed.
+func cannedServer(t *testing.T, reply *protocol.Envelope) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				if _, err := protocol.Read(bufio.NewReader(c)); err != nil {
+					return
+				}
+				protocol.Write(c, reply)
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func trueQuery(t *testing.T) *classad.Ad {
+	t.Helper()
+	q := classad.NewAd()
+	if err := q.SetExprString(classad.AttrConstraint, "true"); err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestQueryProjectErrorReply: an application-level ERROR becomes the
+// client's error verbatim and is not retried.
+func TestQueryProjectErrorReply(t *testing.T) {
+	addr := cannedServer(t, protocol.Errorf("store on fire"))
+	c := &Client{Addr: addr, Retry: fastRetry}
+	_, err := c.QueryProject(trueQuery(t), nil)
+	if err == nil || !strings.Contains(err.Error(), "store on fire") {
+		t.Fatalf("err = %v, want the server's reason", err)
+	}
+}
+
+// TestQueryProjectUnexpectedReply: a reply of the wrong type is an
+// error naming the type, not a silent empty result.
+func TestQueryProjectUnexpectedReply(t *testing.T) {
+	addr := cannedServer(t, &protocol.Envelope{Type: protocol.TypeAck})
+	c := &Client{Addr: addr, Retry: fastRetry}
+	_, err := c.QueryProject(trueQuery(t), nil)
+	if err == nil || !strings.Contains(err.Error(), "unexpected reply ACK") {
+		t.Fatalf("err = %v, want unexpected-reply", err)
+	}
+}
+
+// TestQueryProjectBadAdInReply: a QUERY_REPLY carrying an unparsable
+// ad fails the whole query — partial decodes are never returned.
+func TestQueryProjectBadAdInReply(t *testing.T) {
+	addr := cannedServer(t, &protocol.Envelope{
+		Type: protocol.TypeQueryReply,
+		Ads:  []string{"[ Name = \"ok\" ]", "[ this is not a classad"},
+	})
+	c := &Client{Addr: addr, Retry: fastRetry}
+	ads, err := c.QueryProject(trueQuery(t), nil)
+	if err == nil {
+		t.Fatalf("got %d ads and no error, want decode failure", len(ads))
+	}
+}
+
+// TestQueryProjectTransportFailure: nothing listening means a dial
+// error after the retry budget, not a hang.
+func TestQueryProjectTransportFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close() // the port is now dead
+	c := &Client{Addr: addr, Retry: fastRetry}
+	start := time.Now()
+	_, err = c.QueryProject(trueQuery(t), nil)
+	if err == nil {
+		t.Fatal("query against a dead port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("failure took %v; retry budget not honoured", elapsed)
+	}
+}
+
+// TestQueryProjectEmptyReply: zero matches decode to an empty,
+// non-nil slice.
+func TestQueryProjectEmptyReply(t *testing.T) {
+	addr := cannedServer(t, &protocol.Envelope{Type: protocol.TypeQueryReply})
+	c := &Client{Addr: addr, Retry: fastRetry}
+	ads, err := c.QueryProject(trueQuery(t), []string{"Name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ads == nil || len(ads) != 0 {
+		t.Fatalf("ads = %#v, want empty non-nil slice", ads)
+	}
+}

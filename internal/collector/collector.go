@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/classad"
+	"repro/internal/obs"
 )
 
 // DefaultLifetime is how long an advertisement stays valid when the
@@ -32,6 +33,9 @@ type Store struct {
 	mu  sync.RWMutex
 	ads map[string]entry // folded Name -> entry
 	env *classad.Env
+
+	// Observability hooks; nil (no-op) until Instrument is called.
+	mStored, mExpired, mInvalidated *obs.Counter
 }
 
 // New returns an empty store reading time from env (nil for the
@@ -41,6 +45,20 @@ func New(env *classad.Env) *Store {
 		env = classad.DefaultEnv()
 	}
 	return &Store{ads: make(map[string]entry), env: env}
+}
+
+// Instrument routes store activity into reg's counters:
+// collector_ads_stored_total (Update calls, i.e. new ads plus
+// refreshes), collector_ads_expired_total (lifetime expiries), and
+// collector_ads_invalidated_total (explicit withdrawals). It also
+// publishes the live ad count as the gauge collector_ads.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	s.mStored = reg.Counter("collector_ads_stored_total")
+	s.mExpired = reg.Counter("collector_ads_expired_total")
+	s.mInvalidated = reg.Counter("collector_ads_invalidated_total")
+	s.mu.Unlock()
+	reg.GaugeFunc("collector_ads", func() float64 { return float64(s.Len()) })
 }
 
 // NameOf extracts the identity an ad is stored under.
@@ -67,6 +85,7 @@ func (s *Store) Update(ad *classad.Ad, lifetime int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ads[classad.Fold(name)] = entry{ad: ad, expires: s.env.Now() + lifetime}
+	s.mStored.Inc()
 	return nil
 }
 
@@ -78,6 +97,9 @@ func (s *Store) Invalidate(name string) bool {
 	key := classad.Fold(name)
 	_, ok := s.ads[key]
 	delete(s.ads, key)
+	if ok {
+		s.mInvalidated.Inc()
+	}
 	return ok
 }
 
@@ -87,6 +109,7 @@ func (s *Store) pruneLocked() {
 	for k, e := range s.ads {
 		if e.expires != 0 && e.expires <= now {
 			delete(s.ads, k)
+			s.mExpired.Inc()
 		}
 	}
 }

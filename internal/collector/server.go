@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"net"
 	"os"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/classad"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -36,20 +38,62 @@ type Server struct {
 	conns  map[net.Conn]bool
 	wg     sync.WaitGroup
 	logf   func(format string, args ...any)
+
+	// Observability hooks; nil (no-op) until Instrument is called.
+	events                *obs.Events
+	mQueries, mProjected  *obs.Counter
+	mAdvertise, mBadFrame *obs.Counter
+	gHandlers             *obs.Gauge
 }
 
-// NewServer wraps store in a protocol server. logf may be nil to
-// discard diagnostics.
+// NewServer wraps store in a protocol server. logf may be nil: the
+// server then discards diagnostics (or, once Instrument is called,
+// routes them into the event buffer alone). Every internal log goes
+// through the nil-safe log method, so even a Server constructed as a
+// bare struct literal cannot panic on a nil logger.
 func NewServer(store *Store, logf func(string, ...any)) *Server {
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	return &Server{
 		store:        store,
 		IdleTimeout:  netx.DefaultIdleTimeout,
 		WriteTimeout: netx.DefaultIOTimeout,
 		conns:        make(map[net.Conn]bool),
 		logf:         logf,
+	}
+}
+
+// Instrument routes server activity into o: queries served
+// (collector_queries_total, collector_queries_projected_total),
+// advertisements received (collector_advertise_total), protocol errors
+// (collector_bad_frames_total), live handler goroutines
+// (collector_handlers gauge), plus the store's own counters. Server
+// diagnostics additionally land in the event buffer as src
+// "collector", type "log". Call before Listen/Serve.
+func (s *Server) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	s.mu.Lock()
+	s.events = o.Events()
+	s.mQueries = reg.Counter("collector_queries_total")
+	s.mProjected = reg.Counter("collector_queries_projected_total")
+	s.mAdvertise = reg.Counter("collector_advertise_total")
+	s.mBadFrame = reg.Counter("collector_bad_frames_total")
+	s.gHandlers = reg.Gauge("collector_handlers")
+	s.mu.Unlock()
+	if s.store != nil {
+		s.store.Instrument(reg)
+	}
+}
+
+// log emits one diagnostic to the configured logger (when set) and to
+// the event buffer (when instrumented). Safe on every Server,
+// including a zero-value one.
+func (s *Server) log(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+	if s.events != nil {
+		s.events.Emit("collector", "log", "", map[string]string{
+			"msg": fmt.Sprintf(format, args...),
+		})
 	}
 }
 
@@ -126,6 +170,8 @@ func (s *Server) Store() *Store { return s.store }
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	s.gHandlers.Inc()
+	defer s.gHandlers.Dec()
 	// Idle and write deadlines: a peer that stalls mid-conversation
 	// (or a fault-injected delay) bounds out instead of holding the
 	// handler goroutine hostage.
@@ -135,13 +181,14 @@ func (s *Server) handle(conn net.Conn) {
 		env, err := protocol.Read(r)
 		if err != nil {
 			if !quietReadError(err) {
-				s.logf("collector: read: %v", err)
+				s.mBadFrame.Inc()
+				s.log("collector: read: %v", err)
 			}
 			return
 		}
 		reply := s.dispatch(env)
 		if err := protocol.Write(bounded, reply); err != nil {
-			s.logf("collector: write: %v", err)
+			s.log("collector: write: %v", err)
 			return
 		}
 	}
@@ -158,6 +205,7 @@ func quietReadError(err error) bool {
 func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 	switch env.Type {
 	case protocol.TypeAdvertise:
+		s.mAdvertise.Inc()
 		ad, err := protocol.DecodeAd(env.Ad)
 		if err != nil {
 			return protocol.Errorf("bad advertisement: %v", err)
@@ -173,12 +221,16 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 		s.store.Invalidate(env.Name)
 		return &protocol.Envelope{Type: protocol.TypeAck}
 	case protocol.TypeQuery:
+		s.mQueries.Inc()
 		query, err := protocol.DecodeAd(env.Ad)
 		if err != nil {
 			return protocol.Errorf("bad query: %v", err)
 		}
 		var matches []*classad.Ad
 		if len(env.Projection) > 0 {
+			// Projected queries ship only the named attributes; the
+			// ratio projected/total is the projection hit rate.
+			s.mProjected.Inc()
 			matches = s.store.QueryProject(query, env.Projection)
 		} else {
 			matches = s.store.Query(query)

@@ -13,9 +13,12 @@
 package matchmaker
 
 import (
+	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/classad"
+	"repro/internal/obs"
 )
 
 // Match is one pairing produced by a negotiation cycle. It carries
@@ -53,12 +56,52 @@ type Config struct {
 type Matchmaker struct {
 	cfg   Config
 	usage *PriorityTable
+
+	// Observability hooks; nil (no-op) until Instrument is called.
+	events     *obs.Events
+	mMatches   *obs.Counter
+	mRejNone   *obs.Counter // no offers in the pool at all
+	mRejConstr *obs.Counter // no offer satisfies the bilateral constraints
+	mRejTaken  *obs.Counter // compatible offers existed but were all taken
+	hNegotiate *obs.Histogram
+	hScanned   *obs.Histogram
 }
+
+// Rejection reasons, mirroring the categories of Analyze: the pool is
+// empty, the pool cannot serve the request, or the pool could but
+// higher-priority requests took every compatible offer this cycle.
+const (
+	ReasonNoOffers         = "no-offers"
+	ReasonConstraintFailed = "constraint-failed"
+	ReasonOutranked        = "outranked"
+)
 
 // New returns a matchmaker with the given configuration.
 func New(cfg Config) *Matchmaker {
 	return &Matchmaker{cfg: cfg, usage: NewPriorityTable()}
 }
+
+// Instrument routes negotiation activity into o:
+// matchmaker_matches_total and the per-reason rejection counters
+// (matchmaker_rejected_{no_offers,constraint,outranked}_total),
+// negotiation wall time (matchmaker_negotiate_seconds), and offers
+// examined per request (matchmaker_offers_scanned). Each match and
+// rejection also lands in the event buffer, stamped with the cycle ID
+// passed to NegotiateCycle. Call before the first cycle.
+func (m *Matchmaker) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	m.events = o.Events()
+	m.mMatches = reg.Counter("matchmaker_matches_total")
+	m.mRejNone = reg.Counter("matchmaker_rejected_no_offers_total")
+	m.mRejConstr = reg.Counter("matchmaker_rejected_constraint_total")
+	m.mRejTaken = reg.Counter("matchmaker_rejected_outranked_total")
+	m.hNegotiate = reg.Histogram("matchmaker_negotiate_seconds", obs.DurationBuckets)
+	m.hScanned = reg.Histogram("matchmaker_offers_scanned", obs.CountBuckets)
+}
+
+// instrumented reports whether Instrument has been called; rejection
+// diagnosis does extra matching work that uninstrumented cycles skip.
+func (m *Matchmaker) instrumented() bool { return m.mMatches != nil }
 
 // Usage exposes the fair-share accounting table.
 func (m *Matchmaker) Usage() *PriorityTable { return m.usage }
@@ -91,6 +134,16 @@ func owner(ad *classad.Ad) string {
 // constraints and ranks are pure and do not reference identity
 // attributes.
 func (m *Matchmaker) Negotiate(requests, offers []*classad.Ad) []Match {
+	return m.NegotiateCycle("", requests, offers)
+}
+
+// NegotiateCycle is Negotiate carrying the negotiation-cycle ID the
+// pool manager minted: when the matchmaker is instrumented, every
+// match and rejection event it emits is stamped with the ID, so a
+// cycle's decisions correlate with the manager, CA and RA events that
+// surround them.
+func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad) []Match {
+	start := time.Now()
 	order := m.requestOrder(requests)
 	available := make([]bool, len(offers))
 	for i := range available {
@@ -107,19 +160,23 @@ func (m *Matchmaker) Negotiate(requests, offers []*classad.Ad) []Match {
 	var out []Match
 	for _, ri := range order {
 		req := requests[ri]
-		var best int
+		var best, scanned int
 		var reqRank, offRank float64
+		var cands []classCand
 		if agg != nil {
 			sig := Signature(req)
-			cands, seen := memo[sig]
+			var seen bool
+			cands, seen = memo[sig]
 			if !seen {
 				cands = agg.candidates(req, offers, m.cfg.Env)
 				memo[sig] = cands
+				scanned = agg.NumClasses()
 			}
 			best, reqRank, offRank = agg.pick(cands, available, m.cfg.FirstFit)
 		} else {
-			best, reqRank, offRank = linearScan(req, offers, available, m.cfg)
+			best, reqRank, offRank, scanned = linearScan(req, offers, available, m.cfg)
 		}
+		m.hScanned.Observe(float64(scanned))
 		if best >= 0 {
 			available[best] = false
 			out = append(out, Match{
@@ -129,33 +186,96 @@ func (m *Matchmaker) Negotiate(requests, offers []*classad.Ad) []Match {
 				OfferRank:   offRank,
 			})
 			m.usage.Record(owner(req), 1)
+			m.mMatches.Inc()
+			if m.events != nil {
+				m.events.Emit("matchmaker", "match", cycle, map[string]string{
+					"request":      adName(req),
+					"offer":        adName(offers[best]),
+					"request_rank": fmt.Sprintf("%g", reqRank),
+					"offer_rank":   fmt.Sprintf("%g", offRank),
+				})
+			}
+		} else if m.instrumented() {
+			reason := m.diagnose(req, offers, available, agg, cands)
+			switch reason {
+			case ReasonNoOffers:
+				m.mRejNone.Inc()
+			case ReasonConstraintFailed:
+				m.mRejConstr.Inc()
+			case ReasonOutranked:
+				m.mRejTaken.Inc()
+			}
+			if m.events != nil {
+				m.events.Emit("matchmaker", "no_match", cycle, map[string]string{
+					"request": adName(req),
+					"reason":  reason,
+				})
+			}
 		}
 	}
+	m.hNegotiate.Observe(time.Since(start).Seconds())
 	return out
+}
+
+// diagnose categorizes why a request left the cycle unmatched,
+// mirroring Analyze's verdicts: an empty pool (no-offers), a pool with
+// no bilaterally compatible offer (constraint-failed), or compatible
+// offers that higher-priority requests already took (outranked). The
+// linear path re-examines only the offers the scan skipped as
+// unavailable; the aggregate path reads the candidate classes, which
+// were computed ignoring availability.
+func (m *Matchmaker) diagnose(req *classad.Ad, offers []*classad.Ad, available []bool, agg *aggregation, cands []classCand) string {
+	if len(offers) == 0 {
+		return ReasonNoOffers
+	}
+	if agg != nil {
+		if len(cands) > 0 {
+			return ReasonOutranked
+		}
+		return ReasonConstraintFailed
+	}
+	for oi := range offers {
+		if available[oi] {
+			continue // the scan already proved these incompatible
+		}
+		if classad.MatchEnv(req, offers[oi], m.cfg.Env).Matched {
+			return ReasonOutranked
+		}
+	}
+	return ReasonConstraintFailed
+}
+
+func adName(ad *classad.Ad) string {
+	if s, ok := ad.Eval(classad.AttrName).StringVal(); ok {
+		return s
+	}
+	return owner(ad)
 }
 
 // linearScan picks the offer for one request by scanning every
 // available offer: highest request rank, ties to the higher offer
-// rank, remaining ties to the earliest offer.
-func linearScan(req *classad.Ad, offers []*classad.Ad, available []bool, cfg Config) (best int, reqRank, offRank float64) {
+// rank, remaining ties to the earliest offer. It also reports how many
+// offers it examined (the per-request matching work).
+func linearScan(req *classad.Ad, offers []*classad.Ad, available []bool, cfg Config) (best int, reqRank, offRank float64, scanned int) {
 	best = -1
 	for oi := range offers {
 		if !available[oi] {
 			continue
 		}
+		scanned++
 		res := classad.MatchEnv(req, offers[oi], cfg.Env)
 		if !res.Matched {
 			continue
 		}
 		if cfg.FirstFit {
-			return oi, res.LeftRank, res.RightRank
+			return oi, res.LeftRank, res.RightRank, scanned
 		}
 		if best < 0 || res.LeftRank > reqRank ||
 			(res.LeftRank == reqRank && res.RightRank > offRank) {
 			best, reqRank, offRank = oi, res.LeftRank, res.RightRank
 		}
 	}
-	return best, reqRank, offRank
+	return best, reqRank, offRank, scanned
 }
 
 // requestOrder returns the indices of requests in service order. With

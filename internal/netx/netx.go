@@ -19,6 +19,7 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"os"
 	"sync"
 	"time"
 )
@@ -71,8 +72,11 @@ func (d *Dialer) ioTimeout() time.Duration {
 }
 
 func (d *Dialer) dialRaw(addr string) (net.Conn, error) {
+	m := metrics()
+	m.dials.Inc()
 	conn, err := net.DialTimeout("tcp", addr, d.connectTimeout())
 	if err != nil {
+		m.dialErrors.Inc()
 		return nil, err
 	}
 	if d.Wrap != nil {
@@ -136,7 +140,11 @@ func (c *timeoutConn) Read(p []byte) (int, error) {
 			return 0, err
 		}
 	}
-	return c.Conn.Read(p)
+	n, err := c.Conn.Read(p)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		metrics().deadlineExpiries.Inc()
+	}
+	return n, err
 }
 
 func (c *timeoutConn) Write(p []byte) (int, error) {
@@ -145,7 +153,11 @@ func (c *timeoutConn) Write(p []byte) (int, error) {
 			return 0, err
 		}
 	}
-	return c.Conn.Write(p)
+	n, err := c.Conn.Write(p)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		metrics().deadlineExpiries.Inc()
+	}
+	return n, err
 }
 
 // RetryPolicy describes capped exponential backoff with jitter.
@@ -229,6 +241,7 @@ func init() {
 // "Failure semantics").
 func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 	p = p.norm()
+	m := metrics()
 	var rng *rand.Rand
 	if p.Seed != 0 {
 		rng = rand.New(rand.NewSource(p.Seed))
@@ -242,6 +255,9 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 			}
 			return cerr
 		}
+		if attempt > 0 {
+			m.retries.Inc()
+		}
 		err = fn()
 		if err == nil {
 			return nil
@@ -251,9 +267,11 @@ func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
 			return perm.err
 		}
 		if attempt == p.Attempts-1 {
+			m.retriesExhausted.Inc()
 			break
 		}
 		sleep := jitteredDelay(delay, p.Jitter, rng)
+		m.backoffMillis.Add(sleep.Milliseconds())
 		select {
 		case <-time.After(sleep):
 		case <-ctx.Done():

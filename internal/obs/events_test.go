@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestEventsWraparound fills a small ring past capacity and checks the
+// survivors are exactly the most recent events, in order, with intact
+// sequence numbers.
+func TestEventsWraparound(t *testing.T) {
+	e := NewEvents(8)
+	for i := 0; i < 20; i++ {
+		e.Emit("test", fmt.Sprintf("t%d", i), "", nil)
+	}
+	if e.Len() != 8 {
+		t.Errorf("len = %d, want 8", e.Len())
+	}
+	if e.Total() != 20 {
+		t.Errorf("total = %d, want 20", e.Total())
+	}
+	got := e.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("snapshot len = %d, want 8", len(got))
+	}
+	for i, ev := range got {
+		wantSeq := int64(12 + i)
+		if ev.Seq != wantSeq || ev.Type != fmt.Sprintf("t%d", wantSeq) {
+			t.Errorf("event %d = seq %d type %s, want seq %d type t%d",
+				i, ev.Seq, ev.Type, wantSeq, wantSeq)
+		}
+	}
+}
+
+// TestEventsSelect filters by cycle, type and limit.
+func TestEventsSelect(t *testing.T) {
+	e := NewEvents(64)
+	for i := 0; i < 10; i++ {
+		cycle := "c1"
+		if i%2 == 0 {
+			cycle = "c2"
+		}
+		e.Emit("mgr", "tick", cycle, map[string]string{"i": fmt.Sprint(i)})
+	}
+	e.Emit("mgr", "done", "c1", nil)
+
+	if got := e.Select("c1", "", 0); len(got) != 6 {
+		t.Errorf("cycle filter: %d events, want 6", len(got))
+	}
+	if got := e.Select("c1", "done", 0); len(got) != 1 {
+		t.Errorf("cycle+type filter: %d events, want 1", len(got))
+	}
+	got := e.Select("", "tick", 3)
+	if len(got) != 3 {
+		t.Fatalf("limit: %d events, want 3", len(got))
+	}
+	// Limit keeps the most recent matches.
+	if got[2].Fields["i"] != "9" {
+		t.Errorf("limit kept %v, want the latest ticks", got)
+	}
+}
+
+// TestEventsConcurrent emits from many goroutines; under -race this is
+// the ring's thread-safety proof.
+func TestEventsConcurrent(t *testing.T) {
+	e := NewEvents(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				e.Emit("w", "t", fmt.Sprintf("c%d", w), nil)
+				e.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if e.Total() != 1600 {
+		t.Errorf("total = %d, want 1600", e.Total())
+	}
+}
+
+// TestNewCycleID: readable prefix, unique suffix.
+func TestNewCycleID(t *testing.T) {
+	a, b := NewCycleID(7), NewCycleID(7)
+	if !strings.HasPrefix(a, "c7-") {
+		t.Errorf("cycle id %q lacks ordinal prefix", a)
+	}
+	if a == b {
+		t.Errorf("two cycle ids collided: %q", a)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Handler returns the debug endpoint: /metrics (registry snapshot as
+// JSON), /events (event ring as JSON, filterable with ?cycle=, ?type=
+// and ?n=), and the standard pprof tree under /debug/pprof/. The
+// handler is read-only and safe to expose on a loopback or
+// operations-network address; it is never started unless a daemon is
+// given -debug-addr.
+func (o *Obs) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, o.Registry().Snapshot())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit, _ := strconv.Atoi(q.Get("n"))
+		writeJSON(w, o.Events().Select(q.Get("cycle"), q.Get("type"), limit))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("matchmaking debug endpoint\n" +
+			"  /metrics          metrics registry snapshot (JSON)\n" +
+			"  /events           event ring (JSON; ?cycle= ?type= ?n=)\n" +
+			"  /debug/pprof/     Go runtime profiles\n"))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// DebugServer is a running debug HTTP endpoint.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr and serves the Handler in the background,
+// returning the bound address (addr may use port 0).
+func (o *Obs) ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address.
+func (s *DebugServer) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *DebugServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestDebugEndpoints starts the debug server and exercises /metrics,
+// /events (with a cycle filter) and the pprof index over real HTTP.
+func TestDebugEndpoints(t *testing.T) {
+	o := New()
+	o.Reg.Counter("collector_queries_total").Add(5)
+	o.Reg.Histogram("pool_claim_seconds", nil).Observe(0.002)
+	o.Ev.Emit("manager", "cycle_begin", "c1-deadbeef", map[string]string{"requests": "3"})
+	o.Ev.Emit("ca", "claim", "c1-deadbeef", nil)
+	o.Ev.Emit("manager", "cycle_begin", "c2-deadbeef", nil)
+
+	srv, err := o.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	var snap Snapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.Counters["collector_queries_total"] != 5 {
+		t.Errorf("/metrics counters = %+v", snap.Counters)
+	}
+	if snap.Histograms["pool_claim_seconds"].Count != 1 {
+		t.Errorf("/metrics histograms = %+v", snap.Histograms)
+	}
+
+	var evs []Event
+	getJSON(t, base+"/events?cycle=c1-deadbeef", &evs)
+	if len(evs) != 2 {
+		t.Fatalf("/events?cycle= returned %d events, want 2", len(evs))
+	}
+	if evs[0].Src != "manager" || evs[1].Src != "ca" {
+		t.Errorf("event sources = %s, %s", evs[0].Src, evs[1].Src)
+	}
+
+	resp, err := http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index status = %d", resp.StatusCode)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v\n%s", url, err, body)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/classad"
 	"repro/internal/collector"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/remote"
 )
@@ -61,6 +62,17 @@ type CustomerDaemon struct {
 	claimsOK, claimsRejected int
 	maxClaimDur              time.Duration
 
+	// Observability hooks; nil (no-op) until Instrument is called.
+	events           *obs.Events
+	mClaimAttempts   *obs.Counter
+	mClaimOK         *obs.Counter
+	mClaimRejected   *obs.Counter
+	mClaimFailed     *obs.Counter
+	mReleaseRequeued *obs.Counter
+	mPreemptsRx      *obs.Counter
+	hClaimSeconds    *obs.Histogram
+	gHandlers        *obs.Gauge
+
 	// shadow serves remote syscalls and checkpoints for this CA's
 	// executing jobs, when execution is enabled.
 	shadow     *remote.Shadow
@@ -88,6 +100,39 @@ func NewCustomerDaemon(ca *agent.Customer, collectorAddr string, lifetime int64,
 		logf:         logf,
 		claims:       make(map[int]claimRef),
 	}
+}
+
+// Instrument routes claim-lifecycle activity into o: attempts,
+// verdicts and transport failures (pool_claim_attempts_total,
+// pool_claims_ok_total, pool_claims_rejected_total,
+// pool_claims_failed_total), releases kept for retry
+// (pool_release_requeued_total), eviction notices received
+// (pool_preempts_received_total), the end-to-end claim latency from
+// MATCH receipt to the provider's verdict ack (pool_claim_seconds),
+// and live notification handlers (pool_ca_handlers gauge). Claim
+// events carry the cycle ID from the MATCH envelope. Call before
+// Listen/Serve.
+func (d *CustomerDaemon) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = o.Events()
+	d.mClaimAttempts = reg.Counter("pool_claim_attempts_total")
+	d.mClaimOK = reg.Counter("pool_claims_ok_total")
+	d.mClaimRejected = reg.Counter("pool_claims_rejected_total")
+	d.mClaimFailed = reg.Counter("pool_claims_failed_total")
+	d.mReleaseRequeued = reg.Counter("pool_release_requeued_total")
+	d.mPreemptsRx = reg.Counter("pool_preempts_received_total")
+	d.hClaimSeconds = reg.Histogram("pool_claim_seconds", obs.DurationBuckets)
+	d.gHandlers = reg.Gauge("pool_ca_handlers")
+}
+
+// emit logs one CA event stamped with the given cycle ID.
+func (d *CustomerDaemon) emit(typ, cycle string, fields map[string]string) {
+	d.mu.Lock()
+	ev := d.events
+	d.mu.Unlock()
+	ev.Emit("ca", typ, cycle, fields)
 }
 
 // ConfigureNetwork sets the dialer and retry policy used for all of
@@ -247,6 +292,11 @@ func (d *CustomerDaemon) acceptLoop(ln net.Listener) {
 
 func (d *CustomerDaemon) handle(conn net.Conn) {
 	defer conn.Close()
+	d.mu.Lock()
+	gHandlers := d.gHandlers
+	d.mu.Unlock()
+	gHandlers.Inc()
+	defer gHandlers.Dec()
 	bounded := netx.TimeoutConn(conn, d.IdleTimeout, d.WriteTimeout)
 	r := bufio.NewReader(bounded)
 	for {
@@ -310,9 +360,14 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		claimAd.SetString("ShadowContact", d.shadowAddr)
 	}
 	d.mu.Unlock()
+	// Claim latency is measured end to end: from MATCH receipt here to
+	// the provider's verdict (or failure), the paper's step-3-to-step-4
+	// gap a customer actually experiences.
+	d.mClaimAttempts.Inc()
 	start := time.Now()
-	accepted, reason, err := d.claim(machine, claimAd, env.Ticket)
+	accepted, reason, err := d.claim(machine, claimAd, env.Ticket, env.Cycle)
 	dur := time.Since(start)
+	d.hClaimSeconds.Observe(dur.Seconds())
 	d.mu.Lock()
 	if dur > d.maxClaimDur {
 		d.maxClaimDur = dur
@@ -328,6 +383,12 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		d.mu.Lock()
 		d.claimsRejected++
 		d.mu.Unlock()
+		d.mClaimFailed.Inc()
+		d.emit("claim_failed", env.Cycle, map[string]string{
+			"machine": adName(machine),
+			"job":     fmt.Sprintf("%d", job.ID),
+			"error":   err.Error(),
+		})
 		d.logf("ca %s: claim of %s failed, job %d requeued: %v",
 			d.CA.Owner(), adName(machine), job.ID, err)
 		return &protocol.Envelope{Type: protocol.TypeAck,
@@ -343,9 +404,21 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 	if !accepted {
 		// Weak consistency at work: the provider's state moved on.
 		// The job stays idle and will be re-advertised next cycle.
+		d.mClaimRejected.Inc()
+		d.emit("claim_rejected", env.Cycle, map[string]string{
+			"machine": adName(machine),
+			"job":     fmt.Sprintf("%d", job.ID),
+			"reason":  reason,
+		})
 		d.logf("ca %s: claim of %s rejected: %s", d.CA.Owner(), adName(machine), reason)
 		return &protocol.Envelope{Type: protocol.TypeAck, Reason: reason}
 	}
+	d.mClaimOK.Inc()
+	d.emit("claim_ok", env.Cycle, map[string]string{
+		"machine":    adName(machine),
+		"job":        fmt.Sprintf("%d", job.ID),
+		"latency_ms": fmt.Sprintf("%d", dur.Milliseconds()),
+	})
 	contact, _ := machine.Eval(classad.AttrContact).StringVal()
 	if err := d.CA.MarkRunning(job.ID, adName(machine)); err != nil {
 		return protocol.Errorf("%v", err)
@@ -376,8 +449,10 @@ func (d *CustomerDaemon) pickJobFor(machine *classad.Ad) (agent.Job, bool) {
 // a challenge if one is issued. The whole exchange — however many
 // envelopes the handshake takes — runs under one absolute deadline
 // (ClaimTimeout), so a wedged provider can never stall the CA's
-// notification handler beyond the configured bound.
-func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket string) (bool, string, error) {
+// notification handler beyond the configured bound. The cycle ID from
+// the MATCH notification rides along in the CLAIM envelope so the
+// provider's events correlate with this negotiation cycle.
+func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket, cycle string) (bool, string, error) {
 	contact, ok := machine.Eval(classad.AttrContact).StringVal()
 	if !ok || contact == "" {
 		return false, "", errors.New("provider ad has no Contact")
@@ -391,6 +466,7 @@ func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket string) (bool,
 		Type:   protocol.TypeClaim,
 		Ad:     protocol.EncodeAd(jobAd),
 		Ticket: ticket,
+		Cycle:  cycle,
 	}); err != nil {
 		return false, "", err
 	}
@@ -438,6 +514,10 @@ func (d *CustomerDaemon) handlePreempt(env *protocol.Envelope) *protocol.Envelop
 	d.mu.Lock()
 	delete(d.claims, id)
 	d.mu.Unlock()
+	d.mPreemptsRx.Inc()
+	d.emit("preempted", env.Cycle, map[string]string{
+		"job": fmt.Sprintf("%d", id),
+	})
 	return &protocol.Envelope{Type: protocol.TypeAck}
 }
 
@@ -562,6 +642,12 @@ func (d *CustomerDaemon) Complete(jobID int) error {
 			d.claims[jobID] = ref
 		}
 		d.mu.Unlock()
+		d.mReleaseRequeued.Inc()
+		d.emit("release_requeued", "", map[string]string{
+			"job":     fmt.Sprintf("%d", jobID),
+			"machine": ref.machine,
+			"error":   err.Error(),
+		})
 	}
 	return err
 }

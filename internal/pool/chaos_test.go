@@ -10,6 +10,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/classad"
 	"repro/internal/netx"
+	"repro/internal/obs"
 )
 
 // chaosNet is the tightened network configuration the chaos suite
@@ -90,6 +91,13 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 	})
 	dialer, retry := chaosNet(seed)
 
+	// The whole run is instrumented: recovery is asserted through the
+	// metrics an operator would scrape, not just internal counters.
+	o := obs.New()
+	netx.Instrument(o.Registry())
+	t.Cleanup(func() { netx.Instrument(nil) })
+	faults.Publish(o.Registry())
+
 	baseline := runtime.NumGoroutine()
 
 	// Pool manager on a fixed address so its restart below lands on
@@ -99,7 +107,7 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 		t.Fatal(err)
 	}
 	collectorAddr := ln.Addr().String()
-	mgr := NewManager(ManagerConfig{Logf: t.Logf, Dialer: dialer, NotifyRetry: retry})
+	mgr := NewManager(ManagerConfig{Logf: t.Logf, Dialer: dialer, NotifyRetry: retry, Obs: o})
 	mgr.Serve(faults.Listener(ln))
 
 	const adLifetime = 2 // seconds; a dead provider's stale ad ages out fast
@@ -109,6 +117,7 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 		machine := figure1Machine()
 		machine.SetString(classad.AttrName, fmt.Sprintf("chaos%d.example", i))
 		ra := NewResourceDaemon(agent.NewResource(machine, nil), collectorAddr, adLifetime, t.Logf)
+		ra.Instrument(o)
 		ra.ConfigureNetwork(dialer, retry)
 		ra.IdleTimeout = 2 * time.Second
 		raLn, err := net.Listen("tcp", "127.0.0.1:0")
@@ -120,6 +129,7 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 	}
 
 	ca := NewCustomerDaemon(agent.NewCustomer("raman", nil), collectorAddr, adLifetime, t.Logf)
+	ca.Instrument(o)
 	ca.ConfigureNetwork(dialer, retry)
 	ca.IdleTimeout = 2 * time.Second
 	ca.ClaimTimeout = 500 * time.Millisecond
@@ -158,7 +168,7 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 			// ad in it) is lost; agents must re-establish state via
 			// their periodic advertising alone.
 			mgr.Close()
-			mgr = NewManager(ManagerConfig{Logf: t.Logf, Dialer: dialer, NotifyRetry: retry})
+			mgr = NewManager(ManagerConfig{Logf: t.Logf, Dialer: dialer, NotifyRetry: retry, Obs: o})
 			mgr.Serve(faults.Listener(rebindListener(t, collectorAddr)))
 		case 6:
 			// Provider death: its stale ad keeps drawing matches
@@ -220,8 +230,25 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 		}
 	}
 
+	// Recovery left its trace in the metrics an operator would scrape:
+	// the transport retried through the injected faults, and every
+	// claim round-trip landed in the latency histogram.
+	snap := o.Registry().Snapshot()
+	if got := snap.Counters["netx_retries_total"]; got == 0 {
+		t.Errorf("netx_retries_total = 0; 30%% drops must force retries")
+	}
+	if got := snap.Counters["netx_dials_total"]; got == 0 {
+		t.Errorf("netx_dials_total = 0; instrumentation wired to nothing")
+	}
+	if h := snap.Histograms["pool_claim_seconds"]; h.Count < int64(nJobs) {
+		t.Errorf("pool_claim_seconds count = %d, want >= %d", h.Count, nJobs)
+	}
+	if got := snap.Gauges["netx_fault_drops"]; got == 0 {
+		t.Errorf("netx_fault_drops gauge = 0, want the injector's drop count")
+	}
+
 	// Teardown drains every handler: goroutine count returns to the
-	// pre-test baseline.
+	// pre-test baseline, and the handler gauges agree.
 	ca.Close()
 	for i, ra := range ras {
 		if i != deadRA {
@@ -230,6 +257,9 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 	}
 	mgr.Close()
 	waitGoroutineBaseline(t, baseline)
+	for _, g := range []string{"collector_handlers", "pool_ca_handlers", "pool_ra_handlers"} {
+		waitGaugeZero(t, o, g)
+	}
 }
 
 // TestChaosWedgedPeerCannotPinHandler: a client that connects and

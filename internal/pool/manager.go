@@ -24,11 +24,13 @@ import (
 	"net"
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/classad"
 	"repro/internal/collector"
 	"repro/internal/matchmaker"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 )
 
@@ -49,6 +51,13 @@ type Manager struct {
 
 	dialer      *netx.Dialer
 	notifyRetry netx.RetryPolicy
+
+	// Observability hooks; nil (no-op) unless ManagerConfig.Obs is set.
+	obs           *obs.Obs
+	hCycleSeconds *obs.Histogram
+	hCycleReqs    *obs.Histogram
+	hCycleMatches *obs.Histogram
+	mNotifyErrors *obs.Counter
 
 	mu     sync.Mutex
 	cycles int
@@ -81,6 +90,12 @@ type ManagerConfig struct {
 	// MATCH envelopes are harmless: the CA no-ops when the job is no
 	// longer idle, the RA's copy is advisory.
 	NotifyRetry netx.RetryPolicy
+	// Obs, when set, instruments the manager and everything it owns
+	// (collector store and server, matchmaker): per-cycle histograms
+	// (pool_cycle_seconds, pool_cycle_requests, pool_cycle_matches),
+	// notification failures (pool_notify_errors_total), and the trace
+	// events that carry each cycle's ID across daemons.
+	Obs *obs.Obs
 }
 
 // NewManager builds a pool manager.
@@ -105,6 +120,16 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if m.dialer == nil {
 		m.dialer = netx.DefaultDialer
 	}
+	if cfg.Obs != nil {
+		m.obs = cfg.Obs
+		reg := cfg.Obs.Registry()
+		m.hCycleSeconds = reg.Histogram("pool_cycle_seconds", obs.DurationBuckets)
+		m.hCycleReqs = reg.Histogram("pool_cycle_requests", obs.CountBuckets)
+		m.hCycleMatches = reg.Histogram("pool_cycle_matches", obs.CountBuckets)
+		m.mNotifyErrors = reg.Counter("pool_notify_errors_total")
+		store.Instrument(reg)
+		m.mm.Instrument(cfg.Obs)
+	}
 	if m.usageFile != "" {
 		if err := m.mm.Usage().Load(m.usageFile); err != nil {
 			m.logf("pool: usage history %s unreadable, starting fresh: %v", m.usageFile, err)
@@ -120,6 +145,9 @@ func (m *Manager) Usage() *matchmaker.PriorityTable { return m.mm.Usage() }
 // address that agents should advertise to.
 func (m *Manager) Listen(addr string) (string, error) {
 	m.server = collector.NewServer(m.store, m.logf)
+	if m.obs != nil {
+		m.server.Instrument(m.obs)
+	}
 	return m.server.Listen(addr)
 }
 
@@ -127,8 +155,15 @@ func (m *Manager) Listen(addr string) (string, error) {
 // chaos tests wrap in a netx.FaultListener) and returns its address.
 func (m *Manager) Serve(ln net.Listener) string {
 	m.server = collector.NewServer(m.store, m.logf)
+	if m.obs != nil {
+		m.server.Instrument(m.obs)
+	}
 	return m.server.Serve(ln)
 }
+
+// Obs exposes the manager's observability sinks (nil when the manager
+// was built without ManagerConfig.Obs).
+func (m *Manager) Obs() *obs.Obs { return m.obs }
 
 // Close shuts the collector endpoint down.
 func (m *Manager) Close() {
@@ -155,6 +190,11 @@ type CycleResult struct {
 	Notified int
 	// Errors collects notification failures (unreachable contacts).
 	Errors []error
+	// Cycle is the cycle's trace identifier: every event this cycle
+	// emitted — across manager, matchmaker, CA and RA — carries it.
+	Cycle string
+	// Duration is the cycle's wall time.
+	Duration time.Duration
 }
 
 // RunCycle executes one negotiation cycle (paper §4: "Periodically,
@@ -164,9 +204,12 @@ type CycleResult struct {
 // the other's ad, the session identifier, and (to the customer) the
 // provider's authorization ticket.
 func (m *Manager) RunCycle() CycleResult {
+	start := time.Now()
 	m.mu.Lock()
 	m.cycles++
+	n := m.cycles
 	m.mu.Unlock()
+	cycleID := obs.NewCycleID(n)
 
 	requests := m.store.SelectType("Job")
 	var offers []*classad.Ad
@@ -180,11 +223,21 @@ func (m *Manager) RunCycle() CycleResult {
 		}
 		offers = append(offers, ad)
 	}
-	res := CycleResult{Requests: len(requests), Offers: len(offers)}
-	res.Matches = m.mm.Negotiate(requests, offers)
+	res := CycleResult{Requests: len(requests), Offers: len(offers), Cycle: cycleID}
+	m.obs.Events().Emit("manager", "cycle_begin", cycleID, map[string]string{
+		"requests": fmt.Sprint(res.Requests),
+		"offers":   fmt.Sprint(res.Offers),
+	})
+	res.Matches = m.mm.NegotiateCycle(cycleID, requests, offers)
 	for _, match := range res.Matches {
-		if err := m.notify(match); err != nil {
+		if err := m.notify(match, cycleID); err != nil {
 			res.Errors = append(res.Errors, err)
+			m.mNotifyErrors.Inc()
+			m.obs.Events().Emit("manager", "notify_failed", cycleID, map[string]string{
+				"request": adName(match.Request),
+				"offer":   adName(match.Offer),
+				"error":   err.Error(),
+			})
 			continue
 		}
 		res.Notified++
@@ -203,6 +256,16 @@ func (m *Manager) RunCycle() CycleResult {
 			m.logf("pool: saving usage history: %v", err)
 		}
 	}
+	res.Duration = time.Since(start)
+	m.hCycleSeconds.Observe(res.Duration.Seconds())
+	m.hCycleReqs.Observe(float64(res.Requests))
+	m.hCycleMatches.Observe(float64(len(res.Matches)))
+	m.obs.Events().Emit("manager", "cycle_end", cycleID, map[string]string{
+		"matches":  fmt.Sprint(len(res.Matches)),
+		"notified": fmt.Sprint(res.Notified),
+		"errors":   fmt.Sprint(len(res.Errors)),
+		"duration": res.Duration.String(),
+	})
 	m.publishSelf(res)
 	return res
 }
@@ -270,9 +333,10 @@ func (m *Manager) logMatch(match matchmaker.Match) {
 }
 
 // notify runs the matchmaking protocol for one match: a MATCH envelope
-// to each party's Contact address carrying the peer's ad; the
-// customer's copy also carries the provider's ticket.
-func (m *Manager) notify(match matchmaker.Match) error {
+// to each party's Contact address carrying the peer's ad and the
+// cycle's trace ID; the customer's copy also carries the provider's
+// ticket.
+func (m *Manager) notify(match matchmaker.Match, cycleID string) error {
 	session, err := protocol.NewSession()
 	if err != nil {
 		return err
@@ -290,6 +354,7 @@ func (m *Manager) notify(match matchmaker.Match) error {
 			PeerAd:  protocol.EncodeAd(match.Offer),
 			Ticket:  ticket,
 			Session: session,
+			Cycle:   cycleID,
 		})
 	}); err != nil {
 		return fmt.Errorf("pool: notify customer: %w", err)
@@ -301,6 +366,7 @@ func (m *Manager) notify(match matchmaker.Match) error {
 		Type:    protocol.TypeMatch,
 		PeerAd:  protocol.EncodeAd(match.Request),
 		Session: session,
+		Cycle:   cycleID,
 	}); err != nil {
 		m.logf("pool: notify provider: %v", err)
 	}

@@ -1,0 +1,194 @@
+package pool
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/netx"
+	"repro/internal/obs"
+)
+
+// scrape GETs one path from a live debug endpoint and decodes it —
+// the acceptance path goes over real HTTP, exactly as an operator's
+// curl would.
+func scrape(t *testing.T, addr, path string, out any) {
+	t.Helper()
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + addr + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+}
+
+// waitGaugeZero polls a metric gauge until it drains to zero; handler
+// goroutines observe the peer's close a beat after the protocol
+// exchange finishes.
+func waitGaugeZero(t *testing.T, o *obs.Obs, name string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := o.Registry().Snapshot()
+		if snap.Gauges[name] == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("gauge %s = %g, want 0 (leaked handler)", name, snap.Gauges[name])
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestObservabilityEndToEnd is the observability acceptance run: one
+// fully instrumented pool executes a real match over sockets, the
+// /metrics scrape shows nonzero collector, matchmaker, claim and netx
+// activity, and a single cycle ID correlates the manager, matchmaker,
+// CA and RA events of the match.
+func TestObservabilityEndToEnd(t *testing.T) {
+	o := obs.New()
+	netx.Instrument(o.Registry())
+	t.Cleanup(func() { netx.Instrument(nil) })
+
+	mgr := NewManager(ManagerConfig{Logf: t.Logf, Obs: o})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	ra := NewResourceDaemon(agent.NewResource(figure1Machine(), nil), addr, 0, t.Logf)
+	ra.Instrument(o)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ra.Close)
+
+	ca := NewCustomerDaemon(agent.NewCustomer("raman", nil), addr, 0, t.Logf)
+	ca.Instrument(o)
+	if _, err := ca.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ca.Close)
+
+	ds, err := o.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+
+	job := ca.CA.Submit(classad.Figure2(), 100)
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if res.Notified != 1 {
+		t.Fatalf("cycle = %+v", res)
+	}
+	if res.Cycle == "" {
+		t.Fatal("cycle result carries no cycle ID")
+	}
+	if err := ca.Complete(job.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The /metrics scrape: every layer must have registered activity.
+	var snap obs.Snapshot
+	scrape(t, ds.Addr(), "/metrics", &snap)
+	for _, name := range []string{
+		"collector_ads_stored_total",  // advertising protocol
+		"collector_advertise_total",   // collector server
+		"matchmaker_matches_total",    // negotiation
+		"pool_claim_attempts_total",   // CA claim lifecycle
+		"pool_claims_ok_total",        //
+		"pool_ra_claims_total",        // RA claiming protocol
+		"pool_ra_claims_accepted_total",
+		"pool_ra_releases_total",
+		"netx_dials_total", // transport substrate
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	for _, name := range []string{
+		"pool_cycle_seconds",
+		"matchmaker_negotiate_seconds",
+		"matchmaker_offers_scanned",
+		"pool_claim_seconds",
+	} {
+		if snap.Histograms[name].Count <= 0 {
+			t.Errorf("histogram %s count = %d, want > 0", name, snap.Histograms[name].Count)
+		}
+	}
+	if got := snap.Gauges["collector_ads"]; got != 2 {
+		t.Errorf("collector_ads gauge = %g, want 2", got)
+	}
+
+	// The trace: one cycle ID stitches the match's story across all
+	// four parties.
+	var events []obs.Event
+	scrape(t, ds.Addr(), "/events?cycle="+url.QueryEscape(res.Cycle), &events)
+	srcs := make(map[string]bool)
+	types := make(map[string]bool)
+	for _, ev := range events {
+		if ev.Cycle != res.Cycle {
+			t.Errorf("event %s/%s has cycle %q, want %q", ev.Src, ev.Type, ev.Cycle, res.Cycle)
+		}
+		srcs[ev.Src] = true
+		types[ev.Type] = true
+	}
+	for _, src := range []string{"manager", "matchmaker", "ca", "ra"} {
+		if !srcs[src] {
+			t.Errorf("no event from %q for cycle %s (events: %v)", src, res.Cycle, events)
+		}
+	}
+	for _, typ := range []string{"cycle_begin", "match", "claim_ok", "claim_accepted", "cycle_end"} {
+		if !types[typ] {
+			t.Errorf("no %q event for cycle %s", typ, res.Cycle)
+		}
+	}
+
+	// No handler goroutine outlives its connection: the gauges drain
+	// to zero once the protocol exchanges end.
+	for _, g := range []string{"collector_handlers", "pool_ca_handlers", "pool_ra_handlers"} {
+		waitGaugeZero(t, o, g)
+	}
+}
+
+// TestObservabilityCycleIDsDistinct: every cycle mints a fresh ID, so
+// traces never blur two negotiations together.
+func TestObservabilityCycleIDsDistinct(t *testing.T) {
+	o := obs.New()
+	mgr := NewManager(ManagerConfig{Logf: t.Logf, Obs: o})
+	seen := make(map[string]bool)
+	for i := 0; i < 5; i++ {
+		res := mgr.RunCycle()
+		if res.Cycle == "" {
+			t.Fatalf("cycle %d has no ID", i)
+		}
+		if seen[res.Cycle] {
+			t.Fatalf("cycle ID %s repeated", res.Cycle)
+		}
+		seen[res.Cycle] = true
+	}
+	// And the IDs carry the cycle ordinal for human eyes.
+	res := mgr.RunCycle()
+	if want := fmt.Sprintf("c%d-", mgr.Cycles()); len(res.Cycle) < len(want) || res.Cycle[:len(want)] != want {
+		t.Errorf("cycle ID %q does not start with %q", res.Cycle, want)
+	}
+}

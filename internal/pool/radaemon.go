@@ -11,6 +11,7 @@ import (
 	"repro/internal/classad"
 	"repro/internal/collector"
 	"repro/internal/netx"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/remote"
 )
@@ -46,6 +47,15 @@ type ResourceDaemon struct {
 	// starterCancel stops the starter of the active claim, when the
 	// claimed job executes via remote syscalls.
 	starterCancel chan struct{}
+
+	// Observability hooks; nil (no-op) until Instrument is called.
+	events        *obs.Events
+	mClaimsRx     *obs.Counter
+	mClaimsAccept *obs.Counter
+	mClaimsRefuse *obs.Counter
+	mPreemptions  *obs.Counter
+	mReleases     *obs.Counter
+	gHandlersRA   *obs.Gauge
 }
 
 // NewResourceDaemon builds a daemon around an RA that advertises to
@@ -63,6 +73,35 @@ func NewResourceDaemon(ra *agent.Resource, collectorAddr string, lifetime int64,
 		dialer:       netx.DefaultDialer,
 		logf:         logf,
 	}
+}
+
+// Instrument routes claiming-protocol activity into o: claims
+// received and their verdicts (pool_ra_claims_total,
+// pool_ra_claims_accepted_total, pool_ra_claims_rejected_total),
+// preemptions and evictions of the active claim
+// (pool_ra_preemptions_total), releases served
+// (pool_ra_releases_total), and live claim handlers (pool_ra_handlers
+// gauge). Claim events carry the cycle ID the CA echoed from its
+// MATCH notification. Call before Listen/Serve.
+func (d *ResourceDaemon) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.events = o.Events()
+	d.mClaimsRx = reg.Counter("pool_ra_claims_total")
+	d.mClaimsAccept = reg.Counter("pool_ra_claims_accepted_total")
+	d.mClaimsRefuse = reg.Counter("pool_ra_claims_rejected_total")
+	d.mPreemptions = reg.Counter("pool_ra_preemptions_total")
+	d.mReleases = reg.Counter("pool_ra_releases_total")
+	d.gHandlersRA = reg.Gauge("pool_ra_handlers")
+}
+
+// emit logs one RA event stamped with the given cycle ID.
+func (d *ResourceDaemon) emit(typ, cycle string, fields map[string]string) {
+	d.mu.Lock()
+	ev := d.events
+	d.mu.Unlock()
+	ev.Emit("ra", typ, cycle, fields)
 }
 
 // ConfigureNetwork sets the dialer and retry policy used for all of
@@ -161,6 +200,11 @@ func (d *ResourceDaemon) acceptLoop(ln net.Listener) {
 
 func (d *ResourceDaemon) handle(conn net.Conn) {
 	defer conn.Close()
+	d.mu.Lock()
+	gHandlers := d.gHandlersRA
+	d.mu.Unlock()
+	gHandlers.Inc()
+	defer gHandlers.Dec()
 	bounded := netx.TimeoutConn(conn, d.IdleTimeout, d.WriteTimeout)
 	r := bufio.NewReader(bounded)
 	for {
@@ -199,11 +243,17 @@ func (d *ResourceDaemon) handleRelease(env *protocol.Envelope) *protocol.Envelop
 	if err := d.RA.Release(env.Name); err != nil {
 		if _, held := d.RA.CurrentClaim(); !held {
 			d.stopStarter()
+			d.mReleases.Inc()
+			d.emit("release", env.Cycle, map[string]string{
+				"customer": env.Name, "duplicate": "true",
+			})
 			return &protocol.Envelope{Type: protocol.TypeAck, Reason: "already released"}
 		}
 		return protocol.Errorf("%v", err)
 	}
 	d.stopStarter()
+	d.mReleases.Inc()
+	d.emit("release", env.Cycle, map[string]string{"customer": env.Name})
 	return &protocol.Envelope{Type: protocol.TypeAck}
 }
 
@@ -235,13 +285,23 @@ func (d *ResourceDaemon) handleClaim(conn net.Conn, r *bufio.Reader, env *protoc
 				Accepted: false, Reason: "challenge failed"}
 		}
 	}
+	d.mClaimsRx.Inc()
 	out := d.RA.RequestClaim(job, env.Ticket)
 	if out.Accepted {
+		d.mClaimsAccept.Inc()
+		d.emit("claim_accepted", env.Cycle, map[string]string{
+			"job": adName(job),
+		})
 		if out.Preempted != nil {
 			d.stopStarter()
 			d.notifyPreempted(*out.Preempted)
 		}
 		d.maybeStartJob(job)
+	} else {
+		d.mClaimsRefuse.Inc()
+		d.emit("claim_rejected", env.Cycle, map[string]string{
+			"job": adName(job), "reason": out.Reason,
+		})
 	}
 	return &protocol.Envelope{
 		Type:     protocol.TypeClaimReply,
@@ -343,6 +403,10 @@ func (d *ResourceDaemon) notifyPreempted(claim agent.Claim) {
 	d.mu.Lock()
 	d.preempts++
 	d.mu.Unlock()
+	d.mPreemptions.Inc()
+	d.emit("preempt_sent", "", map[string]string{
+		"customer": claim.Customer, "job": adName(claim.Job),
+	})
 	if d.onEvict != nil {
 		d.onEvict(claim)
 	}

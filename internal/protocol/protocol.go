@@ -92,6 +92,12 @@ type Envelope struct {
 	// Session is the matchmaker-minted session identifier handed to
 	// both parties of a match.
 	Session string `json:"session,omitempty"`
+	// Cycle is the negotiation-cycle identifier stamped into MATCH
+	// notifications by the pool manager and echoed by the CA into the
+	// CLAIM it sends the provider, so observability events from every
+	// party of one match share an ID (obs package). Older peers ignore
+	// the field; its absence simply leaves events uncorrelated.
+	Cycle string `json:"cycle,omitempty"`
 	// Lifetime is the advertisement's validity in seconds; the
 	// collector expires ads that are not refreshed (advertising
 	// protocol bookkeeping).

@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// JSON document on stdout, so benchmark baselines can be checked in
+// and diffed mechanically (the Makefile's `bench` target pipes the
+// matchmaker/classad hot paths through it into
+// BENCH_matchmaker.json).
+//
+// Input lines it understands:
+//
+//	goos: linux
+//	goarch: amd64
+//	pkg: repro
+//	cpu: ...
+//	BenchmarkMatch-8    123456    9876 ns/op    120 B/op    3 allocs/op
+//
+// Everything else (PASS, ok, test log noise) is ignored, so the tool
+// is safe to leave in any pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp int64   `json:"bytes_per_op,omitempty"`
+	AllocsOp   int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the whole document: the environment header `go test`
+// prints, then every benchmark in input order.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep := Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			rep.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench decodes one result line: name, iteration count, then
+// value/unit pairs (ns/op, B/op, allocs/op).
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsOp = int64(v)
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
