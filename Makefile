@@ -1,7 +1,8 @@
 # Verification loop for the matchmaking reproduction.
 #
-#   make verify   vet + build + race-enabled tests (the PR gate)
+#   make verify   lint + vet + build + race-enabled tests (the PR gate)
 #   make test     tier-1 check as ROADMAP.md defines it
+#   make lint     repo-invariant analyzers + cadlint over shipped ads
 #   make fuzz     short protocol fuzz run (FuzzReadEnvelope)
 #   make bench    matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
 #   make ci       everything CI runs: verify + fuzz
@@ -12,12 +13,21 @@ FUZZTIME ?= 15s
 # the negotiation-cycle variants.
 BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiation|Aggregation|FairShare|Analyze|ClaimRevalidation
 
-.PHONY: verify test build vet fuzz bench ci
+.PHONY: verify test build vet lint fuzz bench ci
 
-verify:
+verify: lint
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+
+# Static analysis beyond go vet: the custom invariant analyzers
+# (tools/analyzers: nodial, obsguard, msgswitch) over every package,
+# and the ClassAd linter over every ad we ship. The intentionally
+# broken fixtures live under testdata/lint/ and
+# tools/analyzers/testdata/, which neither command reaches.
+lint:
+	$(GO) run ./tools/analyzers/cmd ./...
+	$(GO) run ./cmd/cadlint testdata/*.ad examples/ads/*.ad
 
 test:
 	$(GO) build ./...

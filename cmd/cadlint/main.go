@@ -1,0 +1,141 @@
+// Command cadlint statically checks classads for the silent mistakes
+// that make ads never match: type-confused three-valued comparisons,
+// references that can never bind (with did-you-mean suggestions),
+// unsatisfiable or tautological constraint conjuncts, and constant
+// Rank expressions (paper §5's "constraints which can never be
+// satisfied by the pool", answered statically).
+//
+// Usage:
+//
+//	cadlint file.ad [file2.ad ...]   lint ad files (one or many ads per file)
+//	cadlint -pool host:port          lint every ad advertised in a live collector
+//
+// Diagnostics print as file:line:col: CODE severity: message. The exit
+// status is 1 when any error-severity diagnostic (or a parse failure)
+// is found, 0 otherwise; -strict promotes warnings to the failing
+// exit status too.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/classad"
+	"repro/internal/classad/analysis"
+	"repro/internal/collector"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cadlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	pool := fs.String("pool", "", "lint the ads of the collector at `host:port` instead of files")
+	strict := fs.Bool("strict", false, "exit non-zero on warnings too")
+	quiet := fs.Bool("q", false, "suppress the per-file ok lines")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: cadlint [-strict] [-q] file.ad ...\n")
+		fmt.Fprintf(stderr, "       cadlint [-strict] [-q] -pool host:port\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var errs, warns int
+	lint := func(origin string, ad *classad.Ad) {
+		diags := analysis.AnalyzeAd(ad, nil)
+		for _, d := range diags {
+			switch d.Severity {
+			case analysis.Error:
+				errs++
+			case analysis.Warning:
+				warns++
+			}
+			fmt.Fprintf(stdout, "%s:%s\n", origin, d)
+		}
+		if len(diags) == 0 && !*quiet {
+			fmt.Fprintf(stdout, "%s: ok\n", origin)
+		}
+	}
+
+	switch {
+	case *pool != "":
+		if fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "cadlint: -pool and file arguments are mutually exclusive")
+			return 2
+		}
+		client := &collector.Client{Addr: *pool}
+		ads, err := client.Query(classad.NewAd()) // empty constraint: match all
+		if err != nil {
+			fmt.Fprintf(stderr, "cadlint: query %s: %v\n", *pool, err)
+			return 2
+		}
+		for i, ad := range ads {
+			origin := fmt.Sprintf("%s[%d]", *pool, i)
+			if name, ok := adName(ad); ok {
+				origin = name
+			}
+			lint(origin, ad)
+		}
+	case fs.NArg() == 0:
+		fs.Usage()
+		return 2
+	default:
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fmt.Fprintf(stderr, "cadlint: %v\n", err)
+				errs++
+				continue
+			}
+			ads, err := parseAds(string(src))
+			if err != nil {
+				// SyntaxError renders as line:col: msg; prefixing the
+				// path yields a clickable file:line:col locator.
+				fmt.Fprintf(stdout, "%s:%v\n", path, err)
+				errs++
+				continue
+			}
+			for i, ad := range ads {
+				origin := path
+				if len(ads) > 1 {
+					origin = fmt.Sprintf("%s[%d]", path, i)
+				}
+				lint(origin, ad)
+			}
+		}
+	}
+
+	if errs > 0 || (*strict && warns > 0) {
+		return 1
+	}
+	return 0
+}
+
+// parseAds accepts either a stream of bracketed ads or a single ad in
+// any accepted syntax (bracketed or bare attribute list).
+func parseAds(src string) ([]*classad.Ad, error) {
+	if ads, err := classad.ParseMulti(src); err == nil {
+		return ads, nil
+	}
+	ad, err := classad.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return []*classad.Ad{ad}, nil
+}
+
+func adName(ad *classad.Ad) (string, bool) {
+	e, ok := ad.Lookup(classad.AttrName)
+	if !ok {
+		return "", false
+	}
+	v := classad.EvalExprAgainst(e, ad, nil, nil)
+	s, ok := v.StringVal()
+	return s, ok && s != ""
+}

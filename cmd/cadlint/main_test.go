@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+)
+
+const lintDir = "../../testdata/lint"
+
+// TestGolden runs cadlint over every testdata/lint/*.ad file and
+// compares output and exit status against the .want file next to it.
+// The first line of a .want file is "exit N"; the rest is the exact
+// stdout with the directory prefix stripped.
+func TestGolden(t *testing.T) {
+	ads, err := filepath.Glob(filepath.Join(lintDir, "*.ad"))
+	if err != nil || len(ads) == 0 {
+		t.Fatalf("no golden ads in %s: %v", lintDir, err)
+	}
+	sort.Strings(ads)
+	for _, adPath := range ads {
+		name := strings.TrimSuffix(filepath.Base(adPath), ".ad")
+		t.Run(name, func(t *testing.T) {
+			wantRaw, err := os.ReadFile(filepath.Join(lintDir, name+".want"))
+			if err != nil {
+				t.Fatalf("missing golden file: %v", err)
+			}
+			lines := strings.SplitN(strings.TrimRight(string(wantRaw), "\n"), "\n", 2)
+			wantExit, err := strconv.Atoi(strings.TrimPrefix(lines[0], "exit "))
+			if err != nil {
+				t.Fatalf("bad exit line %q: %v", lines[0], err)
+			}
+			wantOut := ""
+			if len(lines) > 1 {
+				wantOut = lines[1] + "\n"
+			}
+
+			var stdout, stderr bytes.Buffer
+			code := run([]string{adPath}, &stdout, &stderr)
+			got := strings.ReplaceAll(stdout.String(), lintDir+string(filepath.Separator), "")
+			if code != wantExit {
+				t.Errorf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					code, wantExit, stdout.String(), stderr.String())
+			}
+			if got != wantOut {
+				t.Errorf("output mismatch\ngot:\n%s\nwant:\n%s", got, wantOut)
+			}
+		})
+	}
+}
+
+// TestUnsatNamesConjunct pins the acceptance criterion: linting
+// unsat.ad exits non-zero and the report names the unsatisfiable
+// conjuncts.
+func TestUnsatNamesConjunct(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{filepath.Join(lintDir, "unsat.ad")}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatalf("exit = 0, want non-zero; stdout:\n%s", stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"CAD201", "other.Memory > 64", "other.Memory < 32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestShippedAdsClean pins the other acceptance criterion: every
+// shipped ad outside the lint fixtures exits zero.
+func TestShippedAdsClean(t *testing.T) {
+	for _, dir := range []string{"../../testdata", "../../examples/ads"} {
+		ads, _ := filepath.Glob(filepath.Join(dir, "*.ad"))
+		for _, adPath := range ads {
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{adPath}, &stdout, &stderr); code != 0 {
+				t.Errorf("cadlint %s: exit %d\n%s%s", adPath, code, stdout.String(), stderr.String())
+			}
+		}
+	}
+}
+
+// TestStrictPromotesWarnings checks that -strict fails on a
+// warnings-only ad.
+func TestStrictPromotesWarnings(t *testing.T) {
+	path := filepath.Join(lintDir, "typo.ad")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("without -strict: exit %d, want 0\n%s", code, stdout.String())
+	}
+	stdout.Reset()
+	if code := run([]string{"-strict", path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("with -strict: exit %d, want 1\n%s", code, stdout.String())
+	}
+}
+
+// TestParseErrorIsClickable checks that a syntax error prints as
+// file:line:col and fails the run.
+func TestParseErrorIsClickable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.ad")
+	if err := os.WriteFile(path, []byte("[\n  Memory = ;\n]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), path+":2:") {
+		t.Errorf("diagnostic not clickable: %q", stdout.String())
+	}
+}
+
+// TestPoolMode lints the ads of a live in-process collector.
+func TestPoolMode(t *testing.T) {
+	store := collector.New(nil)
+	srv := collector.NewServer(store, nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	good := classad.MustParse(`[ Name = "good"; Type = "Machine"; Memory = 64; Rank = other.Mips; Constraint = other.Type == "Job" ]`)
+	bad := classad.MustParse(`[ Name = "bad"; Type = "Job"; Rank = other.Mips; Constraint = other.Memory > 64 && other.Memory < 32 ]`)
+	client := &collector.Client{Addr: addr}
+	for _, ad := range []*classad.Ad{good, bad} {
+		if err := client.Advertise(ad, 60); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-pool", addr}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "good: ok") {
+		t.Errorf("clean ad not reported ok:\n%s", out)
+	}
+	if !strings.Contains(out, "bad:") || !strings.Contains(out, "CAD201") {
+		t.Errorf("unsatisfiable pool ad not flagged:\n%s", out)
+	}
+}

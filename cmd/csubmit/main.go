@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/classad"
+	"repro/internal/classad/analysis"
 	"repro/internal/netx"
 	"repro/internal/protocol"
 	"repro/internal/submit"
@@ -40,6 +41,11 @@ func main() {
 			fatalf("%v", err)
 		}
 		for _, j := range jobs {
+			if j.Process == 0 {
+				// One lint per cluster: every process shares the
+				// template, so the findings repeat verbatim.
+				lintWarn(fmt.Sprintf("%s (cluster %d)", *spec, j.Cluster), j.Ad)
+			}
 			name, err := submitAd(*agentAddr, j.Ad, int64(j.Work))
 			if err != nil {
 				fatalf("%s: %v", *spec, err)
@@ -61,11 +67,22 @@ func main() {
 		if err != nil {
 			fatalf("%s: %v", path, err)
 		}
+		lintWarn(path, ad)
 		name, err := submitAd(*agentAddr, ad, *work)
 		if err != nil {
 			fatalf("%s: %v", path, err)
 		}
 		fmt.Printf("submitted %s as %s\n", path, name)
+	}
+}
+
+// lintWarn reports static-analysis findings on an ad about to be
+// submitted. Findings never block submission — the queue is the
+// authority — but a typo'd attribute or an impossible constraint is
+// cheaper to fix now than after the job idles forever.
+func lintWarn(origin string, ad *classad.Ad) {
+	for _, d := range analysis.AnalyzeAd(ad, nil) {
+		fmt.Fprintf(os.Stderr, "csubmit: lint: %s: %s\n", origin, d)
 	}
 }
 

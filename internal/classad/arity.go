@@ -1,0 +1,72 @@
+package classad
+
+// Arity metadata for the builtin function table, used by static
+// analysis to flag calls that can only evaluate to error. A test keeps
+// builtinArity in sync with the builtins map.
+
+type arity struct {
+	min, max int // max = -1 for variadic
+}
+
+var builtinArity = map[string]arity{
+	"member":          {2, 2},
+	"identicalmember": {2, 2},
+	"strcmp":          {2, 2},
+	"stricmp":         {2, 2},
+	"toupper":         {1, 1},
+	"tolower":         {1, 1},
+	"substr":          {2, 3},
+	"strcat":          {0, -1},
+	"size":            {1, 1},
+	"int":             {1, 1},
+	"real":            {1, 1},
+	"string":          {1, 1},
+	"bool":            {1, 1},
+	"floor":           {1, 1},
+	"ceiling":         {1, 1},
+	"ceil":            {1, 1},
+	"round":           {1, 1},
+	"abs":             {1, 1},
+	"pow":             {2, 2},
+	"sqrt":            {1, 1},
+	"quantize":        {2, 2},
+	"min":             {1, -1},
+	"max":             {1, -1},
+	"sum":             {1, -1},
+	"avg":             {1, -1},
+	"isundefined":     {1, 1},
+	"iserror":         {1, 1},
+	"isstring":        {1, 1},
+	"isinteger":       {1, 1},
+	"isreal":          {1, 1},
+	"isboolean":       {1, 1},
+	"islist":          {1, 1},
+	"isclassad":       {1, 1},
+	"ifthenelse":      {3, 3},
+	"anycompare":      {3, 3},
+	"allcompare":      {3, 3},
+	"regexp":          {2, 3},
+	"regexps":         {3, 3},
+	"splitlist":       {1, 2},
+	"join":            {2, 2},
+	"random":          {0, 1},
+	"time":            {0, 0},
+	"currenttime":     {0, 0},
+	"daytime":         {0, 0},
+	"interval":        {1, 1},
+	"unparse":         {1, 1},
+}
+
+// IsBuiltin reports whether name (case-insensitive) is a builtin
+// function.
+func IsBuiltin(name string) bool {
+	_, ok := builtins[Fold(name)]
+	return ok
+}
+
+// BuiltinArity returns the accepted argument count range of a builtin
+// (max = -1 means variadic). ok is false for unknown functions.
+func BuiltinArity(name string) (min, max int, ok bool) {
+	a, ok := builtinArity[Fold(name)]
+	return a.min, a.max, ok
+}

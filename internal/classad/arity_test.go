@@ -1,0 +1,68 @@
+package classad
+
+import "testing"
+
+// TestArityTableInSync pins the arity table to the builtin function
+// table: every builtin has an arity entry and vice versa, so the
+// static analyzer can never disagree with the evaluator about which
+// functions exist.
+func TestArityTableInSync(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		if _, _, ok := BuiltinArity(name); !ok {
+			t.Errorf("builtin %q has no arity entry", name)
+		}
+		if !IsBuiltin(name) {
+			t.Errorf("IsBuiltin(%q) = false for a listed builtin", name)
+		}
+	}
+	for name := range builtinArity {
+		if _, ok := builtins[name]; !ok {
+			t.Errorf("arity entry %q is not a builtin", name)
+		}
+	}
+}
+
+// TestArityAgreesWithEvaluator spot-checks that calls inside the
+// declared arity range do not produce the evaluator's wrong-argument-
+// count error, and calls outside it do (for the builtins that enforce
+// arity at all).
+func TestArityAgreesWithEvaluator(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantErr bool
+	}{
+		{`member(1, {1, 2})`, false},
+		{`member(1)`, true},
+		{`substr("abc", 1)`, false},
+		{`substr("abc", 1, 2)`, false},
+		{`substr("abc", 1, 2, 3)`, true},
+		{`time()`, false},
+		{`time(1)`, true},
+		{`ifThenElse(true, 1, 2)`, false},
+		{`ifThenElse(true, 1)`, true},
+	}
+	ad := NewAd()
+	for _, tc := range cases {
+		e := MustParseExpr(tc.src)
+		v := EvalExprAgainst(e, ad, nil, nil)
+		if got := v.IsError(); got != tc.wantErr {
+			t.Errorf("%s: IsError = %v, want %v (value %s)", tc.src, got, tc.wantErr, v)
+		}
+	}
+}
+
+// TestIsBuiltinFoldsCase mirrors the evaluator's case-insensitive
+// function lookup.
+func TestIsBuiltinFoldsCase(t *testing.T) {
+	for _, name := range []string{"Member", "MEMBER", "IfThenElse", "isUndefined"} {
+		if !IsBuiltin(name) {
+			t.Errorf("IsBuiltin(%q) = false", name)
+		}
+	}
+	if IsBuiltin("frobnicate") {
+		t.Error("IsBuiltin(frobnicate) = true")
+	}
+	if _, _, ok := BuiltinArity("frobnicate"); ok {
+		t.Error("BuiltinArity(frobnicate) ok = true")
+	}
+}

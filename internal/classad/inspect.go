@@ -1,0 +1,79 @@
+package classad
+
+// This file exposes a read-only structural view of parsed expressions.
+// The AST node types themselves stay unexported (they carry evaluation
+// behaviour that callers must not bypass), but static tooling — the
+// analysis package, cadlint, canalyze — needs to walk the tree. Inspect
+// flattens any node into an ExprInfo; Walk performs a pre-order
+// traversal.
+
+// ExprKind classifies an expression node for inspection.
+type ExprKind int
+
+// The expression node kinds.
+const (
+	KindLiteral ExprKind = iota // a constant Value
+	KindAttrRef                 // attribute reference, possibly scoped
+	KindUnary                   // unary operator; Args = [operand]
+	KindBinary                  // binary operator; Args = [left, right]
+	KindCond                    // ?: conditional; Args = [cond, then, else]
+	KindCall                    // builtin call; Name is the function
+	KindList                    // list literal; Args = elements
+	KindAd                      // nested classad literal
+	KindSelect                  // record selection; Args = [base], Name = field
+	KindIndex                   // subscript; Args = [base, index]
+)
+
+// ExprInfo is the flattened view of one expression node. Only the
+// fields relevant to the Kind are set.
+type ExprInfo struct {
+	Kind  ExprKind
+	Op    Op     // KindUnary, KindBinary
+	Value Value  // KindLiteral
+	Scope Scope  // KindAttrRef
+	Name  string // KindAttrRef, KindCall, KindSelect
+	Args  []Expr // child expressions, in evaluation order
+	Ad    *Ad    // KindAd
+}
+
+// Inspect returns the structural view of e. A nil or foreign Expr
+// implementation is reported as an undefined literal.
+func Inspect(e Expr) ExprInfo {
+	switch n := e.(type) {
+	case litExpr:
+		return ExprInfo{Kind: KindLiteral, Value: n.v}
+	case attrRef:
+		return ExprInfo{Kind: KindAttrRef, Scope: n.scope, Name: n.name}
+	case unaryExpr:
+		return ExprInfo{Kind: KindUnary, Op: n.op, Args: []Expr{n.arg}}
+	case binaryExpr:
+		return ExprInfo{Kind: KindBinary, Op: n.op, Args: []Expr{n.l, n.r}}
+	case condExpr:
+		return ExprInfo{Kind: KindCond, Args: []Expr{n.cond, n.then, n.els}}
+	case callExpr:
+		return ExprInfo{Kind: KindCall, Name: n.name, Args: n.args}
+	case listExpr:
+		return ExprInfo{Kind: KindList, Args: n.elems}
+	case adExpr:
+		return ExprInfo{Kind: KindAd, Ad: n.ad}
+	case selectExpr:
+		return ExprInfo{Kind: KindSelect, Name: n.name, Args: []Expr{n.base}}
+	case indexExpr:
+		return ExprInfo{Kind: KindIndex, Args: []Expr{n.base, n.index}}
+	default:
+		return ExprInfo{Kind: KindLiteral, Value: Undef()}
+	}
+}
+
+// Walk traverses e in pre-order, calling visit on every node. If visit
+// returns false the node's children are skipped. Nested ad literals
+// are not descended into (their attributes define a fresh scope; use
+// Inspect(...).Ad to recurse explicitly).
+func Walk(e Expr, visit func(Expr) bool) {
+	if e == nil || !visit(e) {
+		return
+	}
+	for _, c := range Inspect(e).Args {
+		Walk(c, visit)
+	}
+}

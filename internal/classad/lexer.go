@@ -52,6 +52,7 @@ type token struct {
 	rval float64 // real payload
 	pos  int     // byte offset in input
 	line int     // 1-based line number
+	col  int     // 1-based column (byte) within the line
 }
 
 func (t token) describe() string {
@@ -72,29 +73,41 @@ func (t token) describe() string {
 }
 
 // SyntaxError describes a lexical or parse failure, with the 1-based
-// line number in the input.
+// line number (and, when known, column) in the input.
 type SyntaxError struct {
 	Line int
+	Col  int // 1-based column; 0 when unknown
 	Msg  string
 }
 
-// Error implements the error interface.
+// Error implements the error interface. When a column is known the
+// message is prefixed with a "line:col: " locator so that tools can
+// print clickable file:line:col diagnostics; the historical
+// "classad: line N: ..." text is kept as the suffix.
 func (e *SyntaxError) Error() string {
-	return fmt.Sprintf("classad: line %d: %s", e.Line, e.Msg)
+	base := fmt.Sprintf("classad: line %d: %s", e.Line, e.Msg)
+	if e.Col > 0 {
+		return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, base)
+	}
+	return base
 }
 
 // lexer splits classad source into tokens. Comments use // to end of
 // line or /* ... */, as in the paper's figures.
 type lexer struct {
-	src  string
-	pos  int
-	line int
+	src       string
+	pos       int
+	line      int
+	lineStart int // byte offset of the start of the current line
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
 
+// col returns the 1-based column of the current position.
+func (lx *lexer) col() int { return lx.pos - lx.lineStart + 1 }
+
 func (lx *lexer) errorf(format string, args ...any) *SyntaxError {
-	return &SyntaxError{Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Line: lx.line, Col: lx.col(), Msg: fmt.Sprintf(format, args...)}
 }
 
 // skipSpace advances past whitespace and comments.
@@ -105,6 +118,7 @@ func (lx *lexer) skipSpace() error {
 		case c == '\n':
 			lx.line++
 			lx.pos++
+			lx.lineStart = lx.pos
 		case c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f':
 			lx.pos++
 		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
@@ -116,7 +130,11 @@ func (lx *lexer) skipSpace() error {
 			if end < 0 {
 				return lx.errorf("unterminated /* comment")
 			}
-			lx.line += strings.Count(lx.src[lx.pos:lx.pos+2+end+2], "\n")
+			comment := lx.src[lx.pos : lx.pos+2+end+2]
+			lx.line += strings.Count(comment, "\n")
+			if nl := strings.LastIndexByte(comment, '\n'); nl >= 0 {
+				lx.lineStart = lx.pos + nl + 1
+			}
 			lx.pos += 2 + end + 2
 		case c == '#':
 			// Shell-style comments are accepted for ad files.
@@ -143,9 +161,9 @@ func (lx *lexer) next() (token, error) {
 	if err := lx.skipSpace(); err != nil {
 		return token{}, err
 	}
-	start, line := lx.pos, lx.line
+	start, line, col := lx.pos, lx.line, lx.col()
 	mk := func(k tokenKind, text string) token {
-		return token{kind: k, text: text, pos: start, line: line}
+		return token{kind: k, text: text, pos: start, line: line, col: col}
 	}
 	if lx.pos >= len(lx.src) {
 		return mk(tokEOF, ""), nil
@@ -277,7 +295,7 @@ func (lx *lexer) next() (token, error) {
 
 // lexString scans a double-quoted string with C-style escapes.
 func (lx *lexer) lexString() (token, error) {
-	start, line := lx.pos, lx.line
+	start, line, col := lx.pos, lx.line, lx.col()
 	lx.pos++ // consume opening quote
 	var b strings.Builder
 	for lx.pos < len(lx.src) {
@@ -285,7 +303,7 @@ func (lx *lexer) lexString() (token, error) {
 		switch c {
 		case '"':
 			lx.pos++
-			return token{kind: tokString, text: b.String(), pos: start, line: line}, nil
+			return token{kind: tokString, text: b.String(), pos: start, line: line, col: col}, nil
 		case '\n':
 			return token{}, lx.errorf("newline in string literal")
 		case '\\':
@@ -324,7 +342,7 @@ func (lx *lexer) lexString() (token, error) {
 // decimal point or exponent is real; otherwise integer. Octal and hex
 // integers are accepted with 0o/0x prefixes for completeness.
 func (lx *lexer) lexNumber() (token, error) {
-	start, line := lx.pos, lx.line
+	start, line, col := lx.pos, lx.line, lx.col()
 	j := lx.pos
 	isReal := false
 	if lx.src[j] == '0' && j+1 < len(lx.src) && (lx.src[j+1] == 'x' || lx.src[j+1] == 'X') {
@@ -337,7 +355,7 @@ func (lx *lexer) lexNumber() (token, error) {
 			return token{}, lx.errorf("bad hexadecimal literal %q", lx.src[lx.pos:j])
 		}
 		lx.pos = j
-		return token{kind: tokInt, ival: v, pos: start, line: line}, nil
+		return token{kind: tokInt, ival: v, pos: start, line: line, col: col}, nil
 	}
 	for j < len(lx.src) && lx.src[j] >= '0' && lx.src[j] <= '9' {
 		j++
@@ -373,7 +391,7 @@ func (lx *lexer) lexNumber() (token, error) {
 		if err != nil {
 			return token{}, lx.errorf("bad real literal %q", text)
 		}
-		return token{kind: tokReal, rval: v, pos: start, line: line}, nil
+		return token{kind: tokReal, rval: v, pos: start, line: line, col: col}, nil
 	}
 	v, err := strconv.ParseInt(text, 10, 64)
 	if err != nil {
@@ -383,9 +401,9 @@ func (lx *lexer) lexNumber() (token, error) {
 		if ferr != nil {
 			return token{}, lx.errorf("bad integer literal %q", text)
 		}
-		return token{kind: tokReal, rval: f, pos: start, line: line}, nil
+		return token{kind: tokReal, rval: f, pos: start, line: line, col: col}, nil
 	}
-	return token{kind: tokInt, ival: v, pos: start, line: line}, nil
+	return token{kind: tokInt, ival: v, pos: start, line: line, col: col}, nil
 }
 
 func isHexDigit(c byte) bool {

@@ -55,7 +55,7 @@ func (p *parser) peekTok() (token, error) {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return &SyntaxError{Line: p.tok.line, Msg: fmt.Sprintf(format, args...)}
+	return &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (p *parser) expect(k tokenKind, what string) error {
@@ -162,7 +162,7 @@ func (p *parser) parseAd() (*Ad, error) {
 		if p.tok.kind != tokIdent {
 			return nil, p.errorf("expected attribute name, found %s", p.tok.describe())
 		}
-		name := p.tok.text
+		name, npos := p.tok.text, Pos{Line: p.tok.line, Col: p.tok.col}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -174,6 +174,7 @@ func (p *parser) parseAd() (*Ad, error) {
 			return nil, err
 		}
 		ad.Set(name, e)
+		ad.setPos(name, npos)
 		if p.tok.kind == tokSemi {
 			if err := p.advance(); err != nil {
 				return nil, err
@@ -203,7 +204,7 @@ func (p *parser) parseBareAd() (*Ad, error) {
 		if p.tok.kind != tokIdent {
 			return nil, p.errorf("expected attribute name, found %s", p.tok.describe())
 		}
-		name := p.tok.text
+		name, npos := p.tok.text, Pos{Line: p.tok.line, Col: p.tok.col}
 		if err := p.advance(); err != nil {
 			return nil, err
 		}
@@ -215,6 +216,7 @@ func (p *parser) parseBareAd() (*Ad, error) {
 			return nil, err
 		}
 		ad.Set(name, e)
+		ad.setPos(name, npos)
 	}
 	return ad, nil
 }

@@ -1,0 +1,97 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAttrPos checks that parsed ads remember where each attribute was
+// defined, 1-based, and that programmatic ads report none.
+func TestAttrPos(t *testing.T) {
+	ad := MustParse("[\n    Memory = 64;\n    OpSys  = \"SOLARIS251\";\n  Rank = 1\n]")
+	cases := []struct {
+		attr      string
+		line, col int
+	}{
+		{"Memory", 2, 5},
+		{"opsys", 3, 5}, // lookup folds case
+		{"Rank", 4, 3},
+	}
+	for _, tc := range cases {
+		p, ok := ad.AttrPos(tc.attr)
+		if !ok {
+			t.Errorf("AttrPos(%s): no position", tc.attr)
+			continue
+		}
+		if p.Line != tc.line || p.Col != tc.col {
+			t.Errorf("AttrPos(%s) = %d:%d, want %d:%d", tc.attr, p.Line, p.Col, tc.line, tc.col)
+		}
+	}
+	if _, ok := ad.AttrPos("Missing"); ok {
+		t.Error("AttrPos(Missing) ok = true")
+	}
+
+	prog := NewAd()
+	prog.SetInt("Memory", 64)
+	if _, ok := prog.AttrPos("Memory"); ok {
+		t.Error("programmatic ad reports a position")
+	}
+}
+
+// TestAttrPosSurvivesCopyAndDelete checks position bookkeeping across
+// Copy and Delete.
+func TestAttrPosSurvivesCopyAndDelete(t *testing.T) {
+	ad := MustParse("[ A = 1; B = 2 ]")
+	c := ad.Copy()
+	if p, ok := c.AttrPos("B"); !ok || p.Line != 1 {
+		t.Errorf("copy lost position: %v %v", p, ok)
+	}
+	c.Delete("B")
+	if _, ok := c.AttrPos("B"); ok {
+		t.Error("deleted attribute still has a position")
+	}
+	// The original is unaffected.
+	if _, ok := ad.AttrPos("B"); !ok {
+		t.Error("original lost position after copy mutation")
+	}
+}
+
+// TestAttrPosBareAd checks the unbracketed form tracks positions too.
+func TestAttrPosBareAd(t *testing.T) {
+	ad := MustParse("Memory = 64\nOpSys = \"LINUX\"\n")
+	if p, ok := ad.AttrPos("OpSys"); !ok || p.Line != 2 || p.Col != 1 {
+		t.Errorf("AttrPos(OpSys) = %v %v, want 2:1", p, ok)
+	}
+}
+
+// TestSyntaxErrorCarriesColumn checks the new line:col locator while
+// preserving the historical message as a suffix.
+func TestSyntaxErrorCarriesColumn(t *testing.T) {
+	_, err := Parse("[\n  Memory = ;\n]")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T, want *SyntaxError", err)
+	}
+	if se.Line != 2 || se.Col != 12 {
+		t.Errorf("position = %d:%d, want 2:12", se.Line, se.Col)
+	}
+	msg := se.Error()
+	if !strings.HasPrefix(msg, "2:12: ") {
+		t.Errorf("message %q lacks line:col prefix", msg)
+	}
+	if !strings.Contains(msg, "classad: line 2: ") {
+		t.Errorf("message %q lost the historical format", msg)
+	}
+}
+
+// TestColumnAfterComments checks that block comments spanning lines
+// keep the column bookkeeping honest.
+func TestColumnAfterComments(t *testing.T) {
+	ad := MustParse("[ /* multi\nline\ncomment */ Memory = 64 ]")
+	if p, ok := ad.AttrPos("Memory"); !ok || p.Line != 3 || p.Col != 12 {
+		t.Errorf("AttrPos(Memory) = %v %v, want 3:12", p, ok)
+	}
+}

@@ -322,6 +322,12 @@ func writeQuoted(b *strings.Builder, s string) {
 type Ad struct {
 	names []string        // defining-case names, in insertion order
 	attrs map[string]Expr // folded name -> expression
+	pos   map[string]Pos  // folded name -> source position, when parsed
+}
+
+// Pos is a 1-based line/column source position.
+type Pos struct {
+	Line, Col int
 }
 
 // NewAd returns an empty classad.
@@ -368,6 +374,27 @@ func (a *Ad) Set(name string, expr Expr) {
 	a.attrs[key] = expr
 }
 
+// setPos records the source position of an attribute's name token; the
+// parser calls it so that diagnostics can point into the original
+// source. Programmatically built ads carry no positions.
+func (a *Ad) setPos(name string, p Pos) {
+	if a.pos == nil {
+		a.pos = make(map[string]Pos)
+	}
+	a.pos[Fold(name)] = p
+}
+
+// AttrPos returns the source position of the attribute's definition
+// when the ad was produced by the parser; ok is false for attributes
+// set programmatically (and for ads built with NewAd).
+func (a *Ad) AttrPos(name string) (Pos, bool) {
+	if a == nil || a.pos == nil {
+		return Pos{}, false
+	}
+	p, ok := a.pos[Fold(name)]
+	return p, ok
+}
+
 // Delete removes the binding for name, if any.
 func (a *Ad) Delete(name string) {
 	key := Fold(name)
@@ -375,6 +402,7 @@ func (a *Ad) Delete(name string) {
 		return
 	}
 	delete(a.attrs, key)
+	delete(a.pos, key)
 	for i, n := range a.names {
 		if Fold(n) == key {
 			a.names = append(a.names[:i], a.names[i+1:]...)
@@ -417,6 +445,12 @@ func (a *Ad) Copy() *Ad {
 	}
 	for k, v := range a.attrs {
 		c.attrs[k] = v
+	}
+	if a.pos != nil {
+		c.pos = make(map[string]Pos, len(a.pos))
+		for k, v := range a.pos {
+			c.pos[k] = v
+		}
 	}
 	return c
 }

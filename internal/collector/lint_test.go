@@ -1,0 +1,62 @@
+package collector
+
+import (
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/obs"
+)
+
+// TestAdvertiseLintCounters: an instrumented collector scores incoming
+// ads with the static analyzer — totals plus a per-code breakdown —
+// without ever rejecting them.
+func TestAdvertiseLintCounters(t *testing.T) {
+	store := New(nil)
+	srv := NewServer(store, nil)
+	o := obs.New()
+	srv.Instrument(o)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &Client{Addr: addr}
+	clean := classad.MustParse(`[ Name = "clean"; Type = "Machine"; Memory = 64;
+		Rank = other.Mips; Constraint = other.Type == "Job" ]`)
+	dirty := classad.MustParse(`[ Name = "dirty"; Type = "Job"; Rank = other.Mips;
+		Constraint = other.Memory > 64 && other.Memory < 32 ]`)
+	for _, ad := range []*classad.Ad{clean, dirty} {
+		if err := client.Advertise(ad, 60); err != nil {
+			t.Fatalf("advertise %v: %v", ad, err)
+		}
+	}
+
+	reg := o.Registry()
+	if got := reg.Counter("collector_lint_errors_total").Value(); got != 1 {
+		t.Errorf("collector_lint_errors_total = %d, want 1", got)
+	}
+	if got := reg.Counter("collector_lint_cad201_total").Value(); got != 1 {
+		t.Errorf("collector_lint_cad201_total = %d, want 1", got)
+	}
+	// The unsatisfiable ad is stored regardless: lint observes, it
+	// does not gatekeep.
+	if got := len(store.Query(classad.NewAd())); got != 2 {
+		t.Errorf("stored ads = %d, want 2", got)
+	}
+}
+
+// TestUninstrumentedCollectorSkipsLint: without Instrument the
+// analyzer never runs and advertising still works.
+func TestUninstrumentedCollectorSkipsLint(t *testing.T) {
+	srv := NewServer(New(nil), nil)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ad := classad.MustParse(`[ Name = "x"; Constraint = other.Memory > 64 && other.Memory < 32 ]`)
+	if err := (&Client{Addr: addr}).Advertise(ad, 60); err != nil {
+		t.Fatalf("advertise: %v", err)
+	}
+}

@@ -8,10 +8,12 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/classad"
+	"repro/internal/classad/analysis"
 	"repro/internal/netx"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -43,6 +45,8 @@ type Server struct {
 	events                *obs.Events
 	mQueries, mProjected  *obs.Counter
 	mAdvertise, mBadFrame *obs.Counter
+	mLintErrs, mLintWarns *obs.Counter
+	lintReg               *obs.Registry
 	gHandlers             *obs.Gauge
 }
 
@@ -64,7 +68,10 @@ func NewServer(store *Store, logf func(string, ...any)) *Server {
 // Instrument routes server activity into o: queries served
 // (collector_queries_total, collector_queries_projected_total),
 // advertisements received (collector_advertise_total), protocol errors
-// (collector_bad_frames_total), live handler goroutines
+// (collector_bad_frames_total), static-analysis findings on incoming
+// advertisements (collector_lint_errors_total,
+// collector_lint_warnings_total, and a per-code
+// collector_lint_<code>_total breakdown), live handler goroutines
 // (collector_handlers gauge), plus the store's own counters. Server
 // diagnostics additionally land in the event buffer as src
 // "collector", type "log". Call before Listen/Serve.
@@ -76,6 +83,9 @@ func (s *Server) Instrument(o *obs.Obs) {
 	s.mProjected = reg.Counter("collector_queries_projected_total")
 	s.mAdvertise = reg.Counter("collector_advertise_total")
 	s.mBadFrame = reg.Counter("collector_bad_frames_total")
+	s.mLintErrs = reg.Counter("collector_lint_errors_total")
+	s.mLintWarns = reg.Counter("collector_lint_warnings_total")
+	s.lintReg = reg
 	s.gHandlers = reg.Gauge("collector_handlers")
 	s.mu.Unlock()
 	if s.store != nil {
@@ -210,6 +220,7 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 		if err != nil {
 			return protocol.Errorf("bad advertisement: %v", err)
 		}
+		s.lintAd(ad)
 		if err := s.store.Update(ad, env.Lifetime); err != nil {
 			return protocol.Errorf("%v", err)
 		}
@@ -242,6 +253,35 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 		return &protocol.Envelope{Type: protocol.TypeQueryReply, Ads: out}
 	default:
 		return protocol.Errorf("collector does not handle %s", env.Type)
+	}
+}
+
+// lintAd runs the static analyzer over a freshly advertised ad and
+// feeds the verdicts into the validation counters, with a per-code
+// breakdown (collector_lint_cad201_total and friends). The pass is
+// gated on instrumentation — an uninstrumented collector skips the
+// analysis cost entirely — and findings never reject an
+// advertisement: the collector stays forgiving about ad contents, it
+// just keeps score.
+func (s *Server) lintAd(ad *classad.Ad) {
+	s.mu.Lock()
+	reg := s.lintReg
+	s.mu.Unlock()
+	if reg == nil {
+		return
+	}
+	for _, d := range analysis.AnalyzeAd(ad, nil) {
+		if d.Severity >= analysis.Error {
+			s.mLintErrs.Inc()
+		} else {
+			s.mLintWarns.Inc()
+		}
+		reg.Counter("collector_lint_" + strings.ToLower(d.Code) + "_total").Inc()
+		if name, ok := ad.Eval(classad.AttrName).StringVal(); ok {
+			s.log("collector: lint %s: %s", name, d)
+		} else {
+			s.log("collector: lint: %s", d)
+		}
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/classad"
+	"repro/internal/classad/analysis"
 )
 
 // Constraint diagnostics (paper §5, future work): "The complexity of
@@ -46,6 +47,12 @@ type ClauseReport struct {
 	// just flagging the impossible clause but "discovering hidden
 	// characteristics of a pool".
 	Suggestion string
+	// StaticVerdict is the static analyzer's proof that this clause
+	// can never be true — independent of the pool's current contents
+	// (e.g. an interval conflict like other.Memory > 64 &&
+	// other.Memory < 32). Empty when the clause is only dynamically
+	// unsatisfied.
+	StaticVerdict string
 }
 
 // Analysis is the report produced by Analyze.
@@ -67,9 +74,16 @@ type Analysis struct {
 	// of genuine candidates.
 	Compatible int
 	// Unsatisfiable is true when some single clause is satisfied by
-	// no offer: no state change elsewhere in the pool can produce a
-	// match until the request or the pool changes.
+	// no offer — or when the static analyzer proves a clause can
+	// never be true regardless of the pool: no state change elsewhere
+	// in the pool can produce a match until the request changes.
 	Unsatisfiable bool
+	// Static holds the static analyzer's findings for the request ad
+	// itself (package classad/analysis): the "can never match"
+	// verdicts reused here instead of being recomputed ad hoc, plus
+	// any type or reference problems worth surfacing alongside the
+	// dynamic report.
+	Static []analysis.Diagnostic
 }
 
 // Analyze explains the match prospects of a request against a pool of
@@ -125,6 +139,24 @@ func Analyze(req *classad.Ad, offers []*classad.Ad, env *classad.Env) *Analysis 
 			a.Clauses[i].Suggestion = suggestBound(conjuncts[i], req, offers, env)
 		}
 	}
+
+	// Static pass: the analyzer's CAD201 verdicts prove a clause can
+	// never be true no matter what the pool advertises; attach each to
+	// the clause it names and mark the request unsatisfiable.
+	a.Static = analysis.AnalyzeAd(req, &analysis.Options{Env: env})
+	for _, d := range analysis.Unsatisfiable(a.Static) {
+		a.Unsatisfiable = true
+		for i := range a.Clauses {
+			shown := a.Clauses[i].Residual
+			if shown == "" {
+				shown = a.Clauses[i].Expr
+			}
+			if strings.Contains(d.Message, fmt.Sprintf("%q", shown)) ||
+				strings.Contains(d.Message, fmt.Sprintf("%q", a.Clauses[i].Expr)) {
+				a.Clauses[i].StaticVerdict = d.Message
+			}
+		}
+	}
 	return a
 }
 
@@ -178,114 +210,31 @@ func suggestBound(clause classad.Expr, req *classad.Ad, offers []*classad.Ad, en
 	}
 }
 
-// comparedOtherAttr recognizes a comparison with exactly one
-// other-scoped attribute reference on either side and returns that
-// attribute's name.
+// comparedOtherAttr recognizes a comparison with an other-scoped
+// attribute reference on one side and a literal on the other, and
+// returns that attribute's name. It walks the parsed AST through the
+// classad.Inspect API (the former implementation re-parsed the
+// unparsed source text).
 func comparedOtherAttr(e classad.Expr) (string, bool) {
-	// Parse the unparsed form — cheap and avoids exporting AST
-	// internals: the shapes we accept are "other.X op LIT" and
-	// "LIT op other.X" possibly parenthesized.
-	s := e.String()
-	s = strings.TrimSpace(s)
-	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
-		inner := s[1 : len(s)-1]
-		if balanced(inner) {
-			s = strings.TrimSpace(inner)
-		} else {
-			break
-		}
-	}
-	for _, op := range []string{"<=", ">=", "==", "!=", "<", ">"} {
-		idx := strings.Index(s, " "+op+" ")
-		if idx < 0 {
-			continue
-		}
-		left := strings.TrimSpace(s[:idx])
-		right := strings.TrimSpace(s[idx+len(op)+2:])
-		if name, ok := otherRef(left); ok && isLiteralText(right) {
-			return name, true
-		}
-		if name, ok := otherRef(right); ok && isLiteralText(left) {
-			return name, true
-		}
+	info := classad.Inspect(e)
+	if info.Kind != classad.KindBinary {
 		return "", false
 	}
-	return "", false
-}
-
-func balanced(s string) bool {
-	depth := 0
-	for _, r := range s {
-		switch r {
-		case '(':
-			depth++
-		case ')':
-			depth--
-			if depth < 0 {
-				return false
-			}
-		}
+	switch info.Op {
+	case classad.OpLt, classad.OpLe, classad.OpGt, classad.OpGe,
+		classad.OpEq, classad.OpNe:
+	default:
+		return "", false
 	}
-	return depth == 0
-}
-
-func otherRef(s string) (string, bool) {
-	s = strings.TrimSpace(s)
-	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") && balanced(s[1:len(s)-1]) {
-		s = strings.TrimSpace(s[1 : len(s)-1])
+	l := classad.Inspect(info.Args[0])
+	r := classad.Inspect(info.Args[1])
+	if l.Kind == classad.KindAttrRef && l.Scope == classad.ScopeOther && r.Kind == classad.KindLiteral {
+		return l.Name, true
 	}
-	if rest, ok := strings.CutPrefix(strings.ToLower(s), "other."); ok {
-		// Return the original casing of the attribute name.
-		name := s[len(s)-len(rest):]
-		if isIdentText(name) {
-			return name, true
-		}
+	if r.Kind == classad.KindAttrRef && r.Scope == classad.ScopeOther && l.Kind == classad.KindLiteral {
+		return r.Name, true
 	}
 	return "", false
-}
-
-func isIdentText(s string) bool {
-	if s == "" {
-		return false
-	}
-	for i, r := range s {
-		alpha := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z'
-		digit := r >= '0' && r <= '9'
-		if !alpha && !(digit && i > 0) {
-			return false
-		}
-	}
-	return true
-}
-
-func isLiteralText(s string) bool {
-	s = strings.TrimSpace(s)
-	for strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") && balanced(s[1:len(s)-1]) {
-		s = strings.TrimSpace(s[1 : len(s)-1])
-	}
-	if s == "" {
-		return false
-	}
-	if s[0] == '"' && s[len(s)-1] == '"' {
-		return true
-	}
-	if s == "true" || s == "false" {
-		return true
-	}
-	// Numeric literal (possibly negative real).
-	dot := false
-	for i, r := range s {
-		switch {
-		case r >= '0' && r <= '9':
-		case r == '-' && i == 0:
-		case (r == '.' || r == 'e' || r == 'E' || r == '+') && i > 0:
-			dot = true
-		default:
-			return false
-		}
-	}
-	_ = dot
-	return true
 }
 
 // String renders the analysis in the style of a queue-analysis tool:
@@ -303,7 +252,7 @@ func (a *Analysis) String() string {
 	}
 	for i, c := range a.Clauses {
 		marker := " "
-		if c.Satisfied == 0 {
+		if c.Satisfied == 0 || c.StaticVerdict != "" {
 			marker = "!"
 		}
 		shown := c.Expr
@@ -319,8 +268,17 @@ func (a *Analysis) String() string {
 			fmt.Fprintf(&b, " (error on %d)", c.Errored)
 		}
 		b.WriteByte('\n')
+		if c.StaticVerdict != "" {
+			fmt.Fprintf(&b, "             static: %s\n", c.StaticVerdict)
+		}
 		if c.Suggestion != "" {
 			fmt.Fprintf(&b, "             hint: %s\n", c.Suggestion)
+		}
+	}
+	if extra := a.staticExtras(); len(extra) > 0 {
+		b.WriteString("  static analysis of the request ad:\n")
+		for _, d := range extra {
+			fmt.Fprintf(&b, "    %s\n", d)
 		}
 	}
 	fmt.Fprintf(&b, "  request accepts %d offer(s); %d offer(s) accept the request; %d compatible\n",
@@ -336,6 +294,24 @@ func (a *Analysis) String() string {
 		fmt.Fprintf(&b, "  VERDICT: matchable (%d candidate(s))\n", a.Compatible)
 	}
 	return b.String()
+}
+
+// staticExtras returns the static findings not already attached to a
+// clause line above.
+func (a *Analysis) staticExtras() []analysis.Diagnostic {
+	attached := map[string]bool{}
+	for _, c := range a.Clauses {
+		if c.StaticVerdict != "" {
+			attached[c.StaticVerdict] = true
+		}
+	}
+	var out []analysis.Diagnostic
+	for _, d := range a.Static {
+		if !attached[d.Message] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func truncate(s string, n int) string {

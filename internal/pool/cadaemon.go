@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/agent"
 	"repro/internal/classad"
+	"repro/internal/classad/analysis"
 	"repro/internal/collector"
 	"repro/internal/netx"
 	"repro/internal/obs"
@@ -70,6 +71,8 @@ type CustomerDaemon struct {
 	mClaimFailed     *obs.Counter
 	mReleaseRequeued *obs.Counter
 	mPreemptsRx      *obs.Counter
+	mLintErrors      *obs.Counter
+	mLintWarnings    *obs.Counter
 	hClaimSeconds    *obs.Histogram
 	gHandlers        *obs.Gauge
 
@@ -107,7 +110,9 @@ func NewCustomerDaemon(ca *agent.Customer, collectorAddr string, lifetime int64,
 // pool_claims_ok_total, pool_claims_rejected_total,
 // pool_claims_failed_total), releases kept for retry
 // (pool_release_requeued_total), eviction notices received
-// (pool_preempts_received_total), the end-to-end claim latency from
+// (pool_preempts_received_total), static-analysis findings on
+// submitted job ads (pool_submit_lint_errors_total,
+// pool_submit_lint_warnings_total), the end-to-end claim latency from
 // MATCH receipt to the provider's verdict ack (pool_claim_seconds),
 // and live notification handlers (pool_ca_handlers gauge). Claim
 // events carry the cycle ID from the MATCH envelope. Call before
@@ -123,6 +128,8 @@ func (d *CustomerDaemon) Instrument(o *obs.Obs) {
 	d.mClaimFailed = reg.Counter("pool_claims_failed_total")
 	d.mReleaseRequeued = reg.Counter("pool_release_requeued_total")
 	d.mPreemptsRx = reg.Counter("pool_preempts_received_total")
+	d.mLintErrors = reg.Counter("pool_submit_lint_errors_total")
+	d.mLintWarnings = reg.Counter("pool_submit_lint_warnings_total")
 	d.hClaimSeconds = reg.Histogram("pool_claim_seconds", obs.DurationBuckets)
 	d.gHandlers = reg.Gauge("pool_ca_handlers")
 }
@@ -523,11 +530,22 @@ func (d *CustomerDaemon) handlePreempt(env *protocol.Envelope) *protocol.Envelop
 
 // handleSubmit queues a job ad delivered by the submission tool. The
 // envelope's Lifetime field carries the job's CPU demand in seconds
-// (zero is fine for protocol-only use).
+// (zero is fine for protocol-only use). The ad is statically analyzed
+// on the way in: findings never reject the job (the submitter may know
+// better), but they are logged and counted so a pool operator can see
+// queues filling with requests that can never match.
 func (d *CustomerDaemon) handleSubmit(env *protocol.Envelope) *protocol.Envelope {
 	ad, err := protocol.DecodeAd(env.Ad)
 	if err != nil {
 		return protocol.Errorf("bad job ad: %v", err)
+	}
+	for _, diag := range analysis.AnalyzeAd(ad, nil) {
+		if diag.Severity >= analysis.Error {
+			d.mLintErrors.Inc()
+		} else {
+			d.mLintWarnings.Inc()
+		}
+		d.logf("ca %s: submit lint: %s", d.CA.Owner(), diag)
 	}
 	j := d.CA.Submit(ad, float64(env.Lifetime))
 	return &protocol.Envelope{Type: protocol.TypeAck,

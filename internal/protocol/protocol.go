@@ -173,6 +173,16 @@ func Read(r *bufio.Reader) (*Envelope, error) {
 	if e.Type == "" {
 		return nil, fmt.Errorf("protocol: frame missing type")
 	}
+	// Canonicalize: a frame carrying an explicit empty list ("Ads":[])
+	// decodes to an empty non-nil slice, which omitempty would then
+	// drop on re-encode — the decoded form must round-trip unchanged
+	// (fuzz-found, see testdata/fuzz/FuzzReadEnvelope).
+	if len(e.Ads) == 0 {
+		e.Ads = nil
+	}
+	if len(e.Projection) == 0 {
+		e.Projection = nil
+	}
 	return &e, nil
 }
 

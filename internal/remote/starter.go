@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 
+	"repro/internal/netx"
 	"repro/internal/protocol"
 )
 
@@ -19,9 +20,11 @@ type SyscallClient struct {
 	r    *bufio.Reader
 }
 
-// DialShadow connects a starter to its shadow.
+// DialShadow connects a starter to its shadow. The dial goes through
+// netx so it inherits the pool-wide connect deadline instead of
+// hanging forever on a dead shadow address.
 func DialShadow(addr string) (*SyscallClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := netx.DefaultDialer.Dial(addr)
 	if err != nil {
 		return nil, err
 	}

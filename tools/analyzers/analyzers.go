@@ -1,0 +1,183 @@
+// Package analyzers implements the repository's custom static
+// analyzers as a miniature, dependency-free take on the go/analysis
+// framework: a loader that parses package directories to syntax, a
+// Pass that carries one file through one analyzer, and a runner that
+// collects findings in source order. `make verify` drives it via
+// tools/analyzers/cmd, so repo invariants that gofmt and go vet cannot
+// see — every outbound dial goes through internal/netx, obs hook
+// methods stay nil-receiver-safe, protocol envelope switches stay
+// exhaustive — break the build instead of rotting quietly.
+//
+// The framework is deliberately syntactic: no type checking, no
+// cross-package facts. Each invariant here is checkable from a single
+// file's AST, which keeps the whole machine small enough to live in
+// the repo it guards.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named invariant check, run once per file.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and test expectations.
+	Name string
+	// Doc states the invariant the analyzer enforces.
+	Doc string
+	// SkipTests exempts _test.go files (tests may legitimately break
+	// production-only invariants, e.g. dialing a throwaway listener).
+	SkipTests bool
+	// Run inspects one file and reports violations through the pass.
+	Run func(*Pass)
+}
+
+// All returns every analyzer `make verify` runs.
+func All() []*Analyzer {
+	return []*Analyzer{NoDial, ObsGuard, MsgSwitch}
+}
+
+// File is one parsed source file.
+type File struct {
+	Path string
+	Ast  *ast.File
+	Test bool
+}
+
+// Package is one directory's worth of parsed files sharing a FileSet.
+type Package struct {
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []File
+}
+
+// Pass carries one file through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	File     File
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// LoadDir parses the .go files directly inside dir (non-recursive,
+// comments retained for test expectations). Directories with no Go
+// files yield a package with no files, not an error.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir, Fset: token.NewFileSet()}
+	for _, ent := range entries {
+		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, ent.Name())
+		f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		file := File{Path: path, Ast: f, Test: strings.HasSuffix(ent.Name(), "_test.go")}
+		pkg.Files = append(pkg.Files, file)
+		if pkg.Name == "" && !file.Test {
+			pkg.Name = f.Name.Name
+		}
+	}
+	return pkg, nil
+}
+
+// Load walks each root recursively and parses every package directory
+// found. A trailing "/..." on a root is accepted (and redundant: the
+// walk always recurses). testdata, vendor, hidden and underscore
+// directories are skipped, mirroring the go tool's build rules.
+func Load(roots []string) ([]*Package, error) {
+	var pkgs []*Package
+	for _, root := range roots {
+		root = strings.TrimSuffix(root, "...")
+		root = strings.TrimSuffix(root, string(filepath.Separator))
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			pkg, err := LoadDir(path)
+			if err != nil {
+				return err
+			}
+			if len(pkg.Files) > 0 {
+				pkgs = append(pkgs, pkg)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}
+
+// Run applies every analyzer to every file of every package and
+// returns the findings in source order.
+func Run(as []*Analyzer, pkgs []*Package) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range as {
+			for _, f := range pkg.Files {
+				if a.SkipTests && f.Test {
+					continue
+				}
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, File: f, findings: &findings})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}

@@ -1,0 +1,88 @@
+package analyzers_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"testing"
+
+	"repro/tools/analyzers"
+	"repro/tools/analyzers/analyzertest"
+)
+
+// The fixture packages under testdata/src seed one violation per rule
+// (plus conforming code that must stay silent); the go tool never
+// builds them, only these tests read them.
+
+func TestNoDial(t *testing.T) {
+	analyzertest.Run(t, analyzers.NoDial, "testdata/src/nodial")
+}
+
+func TestObsGuard(t *testing.T) {
+	analyzertest.Run(t, analyzers.ObsGuard, "testdata/src/obsguard")
+}
+
+func TestMsgSwitch(t *testing.T) {
+	analyzertest.Run(t, analyzers.MsgSwitch, "testdata/src/msgswitch")
+}
+
+// TestMsgTypeListInSync re-derives the message-type vocabulary from
+// internal/protocol/protocol.go's syntax and compares it with the
+// analyzer's hardcoded copy, so adding a message type without teaching
+// msgswitch about it fails here.
+func TestMsgTypeListInSync(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "../../internal/protocol/protocol.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse protocol.go: %v", err)
+	}
+	var fromSource []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != "MsgType" {
+				continue
+			}
+			for _, name := range vs.Names {
+				fromSource = append(fromSource, name.Name)
+			}
+		}
+	}
+	if len(fromSource) == 0 {
+		t.Fatal("no MsgType constants found in protocol.go")
+	}
+	want := append([]string(nil), fromSource...)
+	got := append([]string(nil), analyzers.ProtocolMsgTypes...)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("ProtocolMsgTypes has %d entries, protocol.go declares %d:\ngot  %v\nwant %v",
+			len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ProtocolMsgTypes mismatch: got %q, want %q", got[i], want[i])
+		}
+	}
+}
+
+// TestRepoHonorsInvariants runs every analyzer over the repository
+// itself: the invariants hold on the code that ships, not just on the
+// fixtures.
+func TestRepoHonorsInvariants(t *testing.T) {
+	pkgs, err := analyzers.Load([]string{"../.."})
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	for _, f := range analyzers.Run(analyzers.All(), pkgs) {
+		t.Errorf("%s", f)
+	}
+}

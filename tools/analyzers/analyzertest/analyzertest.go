@@ -1,0 +1,95 @@
+// Package analyzertest runs an analyzer over a fixture directory and
+// checks its findings against `// want "regexp"` comments, the same
+// convention golang.org/x/tools/go/analysis/analysistest uses (rebuilt
+// here because the repo carries no external dependencies). A want
+// comment expects exactly one finding on its line whose message
+// matches the double-quoted regular expression; findings without a
+// want comment, and want comments without a finding, both fail the
+// test.
+package analyzertest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/tools/analyzers"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+// Run applies a to the fixture package in dir and compares findings
+// with the fixture's want comments.
+func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := analyzers.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkg.Files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	expects, err := wants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	findings := analyzers.Run([]*analyzers.Analyzer{a}, []*analyzers.Package{pkg})
+	for _, f := range findings {
+		matched := false
+		for _, exp := range expects {
+			if exp.met || exp.file != f.Pos.Filename || exp.line != f.Pos.Line {
+				continue
+			}
+			if !exp.re.MatchString(f.Message) {
+				t.Errorf("%s: finding %q does not match want %q", f.Pos, f.Message, exp.re)
+			}
+			exp.met = true
+			matched = true
+			break
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, exp := range expects {
+		if !exp.met {
+			t.Errorf("%s:%d: no finding matching want %q", exp.file, exp.line, exp.re)
+		}
+	}
+}
+
+// wants collects the fixture's expectations from its comments.
+func wants(pkg *analyzers.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, group := range f.Ast.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				idx := strings.Index(text, "want ")
+				if idx < 0 {
+					continue
+				}
+				quoted := strings.TrimSpace(text[idx+len("want "):])
+				pat, err := strconv.Unquote(quoted)
+				if err != nil {
+					return nil, fmt.Errorf("%s: malformed want comment %q: %v", f.Path, c.Text, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", f.Path, pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package analyzers
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// MsgSwitch enforces exhaustiveness on protocol envelope dispatch: a
+// switch that names any protocol.Type* constant either covers every
+// message type or carries a default clause. Without one, adding a
+// message type to the protocol silently falls through existing
+// dispatchers instead of producing an "unhandled type" reply — the
+// bug class the TypeError envelope exists to surface.
+var MsgSwitch = &Analyzer{
+	Name: "msgswitch",
+	Doc:  "switches naming protocol message-type constants must have a default clause or cover every type",
+	Run:  runMsgSwitch,
+}
+
+// ProtocolMsgTypes mirrors the MsgType constants of
+// internal/protocol/protocol.go. TestMsgTypeListInSync re-derives the
+// list from that file's syntax, so the copy cannot drift.
+var ProtocolMsgTypes = []string{
+	"TypeAdvertise",
+	"TypeInvalidate",
+	"TypeQuery",
+	"TypeQueryReply",
+	"TypeMatch",
+	"TypeClaim",
+	"TypeClaimReply",
+	"TypeRelease",
+	"TypePreempt",
+	"TypeChallenge",
+	"TypeChalReply",
+	"TypeAck",
+	"TypeError",
+	"TypeSubmit",
+	"TypeSysOpen",
+	"TypeSysFd",
+	"TypeSysRead",
+	"TypeSysData",
+	"TypeSysWrite",
+	"TypeSysTrunc",
+	"TypeSysClose",
+	"TypeCkptSave",
+	"TypeCkptLoad",
+	"TypeCkptData",
+	"TypeJobDone",
+}
+
+func runMsgSwitch(p *Pass) {
+	alias := importName(p.File.Ast, "repro/internal/protocol")
+	inProtocol := p.File.Ast.Name.Name == "protocol"
+	if alias == "" && !inProtocol {
+		return
+	}
+	known := make(map[string]bool, len(ProtocolMsgTypes))
+	for _, name := range ProtocolMsgTypes {
+		known[name] = true
+	}
+	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		covered := map[string]bool{}
+		hasDefault := false
+		for _, stmt := range sw.Body.List {
+			clause, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if clause.List == nil {
+				hasDefault = true
+				continue
+			}
+			for _, e := range clause.List {
+				if name := msgTypeName(e, alias, inProtocol); known[name] {
+					covered[name] = true
+				}
+			}
+		}
+		if len(covered) == 0 || hasDefault || len(covered) == len(ProtocolMsgTypes) {
+			return true
+		}
+		var missing []string
+		for _, name := range ProtocolMsgTypes {
+			if !covered[name] {
+				missing = append(missing, name)
+			}
+		}
+		shown := missing
+		suffix := ""
+		if len(shown) > 3 {
+			shown = shown[:3]
+			suffix = " and more"
+		}
+		p.Reportf(sw.Pos(),
+			"switch covers %d of %d protocol message types without a default clause: missing %s%s",
+			len(covered), len(ProtocolMsgTypes), strings.Join(shown, ", "), suffix)
+		return true
+	})
+}
+
+// msgTypeName resolves a case expression to a Type* constant name:
+// protocol.TypeX through the import alias, or a bare TypeX inside
+// package protocol itself.
+func msgTypeName(e ast.Expr, alias string, inProtocol bool) string {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok && alias != "" && id.Name == alias {
+			return x.Sel.Name
+		}
+	case *ast.Ident:
+		if inProtocol {
+			return x.Name
+		}
+	}
+	return ""
+}

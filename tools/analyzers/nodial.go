@@ -1,0 +1,81 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// NoDial enforces the transport invariant introduced with
+// internal/netx: every outbound connection goes through a netx.Dialer
+// so it inherits the pool-wide connect deadline, retry policy and
+// fault injection. A raw net.Dial hangs forever on a dead peer and is
+// invisible to the chaos suite — exactly the failure mode the wire
+// layer was hardened against.
+var NoDial = &Analyzer{
+	Name:      "nodial",
+	Doc:       "flags direct net dialing outside internal/netx; outbound connections must use the netx dialer",
+	SkipTests: true,
+	Run:       runNoDial,
+}
+
+// dialNames are the package-net identifiers that open (or configure
+// opening) an outbound connection. Listening-side names (Listen,
+// Listener, Conn) stay legal everywhere.
+var dialNames = map[string]bool{
+	"Dial":        true,
+	"DialTimeout": true,
+	"DialTCP":     true,
+	"DialUDP":     true,
+	"DialIP":      true,
+	"DialUnix":    true,
+	"Dialer":      true,
+}
+
+func runNoDial(p *Pass) {
+	if strings.HasSuffix(filepath.ToSlash(p.Pkg.Dir), "internal/netx") {
+		return
+	}
+	alias := importName(p.File.Ast, "net")
+	if alias == "" {
+		return
+	}
+	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok || id.Name != alias || !dialNames[sel.Sel.Name] {
+			return true
+		}
+		p.Reportf(sel.Pos(),
+			"%s.%s bypasses internal/netx: dial through netx.Dialer so the connection gets deadlines, retries and fault injection",
+			alias, sel.Sel.Name)
+		return true
+	})
+}
+
+// importName returns the identifier under which the file imports path,
+// or "" if it does not. A dot or blank import returns "" — neither can
+// appear as a selector base.
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			if imp.Name.Name == "." || imp.Name.Name == "_" {
+				return ""
+			}
+			return imp.Name.Name
+		}
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			return p[i+1:]
+		}
+		return p
+	}
+	return ""
+}

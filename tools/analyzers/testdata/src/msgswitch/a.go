@@ -1,0 +1,34 @@
+// Package msgswitch seeds envelope-type switches for the msgswitch
+// analyzer. The import is never built (testdata is invisible to the go
+// tool); the analyzer only reads syntax.
+package msgswitch
+
+import "repro/internal/protocol"
+
+func partial(env *protocol.Envelope) int {
+	switch env.Type { // want "covers 2 of 25 protocol message types without a default clause"
+	case protocol.TypeAdvertise:
+		return 1
+	case protocol.TypeQuery:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(env *protocol.Envelope) int {
+	switch env.Type {
+	case protocol.TypeAck:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Switches that never name a message type are out of scope.
+func unrelated(n int) int {
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,25 @@
+// Package nodial seeds raw-dial violations for the nodial analyzer.
+package nodial
+
+import (
+	"net"
+	"time"
+)
+
+func bad(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want "net\\.Dial bypasses internal/netx"
+}
+
+func alsoBad(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, time.Second) // want "net\\.DialTimeout bypasses internal/netx"
+}
+
+func sneaky(addr string) (net.Conn, error) {
+	d := net.Dialer{Timeout: time.Second} // want "net\\.Dialer bypasses internal/netx"
+	return d.Dial("tcp", addr)
+}
+
+// Listening-side use of package net stays legal.
+func fine() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

@@ -1,0 +1,7 @@
+package nodial
+
+import stdnet "net"
+
+func aliased(addr string) (stdnet.Conn, error) {
+	return stdnet.Dial("tcp", addr) // want "stdnet\\.Dial bypasses internal/netx"
+}
