@@ -1,24 +1,27 @@
 # Verification loop for the matchmaking reproduction.
 #
-#   make verify   lint + vet + build + race-enabled tests (the PR gate)
-#   make test     tier-1 check as ROADMAP.md defines it
-#   make lint     repo-invariant analyzers + cadlint over shipped ads
-#   make fuzz     short protocol fuzz run (FuzzReadEnvelope)
-#   make bench    matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
-#   make ci       everything CI runs: verify + fuzz
+#   make verify       lint + vet + build + race-enabled shuffled tests (the PR gate)
+#   make test         tier-1 check as ROADMAP.md defines it
+#   make test-short   the fast loop: -short skips chaos/simulation soak tests
+#   make lint         repo-invariant analyzers + cadlint over shipped ads
+#   make fuzz         short protocol fuzz run (FuzzReadEnvelope)
+#   make bench        matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
+#   make bench-check  rerun the benchmarks and fail on >20% ns/op regression
+#   make ci           everything CI runs: verify + fuzz
 
 GO ?= go
 FUZZTIME ?= 15s
 # The hot paths a matchmaker lives on: classad parse/eval/match and
-# the negotiation-cycle variants.
-BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiation|Aggregation|FairShare|Analyze|ClaimRevalidation
+# the negotiation-cycle variants (Negotiat covers both the Negotiation*
+# cycle benchmarks and the Negotiate* index/scan benchmarks).
+BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation
 
-.PHONY: verify test build vet lint fuzz bench ci
+.PHONY: verify test test-short build vet lint fuzz bench bench-check ci
 
 verify: lint
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Static analysis beyond go vet: the custom invariant analyzers
 # (tools/analyzers: nodial, obsguard, msgswitch) over every package,
@@ -32,6 +35,11 @@ lint:
 test:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# The inner development loop: everything but the chaos suite, the
+# simulation soaks, and the long randomized-property runs.
+test-short:
+	$(GO) test -short ./...
 
 build:
 	$(GO) build ./...
@@ -50,5 +58,14 @@ fuzz:
 bench:
 	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchmem . | $(GO) run ./tools/benchjson > BENCH_matchmaker.json
 	@echo "wrote BENCH_matchmaker.json"
+
+# Regression gate: rerun the same benchmarks and compare ns/op against
+# the committed baseline; exits non-zero past 20% slowdown (refresh
+# the baseline via `make bench` when a slowdown is intentional).
+# -count=2 with benchjson's min-of-N keeps scheduler noise on shared
+# hardware from flagging phantom regressions: a slowdown must
+# reproduce in both samples to fail the gate.
+bench-check:
+	$(GO) test -run='^$$' -bench='$(BENCHPAT)' -benchmem -count=2 . | $(GO) run ./tools/benchjson -check BENCH_matchmaker.json
 
 ci: verify fuzz

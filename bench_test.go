@@ -188,6 +188,103 @@ func BenchmarkNegotiationFirstFit(b *testing.B) {
 	}
 }
 
+// bigPool builds a heterogeneous offer set for the index benchmarks:
+// four architectures crossed with eight memory tiers, so a typical
+// arch+memory constraint selects roughly 1/8 of the pool.
+func bigPool(n int) []*classad.Ad {
+	archs := []string{"INTEL", "SPARC", "ALPHA", "HPPA"}
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		ad := classad.NewAd()
+		ad.SetString("Type", "Machine")
+		ad.SetString("Name", fmt.Sprintf("m%d", i))
+		ad.SetString("Arch", archs[i%len(archs)])
+		ad.SetInt("Memory", int64(32*(1+i%8)))
+		ad.SetInt("Mips", int64(10+i%90))
+		if err := ad.SetExprString("Constraint", "other.Memory <= Memory"); err != nil {
+			panic(err)
+		}
+		if err := ad.SetExprString("Rank", "other.Memory"); err != nil {
+			panic(err)
+		}
+		out[i] = ad
+	}
+	return out
+}
+
+// bigRequests builds indexable requests against bigPool: an equality
+// on Arch and a lower bound on Memory, plus a Rank so the scan cannot
+// shortcut.
+func bigRequests(n int) []*classad.Ad {
+	archs := []string{"INTEL", "SPARC", "ALPHA", "HPPA"}
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		ad := classad.NewAd()
+		ad.SetString("Type", "Job")
+		ad.SetString("Owner", fmt.Sprintf("u%d", i%4))
+		ad.SetInt("Memory", int64(16+i%32))
+		if err := ad.SetExprString("Constraint", fmt.Sprintf(
+			`other.Arch == %q && other.Memory >= %d`,
+			archs[i%len(archs)], 32*(5+i%4))); err != nil {
+			panic(err)
+		}
+		if err := ad.SetExprString("Rank", "other.Mips"); err != nil {
+			panic(err)
+		}
+		out[i] = ad
+	}
+	return out
+}
+
+// BenchmarkNegotiate10kOffers is the two-stage engine's headline
+// number: one cycle of 32 requests against 10k offers, sequential
+// scan versus the offer index. The indexed run prunes each request's
+// scan to the posting-list intersection, so the speedup tracks the
+// candidate fraction (~1/8 here).
+func BenchmarkNegotiate10kOffers(b *testing.B) {
+	offers := bigPool(10000)
+	requests := bigRequests(32)
+	env := classad.FixedEnv(0, 1)
+	for _, mode := range []struct {
+		name string
+		cfg  matchmaker.Config
+	}{
+		{"sequential", matchmaker.Config{Env: env}},
+		{"indexed", matchmaker.Config{Env: env, Index: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			mm := matchmaker.New(mode.cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(mm.Negotiate(requests, offers)) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNegotiateIndexed tracks the indexed engine across pool
+// sizes — the bench-check regression gate's guard on the two-stage
+// path itself.
+func BenchmarkNegotiateIndexed(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("machines=%d", n), func(b *testing.B) {
+			offers := bigPool(n)
+			requests := bigRequests(32)
+			mm := matchmaker.New(matchmaker.Config{
+				Env: classad.FixedEnv(0, 1), Index: true,
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(mm.Negotiate(requests, offers)) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
 // ---- E11: aggregation (group matching) ----
 
 func regularPool(n, classes int) []*classad.Ad {
@@ -274,11 +371,14 @@ func BenchmarkFairShare(b *testing.B) {
 	requests := jobAds(200, 3)
 	for _, fair := range []bool{false, true} {
 		b.Run(fmt.Sprintf("fairshare=%v", fair), func(b *testing.B) {
-			mm := matchmaker.New(matchmaker.Config{
-				Env: classad.FixedEnv(0, 1), FairShare: fair,
-			})
-			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
+				// A fresh matchmaker per iteration: fair-share
+				// ordering depends on accumulated usage, so reusing
+				// one instance would make each iteration's work a
+				// function of b.N and the ns/op unstable run-to-run.
+				mm := matchmaker.New(matchmaker.Config{
+					Env: classad.FixedEnv(0, 1), FairShare: fair,
+				})
 				mm.Negotiate(requests, offers)
 			}
 		})

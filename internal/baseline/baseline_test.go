@@ -124,6 +124,9 @@ func TestCoarseVariantIgnoresEverything(t *testing.T) {
 // less waste than the conventional queue scheduler given the identical
 // workload and machines.
 func TestMatchmakerBeatsQueuesOnDesktopPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturated-pool baseline comparison; skipped in -short mode")
+	}
 	// A saturated pool, half dedicated and half desktop: the
 	// matchmaker serves both kinds because owner policy travels
 	// inside the ad; the deployable queue baseline can only enroll
@@ -179,6 +182,9 @@ func TestMatchmakerBeatsQueuesOnDesktopPool(t *testing.T) {
 // thousands of times — which is why such systems were never deployed
 // on distributively owned desktops (paper §1–§2).
 func TestIntrusiveQueuesViolateOwnership(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturated-pool baseline comparison; skipped in -short mode")
+	}
 	cfg := sim.Config{
 		Pool: sim.PoolSpec{
 			Machines:        20,

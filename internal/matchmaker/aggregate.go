@@ -113,9 +113,10 @@ func (a *aggregation) candidates(req *classad.Ad, offers []*classad.Ad, env *cla
 }
 
 // pick selects the offer for one request from its candidate classes,
-// reproducing the linear scan's choice exactly: the best-ranked
-// compatible offer, ties broken by the earliest available offer index
-// (first-fit mode: simply the earliest available compatible offer).
+// reproducing the scan's choice exactly — better() is the shared
+// selection rule: the best-ranked compatible offer, ties broken by
+// the earliest available offer index (first-fit mode: simply the
+// earliest available compatible offer).
 func (a *aggregation) pick(cands []classCand, available []bool, firstFit bool) (best int, reqRank, offRank float64) {
 	best = -1
 	for _, c := range cands {
@@ -128,9 +129,7 @@ func (a *aggregation) pick(cands []classCand, available []bool, firstFit bool) (
 			if best < 0 || oi < best {
 				best, reqRank, offRank = oi, c.reqRank, c.offRank
 			}
-		case best < 0 || c.reqRank > reqRank ||
-			(c.reqRank == reqRank && c.offRank > offRank) ||
-			(c.reqRank == reqRank && c.offRank == offRank && oi < best):
+		case best < 0 || better(candidate{oi, c.reqRank, c.offRank}, candidate{best, reqRank, offRank}):
 			best, reqRank, offRank = oi, c.reqRank, c.offRank
 		}
 	}

@@ -69,6 +69,10 @@ type GangMatch struct {
 	Offers []int
 }
 
+// gangIndexThreshold is the offer count above which MatchGang prunes
+// each sub-request's candidate enumeration through an offer index.
+const gangIndexThreshold = 256
+
 // MatchGang finds an all-or-nothing assignment of distinct offers to
 // the gang's sub-requests, preferring higher sub-request ranks. It
 // returns ok=false if no complete assignment exists.
@@ -77,7 +81,24 @@ type GangMatch struct {
 // sub-requests are ordered most-constrained-first, and assignment
 // backtracks on conflict. Pools are small relative to gang sizes in
 // practice, and the candidate pre-filter keeps the search shallow.
+// Against large pools the enumeration itself is pruned through the
+// offer index, which never drops a viable candidate.
 func MatchGang(req *classad.Ad, offers []*classad.Ad, env *classad.Env) (GangMatch, bool) {
+	var ix *OfferIndex
+	if len(offers) >= gangIndexThreshold {
+		ix = NewOfferIndex(offers)
+	}
+	return matchGang(req, offers, ix, env)
+}
+
+// MatchGangIndexed is MatchGang against a prebuilt index over the same
+// offer slice; NegotiateMixed shares one index across all gangs and
+// ordinary requests of a cycle.
+func MatchGangIndexed(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex, env *classad.Env) (GangMatch, bool) {
+	return matchGang(req, offers, ix, env)
+}
+
+func matchGang(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex, env *classad.Env) (GangMatch, bool) {
 	subs, err := GangSubRequests(req)
 	if err != nil {
 		return GangMatch{}, false
@@ -89,10 +110,27 @@ func MatchGang(req *classad.Ad, offers []*classad.Ad, env *classad.Env) (GangMat
 	}
 	cands := make([][]cand, len(subs))
 	for si, sub := range subs {
-		for oi, off := range offers {
-			res := classad.MatchEnv(sub, off, env)
+		// pool is the candidate offer indices for this sub-request:
+		// nil means the index had nothing to prune on, so scan all.
+		var pool []int
+		if ix != nil {
+			if c, indexed := ix.Candidates(sub, env); indexed {
+				pool = c
+			}
+		}
+		consider := func(oi int) {
+			res := classad.MatchEnv(sub, offers[oi], env)
 			if res.Matched {
 				cands[si] = append(cands[si], cand{oi, res.LeftRank})
+			}
+		}
+		if pool != nil {
+			for _, oi := range pool {
+				consider(oi)
+			}
+		} else {
+			for oi := range offers {
+				consider(oi)
 			}
 		}
 		sort.SliceStable(cands[si], func(a, b int) bool {
@@ -157,11 +195,18 @@ func (m *Matchmaker) NegotiateMixed(requests, offers []*classad.Ad) []Match {
 	for i := range offers {
 		available[i] = true
 	}
+	var ix *OfferIndex
+	if m.cfg.Index {
+		ix = NewOfferIndex(offers)
+	}
 	var out []Match
 	for _, ri := range order {
 		req := requests[ri]
 		if IsGang(req) {
-			// Build the currently available offer slice.
+			// Build the currently available offer slice. The gang's
+			// index must cover exactly this slice, so it is rebuilt
+			// per gang — construction touches no expressions, so it
+			// stays cheap next to the candidate evaluations it saves.
 			remaining = remaining[:0]
 			idxMap = idxMap[:0]
 			for oi, ok := range available {
@@ -170,7 +215,11 @@ func (m *Matchmaker) NegotiateMixed(requests, offers []*classad.Ad) []Match {
 					idxMap = append(idxMap, oi)
 				}
 			}
-			gm, ok := MatchGang(req, remaining, m.cfg.Env)
+			var gix *OfferIndex
+			if m.cfg.Index && len(remaining) >= gangIndexThreshold {
+				gix = NewOfferIndex(remaining)
+			}
+			gm, ok := MatchGangIndexed(req, remaining, gix, m.cfg.Env)
 			if !ok {
 				continue
 			}
@@ -188,25 +237,11 @@ func (m *Matchmaker) NegotiateMixed(requests, offers []*classad.Ad) []Match {
 			m.usage.Record(owner(req), float64(len(gm.Offers)))
 			continue
 		}
-		best, bestMatch := -1, Match{}
-		for oi := range offers {
-			if !available[oi] {
-				continue
-			}
-			res := classad.MatchEnv(req, offers[oi], m.cfg.Env)
-			if !res.Matched {
-				continue
-			}
-			if best < 0 || res.LeftRank > bestMatch.RequestRank ||
-				(res.LeftRank == bestMatch.RequestRank && res.RightRank > bestMatch.OfferRank) {
-				best = oi
-				bestMatch = Match{Request: req, Offer: offers[oi],
-					RequestRank: res.LeftRank, OfferRank: res.RightRank}
-			}
-		}
+		best, reqRank, offRank, _, _ := m.scan(req, offers, ix, available)
 		if best >= 0 {
 			available[best] = false
-			out = append(out, bestMatch)
+			out = append(out, Match{Request: req, Offer: offers[best],
+				RequestRank: reqRank, OfferRank: offRank})
 			m.usage.Record(owner(req), 1)
 		}
 	}

@@ -1,0 +1,432 @@
+package matchmaker
+
+// The offer index: stage one of the two-stage negotiation engine.
+//
+// A negotiation cycle's cost is dominated by bilateral Constraint/Rank
+// evaluation over the full request × offer cross product (paper §3.2
+// runs the matchmaking algorithm against every ad in the pool). Most
+// request constraints, however, open with conjuncts a matchmaker can
+// decide *without* evaluating the offer's side at all: equality and
+// interval bounds on literal attributes of the offer, such as
+//
+//	other.Arch == "INTEL" && other.Memory >= 32 && ...
+//
+// The index extracts those conjuncts from the request's constraint
+// (after partially evaluating it against the request, so
+// `other.Memory >= self.Memory` folds to `other.Memory >= 31`) and
+// answers them from per-attribute posting lists built over the offer
+// set, cutting the candidate list the scanner must evaluate from the
+// whole pool to the offers that could possibly satisfy the request.
+//
+// Soundness, not completeness: an offer pruned by the index can never
+// produce a match — three-valued conjunction is true only when every
+// conjunct is true (§3.1: false, undefined and error are all
+// non-matches), and comparison operators are strict — while an offer
+// the index keeps may still fail the full bilateral evaluation the
+// scanner performs. Attributes an offer defines as expressions rather
+// than literals cannot be decided statically, so such offers are
+// always candidates for tests on that attribute.
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/classad"
+)
+
+// testKind classifies an indexable test.
+type testKind int
+
+const (
+	testStrEq testKind = iota // attr == "literal" (case-folded)
+	testNum                   // attr OP number, OP in < <= > >= ==
+)
+
+// reqTest is one indexable conjunct of a request constraint,
+// normalized to attribute-on-the-left form. attr and str are
+// case-folded, mirroring the evaluator's case-insensitive attribute
+// names and string comparison.
+type reqTest struct {
+	attr string
+	kind testKind
+	str  string
+	op   classad.Op
+	num  float64
+}
+
+// IndexableTests extracts the conjuncts of req's constraint that the
+// offer index can prune on. unsat reports that some conjunct compares
+// against a literal undefined/error — comparisons are strict, so the
+// constraint can never be true and the request matches nothing.
+//
+// What is indexable (see DESIGN.md §10): a top-level conjunct whose
+// partial-evaluation residual has the shape `ref OP literal` (either
+// operand order) where OP is <, <=, >, >=, or ==, the literal is a
+// string (equality only), number, or boolean, and ref is an attribute
+// of the offer — either explicitly other-scoped, or unqualified and
+// not supplied by the request itself (an unqualified name resolves in
+// the request first, so one the request defines says nothing about
+// the offer).
+func IndexableTests(req *classad.Ad, env *classad.Env) (tests []reqTest, unsat bool) {
+	ce, ok := classad.ConstraintOf(req)
+	if !ok {
+		return nil, false
+	}
+	for _, conj := range classad.SplitConjuncts(ce) {
+		res := classad.PartialEval(conj, req, env)
+		info := classad.Inspect(res)
+		if info.Kind != classad.KindBinary {
+			continue
+		}
+		switch info.Op {
+		case classad.OpLt, classad.OpLe, classad.OpGt, classad.OpGe, classad.OpEq:
+		default:
+			continue
+		}
+		l := classad.Inspect(info.Args[0])
+		r := classad.Inspect(info.Args[1])
+		op := info.Op
+		ref, lit := l, r
+		if l.Kind == classad.KindLiteral && r.Kind == classad.KindAttrRef {
+			ref, lit = r, l
+			op = flipCmp(op)
+		} else if !(l.Kind == classad.KindAttrRef && r.Kind == classad.KindLiteral) {
+			continue
+		}
+		switch ref.Scope {
+		case classad.ScopeOther:
+			// Always the offer's attribute.
+		case classad.ScopeNone:
+			// Unqualified names resolve in the request first; only
+			// when the request cannot supply the name does the offer's
+			// attribute decide the test. (A request-defined name that
+			// survived partial evaluation is non-ground — it will
+			// resolve in the request at match time, not the offer.)
+			if _, bound := req.Lookup(ref.Name); bound {
+				continue
+			}
+		default:
+			// A surviving self.X is an unbound local reference; the
+			// static analyzer (CAD101) flags it, the index ignores it.
+			continue
+		}
+		v := lit.Value
+		if v.IsUndefined() || v.IsError() {
+			// Strict comparison against undefined/error is never true,
+			// so the whole conjunction is unsatisfiable.
+			return nil, true
+		}
+		if s, isStr := v.StringVal(); isStr {
+			if op != classad.OpEq {
+				continue // relational order on strings is rare; not indexed
+			}
+			tests = append(tests, reqTest{
+				attr: classad.Fold(ref.Name), kind: testStrEq, str: classad.Fold(s)})
+			continue
+		}
+		n, isNum := numericBound(v)
+		if !isNum || math.IsNaN(n) {
+			// Lists, ads: comparing them is an error — never true —
+			// but leave the conjunct to the full evaluation rather
+			// than encode error semantics here. NaN: the evaluator's
+			// three-way compare classifies NaN as equal to everything;
+			// not worth reproducing in posting lists.
+			continue
+		}
+		if v.Type() == classad.BooleanType && op != classad.OpEq {
+			continue // relational order on booleans is an error
+		}
+		tests = append(tests, reqTest{attr: classad.Fold(ref.Name), kind: testNum, op: op, num: n})
+	}
+	return tests, false
+}
+
+// numericBound extracts the numeric axis value of a literal: numbers
+// as themselves, booleans coerced to 0/1 exactly as evalCompare does.
+func numericBound(v classad.Value) (float64, bool) {
+	switch v.Type() {
+	case classad.IntegerType, classad.RealType:
+		n, _ := v.NumberVal()
+		return n, true
+	case classad.BooleanType:
+		if v.IsTrue() {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// flipCmp mirrors a comparison for swapped operands: 3 < x ≡ x > 3.
+func flipCmp(op classad.Op) classad.Op {
+	switch op {
+	case classad.OpLt:
+		return classad.OpGt
+	case classad.OpLe:
+		return classad.OpGe
+	case classad.OpGt:
+		return classad.OpLt
+	case classad.OpGe:
+		return classad.OpLe
+	}
+	return op
+}
+
+// numEntry is one (value, offer) pair on an attribute's numeric axis.
+type numEntry struct {
+	val float64
+	idx int
+}
+
+// postings holds everything the index knows about one attribute across
+// the offer set.
+type postings struct {
+	// strs maps a case-folded literal string value to the offers
+	// advertising it, ascending by offer index.
+	strs map[string][]int
+	// nums lists offers with a literal numeric (or boolean, coerced)
+	// value, sorted by value then offer index.
+	nums []numEntry
+	// exprs lists offers whose definition is not a literal: their
+	// value depends on the match, so every test on this attribute must
+	// keep them. Ascending by offer index.
+	exprs []int
+}
+
+// OfferIndex is a set of per-attribute posting lists over an offer
+// set. The matchmaker builds one per negotiation cycle from the
+// cycle's snapshot — the same weak-consistency stance as the rest of
+// the system: decisions are made against a possibly stale snapshot
+// and validated by the claiming protocol. The index also supports
+// incremental maintenance (Add/Remove) under a lock for callers that
+// keep one alive across snapshots.
+type OfferIndex struct {
+	mu     sync.RWMutex
+	offers []*classad.Ad
+	live   []bool
+	nlive  int
+	attrs  map[string]*postings
+}
+
+// NewOfferIndex builds posting lists over offers. Build cost is one
+// pass over every attribute of every offer — no expression evaluation.
+func NewOfferIndex(offers []*classad.Ad) *OfferIndex {
+	ix := &OfferIndex{attrs: make(map[string]*postings)}
+	for _, off := range offers {
+		ix.addLocked(off)
+	}
+	for _, p := range ix.attrs {
+		sort.Slice(p.nums, func(a, b int) bool {
+			if p.nums[a].val != p.nums[b].val {
+				return p.nums[a].val < p.nums[b].val
+			}
+			return p.nums[a].idx < p.nums[b].idx
+		})
+	}
+	return ix
+}
+
+// Len reports how many live offers the index covers.
+func (ix *OfferIndex) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.nlive
+}
+
+// Offers returns the indexed offer slice; slot i corresponds to the
+// candidate indices Candidates returns. Removed slots stay in place
+// (and are never returned as candidates) so indices remain stable.
+func (ix *OfferIndex) Offers() []*classad.Ad {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]*classad.Ad, len(ix.offers))
+	copy(out, ix.offers)
+	return out
+}
+
+// Add indexes one more offer and returns its slot.
+func (ix *OfferIndex) Add(off *classad.Ad) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	i := ix.addLocked(off)
+	// A freshly appended slot has the highest index, so string and
+	// expression lists stay sorted; the numeric axis needs an insert.
+	for _, name := range off.Names() {
+		p := ix.attrs[classad.Fold(name)]
+		if p == nil || len(p.nums) == 0 {
+			continue
+		}
+		sort.Slice(p.nums, func(a, b int) bool {
+			if p.nums[a].val != p.nums[b].val {
+				return p.nums[a].val < p.nums[b].val
+			}
+			return p.nums[a].idx < p.nums[b].idx
+		})
+	}
+	return i
+}
+
+// Remove retires the offer in slot i: it stops appearing in candidate
+// lists. Posting entries are dropped lazily on lookup.
+func (ix *OfferIndex) Remove(i int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if i >= 0 && i < len(ix.live) && ix.live[i] {
+		ix.live[i] = false
+		ix.nlive--
+	}
+}
+
+// addLocked appends the offer and files every literal attribute into
+// its posting list. Callers sort numeric axes afterwards.
+func (ix *OfferIndex) addLocked(off *classad.Ad) int {
+	i := len(ix.offers)
+	ix.offers = append(ix.offers, off)
+	ix.live = append(ix.live, true)
+	ix.nlive++
+	for _, name := range off.Names() {
+		e, ok := off.Lookup(name)
+		if !ok {
+			continue
+		}
+		key := classad.Fold(name)
+		p := ix.attrs[key]
+		if p == nil {
+			p = &postings{strs: make(map[string][]int)}
+			ix.attrs[key] = p
+		}
+		info := classad.Inspect(e)
+		if info.Kind != classad.KindLiteral {
+			p.exprs = append(p.exprs, i)
+			continue
+		}
+		v := info.Value
+		if s, isStr := v.StringVal(); isStr {
+			f := classad.Fold(s)
+			p.strs[f] = append(p.strs[f], i)
+			continue
+		}
+		if n, isNum := numericBound(v); isNum && !math.IsNaN(n) {
+			p.nums = append(p.nums, numEntry{n, i})
+			continue
+		}
+		// Literal undefined/error/list/ad: no test this index answers
+		// can hold for it (strict comparison yields undefined or
+		// error), so it is correctly absent from every posting list.
+	}
+	return i
+}
+
+// Candidates returns the offers that could possibly satisfy req's
+// constraint, ascending by offer index.
+//
+// indexed=false means the constraint had no indexable conjunct and the
+// caller must scan everything (cand is nil). indexed=true with an
+// empty cand means the index proved no offer can match.
+func (ix *OfferIndex) Candidates(req *classad.Ad, env *classad.Env) (cand []int, indexed bool) {
+	tests, unsat := IndexableTests(req, env)
+	if unsat {
+		return []int{}, true
+	}
+	if len(tests) == 0 {
+		return nil, false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := len(ix.offers)
+	words := (n + 63) / 64
+	acc := make([]uint64, words)
+	scratch := make([]uint64, words)
+	for ti, t := range tests {
+		set := acc
+		if ti > 0 {
+			set = scratch
+			for w := range set {
+				set[w] = 0
+			}
+		}
+		ix.fill(set, t)
+		if ti > 0 {
+			for w := range acc {
+				acc[w] &= set[w]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if acc[i/64]&(1<<(uint(i)%64)) != 0 && ix.live[i] {
+			cand = append(cand, i)
+		}
+	}
+	if cand == nil {
+		cand = []int{}
+	}
+	return cand, true
+}
+
+// liveIndices returns the live slots explicitly, or nil when every
+// slot is live (callers treat nil as "all").
+func (ix *OfferIndex) liveIndices() []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.nlive == len(ix.offers) {
+		return nil
+	}
+	out := make([]int, 0, ix.nlive)
+	for i, ok := range ix.live {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// fill sets the bit of every offer test t admits: literal values that
+// satisfy it plus every expression-valued definition of the attribute.
+// Offers without the attribute stay clear — a strict comparison with
+// undefined is undefined, never true.
+func (ix *OfferIndex) fill(set []uint64, t reqTest) {
+	p := ix.attrs[t.attr]
+	if p == nil {
+		return
+	}
+	for _, i := range p.exprs {
+		set[i/64] |= 1 << (uint(i) % 64)
+	}
+	switch t.kind {
+	case testStrEq:
+		for _, i := range p.strs[t.str] {
+			set[i/64] |= 1 << (uint(i) % 64)
+		}
+	case testNum:
+		lo, hi := numRange(p.nums, t.op, t.num)
+		for _, e := range p.nums[lo:hi] {
+			set[e.idx/64] |= 1 << (uint(e.idx) % 64)
+		}
+	}
+}
+
+// numRange returns the half-open window of nums (sorted by value)
+// satisfying `value OP bound`.
+func numRange(nums []numEntry, op classad.Op, bound float64) (lo, hi int) {
+	geq := func(b float64) int { // first index with val >= b
+		return sort.Search(len(nums), func(i int) bool { return nums[i].val >= b })
+	}
+	gt := func(b float64) int { // first index with val > b
+		return sort.Search(len(nums), func(i int) bool { return nums[i].val > b })
+	}
+	switch op {
+	case classad.OpLt:
+		return 0, geq(bound)
+	case classad.OpLe:
+		return 0, gt(bound)
+	case classad.OpGt:
+		return gt(bound), len(nums)
+	case classad.OpGe:
+		return geq(bound), len(nums)
+	case classad.OpEq:
+		return geq(bound), gt(bound)
+	}
+	return 0, 0
+}

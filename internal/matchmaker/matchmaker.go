@@ -49,6 +49,18 @@ type Config struct {
 	// FirstFit skips rank maximization and takes the first
 	// compatible offer; exists for the ablation benchmark only.
 	FirstFit bool
+	// Index enables the offer index: indexable conjuncts of each
+	// request's constraint (equality and interval bounds on literal
+	// offer attributes) are answered from per-attribute posting lists,
+	// so the scan only evaluates candidate offers. Results are
+	// identical to the full scan (property-tested); ignored when
+	// Aggregate is on, which prunes by equivalence class instead.
+	Index bool
+	// Parallel shards each request's candidate scan across workers:
+	// 0 or 1 is sequential, ParallelAuto (-1) uses one worker per CPU,
+	// n>1 forces exactly n workers. The reduction is deterministic —
+	// parallel results are bit-identical to the sequential scan.
+	Parallel int
 }
 
 // Matchmaker runs negotiation cycles. The zero value is usable; usage
@@ -58,13 +70,17 @@ type Matchmaker struct {
 	usage *PriorityTable
 
 	// Observability hooks; nil (no-op) until Instrument is called.
-	events     *obs.Events
-	mMatches   *obs.Counter
-	mRejNone   *obs.Counter // no offers in the pool at all
-	mRejConstr *obs.Counter // no offer satisfies the bilateral constraints
-	mRejTaken  *obs.Counter // compatible offers existed but were all taken
-	hNegotiate *obs.Histogram
-	hScanned   *obs.Histogram
+	events      *obs.Events
+	mMatches    *obs.Counter
+	mRejNone    *obs.Counter // no offers in the pool at all
+	mRejConstr  *obs.Counter // no offer satisfies the bilateral constraints
+	mRejTaken   *obs.Counter // compatible offers existed but were all taken
+	mIdxCand    *obs.Counter // offers the index admitted as candidates
+	mIdxPruned  *obs.Counter // offers the index proved incompatible unseen
+	mIdxMisses  *obs.Counter // requests with no indexable conjunct (full scan)
+	hNegotiate  *obs.Histogram
+	hScanned    *obs.Histogram
+	hScanFanout *obs.Histogram // workers used per request scan
 }
 
 // Rejection reasons, mirroring the categories of Analyze: the pool is
@@ -84,8 +100,11 @@ func New(cfg Config) *Matchmaker {
 // Instrument routes negotiation activity into o:
 // matchmaker_matches_total and the per-reason rejection counters
 // (matchmaker_rejected_{no_offers,constraint,outranked}_total),
-// negotiation wall time (matchmaker_negotiate_seconds), and offers
-// examined per request (matchmaker_offers_scanned). Each match and
+// negotiation wall time (matchmaker_negotiate_seconds), offers
+// examined per request (matchmaker_offers_scanned), the offer index's
+// work (matchmaker_index_candidates_total /
+// matchmaker_index_pruned_total / matchmaker_index_unindexed_total),
+// and scan fan-out (matchmaker_scan_workers). Each match and
 // rejection also lands in the event buffer, stamped with the cycle ID
 // passed to NegotiateCycle. Call before the first cycle.
 func (m *Matchmaker) Instrument(o *obs.Obs) {
@@ -95,8 +114,12 @@ func (m *Matchmaker) Instrument(o *obs.Obs) {
 	m.mRejNone = reg.Counter("matchmaker_rejected_no_offers_total")
 	m.mRejConstr = reg.Counter("matchmaker_rejected_constraint_total")
 	m.mRejTaken = reg.Counter("matchmaker_rejected_outranked_total")
+	m.mIdxCand = reg.Counter("matchmaker_index_candidates_total")
+	m.mIdxPruned = reg.Counter("matchmaker_index_pruned_total")
+	m.mIdxMisses = reg.Counter("matchmaker_index_unindexed_total")
 	m.hNegotiate = reg.Histogram("matchmaker_negotiate_seconds", obs.DurationBuckets)
 	m.hScanned = reg.Histogram("matchmaker_offers_scanned", obs.CountBuckets)
+	m.hScanFanout = reg.Histogram("matchmaker_scan_workers", obs.CountBuckets)
 }
 
 // instrumented reports whether Instrument has been called; rejection
@@ -156,6 +179,10 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 		agg = aggregate(offers)
 		memo = make(map[string][]classCand)
 	}
+	var ix *OfferIndex
+	if m.cfg.Index && agg == nil {
+		ix = NewOfferIndex(offers)
+	}
 
 	var out []Match
 	for _, ri := range order {
@@ -174,7 +201,9 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 			}
 			best, reqRank, offRank = agg.pick(cands, available, m.cfg.FirstFit)
 		} else {
-			best, reqRank, offRank, scanned = linearScan(req, offers, available, m.cfg)
+			var workers int
+			best, reqRank, offRank, scanned, workers = m.scan(req, offers, ix, available)
+			m.hScanFanout.Observe(float64(workers))
 		}
 		m.hScanned.Observe(float64(scanned))
 		if best >= 0 {
@@ -221,9 +250,11 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 // mirroring Analyze's verdicts: an empty pool (no-offers), a pool with
 // no bilaterally compatible offer (constraint-failed), or compatible
 // offers that higher-priority requests already took (outranked). The
-// linear path re-examines only the offers the scan skipped as
-// unavailable; the aggregate path reads the candidate classes, which
-// were computed ignoring availability.
+// scan path re-examines only the offers the scan skipped as
+// unavailable — available offers it did not evaluate were pruned by
+// the index, which only prunes provably incompatible pairs; the
+// aggregate path reads the candidate classes, which were computed
+// ignoring availability.
 func (m *Matchmaker) diagnose(req *classad.Ad, offers []*classad.Ad, available []bool, agg *aggregation, cands []classCand) string {
 	if len(offers) == 0 {
 		return ReasonNoOffers
@@ -252,30 +283,25 @@ func adName(ad *classad.Ad) string {
 	return owner(ad)
 }
 
-// linearScan picks the offer for one request by scanning every
-// available offer: highest request rank, ties to the higher offer
-// rank, remaining ties to the earliest offer. It also reports how many
-// offers it examined (the per-request matching work).
-func linearScan(req *classad.Ad, offers []*classad.Ad, available []bool, cfg Config) (best int, reqRank, offRank float64, scanned int) {
-	best = -1
-	for oi := range offers {
-		if !available[oi] {
-			continue
-		}
-		scanned++
-		res := classad.MatchEnv(req, offers[oi], cfg.Env)
-		if !res.Matched {
-			continue
-		}
-		if cfg.FirstFit {
-			return oi, res.LeftRank, res.RightRank, scanned
-		}
-		if best < 0 || res.LeftRank > reqRank ||
-			(res.LeftRank == reqRank && res.RightRank > offRank) {
-			best, reqRank, offRank = oi, res.LeftRank, res.RightRank
+// scan selects the offer for one request: with an index, only the
+// candidate offers the posting lists admit are evaluated; without one,
+// every offer is. The scan itself runs sequentially or sharded per
+// Config.Parallel — either way the selection is the one better()
+// defines: highest request rank, ties to the higher offer rank,
+// remaining ties to the earliest offer.
+func (m *Matchmaker) scan(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex, available []bool) (best int, reqRank, offRank float64, scanned, workers int) {
+	var cand []int
+	if ix != nil {
+		var indexed bool
+		cand, indexed = ix.Candidates(req, m.cfg.Env)
+		if indexed {
+			m.mIdxCand.Add(int64(len(cand)))
+			m.mIdxPruned.Add(int64(len(offers) - len(cand)))
+		} else {
+			m.mIdxMisses.Inc()
 		}
 	}
-	return best, reqRank, offRank, scanned
+	return scanOffers(req, offers, cand, available, m.cfg)
 }
 
 // requestOrder returns the indices of requests in service order. With
@@ -299,24 +325,49 @@ func (m *Matchmaker) requestOrder(requests []*classad.Ad) []int {
 	return order
 }
 
+// bestOfferIndexThreshold is the offer count above which BestOffer
+// builds a throwaway index: posting-list construction evaluates
+// nothing, so it amortizes after pruning a handful of candidates.
+const bestOfferIndexThreshold = 256
+
 // BestOffer is the single-request entry point: it returns the index of
 // the offer the request should be introduced to, or -1, applying the
-// same selection rule as Negotiate. Tools use it for "what would I
-// match?" queries.
+// same selection rule as Negotiate — better() is the single source of
+// truth for both. Tools use it for "what would I match?" queries.
+// Large offer lists are pruned through a throwaway offer index; the
+// result is identical either way.
 func BestOffer(req *classad.Ad, offers []*classad.Ad, env *classad.Env) (int, Match) {
-	best := -1
-	var bestMatch Match
-	for oi, off := range offers {
-		res := classad.MatchEnv(req, off, env)
-		if !res.Matched {
-			continue
-		}
-		if best < 0 || res.LeftRank > bestMatch.RequestRank ||
-			(res.LeftRank == bestMatch.RequestRank && res.RightRank > bestMatch.OfferRank) {
-			best = oi
-			bestMatch = Match{Request: req, Offer: off,
-				RequestRank: res.LeftRank, OfferRank: res.RightRank}
+	var ix *OfferIndex
+	if len(offers) >= bestOfferIndexThreshold {
+		ix = NewOfferIndex(offers)
+	}
+	return bestOffer(req, offers, ix, env)
+}
+
+// BestOfferIndexed is BestOffer against a prebuilt index (covering
+// exactly the offers of interest), for callers answering many
+// requests against one offer set.
+func BestOfferIndexed(req *classad.Ad, ix *OfferIndex, env *classad.Env) (int, Match) {
+	return bestOffer(req, ix.Offers(), ix, env)
+}
+
+func bestOffer(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex, env *classad.Env) (int, Match) {
+	var cand []int
+	if ix != nil {
+		var indexed bool
+		cand, indexed = ix.Candidates(req, env)
+		if !indexed {
+			cand = ix.liveIndices() // skip removed slots; nil when all live
 		}
 	}
-	return best, bestMatch
+	available := make([]bool, len(offers))
+	for i := range available {
+		available[i] = true
+	}
+	best, reqRank, offRank, _, _ := scanOffers(req, offers, cand, available, Config{Env: env})
+	if best < 0 {
+		return -1, Match{}
+	}
+	return best, Match{Request: req, Offer: offers[best],
+		RequestRank: reqRank, OfferRank: offRank}
 }

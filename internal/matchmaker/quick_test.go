@@ -49,6 +49,156 @@ func randomRequests(r *rand.Rand, n int) []*classad.Ad {
 	return out
 }
 
+// trickyPool builds an offer list that stresses the offer index:
+// literal attributes (posting lists), expression-valued attributes
+// (always-candidates), missing attributes (strict-comparison pruning),
+// wrong-typed attributes, and offer-side constraints.
+func trickyPool(r *rand.Rand, n int) []*classad.Ad {
+	archs := []string{"INTEL", "SPARC", "ALPHA"}
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		m := machine(fmt.Sprintf("m%d", i), archs[r.Intn(len(archs))],
+			int64(32*(1+r.Intn(8))))
+		switch r.Intn(8) {
+		case 0: // expression-valued Memory: index must keep it
+			m.SetInt("Slots", int64(1+r.Intn(4)))
+			_ = m.SetExprString("Memory", "32 * Slots")
+		case 1: // missing Memory entirely
+			m.Delete("Memory")
+		case 2: // wrong-typed Arch
+			m.SetInt("Arch", int64(r.Intn(3)))
+		case 3: // offer-side constraint (bilateral pruning untouched)
+			_ = m.SetExprString("Constraint", `other.Memory <= Memory`)
+		case 4:
+			_ = m.SetExprString("Constraint", fmt.Sprintf(`other.Owner != "u%d"`, r.Intn(4)))
+		}
+		if r.Intn(2) == 0 {
+			_ = m.SetExprString("Rank", "other.Memory")
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// trickyRequests builds a request mix of matchable, unsatisfiable, and
+// undefined-yielding constraints, exercising every extraction rule of
+// the index (self folds, unqualified names, flipped literals,
+// unindexable disjunctions, both constraint spellings).
+func trickyRequests(r *rand.Rand, n int) []*classad.Ad {
+	archs := []string{"INTEL", "SPARC", "ALPHA"}
+	out := make([]*classad.Ad, n)
+	for i := range out {
+		j := job(fmt.Sprintf("u%d", r.Intn(4)), archs[r.Intn(len(archs))],
+			int64(16*(1+r.Intn(8))))
+		j.SetInt("Memory", int64(16*(1+r.Intn(8))))
+		switch r.Intn(10) {
+		case 0: // self fold: residual is other.Memory >= <literal>
+			_ = j.SetExprString("Constraint", `other.Memory >= self.Memory`)
+		case 1: // flipped literal operand
+			_ = j.SetExprString("Constraint", fmt.Sprintf(`%d <= other.Memory`, 32*(1+r.Intn(4))))
+		case 2: // unsatisfiable interval pair: prunes everything
+			_ = j.SetExprString("Constraint", `other.Memory > 64 && other.Memory < 32`)
+		case 3: // undefined-yielding: attribute absent pool-wide
+			_ = j.SetExprString("Constraint", `other.NoSuchAttr >= 5`)
+		case 4: // disjunction: not indexable, full scan
+			_ = j.SetExprString("Constraint", `other.Memory >= 64 || other.Mips >= 10`)
+		case 5: // alternative spelling
+			c, _ := j.Lookup("Constraint")
+			j.Delete("Constraint")
+			j.Set("Requirements", c)
+		case 6: // equality on the numeric axis
+			_ = j.SetExprString("Constraint", fmt.Sprintf(`other.Memory == %d`, 32*(1+r.Intn(8))))
+		}
+		if r.Intn(2) == 0 {
+			_ = j.SetExprString("Rank", "other.Memory")
+		}
+		out[i] = j
+	}
+	return out
+}
+
+// TestQuickDifferentialIndexParallel is the differential property test
+// locking the two-stage engine to the sequential reference: over
+// randomized pools mixing matchable, unsatisfiable, and
+// undefined-yielding constraints, Negotiate with indexing and/or
+// parallel scanning enabled returns identical matches, ranks, and
+// ordering to the plain sequential scan — with and without FairShare.
+func TestQuickDifferentialIndexParallel(t *testing.T) {
+	maxCount := 120
+	if testing.Short() {
+		maxCount = 25
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := trickyPool(r, 1+r.Intn(40))
+		requests := trickyRequests(r, 1+r.Intn(25))
+		env := classad.FixedEnv(0, seed)
+		for _, fair := range []bool{false, true} {
+			ref := New(Config{Env: env, FairShare: fair}).Negotiate(requests, offers)
+			for _, cfg := range []Config{
+				{Env: env, FairShare: fair, Index: true},
+				{Env: env, FairShare: fair, Parallel: 4},
+				{Env: env, FairShare: fair, Index: true, Parallel: 4},
+				{Env: env, FairShare: fair, Index: true, Parallel: ParallelAuto},
+			} {
+				got := New(cfg).Negotiate(requests, offers)
+				if len(got) != len(ref) {
+					t.Logf("seed %d cfg %+v: %d matches, reference %d", seed, cfg, len(got), len(ref))
+					return false
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Logf("seed %d cfg %+v: match %d differs:\n got %+v\n ref %+v",
+							seed, cfg, i, got[i], ref[i])
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDifferentialFirstFit extends the differential guarantee to
+// first-fit mode: index and parallelism must still pick the earliest
+// compatible available offer.
+func TestQuickDifferentialFirstFit(t *testing.T) {
+	maxCount := 60
+	if testing.Short() {
+		maxCount = 15
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := trickyPool(r, 1+r.Intn(40))
+		requests := trickyRequests(r, 1+r.Intn(20))
+		env := classad.FixedEnv(0, seed)
+		ref := New(Config{Env: env, FirstFit: true}).Negotiate(requests, offers)
+		for _, cfg := range []Config{
+			{Env: env, FirstFit: true, Index: true},
+			{Env: env, FirstFit: true, Index: true, Parallel: 4},
+		} {
+			got := New(cfg).Negotiate(requests, offers)
+			if len(got) != len(ref) {
+				t.Logf("seed %d cfg %+v: %d matches, reference %d", seed, cfg, len(got), len(ref))
+				return false
+			}
+			for i := range ref {
+				if got[i].Request != ref[i].Request || got[i].Offer != ref[i].Offer {
+					t.Logf("seed %d cfg %+v: match %d differs", seed, cfg, i)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: maxCount}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickNegotiateInvariants: every produced match is bilaterally
 // valid, no offer is used twice, no request is served twice, and the
 // cycle is deterministic.

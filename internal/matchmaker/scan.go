@@ -1,0 +1,164 @@
+package matchmaker
+
+// Stage two of the negotiation engine: scanning the candidate offers
+// for one request. The scan is the same selection whether it runs
+// sequentially or sharded across workers, because selection is defined
+// entirely by the better comparator below — a strict total order on
+// candidates — and the parallel reduction folds shard results in shard
+// order. The parallel path is therefore bit-identical to the
+// sequential one (property-tested in quick_test.go), provided
+// constraints and ranks are pure; an Env whose Rand is consulted by a
+// constraint yields a nondeterministic stream order under any
+// concurrent evaluation.
+//
+// Shared state during one scan is read-only: the request and offer ads
+// (never mutated after construction), the availability vector (only
+// mutated between requests), and the Env (both constructors guard
+// their random stream with a mutex, giving each worker a race-free
+// view). -race runs of the differential and stress suites enforce
+// this.
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/classad"
+)
+
+// ParallelAuto selects one scan worker per available CPU
+// (GOMAXPROCS); see Config.Parallel.
+const ParallelAuto = -1
+
+// minParallelScan is the candidate count below which sharding costs
+// more than it saves and the scan stays sequential.
+const minParallelScan = 64
+
+// candidate identifies one compatible offer and the two ranks the
+// selection rule orders by.
+type candidate struct {
+	index            int
+	reqRank, offRank float64
+}
+
+// better reports whether a should be selected over b. This is THE
+// selection rule of the negotiation cycle — linearScan, BestOffer,
+// aggregation and the parallel reduction all defer to it: higher
+// request rank wins, ties go to the higher offer rank, remaining ties
+// to the earliest offer (paper §3.2: "the Rank attributes are then
+// used to choose among compatible matches").
+func better(a, b candidate) bool {
+	if a.reqRank != b.reqRank {
+		return a.reqRank > b.reqRank
+	}
+	if a.offRank != b.offRank {
+		return a.offRank > b.offRank
+	}
+	return a.index < b.index
+}
+
+// scanWorkers resolves the Parallel config knob against the candidate
+// count: 0 and 1 mean sequential, ParallelAuto means GOMAXPROCS, n>1
+// means exactly n (tests use this to force concurrency on small
+// machines). Scans below minParallelScan stay sequential regardless.
+func scanWorkers(parallel, candidates int) int {
+	w := parallel
+	if w == ParallelAuto {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 2 || candidates < minParallelScan {
+		return 1
+	}
+	if w > candidates {
+		w = candidates
+	}
+	return w
+}
+
+// scanOffers selects the offer for one request among cand (indices
+// into offers; nil means every offer), honouring availability. It
+// reports the winner per better, the ranks, and how many offers it
+// evaluated. FirstFit takes the earliest available compatible offer
+// instead of maximizing rank.
+func scanOffers(req *classad.Ad, offers []*classad.Ad, cand []int, available []bool, cfg Config) (best int, reqRank, offRank float64, scanned, workers int) {
+	n := len(offers)
+	if cand != nil {
+		n = len(cand)
+	}
+	workers = scanWorkers(cfg.Parallel, n)
+	if workers <= 1 {
+		best, reqRank, offRank, scanned = scanRange(req, offers, cand, available, cfg, 0, n)
+		return best, reqRank, offRank, scanned, 1
+	}
+
+	type shard struct {
+		best             int
+		reqRank, offRank float64
+		scanned          int
+	}
+	results := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := &results[w]
+			s.best, s.reqRank, s.offRank, s.scanned = scanRange(req, offers, cand, available, cfg, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	// Deterministic reduction: fold shard winners in shard order.
+	// Shards cover ascending candidate ranges and each shard keeps its
+	// earliest winner on full ties, so the fold reproduces the
+	// sequential scan's keep-first behaviour exactly. In first-fit
+	// mode the first shard with a hit holds the lowest compatible
+	// index.
+	best = -1
+	for _, s := range results {
+		scanned += s.scanned
+		if s.best < 0 {
+			continue
+		}
+		if cfg.FirstFit {
+			if best < 0 {
+				best, reqRank, offRank = s.best, s.reqRank, s.offRank
+			}
+			continue
+		}
+		if best < 0 || better(candidate{s.best, s.reqRank, s.offRank}, candidate{best, reqRank, offRank}) {
+			best, reqRank, offRank = s.best, s.reqRank, s.offRank
+		}
+	}
+	return best, reqRank, offRank, scanned, workers
+}
+
+// scanRange is the sequential kernel: it evaluates candidates lo..hi
+// (indices into cand, or into offers directly when cand is nil) and
+// returns the local winner. In first-fit mode it stops at the first
+// hit.
+func scanRange(req *classad.Ad, offers []*classad.Ad, cand []int, available []bool, cfg Config, lo, hi int) (best int, reqRank, offRank float64, scanned int) {
+	best = -1
+	for i := lo; i < hi; i++ {
+		oi := i
+		if cand != nil {
+			oi = cand[i]
+		}
+		if !available[oi] {
+			continue
+		}
+		scanned++
+		res := classad.MatchEnv(req, offers[oi], cfg.Env)
+		if !res.Matched {
+			continue
+		}
+		if cfg.FirstFit {
+			return oi, res.LeftRank, res.RightRank, scanned
+		}
+		if best < 0 || better(candidate{oi, res.LeftRank, res.RightRank}, candidate{best, reqRank, offRank}) {
+			best, reqRank, offRank = oi, res.LeftRank, res.RightRank
+		}
+	}
+	return best, reqRank, offRank, scanned
+}

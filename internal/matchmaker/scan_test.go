@@ -1,0 +1,156 @@
+package matchmaker
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/classad"
+)
+
+// TestBetterComparator pins the selection rule both Negotiate's scan
+// and BestOffer defer to — one source of truth for tie-breaking.
+func TestBetterComparator(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b candidate
+		want bool
+	}{
+		{"higher request rank wins", candidate{5, 2, 0}, candidate{1, 1, 9}, true},
+		{"lower request rank loses", candidate{1, 1, 9}, candidate{5, 2, 0}, false},
+		{"request tie, higher offer rank wins", candidate{5, 1, 3}, candidate{1, 1, 2}, true},
+		{"request tie, lower offer rank loses", candidate{1, 1, 2}, candidate{5, 1, 3}, false},
+		{"full tie, earlier offer wins", candidate{1, 1, 1}, candidate{5, 1, 1}, true},
+		{"full tie, later offer loses", candidate{5, 1, 1}, candidate{1, 1, 1}, false},
+		{"identical candidate is not better", candidate{3, 1, 1}, candidate{3, 1, 1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := better(tc.a, tc.b); got != tc.want {
+				t.Errorf("better(%+v, %+v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBestOfferTieBreaks pins BestOffer's externally observable
+// tie-break behaviour against ads: a later offer wins only on a
+// strictly better rank pair; full ties keep the earliest offer.
+func TestBestOfferTieBreaks(t *testing.T) {
+	req := mustAd(t, `[ Constraint = other.Memory >= 1; Rank = other.Mem ]`)
+	offer := func(mem, reqRank, offRank int) *classad.Ad {
+		return mustAd(t, fmt.Sprintf(
+			`[ Memory = %d; Mem = %d; Rank = %d ]`, mem, reqRank, offRank))
+	}
+	cases := []struct {
+		name   string
+		offers []*classad.Ad
+		want   int
+	}{
+		{"higher request rank wins over earlier offer",
+			[]*classad.Ad{offer(1, 1, 0), offer(1, 2, 0)}, 1},
+		{"request-rank tie broken by offer rank",
+			[]*classad.Ad{offer(1, 1, 1), offer(1, 1, 2), offer(1, 1, 0)}, 1},
+		{"full tie keeps the earliest offer",
+			[]*classad.Ad{offer(1, 1, 1), offer(1, 1, 1), offer(1, 1, 1)}, 0},
+		{"later strictly-better offer rank wins",
+			[]*classad.Ad{offer(1, 1, 1), offer(1, 1, 1), offer(1, 1, 5)}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, _ := BestOffer(req, tc.offers, classad.FixedEnv(0, 1))
+			if got != tc.want {
+				t.Errorf("BestOffer = %d, want %d", got, tc.want)
+			}
+			// Negotiate with this single request must agree: the two
+			// entry points share one comparator.
+			matches := New(Config{Env: classad.FixedEnv(0, 1)}).
+				Negotiate([]*classad.Ad{req}, tc.offers)
+			if len(matches) != 1 || matches[0].Offer != tc.offers[tc.want] {
+				t.Errorf("Negotiate disagrees with BestOffer")
+			}
+		})
+	}
+}
+
+// TestParallelScanMatchesSequential: the sharded scan returns exactly
+// the sequential scan's pick across worker counts, including ones
+// that do not divide the candidate count.
+func TestParallelScanMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	offers := randomPool(r, 300) // above minParallelScan
+	requests := randomRequests(r, 30)
+	env := classad.FixedEnv(0, 11)
+	available := make([]bool, len(offers))
+	for i := range available {
+		available[i] = true
+	}
+	for _, req := range requests {
+		wantBest, wantReq, wantOff, wantScanned := scanRange(
+			req, offers, nil, available, Config{Env: env}, 0, len(offers))
+		for _, workers := range []int{2, 3, 7, 16} {
+			cfg := Config{Env: env, Parallel: workers}
+			best, reqRank, offRank, scanned, used := scanOffers(req, offers, nil, available, cfg)
+			if used < 2 {
+				t.Fatalf("workers=%d: parallel scan did not shard", workers)
+			}
+			if best != wantBest || reqRank != wantReq || offRank != wantOff {
+				t.Errorf("workers=%d: pick (%d,%g,%g) != sequential (%d,%g,%g)",
+					workers, best, reqRank, offRank, wantBest, wantReq, wantOff)
+			}
+			if scanned != wantScanned {
+				t.Errorf("workers=%d: scanned %d != sequential %d", workers, scanned, wantScanned)
+			}
+		}
+	}
+}
+
+// TestParallelFirstFitLowestIndex: first-fit sharding still returns
+// the globally lowest compatible offer index.
+func TestParallelFirstFitLowestIndex(t *testing.T) {
+	env := classad.FixedEnv(0, 1)
+	offers := make([]*classad.Ad, 200)
+	for i := range offers {
+		offers[i] = machine(fmt.Sprintf("m%d", i), "INTEL", 64)
+	}
+	req := job("u", "INTEL", 32)
+	available := make([]bool, len(offers))
+	for i := range available {
+		available[i] = true
+	}
+	// Knock out a prefix so the answer is not trivially zero.
+	for i := 0; i < 37; i++ {
+		available[i] = false
+	}
+	best, _, _, _, used := scanOffers(req, offers, nil, available,
+		Config{Env: env, FirstFit: true, Parallel: 8})
+	if used < 2 {
+		t.Fatal("scan did not shard")
+	}
+	if best != 37 {
+		t.Errorf("first-fit pick = %d, want 37", best)
+	}
+}
+
+// TestScanWorkersResolution pins the Parallel knob semantics.
+func TestScanWorkersResolution(t *testing.T) {
+	cases := []struct {
+		parallel, candidates, want int
+	}{
+		{0, 1000, 1},             // default: sequential
+		{1, 1000, 1},             // explicit sequential
+		{4, 1000, 4},             // forced worker count
+		{4, 10, 1},               // too few candidates to shard
+		{8, minParallelScan, 8},  // at the threshold
+		{200, 100, 100},          // capped at candidate count
+	}
+	for _, tc := range cases {
+		if got := scanWorkers(tc.parallel, tc.candidates); got != tc.want {
+			t.Errorf("scanWorkers(%d, %d) = %d, want %d",
+				tc.parallel, tc.candidates, got, tc.want)
+		}
+	}
+	if got := scanWorkers(ParallelAuto, 1000); got < 1 {
+		t.Errorf("scanWorkers(auto) = %d, want >= 1", got)
+	}
+}

@@ -78,6 +78,9 @@ func waitGoroutineBaseline(t *testing.T, baseline int) {
 // its deadline, ads lost to the collector restart are re-established
 // by the advertising retry loop, and every handler goroutine drains.
 func TestChaosPoolCompletesAllJobs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak with real sockets and timers; skipped in -short mode")
+	}
 	const seed = 20260806
 	const nRAs = 3
 	const nJobs = 8
@@ -267,6 +270,9 @@ func TestChaosPoolCompletesAllJobs(t *testing.T) {
 // the handler goroutine count returns to baseline while the wedged
 // client still holds its socket open.
 func TestChaosWedgedPeerCannotPinHandler(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak with real sockets and timers; skipped in -short mode")
+	}
 	baseline := runtime.NumGoroutine()
 	ra := NewResourceDaemon(agent.NewResource(figure1Machine(), nil), "127.0.0.1:1", 0, t.Logf)
 	ra.IdleTimeout = 50 * time.Millisecond
@@ -307,6 +313,9 @@ func TestChaosWedgedPeerCannotPinHandler(t *testing.T) {
 // round-trip must fail within ClaimTimeout and requeue the job rather
 // than hang the notification handler.
 func TestChaosClaimAgainstWedgedProviderIsBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak with real sockets and timers; skipped in -short mode")
+	}
 	// The wedge: accepts and holds connections open silently.
 	wedge, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

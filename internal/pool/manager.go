@@ -106,6 +106,14 @@ func NewManager(cfg ManagerConfig) *Manager {
 	if cfg.Matchmaker.Env == nil {
 		cfg.Matchmaker.Env = cfg.Env
 	}
+	// Production cycles default to the two-stage engine: the offer
+	// index plus a CPU-bounded parallel scan, which reproduce the
+	// sequential scan's matches exactly. Aggregation has its own
+	// pruning, and Parallel=1 is the explicit sequential opt-out.
+	if !cfg.Matchmaker.Aggregate && !cfg.Matchmaker.Index && cfg.Matchmaker.Parallel == 0 {
+		cfg.Matchmaker.Index = true
+		cfg.Matchmaker.Parallel = matchmaker.ParallelAuto
+	}
 	store := collector.New(cfg.Env)
 	m := &Manager{
 		store:       store,

@@ -8,6 +8,9 @@ import "testing"
 // paper's Figure 1, emerging here from owner behaviour rather than
 // policy.
 func TestDiurnalHarvestConcentratesAtNight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diurnal simulation soak; skipped in -short mode")
+	}
 	m := New(Config{
 		Pool: PoolSpec{
 			Machines:        20,
@@ -46,6 +49,9 @@ func TestDiurnalHarvestConcentratesAtNight(t *testing.T) {
 // TestDiurnalOffUniform: without the diurnal model, claims spread
 // roughly evenly — the control for the test above.
 func TestDiurnalOffUniform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diurnal simulation soak; skipped in -short mode")
+	}
 	m := New(Config{
 		Pool: PoolSpec{
 			Machines:        20,

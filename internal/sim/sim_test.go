@@ -163,6 +163,9 @@ func TestSimulationOpportunistic(t *testing.T) {
 // starts on a desktop whose owner is active (claims re-validate), so
 // every eviction stems from an owner returning mid-run.
 func TestSimulationStaleClaimsCaught(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation soak; skipped in -short mode")
+	}
 	// Long advertise period = very stale ads = claim-time rejections.
 	s := New(Config{
 		Pool: PoolSpec{
@@ -191,6 +194,9 @@ func TestSimulationStaleClaimsCaught(t *testing.T) {
 // re-validation turns would-be rejections into wasted dispatches onto
 // owner-occupied machines.
 func TestSimulationAblationNoClaimCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation soak; skipped in -short mode")
+	}
 	cfg := Config{
 		Pool: PoolSpec{
 			Machines:        20,

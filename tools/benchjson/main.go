@@ -14,12 +14,20 @@
 //
 // Everything else (PASS, ok, test log noise) is ignored, so the tool
 // is safe to leave in any pipeline.
+//
+// With -check <baseline.json> the tool becomes a regression gate: it
+// compares the fresh run against the committed baseline and exits
+// non-zero when any benchmark present in both slowed down by more
+// than -tolerance (default 20% ns/op). The Makefile's `bench-check`
+// target wires this into CI-style verification.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -45,8 +53,47 @@ type Report struct {
 }
 
 func main() {
+	checkPath := flag.String("check", "", "baseline JSON to compare against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op slowdown before -check fails")
+	flag.Parse()
+
+	rep, err := parseRun(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *checkPath != "" {
+		data, err := os.ReadFile(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var base Report
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *checkPath, err)
+			os.Exit(1)
+		}
+		regressions, report := runCheck(base, rep, *tolerance)
+		fmt.Fprint(os.Stdout, report)
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseRun reads `go test -bench` output and collects the report.
+func parseRun(r io.Reader) (Report, error) {
 	rep := Report{Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -65,16 +112,65 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	return rep, sc.Err()
+}
+
+// runCheck compares a fresh run against a baseline. Benchmarks are
+// matched by name (only names present in both runs are judged — new
+// and retired benchmarks pass silently, so adding a benchmark never
+// breaks the gate before its baseline is committed). When either run
+// holds several samples of one name (`go test -count=N`), the minimum
+// ns/op represents it — min-of-N is the standard noise floor, so a
+// regression must reproduce across every sample to be flagged. It
+// returns the regression count and a human-readable report.
+func runCheck(base, fresh Report, tolerance float64) (regressions int, report string) {
+	baseline := minByName(base.Benchmarks)
+	var sb strings.Builder
+	compared := 0
+	for _, b := range minSamples(fresh.Benchmarks) {
+		old, ok := baseline[b.Name]
+		if !ok || old.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := b.NsPerOp / old.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(&sb, "%-12s %-50s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			verdict, b.Name, old.NsPerOp, b.NsPerOp, (ratio-1)*100)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	fmt.Fprintf(&sb, "benchjson: %d compared, %d regressed (tolerance %+.0f%%)\n",
+		compared, regressions, tolerance*100)
+	return regressions, sb.String()
+}
+
+// minByName indexes benchmarks by name, keeping the fastest sample.
+func minByName(bs []Benchmark) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		if old, ok := m[b.Name]; !ok || b.NsPerOp < old.NsPerOp {
+			m[b.Name] = b
+		}
 	}
+	return m
+}
+
+// minSamples collapses repeated samples of one benchmark to the
+// fastest, preserving first-appearance order.
+func minSamples(bs []Benchmark) []Benchmark {
+	m := minByName(bs)
+	out := make([]Benchmark, 0, len(m))
+	seen := make(map[string]bool, len(m))
+	for _, b := range bs {
+		if !seen[b.Name] {
+			seen[b.Name] = true
+			out = append(out, m[b.Name])
+		}
+	}
+	return out
 }
 
 // parseBench decodes one result line: name, iteration count, then
