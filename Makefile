@@ -3,7 +3,8 @@
 #   make verify       lint + vet + build + race-enabled shuffled tests (the PR gate)
 #   make test         tier-1 check as ROADMAP.md defines it
 #   make test-short   the fast loop: -short skips chaos/simulation soak tests
-#   make lint         repo-invariant analyzers + cadlint over shipped ads
+#   make lint         go vet + repo-invariant analyzers + cadlint over shipped ads + lint-codes
+#   make lint-codes   DESIGN.md CAD-code table must match the analyzer source
 #   make fuzz         short protocol fuzz run (FuzzReadEnvelope)
 #   make bench        matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
 #   make bench-check  rerun the benchmarks and fail on >20% ns/op regression
@@ -16,21 +17,29 @@ FUZZTIME ?= 15s
 # cycle benchmarks and the Negotiate* index/scan benchmarks).
 BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation
 
-.PHONY: verify test test-short build vet lint fuzz bench bench-check ci
+.PHONY: verify test test-short build vet lint lint-codes fuzz bench bench-check ci
 
 verify: lint
-	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 
-# Static analysis beyond go vet: the custom invariant analyzers
-# (tools/analyzers: nodial, obsguard, msgswitch) over every package,
-# and the ClassAd linter over every ad we ship. The intentionally
-# broken fixtures live under testdata/lint/ and
-# tools/analyzers/testdata/, which neither command reaches.
-lint:
+# All static analysis in one target: go vet, the custom invariant
+# analyzers (tools/analyzers: nodial, obsguard, msgswitch, lockguard)
+# over every package, the ClassAd linter over every ad we ship, and
+# the docs/code sync gate. The intentionally broken fixtures live
+# under testdata/lint/ and tools/analyzers/testdata/, which none of
+# these reach.
+lint: lint-codes
+	$(GO) vet ./...
 	$(GO) run ./tools/analyzers/cmd ./...
 	$(GO) run ./cmd/cadlint testdata/*.ad examples/ads/*.ad
+
+# The DESIGN.md diagnostic-code table is generated from
+# analysis.AllCodes() by hand but enforced by machine: this test
+# re-derives the vocabulary from package source and the doc table and
+# fails on any drift.
+lint-codes:
+	$(GO) test -run 'TestAllCodesMatchesSource|TestDesignDocCodeTableInSync' ./internal/classad/analysis
 
 test:
 	$(GO) build ./...

@@ -5,15 +5,25 @@
 // Rank expressions (paper §5's "constraints which can never be
 // satisfied by the pool", answered statically).
 //
+// Beyond the single-ad passes it answers the bilateral question at the
+// heart of §3.2's Constraint/Constraint match:
+//
+//	cadlint -against peers.ad file.ad ...   prove ad pairs can never match (CAD301-303)
+//	cadlint -corpus file.ad ...             audit a pool: cross-ad type conflicts and
+//	                                        dead ads no counterpart can match (CAD304-305)
+//	cadlint -index file.ad ...              index-friendliness: warn when a constraint
+//	                                        forces full pool scans (CAD401-402)
+//
 // Usage:
 //
-//	cadlint file.ad [file2.ad ...]   lint ad files (one or many ads per file)
-//	cadlint -pool host:port          lint every ad advertised in a live collector
+//	cadlint [-strict] [-q] [-index] file.ad [file2.ad ...]
+//	cadlint [-strict] [-q] [-index] -pool host:port
+//	cadlint [-strict] [-q] -against peers.ad file.ad ... | -pool host:port
+//	cadlint [-strict] [-q] -corpus  file.ad ...          | -pool host:port
 //
-// Diagnostics print as file:line:col: CODE severity: message. The exit
-// status is 1 when any error-severity diagnostic (or a parse failure)
-// is found, 0 otherwise; -strict promotes warnings to the failing
-// exit status too.
+// Diagnostics print as file:line:col: CODE severity: message. Exit
+// status: 0 = clean, 1 = diagnostics found (error severity; with
+// -strict, warnings fail too), 2 = usage, parse, or I/O failure.
 package main
 
 import (
@@ -25,11 +35,19 @@ import (
 	"repro/internal/classad"
 	"repro/internal/classad/analysis"
 	"repro/internal/collector"
+	"repro/internal/matchmaker"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
+
+// Exit codes: the documented CLI contract, pinned by TestExitContract.
+const (
+	exitClean = 0 // no findings (warnings allowed unless -strict)
+	exitDiags = 1 // error-severity findings (with -strict: any finding)
+	exitFatal = 2 // usage, parse, or I/O failure
+)
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cadlint", flag.ContinueOnError)
@@ -37,84 +55,159 @@ func run(args []string, stdout, stderr io.Writer) int {
 	pool := fs.String("pool", "", "lint the ads of the collector at `host:port` instead of files")
 	strict := fs.Bool("strict", false, "exit non-zero on warnings too")
 	quiet := fs.Bool("q", false, "suppress the per-file ok lines")
+	against := fs.String("against", "", "bilateral mode: check every input ad against every ad in `peers.ad`")
+	corpus := fs.Bool("corpus", false, "corpus mode: audit all input ads as one pool (type conflicts, dead ads)")
+	index := fs.Bool("index", false, "also run the index-friendliness pass (CAD401/CAD402)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: cadlint [-strict] [-q] file.ad ...\n")
-		fmt.Fprintf(stderr, "       cadlint [-strict] [-q] -pool host:port\n\n")
+		fmt.Fprintf(stderr, "usage: cadlint [-strict] [-q] [-index] file.ad ...\n")
+		fmt.Fprintf(stderr, "       cadlint [-strict] [-q] [-index] -pool host:port\n")
+		fmt.Fprintf(stderr, "       cadlint [-strict] [-q] -against peers.ad file.ad ... | -pool host:port\n")
+		fmt.Fprintf(stderr, "       cadlint [-strict] [-q] -corpus  file.ad ...         | -pool host:port\n\n")
 		fs.PrintDefaults()
+		fmt.Fprintf(stderr, "\nexit status: 0 = clean, 1 = diagnostics found (with -strict, warnings fail\ntoo), 2 = usage, parse, or I/O failure\n")
 	}
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitFatal
+	}
+	if *against != "" && *corpus {
+		fmt.Fprintln(stderr, "cadlint: -against and -corpus are mutually exclusive")
+		return exitFatal
+	}
+	if *pool != "" && fs.NArg() > 0 {
+		fmt.Fprintln(stderr, "cadlint: -pool and file arguments are mutually exclusive")
+		return exitFatal
+	}
+	if *pool == "" && fs.NArg() == 0 {
+		fs.Usage()
+		return exitFatal
 	}
 
+	fatal := false
 	var errs, warns int
-	lint := func(origin string, ad *classad.Ad) {
-		diags := analysis.AnalyzeAd(ad, nil)
-		for _, d := range diags {
-			switch d.Severity {
-			case analysis.Error:
-				errs++
-			case analysis.Warning:
-				warns++
-			}
-			fmt.Fprintf(stdout, "%s:%s\n", origin, d)
-		}
-		if len(diags) == 0 && !*quiet {
-			fmt.Fprintf(stdout, "%s: ok\n", origin)
+	count := func(d analysis.Diagnostic) {
+		switch d.Severity {
+		case analysis.Error:
+			errs++
+		case analysis.Warning:
+			warns++
 		}
 	}
 
-	switch {
-	case *pool != "":
-		if fs.NArg() > 0 {
-			fmt.Fprintln(stderr, "cadlint: -pool and file arguments are mutually exclusive")
-			return 2
-		}
+	// Collect the subject ads from the collector or the file list.
+	// Parse and read failures are reported immediately and poison the
+	// exit status (2), but the remaining files still lint.
+	var subjects []analysis.CorpusAd
+	if *pool != "" {
 		client := &collector.Client{Addr: *pool}
 		ads, err := client.Query(classad.NewAd()) // empty constraint: match all
 		if err != nil {
 			fmt.Fprintf(stderr, "cadlint: query %s: %v\n", *pool, err)
-			return 2
+			return exitFatal
 		}
 		for i, ad := range ads {
 			origin := fmt.Sprintf("%s[%d]", *pool, i)
 			if name, ok := adName(ad); ok {
 				origin = name
 			}
-			lint(origin, ad)
+			subjects = append(subjects, analysis.CorpusAd{Origin: origin, Ad: ad})
 		}
-	case fs.NArg() == 0:
-		fs.Usage()
-		return 2
-	default:
+	} else {
 		for _, path := range fs.Args() {
-			src, err := os.ReadFile(path)
-			if err != nil {
-				fmt.Fprintf(stderr, "cadlint: %v\n", err)
-				errs++
+			loaded, ok := loadAds(path, stdout, stderr)
+			if !ok {
+				fatal = true
 				continue
 			}
-			ads, err := parseAds(string(src))
-			if err != nil {
-				// SyntaxError renders as line:col: msg; prefixing the
-				// path yields a clickable file:line:col locator.
-				fmt.Fprintf(stdout, "%s:%v\n", path, err)
-				errs++
-				continue
-			}
-			for i, ad := range ads {
-				origin := path
-				if len(ads) > 1 {
-					origin = fmt.Sprintf("%s[%d]", path, i)
+			subjects = append(subjects, loaded...)
+		}
+	}
+
+	switch {
+	case *against != "":
+		peers, ok := loadAds(*against, stdout, stderr)
+		if !ok {
+			return exitFatal
+		}
+		for _, subj := range subjects {
+			found := 0
+			for _, peer := range peers {
+				rep := analysis.AnalyzeMatch(subj.Ad, peer.Ad, nil)
+				for _, d := range rep.LeftDiags {
+					count(d)
+					found++
+					fmt.Fprintf(stdout, "%s: against %s: %s\n", subj.Origin, peer.Origin, d)
 				}
-				lint(origin, ad)
+				for _, d := range rep.RightDiags {
+					count(d)
+					found++
+					fmt.Fprintf(stdout, "%s: against %s: %s\n", peer.Origin, subj.Origin, d)
+				}
+			}
+			if found == 0 && !*quiet {
+				fmt.Fprintf(stdout, "%s: ok against %d ad(s)\n", subj.Origin, len(peers))
+			}
+		}
+	case *corpus:
+		finds := analysis.AuditCorpus(subjects, nil)
+		for _, f := range finds {
+			count(f.Diag)
+			fmt.Fprintf(stdout, "%s\n", f)
+		}
+		if len(finds) == 0 && !*quiet {
+			fmt.Fprintf(stdout, "corpus of %d ad(s): ok\n", len(subjects))
+		}
+	default:
+		for _, subj := range subjects {
+			diags := analysis.AnalyzeAd(subj.Ad, nil)
+			if *index {
+				diags = append(diags, matchmaker.LintIndex(subj.Ad, nil)...)
+			}
+			for _, d := range diags {
+				count(d)
+				fmt.Fprintf(stdout, "%s:%s\n", subj.Origin, d)
+			}
+			if len(diags) == 0 && !*quiet {
+				fmt.Fprintf(stdout, "%s: ok\n", subj.Origin)
 			}
 		}
 	}
 
-	if errs > 0 || (*strict && warns > 0) {
-		return 1
+	switch {
+	case fatal:
+		return exitFatal
+	case errs > 0 || (*strict && warns > 0):
+		return exitDiags
+	default:
+		return exitClean
 	}
-	return 0
+}
+
+// loadAds reads and parses one file into origin-tagged ads. On
+// failure it reports (parse errors to stdout as clickable
+// file:line:col diagnostics, I/O errors to stderr) and returns
+// ok=false.
+func loadAds(path string, stdout, stderr io.Writer) ([]analysis.CorpusAd, bool) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "cadlint: %v\n", err)
+		return nil, false
+	}
+	ads, err := parseAds(string(src))
+	if err != nil {
+		// SyntaxError renders as line:col: msg; prefixing the path
+		// yields a clickable file:line:col locator.
+		fmt.Fprintf(stdout, "%s:%v\n", path, err)
+		return nil, false
+	}
+	out := make([]analysis.CorpusAd, 0, len(ads))
+	for i, ad := range ads {
+		origin := path
+		if len(ads) > 1 {
+			origin = fmt.Sprintf("%s[%d]", path, i)
+		}
+		out = append(out, analysis.CorpusAd{Origin: origin, Ad: ad})
+	}
+	return out, true
 }
 
 // parseAds accepts either a stream of bracketed ads or a single ad in

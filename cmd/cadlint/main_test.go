@@ -102,7 +102,8 @@ func TestStrictPromotesWarnings(t *testing.T) {
 }
 
 // TestParseErrorIsClickable checks that a syntax error prints as
-// file:line:col and fails the run.
+// file:line:col and exits with the parse-failure status (2, not 1:
+// the file could not be analyzed at all).
 func TestParseErrorIsClickable(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "broken.ad")
@@ -111,11 +112,125 @@ func TestParseErrorIsClickable(t *testing.T) {
 	}
 	var stdout, stderr bytes.Buffer
 	code := run([]string{path}, &stdout, &stderr)
-	if code != 1 {
-		t.Fatalf("exit = %d, want 1", code)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(stdout.String(), path+":2:") {
 		t.Errorf("diagnostic not clickable: %q", stdout.String())
+	}
+}
+
+// TestExitContract pins the documented CLI contract: 0 = clean, 1 =
+// diagnostics, 2 = usage/parse/IO failure — and that -h documents it.
+func TestExitContract(t *testing.T) {
+	dir := t.TempDir()
+	broken := filepath.Join(dir, "broken.ad")
+	if err := os.WriteFile(broken, []byte("[ Memory = ;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{filepath.Join(lintDir, "clean.ad")}, 0},
+		{"diagnostics", []string{filepath.Join(lintDir, "unsat.ad")}, 1},
+		{"warnings without strict", []string{filepath.Join(lintDir, "typo.ad")}, 0},
+		{"warnings with strict", []string{"-strict", filepath.Join(lintDir, "typo.ad")}, 1},
+		{"parse failure", []string{broken}, 2},
+		{"parse failure beats diagnostics", []string{broken, filepath.Join(lintDir, "unsat.ad")}, 2},
+		{"missing file", []string{filepath.Join(dir, "nope.ad")}, 2},
+		{"no arguments", nil, 2},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+		{"against and corpus", []string{"-against", "x.ad", "-corpus", "y.ad"}, 2},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != tc.want {
+			t.Errorf("%s: exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+				tc.name, code, tc.want, stdout.String(), stderr.String())
+		}
+	}
+
+	// The usage text must document the contract.
+	var stdout, stderr bytes.Buffer
+	run([]string{"-h"}, &stdout, &stderr)
+	if !strings.Contains(stderr.String(), "exit status: 0 = clean, 1 = diagnostics") {
+		t.Errorf("usage does not document the exit contract:\n%s", stderr.String())
+	}
+}
+
+// runGolden compares one invocation of the tool against a .want file:
+// first line "exit N", rest the exact stdout with the lint directory
+// prefix stripped.
+func runGolden(t *testing.T, wantPath string, args ...string) {
+	t.Helper()
+	wantRaw, err := os.ReadFile(wantPath)
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	lines := strings.SplitN(strings.TrimRight(string(wantRaw), "\n"), "\n", 2)
+	wantExit, err := strconv.Atoi(strings.TrimPrefix(lines[0], "exit "))
+	if err != nil {
+		t.Fatalf("bad exit line %q: %v", lines[0], err)
+	}
+	wantOut := ""
+	if len(lines) > 1 {
+		wantOut = lines[1] + "\n"
+	}
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	got := strings.ReplaceAll(stdout.String(), lintDir+string(filepath.Separator), "")
+	if code != wantExit {
+		t.Errorf("exit = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+			code, wantExit, stdout.String(), stderr.String())
+	}
+	if got != wantOut {
+		t.Errorf("output mismatch\ngot:\n%s\nwant:\n%s", got, wantOut)
+	}
+}
+
+// TestAgainstMode pins the bilateral fixture: a request/offer pair
+// with contradictory mutual constraints is flagged CAD301 on both
+// sides, plus the CAD303 rank warning.
+func TestAgainstMode(t *testing.T) {
+	runGolden(t, filepath.Join(lintDir, "bilateral", "pair.want"),
+		"-against", filepath.Join(lintDir, "bilateral", "offers.ad"),
+		filepath.Join(lintDir, "bilateral", "request.ad"))
+}
+
+// TestCorpusMode pins the pool audit: a cross-ad type conflict
+// (CAD304) and the dead ads it strands (CAD305), with schema hints.
+func TestCorpusMode(t *testing.T) {
+	dir := filepath.Join(lintDir, "corpus")
+	runGolden(t, filepath.Join(dir, "corpus.want"), "-corpus",
+		filepath.Join(dir, "dead-job.ad"), filepath.Join(dir, "live-job.ad"),
+		filepath.Join(dir, "machine-a.ad"), filepath.Join(dir, "machine-b.ad"))
+}
+
+// TestIndexMode pins the index-friendliness pass: CAD401 for an
+// unindexable constraint, CAD402 for a comparison against a literal
+// error.
+func TestIndexMode(t *testing.T) {
+	dir := filepath.Join(lintDir, "index")
+	runGolden(t, filepath.Join(dir, "index.want"), "-index",
+		filepath.Join(dir, "unindexable.ad"), filepath.Join(dir, "unsat.ad"))
+}
+
+// TestAgainstShippedAdsClean is the zero-false-positive acceptance
+// check: the shipped example pair genuinely matches, so the bilateral
+// analyzer must stay silent about it, in both directions.
+func TestAgainstShippedAdsClean(t *testing.T) {
+	job := "../../examples/ads/job.ad"
+	machine := "../../examples/ads/machine.ad"
+	for _, args := range [][]string{
+		{"-against", machine, job},
+		{"-against", job, machine},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 0 {
+			t.Errorf("cadlint %v: exit %d\n%s%s", args, code, stdout.String(), stderr.String())
+		}
 	}
 }
 

@@ -11,6 +11,10 @@
 // The report shows, clause by clause, how much of the pool each
 // conjunct of the job's constraint matches, flags clauses no machine
 // satisfies, and separates "can't serve you" from "won't serve you".
+// Static verdicts ride along: clauses the bilateral analyzer proves
+// can never be true against specific offers (under any clock or random
+// seed), and index-friendliness findings (CAD401/CAD402) when the
+// constraint defeats the matchmaker's offer index.
 package main
 
 import (

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/classad"
 	"repro/internal/classad/analysis"
+	"repro/internal/matchmaker"
 	"repro/internal/netx"
 	"repro/internal/protocol"
 	"repro/internal/submit"
@@ -79,9 +80,15 @@ func main() {
 // lintWarn reports static-analysis findings on an ad about to be
 // submitted. Findings never block submission — the queue is the
 // authority — but a typo'd attribute or an impossible constraint is
-// cheaper to fix now than after the job idles forever.
+// cheaper to fix now than after the job idles forever. The pass
+// includes the index-friendliness lint (CAD401/CAD402): a job whose
+// constraint the matchmaker's offer index cannot prune on will cost a
+// full pool scan every negotiation cycle.
 func lintWarn(origin string, ad *classad.Ad) {
 	for _, d := range analysis.AnalyzeAd(ad, nil) {
+		fmt.Fprintf(os.Stderr, "csubmit: lint: %s: %s\n", origin, d)
+	}
+	for _, d := range matchmaker.LintIndex(ad, nil) {
 		fmt.Fprintf(os.Stderr, "csubmit: lint: %s: %s\n", origin, d)
 	}
 }

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var codeLit = regexp.MustCompile(`"(CAD\d{3})"`)
+
+// TestAllCodesMatchesSource re-derives the code vocabulary from the
+// package's own source: every "CADnnn" literal in a non-test file must
+// appear in AllCodes and vice versa, so a new diagnostic cannot ship
+// without a row in the table.
+func TestAllCodesMatchesSource(t *testing.T) {
+	fromSource := map[string]bool{}
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range codeLit.FindAllStringSubmatch(string(data), -1) {
+			fromSource[m[1]] = true
+		}
+	}
+	if len(fromSource) == 0 {
+		t.Fatal("no CAD code literals found in package source")
+	}
+
+	declared := map[string]bool{}
+	var prev string
+	for _, info := range AllCodes() {
+		if declared[info.Code] {
+			t.Errorf("AllCodes lists %s twice", info.Code)
+		}
+		if info.Code <= prev {
+			t.Errorf("AllCodes out of order: %s after %s", info.Code, prev)
+		}
+		prev = info.Code
+		declared[info.Code] = true
+		if !fromSource[info.Code] {
+			t.Errorf("AllCodes lists %s but no source literal declares it", info.Code)
+		}
+	}
+	for code := range fromSource {
+		if !declared[code] {
+			t.Errorf("source declares %s but AllCodes does not list it", code)
+		}
+	}
+}
+
+var docRow = regexp.MustCompile(`^\| (CAD\d{3}) \| (\w+) \| (.+) \|$`)
+
+// TestDesignDocCodeTableInSync is the `make lint-codes` gate: the
+// DESIGN.md diagnostic table must list exactly the codes AllCodes
+// declares, each at its declared severity.
+func TestDesignDocCodeTableInSync(t *testing.T) {
+	data, err := os.ReadFile("../../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]string{}
+	var order []string
+	for _, line := range strings.Split(string(data), "\n") {
+		m := docRow.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		if _, dup := documented[m[1]]; dup {
+			t.Errorf("DESIGN.md documents %s twice", m[1])
+		}
+		documented[m[1]] = m[2]
+		order = append(order, m[1])
+	}
+	if len(documented) == 0 {
+		t.Fatal("no CAD code table rows found in DESIGN.md")
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("DESIGN.md code table out of code order: %v", order)
+	}
+
+	for _, info := range AllCodes() {
+		sev, ok := documented[info.Code]
+		if !ok {
+			t.Errorf("DESIGN.md is missing a row for %s (%s)", info.Code, info.Summary)
+			continue
+		}
+		if sev != info.Severity.String() {
+			t.Errorf("DESIGN.md documents %s as %q, analyzer reports it as %q",
+				info.Code, sev, info.Severity)
+		}
+		delete(documented, info.Code)
+	}
+	for code := range documented {
+		t.Errorf("DESIGN.md documents %s but no analyzer declares it", code)
+	}
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func corpusFrom(t *testing.T, srcs map[string]string) []CorpusAd {
+	t.Helper()
+	var names []string
+	for n := range srcs {
+		names = append(names, n)
+	}
+	// Deterministic corpus order: sorted by origin.
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var out []CorpusAd
+	for _, n := range names {
+		out = append(out, CorpusAd{Origin: n, Ad: mustAd(t, srcs[n])})
+	}
+	return out
+}
+
+func TestInferSchemaRanges(t *testing.T) {
+	corpus := corpusFrom(t, map[string]string{
+		"m1.ad": `[ Type = "machine"; Memory = 32; Arch = "intel" ]`,
+		"m2.ad": `[ Type = "machine"; Memory = 256; Arch = "sparc" ]`,
+	})
+	s := InferSchema(corpus)
+	info, ok := s.Lookup("memory")
+	if !ok {
+		t.Fatal("Memory not in schema")
+	}
+	if info.Ads != 2 || !info.HasNum || info.Lo != 32 || info.Hi != 256 {
+		t.Fatalf("Memory info = %+v", info)
+	}
+	if hint := s.RangeHint("Memory"); !strings.Contains(hint, "32..256") {
+		t.Errorf("RangeHint(Memory) = %q", hint)
+	}
+	if hint := s.RangeHint("Arch"); !strings.Contains(hint, `"intel"`) || !strings.Contains(hint, `"sparc"`) {
+		t.Errorf("RangeHint(Arch) = %q", hint)
+	}
+	if s.RangeHint("NoSuchAttr") != "" {
+		t.Error("unknown attribute should have no hint")
+	}
+	vocab := s.Vocabulary()
+	found := false
+	for _, v := range vocab {
+		if v == "Memory" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Vocabulary() = %v, missing Memory", vocab)
+	}
+}
+
+func TestTypeConflicts(t *testing.T) {
+	corpus := corpusFrom(t, map[string]string{
+		"good1.ad": `[ Type = "machine"; Memory = 64 ]`,
+		"good2.ad": `[ Type = "machine"; Memory = 128 ]`,
+		"oops.ad":  `[ Type = "machine"; Memory = "64" ]`,
+	})
+	s := InferSchema(corpus)
+	finds := s.TypeConflicts()
+	if len(finds) != 1 {
+		t.Fatalf("TypeConflicts = %v, want exactly one", finds)
+	}
+	f := finds[0]
+	if f.Origin != "oops.ad" || f.Diag.Code != CodeSchemaTypeConflict {
+		t.Fatalf("conflict attributed to %s with %s, want oops.ad CAD304", f.Origin, f.Diag.Code)
+	}
+	if !strings.Contains(f.Diag.Message, "Memory") || !strings.Contains(f.Diag.Message, "2 other ad(s)") {
+		t.Errorf("message = %q", f.Diag.Message)
+	}
+}
+
+func TestTypeConflictsIgnoresNumericWidth(t *testing.T) {
+	corpus := corpusFrom(t, map[string]string{
+		"a.ad": `[ Load = 0.5 ]`,
+		"b.ad": `[ Load = 1 ]`,
+	})
+	if finds := InferSchema(corpus).TypeConflicts(); len(finds) != 0 {
+		t.Fatalf("int vs real flagged as conflict: %v", finds)
+	}
+}
+
+func TestAuditCorpusDeadAd(t *testing.T) {
+	corpus := corpusFrom(t, map[string]string{
+		// The dead job: no machine advertises 4096 MB.
+		"dead.ad": `[ Type = "job"; Constraint = other.Memory >= 4096 ]`,
+		// A live job so the machines are not themselves dead.
+		"live.ad": `[ Type = "job"; Constraint = other.Memory >= 64 ]`,
+		"m1.ad":   `[ Type = "machine"; Memory = 128; Constraint = true ]`,
+		"m2.ad":   `[ Type = "machine"; Memory = 256; Constraint = true ]`,
+	})
+	finds := AuditCorpus(corpus, nil)
+	var dead []AuditFinding
+	for _, f := range finds {
+		if f.Diag.Code == CodeDeadAd {
+			dead = append(dead, f)
+		}
+	}
+	if len(dead) != 1 || dead[0].Origin != "dead.ad" {
+		t.Fatalf("dead-ad findings = %v, want exactly dead.ad", dead)
+	}
+	if !strings.Contains(dead[0].Diag.Message, "128..256") {
+		t.Errorf("dead-ad hint should cite the pool range: %q", dead[0].Diag.Message)
+	}
+}
+
+func TestAuditCorpusCleanPool(t *testing.T) {
+	corpus := corpusFrom(t, map[string]string{
+		"job.ad": `[ Type = "job"; Memory = 31; Constraint = other.Memory >= 31 ]`,
+		"m1.ad":  `[ Type = "machine"; Memory = 64; Constraint = other.Memory <= 64 ]`,
+	})
+	if finds := AuditCorpus(corpus, nil); len(finds) != 0 {
+		t.Fatalf("clean pool produced findings: %v", finds)
+	}
+}
+
+func TestAuditCorpusNoCounterparts(t *testing.T) {
+	// A pool of only machines: nothing to match against, so nothing is
+	// "dead" — absence of evidence, not evidence of absence.
+	corpus := corpusFrom(t, map[string]string{
+		"m1.ad": `[ Type = "machine"; Memory = 64; Constraint = other.Memory >= 1024 ]`,
+		"m2.ad": `[ Type = "machine"; Memory = 32; Constraint = other.Memory >= 1024 ]`,
+	})
+	for _, f := range AuditCorpus(corpus, nil) {
+		if f.Diag.Code == CodeDeadAd {
+			t.Fatalf("dead-ad finding without counterparts: %v", f)
+		}
+	}
+}
+
+func TestAuditCorpusIgnoresServiceAds(t *testing.T) {
+	// Auditing a live pool always sees the negotiator's self-ad. It is
+	// of a different Type than every machine, and machine constraints
+	// (other.Type == "Job") are provably false against it — but a
+	// machine alone in a pool with the negotiator is idle, not dead.
+	corpus := corpusFrom(t, map[string]string{
+		"machine.ad":    `[ Type = "Machine"; Memory = 64; Constraint = other.Type == "Job" ]`,
+		"negotiator.ad": `[ Type = "Negotiator"; Name = "negotiator@pool"; Machines = 1 ]`,
+	})
+	for _, f := range AuditCorpus(corpus, nil) {
+		t.Errorf("unexpected finding in machine+negotiator pool: %v", f)
+	}
+}

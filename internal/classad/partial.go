@@ -25,6 +25,13 @@ var impureFns = map[string]bool{
 	"daytime":     true,
 }
 
+// ImpureBuiltin reports whether name is a builtin whose value is not
+// determined by the ads alone (it reads the environment: clock or
+// random stream). Such calls stay symbolic under partial evaluation,
+// and the bilateral analyzer refuses to build "can never match" proofs
+// over expressions that reach one.
+func ImpureBuiltin(name string) bool { return impureFns[Fold(name)] }
+
 // groundChecker decides whether an expression's value is fully
 // determined by the self ad: no other-scope references, no unresolved
 // names (an unqualified name missing from self could still resolve in

@@ -46,6 +46,52 @@ func TestAdvertiseLintCounters(t *testing.T) {
 	}
 }
 
+// TestBilateralLintCounters exercises the cross-ad pass: each
+// advertisement is checked against a sample of stored counterparts,
+// counting pairs checked, pairs provably unmatchable, and arrivals no
+// counterpart can ever match.
+func TestBilateralLintCounters(t *testing.T) {
+	store := New(nil)
+	srv := NewServer(store, nil)
+	o := obs.New()
+	srv.Instrument(o)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &Client{Addr: addr}
+	machine := classad.MustParse(`[ Name = "m1"; Type = "Machine"; Memory = 64;
+		Constraint = other.Memory <= 64 ]`)
+	liveJob := classad.MustParse(`[ Name = "ok"; Type = "Job"; Memory = 31;
+		Constraint = other.Memory >= 31 ]`)
+	// Demands memory no machine has AND exceeds the machine's own cap:
+	// provably unmatchable against every stored counterpart.
+	deadJob := classad.MustParse(`[ Name = "dead"; Type = "Job"; Memory = 4096;
+		Constraint = other.Memory >= 4096 ]`)
+	for _, ad := range []*classad.Ad{machine, liveJob, deadJob} {
+		if err := client.Advertise(ad, 60); err != nil {
+			t.Fatalf("advertise %v: %v", ad, err)
+		}
+	}
+
+	reg := o.Registry()
+	// machine arrives into an empty store (0 pairs); liveJob checks
+	// against machine (1 pair, compatible); deadJob checks against
+	// machine (1 pair, conflict) — liveJob is no counterpart of the
+	// jobs.
+	if got := reg.Counter("collector_lint_bilateral_checked_total").Value(); got != 2 {
+		t.Errorf("bilateral_checked = %d, want 2", got)
+	}
+	if got := reg.Counter("collector_lint_bilateral_conflicts_total").Value(); got != 1 {
+		t.Errorf("bilateral_conflicts = %d, want 1", got)
+	}
+	if got := reg.Counter("collector_lint_bilateral_dead_total").Value(); got != 1 {
+		t.Errorf("bilateral_dead = %d, want 1", got)
+	}
+}
+
 // TestUninstrumentedCollectorSkipsLint: without Instrument the
 // analyzer never runs and advertising still works.
 func TestUninstrumentedCollectorSkipsLint(t *testing.T) {

@@ -283,6 +283,50 @@ func (s *Server) lintAd(ad *classad.Ad) {
 			s.log("collector: lint: %s", d)
 		}
 	}
+	s.lintBilateral(reg, ad)
+}
+
+// bilateralSample caps how many stored counterpart ads one incoming
+// advertisement is checked against, bounding the per-ADVERTISE cost in
+// a large pool to a constant.
+const bilateralSample = 64
+
+// lintBilateral runs the cross-ad analyzer between a freshly
+// advertised ad and a sample of its stored counterparts (ads of a
+// different Type), keeping score:
+//
+//	collector_lint_bilateral_checked_total    pairs analyzed
+//	collector_lint_bilateral_conflicts_total  pairs proven unmatchable
+//	collector_lint_bilateral_dead_total       ads no sampled counterpart can match
+//
+// A climbing conflicts/checked ratio means the pool is filling with
+// ads that can never pair — the SAMGrid failure mode — and the dead
+// counter names how many arrivals are provably wasted. Like the
+// single-ad lint, this never rejects an advertisement.
+func (s *Server) lintBilateral(reg *obs.Registry, ad *classad.Ad) {
+	counterparts, dead := 0, 0
+	for _, stored := range s.store.Query(classad.NewAd()) {
+		if counterparts >= bilateralSample {
+			break
+		}
+		if !analysis.IsCounterpart(ad, stored) {
+			continue
+		}
+		counterparts++
+		reg.Counter("collector_lint_bilateral_checked_total").Inc()
+		if analysis.AnalyzeMatch(ad, stored, nil).NeverMatch {
+			reg.Counter("collector_lint_bilateral_conflicts_total").Inc()
+			dead++
+		}
+	}
+	if counterparts > 0 && dead == counterparts {
+		reg.Counter("collector_lint_bilateral_dead_total").Inc()
+		if name, ok := ad.Eval(classad.AttrName).StringVal(); ok {
+			s.log("collector: lint %s: no sampled counterpart (%d checked) can ever match this ad", name, counterparts)
+		} else {
+			s.log("collector: lint: no sampled counterpart (%d checked) can ever match this ad", counterparts)
+		}
+	}
 }
 
 // Client is a thin dialer for talking to a collector server; tools and

@@ -53,6 +53,13 @@ type ClauseReport struct {
 	// other.Memory < 32). Empty when the clause is only dynamically
 	// unsatisfied.
 	StaticVerdict string
+	// StaticNever counts offers against which the bilateral analyzer
+	// PROVES the clause can never be true — not merely false this
+	// cycle, but false under every clock and random seed (package
+	// analysis, ProvablyNeverTrue). When StaticNever equals the pool
+	// size, no re-advertisement of current members can ever satisfy
+	// the clause; the pool's population itself must change.
+	StaticNever int
 }
 
 // Analysis is the report produced by Analyze.
@@ -84,6 +91,10 @@ type Analysis struct {
 	// any type or reference problems worth surfacing alongside the
 	// dynamic report.
 	Static []analysis.Diagnostic
+	// Index holds the index-friendliness findings (CAD401/CAD402):
+	// whether the two-stage engine can prune for this request or must
+	// scan the full offer set every cycle.
+	Index []analysis.Diagnostic
 }
 
 // Analyze explains the match prospects of a request against a pool of
@@ -131,6 +142,9 @@ func Analyze(req *classad.Ad, offers []*classad.Ad, env *classad.Env) *Analysis 
 			case v.IsError():
 				a.Clauses[i].Errored++
 			}
+			if !v.IsTrue() && analysis.ProvablyNeverTrue(c, req, off, env) {
+				a.Clauses[i].StaticNever++
+			}
 		}
 	}
 	for i, c := range a.Clauses {
@@ -144,6 +158,12 @@ func Analyze(req *classad.Ad, offers []*classad.Ad, env *classad.Env) *Analysis 
 	// never be true no matter what the pool advertises; attach each to
 	// the clause it names and mark the request unsatisfiable.
 	a.Static = analysis.AnalyzeAd(req, &analysis.Options{Env: env})
+	a.Index = LintIndex(req, env)
+	for _, d := range a.Index {
+		if d.Severity >= analysis.Error {
+			a.Unsatisfiable = true
+		}
+	}
 	for _, d := range analysis.Unsatisfiable(a.Static) {
 		a.Unsatisfiable = true
 		for i := range a.Clauses {
@@ -271,6 +291,10 @@ func (a *Analysis) String() string {
 		if c.StaticVerdict != "" {
 			fmt.Fprintf(&b, "             static: %s\n", c.StaticVerdict)
 		}
+		if c.StaticNever > 0 {
+			fmt.Fprintf(&b, "             static: provably never true against %d/%d offer(s) — those failures hold under every clock and random seed\n",
+				c.StaticNever, a.TotalOffers)
+		}
 		if c.Suggestion != "" {
 			fmt.Fprintf(&b, "             hint: %s\n", c.Suggestion)
 		}
@@ -280,6 +304,9 @@ func (a *Analysis) String() string {
 		for _, d := range extra {
 			fmt.Fprintf(&b, "    %s\n", d)
 		}
+	}
+	for _, d := range a.Index {
+		fmt.Fprintf(&b, "  index: %s\n", d)
 	}
 	fmt.Fprintf(&b, "  request accepts %d offer(s); %d offer(s) accept the request; %d compatible\n",
 		a.RequestOK, a.OfferOK, a.Compatible)

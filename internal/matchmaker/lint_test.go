@@ -1,0 +1,120 @@
+package matchmaker
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/classad/analysis"
+)
+
+func parseAd(t *testing.T, src string) *classad.Ad {
+	t.Helper()
+	ad, err := classad.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return ad
+}
+
+func TestLintIndexUnindexable(t *testing.T) {
+	// member() is not an indexable shape: the index cannot prune, so
+	// every cycle scans the whole pool for this request.
+	req := parseAd(t, `[ Constraint = member("intel", other.Archs) ]`)
+	diags := LintIndex(req, nil)
+	if len(diags) != 1 || diags[0].Code != analysis.CodeUnindexable {
+		t.Fatalf("diags = %v, want one CAD401", diags)
+	}
+	if diags[0].Severity != analysis.Warning {
+		t.Errorf("CAD401 severity = %v, want Warning", diags[0].Severity)
+	}
+	if !strings.Contains(diags[0].Message, "scan the full offer set") {
+		t.Errorf("message = %q", diags[0].Message)
+	}
+}
+
+func TestLintIndexCleanConstraint(t *testing.T) {
+	req := parseAd(t, `[ Memory = 31; Constraint = other.Memory >= self.Memory && member("x", other.L) ]`)
+	if diags := LintIndex(req, nil); len(diags) != 0 {
+		t.Fatalf("indexable constraint flagged: %v", diags)
+	}
+}
+
+func TestLintIndexNoConstraint(t *testing.T) {
+	req := parseAd(t, `[ Memory = 31 ]`)
+	if diags := LintIndex(req, nil); len(diags) != 0 {
+		t.Fatalf("constraint-free ad flagged: %v", diags)
+	}
+	if diags := LintIndex(nil, nil); len(diags) != 0 {
+		t.Fatalf("nil ad flagged: %v", diags)
+	}
+}
+
+func TestLintIndexUnsat(t *testing.T) {
+	// 1/0 folds to a literal error under partial evaluation; strict
+	// comparison against it is never true.
+	req := parseAd(t, `[ Constraint = other.Memory > 1/0 ]`)
+	diags := LintIndex(req, nil)
+	if len(diags) != 1 || diags[0].Code != analysis.CodeIndexUnsat {
+		t.Fatalf("diags = %v, want one CAD402", diags)
+	}
+	if diags[0].Severity != analysis.Error {
+		t.Errorf("CAD402 severity = %v, want Error", diags[0].Severity)
+	}
+	if !strings.Contains(diags[0].Message, "other.Memory > 1 / 0") &&
+		!strings.Contains(diags[0].Message, "error") {
+		t.Errorf("message should name the conjunct or the error value: %q", diags[0].Message)
+	}
+}
+
+func TestLintIndexPositions(t *testing.T) {
+	req := parseAd(t, "[\n  Owner = \"x\";\n  Constraint = member(\"a\", other.L)\n]")
+	diags := LintIndex(req, nil)
+	if len(diags) != 1 {
+		t.Fatalf("diags = %v", diags)
+	}
+	if diags[0].Line != 3 {
+		t.Errorf("finding at line %d, want 3 (the Constraint attribute)", diags[0].Line)
+	}
+}
+
+func TestAnalyzeIncludesIndexDiags(t *testing.T) {
+	req := parseAd(t, `[ Owner = "u"; Constraint = member("intel", other.Archs) ]`)
+	offers := []*classad.Ad{parseAd(t, `[ Type = "machine"; Archs = {"intel"}; Constraint = true ]`)}
+	a := Analyze(req, offers, nil)
+	if len(a.Index) != 1 || a.Index[0].Code != analysis.CodeUnindexable {
+		t.Fatalf("Analysis.Index = %v, want CAD401", a.Index)
+	}
+	if a.Unsatisfiable {
+		t.Error("CAD401 is a warning; it must not mark the request unsatisfiable")
+	}
+	if out := a.String(); !strings.Contains(out, "index: ") || !strings.Contains(out, "CAD401") {
+		t.Errorf("String() missing index line:\n%s", out)
+	}
+}
+
+func TestAnalyzeIndexUnsatIsFatal(t *testing.T) {
+	req := parseAd(t, `[ Constraint = other.Memory > 1/0 ]`)
+	a := Analyze(req, nil, nil)
+	if !a.Unsatisfiable {
+		t.Fatal("CAD402 must mark the request unsatisfiable even on an empty pool")
+	}
+}
+
+func TestAnalyzeStaticNever(t *testing.T) {
+	// Three offers: two provably too small (pure evaluation), one
+	// matching. The clause report must prove exactly the two.
+	req := parseAd(t, `[ Owner = "u"; Constraint = other.Memory >= 128 ]`)
+	offers := []*classad.Ad{
+		parseAd(t, `[ Type = "machine"; Memory = 32; Constraint = true ]`),
+		parseAd(t, `[ Type = "machine"; Memory = 64; Constraint = true ]`),
+		parseAd(t, `[ Type = "machine"; Memory = 256; Constraint = true ]`),
+	}
+	a := Analyze(req, offers, nil)
+	if len(a.Clauses) != 1 || a.Clauses[0].StaticNever != 2 {
+		t.Fatalf("StaticNever = %+v, want 2 on the single clause", a.Clauses)
+	}
+	if out := a.String(); !strings.Contains(out, "provably never true against 2/3 offer(s)") {
+		t.Errorf("String() missing bilateral static line:\n%s", out)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/classad"
 	"repro/internal/classad/analysis"
 	"repro/internal/collector"
+	"repro/internal/matchmaker"
 	"repro/internal/netx"
 	"repro/internal/obs"
 	"repro/internal/protocol"
@@ -73,6 +74,7 @@ type CustomerDaemon struct {
 	mPreemptsRx      *obs.Counter
 	mLintErrors      *obs.Counter
 	mLintWarnings    *obs.Counter
+	mLintUnindexable *obs.Counter
 	hClaimSeconds    *obs.Histogram
 	gHandlers        *obs.Gauge
 
@@ -112,7 +114,9 @@ func NewCustomerDaemon(ca *agent.Customer, collectorAddr string, lifetime int64,
 // (pool_release_requeued_total), eviction notices received
 // (pool_preempts_received_total), static-analysis findings on
 // submitted job ads (pool_submit_lint_errors_total,
-// pool_submit_lint_warnings_total), the end-to-end claim latency from
+// pool_submit_lint_warnings_total, plus
+// pool_submit_lint_unindexable_total for jobs the offer index cannot
+// prune on), the end-to-end claim latency from
 // MATCH receipt to the provider's verdict ack (pool_claim_seconds),
 // and live notification handlers (pool_ca_handlers gauge). Claim
 // events carry the cycle ID from the MATCH envelope. Call before
@@ -130,6 +134,7 @@ func (d *CustomerDaemon) Instrument(o *obs.Obs) {
 	d.mPreemptsRx = reg.Counter("pool_preempts_received_total")
 	d.mLintErrors = reg.Counter("pool_submit_lint_errors_total")
 	d.mLintWarnings = reg.Counter("pool_submit_lint_warnings_total")
+	d.mLintUnindexable = reg.Counter("pool_submit_lint_unindexable_total")
 	d.hClaimSeconds = reg.Histogram("pool_claim_seconds", obs.DurationBuckets)
 	d.gHandlers = reg.Gauge("pool_ca_handlers")
 }
@@ -544,6 +549,17 @@ func (d *CustomerDaemon) handleSubmit(env *protocol.Envelope) *protocol.Envelope
 			d.mLintErrors.Inc()
 		} else {
 			d.mLintWarnings.Inc()
+		}
+		d.logf("ca %s: submit lint: %s", d.CA.Owner(), diag)
+	}
+	// Index-friendliness: a job the offer index cannot prune on costs
+	// a full pool scan every negotiation cycle. Counted separately so
+	// an operator can spot scan pressure building in the queue.
+	for _, diag := range matchmaker.LintIndex(ad, nil) {
+		if diag.Code == analysis.CodeUnindexable {
+			d.mLintUnindexable.Inc()
+		} else if diag.Severity >= analysis.Error {
+			d.mLintErrors.Inc()
 		}
 		d.logf("ca %s: submit lint: %s", d.CA.Owner(), diag)
 	}

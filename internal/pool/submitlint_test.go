@@ -1,0 +1,36 @@
+package pool
+
+import (
+	"testing"
+
+	"repro/internal/agent"
+	"repro/internal/classad"
+	"repro/internal/obs"
+	"repro/internal/protocol"
+)
+
+// TestSubmitLintUnindexableCounter: a job whose constraint the offer
+// index cannot prune on is counted (pool_submit_lint_unindexable_total)
+// but still queued — the lint observes, it does not gatekeep.
+func TestSubmitLintUnindexableCounter(t *testing.T) {
+	d := NewCustomerDaemon(agent.NewCustomer("raman", nil), "", 0, t.Logf)
+	o := obs.New()
+	d.Instrument(o)
+
+	unindexable := classad.MustParse(`[ Constraint = member("intel", other.Archs) ]`)
+	indexable := classad.MustParse(`[ Memory = 31; Constraint = other.Memory >= self.Memory ]`)
+	for _, ad := range []*classad.Ad{unindexable, indexable} {
+		reply := d.handleSubmit(&protocol.Envelope{
+			Type: protocol.TypeSubmit, Ad: protocol.EncodeAd(ad)})
+		if reply.Type != protocol.TypeAck {
+			t.Fatalf("submit rejected: %+v", reply)
+		}
+	}
+
+	if got := o.Registry().Counter("pool_submit_lint_unindexable_total").Value(); got != 1 {
+		t.Errorf("pool_submit_lint_unindexable_total = %d, want 1", got)
+	}
+	if got := len(d.CA.IdleRequests()); got != 2 {
+		t.Errorf("queued jobs = %d, want 2 (lint never rejects)", got)
+	}
+}

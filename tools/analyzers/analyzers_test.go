@@ -27,6 +27,10 @@ func TestMsgSwitch(t *testing.T) {
 	analyzertest.Run(t, analyzers.MsgSwitch, "testdata/src/msgswitch")
 }
 
+func TestLockGuard(t *testing.T) {
+	analyzertest.Run(t, analyzers.LockGuard, "testdata/src/lockguard")
+}
+
 // TestMsgTypeListInSync re-derives the message-type vocabulary from
 // internal/protocol/protocol.go's syntax and compares it with the
 // analyzer's hardcoded copy, so adding a message type without teaching

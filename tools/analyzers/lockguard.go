@@ -1,0 +1,284 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// LockGuard flags blocking operations performed while a sync.Mutex or
+// sync.RWMutex is held: an outbound dial, a protocol round-trip, or a
+// channel send. A lock held across network I/O couples every
+// contender's latency to a peer's responsiveness — the collector
+// serving a query cannot afford to stall behind a slow advertiser —
+// and a blocking send under a lock is a classic self-deadlock when the
+// reader needs the same lock to drain. Sends inside a select with a
+// default case are exempt: they cannot block.
+//
+// The check is syntactic and per-function: a receiver spelled X is
+// considered held between X.Lock()/X.RLock() and X.Unlock()/X.RUnlock()
+// in statement order, and a deferred unlock keeps X held until return
+// (that is the point: everything after the defer runs under the lock).
+// Function literals and go statements start with no locks held.
+var LockGuard = &Analyzer{
+	Name:      "lockguard",
+	Doc:       "flags channel sends and netx/protocol/net I/O while a sync mutex is held",
+	SkipTests: true,
+	Run:       runLockGuard,
+}
+
+// lockguardProtoOps are the protocol package calls that block on a
+// peer's socket.
+var lockguardProtoOps = map[string]bool{"Write": true, "Read": true}
+
+func runLockGuard(p *Pass) {
+	g := &lockGuard{
+		pass:       p,
+		netAlias:   importName(p.File.Ast, "net"),
+		protoAlias: importName(p.File.Ast, "repro/internal/protocol"),
+	}
+	for _, decl := range p.File.Ast.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		g.stmts(fn.Body.List, map[string]bool{})
+	}
+}
+
+type lockGuard struct {
+	pass       *Pass
+	netAlias   string
+	protoAlias string
+}
+
+// heldNames renders the held set for a finding message.
+func heldNames(held map[string]bool) string {
+	name := ""
+	for k := range held {
+		if name == "" || k < name {
+			name = k
+		}
+	}
+	return name
+}
+
+// stmts walks a statement list in order, threading the held-lock set.
+func (g *lockGuard) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		g.stmt(s, held)
+	}
+}
+
+// copyHeld forks the held set for a branch.
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func (g *lockGuard) stmt(s ast.Stmt, held map[string]bool) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		g.expr(n.X, held)
+	case *ast.SendStmt:
+		g.expr(n.Chan, held)
+		g.expr(n.Value, held)
+		if len(held) > 0 {
+			g.pass.Reportf(n.Arrow,
+				"channel send while %s is held: a blocked receiver deadlocks every contender of the lock", heldNames(held))
+		}
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			g.expr(e, held)
+		}
+		for _, e := range n.Lhs {
+			g.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						g.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			g.expr(e, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases only at return, so the lock stays
+		// held for the rest of the function — modeled by not touching
+		// the held set here. The deferred call itself runs outside the
+		// walked region; only its arguments are evaluated now.
+		for _, arg := range n.Call.Args {
+			g.expr(arg, held)
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine does not hold the caller's locks.
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			g.stmts(lit.Body.List, map[string]bool{})
+		}
+		for _, arg := range n.Call.Args {
+			g.expr(arg, held)
+		}
+	case *ast.BlockStmt:
+		g.stmts(n.List, held)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			g.stmt(n.Init, held)
+		}
+		g.expr(n.Cond, held)
+		g.stmts(n.Body.List, copyHeld(held))
+		if n.Else != nil {
+			g.stmt(n.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			g.stmt(n.Init, held)
+		}
+		if n.Cond != nil {
+			g.expr(n.Cond, held)
+		}
+		g.stmts(n.Body.List, copyHeld(held))
+	case *ast.RangeStmt:
+		g.expr(n.X, held)
+		g.stmts(n.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			g.stmt(n.Init, held)
+		}
+		if n.Tag != nil {
+			g.expr(n.Tag, held)
+		}
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				g.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				g.stmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, c := range n.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			// A send in a select with a default case cannot block.
+			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(held) > 0 {
+				g.pass.Reportf(send.Arrow,
+					"channel send while %s is held: a blocked receiver deadlocks every contender of the lock", heldNames(held))
+			}
+			g.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.LabeledStmt:
+		g.stmt(n.Stmt, held)
+	}
+}
+
+// expr scans one expression: lock-state transitions, blocking calls,
+// and function literals (which start lock-free).
+func (g *lockGuard) expr(e ast.Expr, held map[string]bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch c := n.(type) {
+		case *ast.FuncLit:
+			g.stmts(c.Body.List, map[string]bool{})
+			return false
+		case *ast.CallExpr:
+			if name, method, ok := recvMethod(c); ok {
+				switch {
+				case method == "Lock" || method == "RLock":
+					if len(c.Args) == 0 {
+						held[name] = true
+					}
+				case isUnlock(method):
+					delete(held, name)
+				}
+			}
+			if len(held) > 0 {
+				if msg := g.blockingCall(c); msg != "" {
+					g.pass.Reportf(c.Pos(),
+						"%s while %s is held: network latency becomes lock hold time for every contender", msg, heldNames(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// blockingCall classifies a call as network-blocking and names it, or
+// returns "".
+func (g *lockGuard) blockingCall(c *ast.CallExpr) string {
+	sel, ok := c.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if g.netAlias != "" && id.Name == g.netAlias && dialNames[sel.Sel.Name] {
+			return fmt.Sprintf("%s.%s", id.Name, sel.Sel.Name)
+		}
+		if g.protoAlias != "" && id.Name == g.protoAlias && lockguardProtoOps[sel.Sel.Name] {
+			return fmt.Sprintf("%s.%s round-trip", id.Name, sel.Sel.Name)
+		}
+	}
+	// A Dial* method on any receiver (netx.Dialer, a collector client's
+	// embedded dialer, ...) opens an outbound connection.
+	switch sel.Sel.Name {
+	case "Dial", "DialContext", "DialTotal":
+		return exprString(sel.X) + "." + sel.Sel.Name
+	}
+	return ""
+}
+
+// recvMethod unpacks a method call expression into the rendered
+// receiver and the method name.
+func recvMethod(c *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+func isUnlock(method string) bool {
+	return method == "Unlock" || method == "RUnlock"
+}
+
+// exprString renders simple receiver chains (a, a.b, a.b.c) for
+// held-set keys and messages; anything more exotic collapses to a
+// stable placeholder so Lock/Unlock on the same expression still pair.
+func exprString(e ast.Expr) string {
+	switch n := e.(type) {
+	case *ast.Ident:
+		return n.Name
+	case *ast.SelectorExpr:
+		return exprString(n.X) + "." + n.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(n.X)
+	case *ast.UnaryExpr:
+		return exprString(n.X)
+	case *ast.IndexExpr:
+		return exprString(n.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(n.Fun) + "()"
+	default:
+		return "mutex"
+	}
+}
