@@ -6,6 +6,7 @@
 #   make lint         go vet + repo-invariant analyzers + cadlint over shipped ads + lint-codes
 #   make lint-codes   DESIGN.md CAD-code table must match the analyzer source
 #   make fuzz         short protocol fuzz run (FuzzReadEnvelope)
+#   make crash        durability soak: crash-point matrices + randomized fault soak
 #   make bench        matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
 #   make bench-check  rerun the benchmarks and fail on >20% ns/op regression
 #   make ci           everything CI runs: verify + fuzz
@@ -17,15 +18,15 @@ FUZZTIME ?= 15s
 # cycle benchmarks and the Negotiate* index/scan benchmarks).
 BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation
 
-.PHONY: verify test test-short build vet lint lint-codes fuzz bench bench-check ci
+.PHONY: verify test test-short build vet lint lint-codes fuzz crash bench bench-check ci
 
 verify: lint
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 
 # All static analysis in one target: go vet, the custom invariant
-# analyzers (tools/analyzers: nodial, obsguard, msgswitch, lockguard)
-# over every package, the ClassAd linter over every ad we ship, and
+# analyzers (tools/analyzers: nodial, obsguard, msgswitch, lockguard,
+# fsyncguard) over every package, the ClassAd linter over every ad we ship, and
 # the docs/code sync gate. The intentionally broken fixtures live
 # under testdata/lint/ and tools/analyzers/testdata/, which none of
 # these reach.
@@ -55,6 +56,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Durability soak: every crash-point matrix (kill the process at the
+# k-th filesystem operation, for every k) plus the randomized
+# crash/fault soak that `go test -short` skips, all under the race
+# detector — the recovery path is the one place a data race and a
+# torn write can conspire.
+crash:
+	$(GO) test -race -count=1 -run 'TestCrash|TestDurableStoreCrashPoints|TestUsageLedgerCrashPoints' \
+		./internal/store ./internal/collector ./internal/matchmaker
 
 # Wire-protocol fuzzing: Read/Write round-trips, oversized frames,
 # malformed JSON. Continuous deep fuzzing raises FUZZTIME.

@@ -42,7 +42,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "daemon observability endpoint for -metrics / -trace")
 	metrics := flag.Bool("metrics", false, "print the daemon's metric registry")
 	trace := flag.String("trace", "", "replay the events of this negotiation-cycle ID")
+	ha := flag.Bool("ha", false, "show negotiator leadership: leader, epoch, lease deadline (add -debug-addr for durability metrics)")
 	flag.Parse()
+
+	if *ha {
+		showHA(*poolAddr, *debugAddr)
+		return
+	}
 
 	if *metrics || *trace != "" {
 		if *debugAddr == "" {
@@ -120,6 +126,63 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("  %-10s %-12s %5d\n", k.arch, k.state, totals[k])
 		}
+	}
+}
+
+// showHA queries the collector for negotiator ads — the negotiators
+// advertise themselves like any other entity (paper §4) — and prints
+// the pool's leadership picture: who leads, under which epoch, until
+// when. With a debug endpoint it appends the durability counters
+// (store_* WAL and snapshot activity, negotiator_failovers_total).
+func showHA(poolAddr, debugAddr string) {
+	query := classad.NewAd()
+	if err := query.SetExprString(classad.AttrConstraint, `other.Type == "Negotiator"`); err != nil {
+		fatalf("%v", err)
+	}
+	client := &collector.Client{Addr: poolAddr}
+	ads, err := client.Query(query)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(ads) == 0 {
+		fmt.Println("no negotiator has advertised yet")
+	} else {
+		fmt.Printf("%-24s %-12s %6s %14s %7s %8s\n",
+			"NEGOTIATOR", "LEADER", "EPOCH", "LEASE-DEADLINE", "CYCLE", "MATCHES")
+		for _, ad := range ads {
+			deadline := "-"
+			if d, ok := ad.Eval("LeaseDeadline").IntVal(); ok && d > 0 {
+				deadline = time.Unix(d, 0).Format("15:04:05")
+			}
+			fmt.Printf("%-24s %-12s %6s %14s %7s %8s\n",
+				str(ad, "Name"), str(ad, "Leader"), num(ad, "Epoch"),
+				deadline, num(ad, "Cycle"), num(ad, "LastMatches"))
+		}
+	}
+	if debugAddr == "" {
+		return
+	}
+	var snap obs.Snapshot
+	fetchJSON(debugAddr, "/metrics", &snap)
+	fmt.Println("\nDurability:")
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		if strings.HasPrefix(name, "store_") || strings.HasPrefix(name, "negotiator_") ||
+			name == "pool_fenced_matches_total" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-42s %12d\n", name, snap.Counters[name])
+	}
+	for name, v := range snap.Gauges {
+		if name == "negotiator_leader_epoch" {
+			fmt.Printf("  %-42s %12g\n", name, v)
+		}
+	}
+	if h, ok := snap.Histograms["store_fsync_seconds"]; ok && h.Count > 0 {
+		fmt.Printf("  %-42s %12d  mean=%.6gs\n", "store_fsync_seconds", h.Count, h.Sum/float64(h.Count))
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/classad"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // DefaultLifetime is how long an advertisement stays valid when the
@@ -34,8 +35,15 @@ type Store struct {
 	ads map[string]entry // folded Name -> entry
 	env *classad.Env
 
+	// Durability (persist.go); nil for a plain in-memory store.
+	log        *store.Log
+	persistErr error
+	// Negotiator leadership lease (lease.go).
+	lease Lease
+
 	// Observability hooks; nil (no-op) until Instrument is called.
 	mStored, mExpired, mInvalidated *obs.Counter
+	mLeaseGrants, mLeaseTakeovers   *obs.Counter
 }
 
 // New returns an empty store reading time from env (nil for the
@@ -49,16 +57,25 @@ func New(env *classad.Env) *Store {
 
 // Instrument routes store activity into reg's counters:
 // collector_ads_stored_total (Update calls, i.e. new ads plus
-// refreshes), collector_ads_expired_total (lifetime expiries), and
-// collector_ads_invalidated_total (explicit withdrawals). It also
-// publishes the live ad count as the gauge collector_ads.
+// refreshes), collector_ads_expired_total (lifetime expiries),
+// collector_ads_invalidated_total (explicit withdrawals),
+// collector_lease_grants_total (leadership grants and renewals) and
+// collector_lease_takeovers_total (epoch bumps: the lease changing
+// hands). It also publishes the live ad count as the gauge
+// collector_ads.
 func (s *Store) Instrument(reg *obs.Registry) {
 	s.mu.Lock()
 	s.mStored = reg.Counter("collector_ads_stored_total")
 	s.mExpired = reg.Counter("collector_ads_expired_total")
 	s.mInvalidated = reg.Counter("collector_ads_invalidated_total")
+	s.mLeaseGrants = reg.Counter("collector_lease_grants_total")
+	s.mLeaseTakeovers = reg.Counter("collector_lease_takeovers_total")
+	log := s.log
 	s.mu.Unlock()
 	reg.GaugeFunc("collector_ads", func() float64 { return float64(s.Len()) })
+	if log != nil {
+		log.Instrument(reg)
+	}
 }
 
 // NameOf extracts the identity an ad is stored under.
@@ -84,9 +101,13 @@ func (s *Store) Update(ad *classad.Ad, lifetime int64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.ads[classad.Fold(name)] = entry{ad: ad, expires: s.env.Now() + lifetime}
+	expires := s.env.Now() + lifetime
+	s.ads[classad.Fold(name)] = entry{ad: ad, expires: expires}
 	s.mStored.Inc()
-	return nil
+	// Journal after applying: a failure leaves the ad live in memory
+	// (harmless — it would simply be lost with the process) but
+	// unacknowledged, so the advertiser retries (persist.go).
+	return s.journalLocked(persistRecord{Op: opUpdate, Ad: ad.String(), Expires: expires})
 }
 
 // Invalidate removes the ad stored under name, reporting whether one
@@ -99,6 +120,12 @@ func (s *Store) Invalidate(name string) bool {
 	delete(s.ads, key)
 	if ok {
 		s.mInvalidated.Inc()
+		// A journal failure here is tolerable in a way an Update failure
+		// is not: a resurrected ad still carries its original absolute
+		// expiry, so the worst case is the paper's ordinary weak
+		// consistency — the ad lingers until its lifetime runs out. The
+		// error is retained for PersistErr.
+		s.journalLocked(persistRecord{Op: opInvalidate, Name: name})
 	}
 	return ok
 }

@@ -1,0 +1,89 @@
+package collector
+
+// Negotiator leadership lease. The paper assumes a single matchmaker
+// per pool and argues its failure is tolerable because "the
+// information maintained by the manager is all soft state" (§4.3) —
+// everything except accounting rebuilds from periodic advertisements.
+// To run a hot standby negotiator without double-matchmaking, the
+// collector (the one component both negotiators already talk to)
+// arbitrates a lease: at most one holder before each deadline, a
+// monotonically increasing epoch fencing each change of hands. The
+// leader stamps the epoch into its MATCH notifications; customer
+// agents reject epochs below the highest they have seen, so a deposed
+// leader that has not yet noticed its deposition cannot hand out
+// resources the new leader is also granting.
+
+// DefaultLeaseTTL is the lease duration granted when the requester
+// does not specify one, in pool-clock seconds. Short enough that
+// failover happens within a few heartbeats, long enough that a missed
+// heartbeat or two does not depose a healthy leader.
+const DefaultLeaseTTL int64 = 15
+
+// Lease is the pool's negotiator-leadership state.
+type Lease struct {
+	// Holder names the negotiator currently holding the lease; empty
+	// when no lease has ever been granted.
+	Holder string `json:"holder"`
+	// Epoch increments every time the lease changes hands (never on
+	// renewal). It is the fencing token stamped into MATCH envelopes.
+	Epoch uint64 `json:"epoch"`
+	// Deadline is the absolute pool time (Unix seconds) at which the
+	// lease expires unless renewed.
+	Deadline int64 `json:"deadline"`
+}
+
+// AcquireLease requests (or renews) the leadership lease for holder,
+// for ttl seconds (<= 0 selects DefaultLeaseTTL). The transition is
+// journaled before it takes effect, so a granted lease's epoch
+// survives a collector crash — without that, a restarted collector
+// could re-issue an old epoch and unfence a deposed leader's stale
+// matches.
+//
+// Returns the resulting lease state and whether holder now owns it.
+// When the lease is held by someone else and unexpired, granted is
+// false and the returned state describes the incumbent, giving the
+// standby the exact deadline to wait out.
+func (s *Store) AcquireLease(holder string, ttl int64) (lease Lease, granted bool, err error) {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.env.Now()
+	cur := s.lease
+	next := cur
+	switch {
+	case cur.Holder == holder && holder != "":
+		// Renewal: same holder, same epoch, pushed deadline. Also the
+		// path a crashed-and-restarted incumbent re-enters by, even
+		// after its deadline passed: no one else took over, so no epoch
+		// bump is needed.
+	case cur.Holder != "" && cur.Deadline > now:
+		return cur, false, nil // incumbent still fenced in
+	default:
+		next.Holder = holder
+		next.Epoch = cur.Epoch + 1
+	}
+	next.Deadline = now + ttl
+	if err := s.journalLocked(persistRecord{
+		Op: opLease, Holder: next.Holder, Epoch: next.Epoch, Deadline: next.Deadline,
+	}); err != nil {
+		// Not durably fenced — not granted. In-memory state is left
+		// untouched so the incumbent (if any) keeps its standing.
+		return cur, false, err
+	}
+	s.lease = next
+	s.mLeaseGrants.Inc()
+	if next.Epoch != cur.Epoch {
+		s.mLeaseTakeovers.Inc()
+	}
+	return next, true, nil
+}
+
+// LeaseInfo reports the current lease state without mutating it. The
+// caller judges expiry against its own clock reading.
+func (s *Store) LeaseInfo() Lease {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lease
+}

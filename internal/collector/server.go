@@ -251,6 +251,18 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 			out[i] = protocol.EncodeAd(ad)
 		}
 		return &protocol.Envelope{Type: protocol.TypeQueryReply, Ads: out}
+	case protocol.TypeLease:
+		if env.Holder == "" {
+			return protocol.Errorf("lease request requires a holder")
+		}
+		lease, granted, err := s.store.AcquireLease(env.Holder, env.Lifetime)
+		if err != nil {
+			return protocol.Errorf("lease: %v", err)
+		}
+		return &protocol.Envelope{
+			Type: protocol.TypeLeaseReply, Accepted: granted,
+			Holder: lease.Holder, Epoch: lease.Epoch, Deadline: lease.Deadline,
+		}
 	default:
 		return protocol.Errorf("collector does not handle %s", env.Type)
 	}
@@ -425,6 +437,27 @@ func (c *Client) QueryProject(query *classad.Ad, attrs []string) ([]*classad.Ad,
 		out = append(out, ad)
 	}
 	return out, nil
+}
+
+// AcquireLease requests (or renews) the negotiator leadership lease
+// for holder, for ttl seconds (0 for the collector's default). The
+// returned state describes the lease after the request: the holder's
+// own grant, or the incumbent it lost to (granted false). Safe to
+// retry: re-requesting a held lease renews it.
+func (c *Client) AcquireLease(holder string, ttl int64) (Lease, bool, error) {
+	reply, err := c.roundTrip(&protocol.Envelope{
+		Type: protocol.TypeLease, Holder: holder, Lifetime: ttl,
+	})
+	if err != nil {
+		return Lease{}, false, err
+	}
+	if reply.Type == protocol.TypeError {
+		return Lease{}, false, errors.New(reply.Reason)
+	}
+	if reply.Type != protocol.TypeLeaseReply {
+		return Lease{}, false, errors.New("collector: unexpected reply " + string(reply.Type))
+	}
+	return Lease{Holder: reply.Holder, Epoch: reply.Epoch, Deadline: reply.Deadline}, reply.Accepted, nil
 }
 
 func ackOrError(reply *protocol.Envelope) error {

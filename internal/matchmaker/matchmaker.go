@@ -129,6 +129,16 @@ func (m *Matchmaker) instrumented() bool { return m.mMatches != nil }
 // Usage exposes the fair-share accounting table.
 func (m *Matchmaker) Usage() *PriorityTable { return m.usage }
 
+// SetUsage replaces the fair-share table — the hook a durable
+// negotiator uses to charge usage against a ledger-backed table
+// (ledger.go) instead of the default in-memory one. Call before the
+// first cycle.
+func (m *Matchmaker) SetUsage(t *PriorityTable) {
+	if t != nil {
+		m.usage = t
+	}
+}
+
 // owner extracts the customer identity from a request ad; requests
 // without an Owner share the anonymous customer "".
 func owner(ad *classad.Ad) string {

@@ -7,6 +7,8 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/store"
 )
 
 // PriorityTable implements the usage accounting behind the paper's
@@ -27,6 +29,10 @@ type PriorityTable struct {
 	// halfLife is the decay half-life in the same units as now
 	// (seconds by convention). Zero disables decay.
 	halfLife float64
+	// journal, when set (ledger.go), receives every mutation while the
+	// table lock is held, preserving the exact order replay must
+	// reproduce. It must not call back into the table.
+	journal func(usageRecord)
 }
 
 // DefaultHalfLife is the usage half-life used by deployed pools: one
@@ -47,6 +53,11 @@ func (t *PriorityTable) SetHalfLife(h float64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.halfLife = h
+	if t.journal != nil {
+		// Journaled so replay decays with the policy that was actually
+		// in force, not the default.
+		t.journal(usageRecord{Op: usageOpHalfLife, Amount: h, Now: t.now})
+	}
 }
 
 // Advance moves the table's clock forward to now (no-op if now is in
@@ -85,6 +96,9 @@ func (t *PriorityTable) Record(customer string, amount float64) {
 	defer t.mu.Unlock()
 	t.decayLocked(customer)
 	t.usage[customer] += amount
+	if t.journal != nil {
+		t.journal(usageRecord{Op: usageOpRecord, Customer: customer, Amount: amount, Now: t.now})
+	}
 }
 
 // Effective returns the decayed usage of customer; lower is better
@@ -123,6 +137,28 @@ func (t *PriorityTable) Reset() {
 	defer t.mu.Unlock()
 	t.usage = make(map[string]float64)
 	t.lastDecay = make(map[string]float64)
+	if t.journal != nil {
+		t.journal(usageRecord{Op: usageOpReset, Now: t.now})
+	}
+}
+
+// setJournal installs the mutation hook (ledger.go); nil detaches it.
+func (t *PriorityTable) setJournal(fn func(usageRecord)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.journal = fn
+}
+
+// adopt replaces the receiver's contents with src's, which must be
+// private to the caller (ledger Install: callers keep their pointer to
+// the long-lived table while its state is swapped wholesale).
+func (t *PriorityTable) adopt(src *PriorityTable) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.usage = src.usage
+	t.lastDecay = src.lastDecay
+	t.now = src.now
+	t.halfLife = src.halfLife
 }
 
 // tableState is the persisted form of a PriorityTable. Matches are
@@ -174,17 +210,15 @@ func (t *PriorityTable) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// Save writes the table to path atomically (write-then-rename).
+// Save writes the table to path atomically (write-fsync-rename, via
+// the store package's helper, so the table survives a power cut as
+// well as a process crash).
 func (t *PriorityTable) Save(path string) error {
 	data, err := t.MarshalJSON()
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return store.AtomicWriteFile(nil, path, data)
 }
 
 // Load replaces the table's contents from path. A missing file leaves

@@ -18,6 +18,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/remote"
+	"repro/internal/store"
 )
 
 // CustomerDaemon exposes a Customer Agent over TCP: it advertises the
@@ -60,6 +61,14 @@ type CustomerDaemon struct {
 
 	// claims maps job ID -> provider contact for release.
 	claims map[int]claimRef
+	// journal, when enabled, persists the claim lifecycle so a CA
+	// restart neither leaks held providers nor forgets running jobs
+	// (claimjournal.go).
+	journal *ClaimJournal
+	// highestEpoch is the match-fencing high-water mark: MATCH
+	// notifications carrying a lower (non-zero) negotiator epoch are
+	// from a deposed leader and are rejected.
+	highestEpoch uint64
 	// stats
 	claimsOK, claimsRejected int
 	maxClaimDur              time.Duration
@@ -72,6 +81,7 @@ type CustomerDaemon struct {
 	mClaimFailed     *obs.Counter
 	mReleaseRequeued *obs.Counter
 	mPreemptsRx      *obs.Counter
+	mFenced          *obs.Counter
 	mLintErrors      *obs.Counter
 	mLintWarnings    *obs.Counter
 	mLintUnindexable *obs.Counter
@@ -132,6 +142,7 @@ func (d *CustomerDaemon) Instrument(o *obs.Obs) {
 	d.mClaimFailed = reg.Counter("pool_claims_failed_total")
 	d.mReleaseRequeued = reg.Counter("pool_release_requeued_total")
 	d.mPreemptsRx = reg.Counter("pool_preempts_received_total")
+	d.mFenced = reg.Counter("pool_fenced_matches_total")
 	d.mLintErrors = reg.Counter("pool_submit_lint_errors_total")
 	d.mLintWarnings = reg.Counter("pool_submit_lint_warnings_total")
 	d.mLintUnindexable = reg.Counter("pool_submit_lint_unindexable_total")
@@ -189,6 +200,83 @@ func (d *CustomerDaemon) Shadow() *remote.Shadow {
 	return d.shadow
 }
 
+// EnableJournal attaches a durable claim journal rooted at dir and
+// reconciles any state a previous incarnation left behind. fs selects
+// the filesystem (nil for the real one). Call before Listen/Serve.
+//
+// Reconciliation follows the journal's phase per claim:
+//
+//   - "claiming" — the process died between the begin record and the
+//     verdict, so the outcome is unknown: the provider may be holding a
+//     claim nobody remembers. An idempotent RELEASE is sent (a provider
+//     that never granted it just acknowledges), and the job requeues by
+//     staying idle.
+//   - "granted" — the provider is holding the claim and the job was
+//     running there. If the job is still in the queue it is restored to
+//     Running with its claim reference intact, so completion and
+//     release work as if the restart never happened; a job no longer in
+//     the queue gets its claim released rather than leaked.
+//
+// The journaled negotiator-epoch high-water mark is restored too, so
+// fencing survives the restart.
+func (d *CustomerDaemon) EnableJournal(dir string, fs store.FS) error {
+	j, err := OpenClaimJournal(dir, fs)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.journal = j
+	d.highestEpoch = j.Epoch()
+	d.mu.Unlock()
+	for _, c := range j.Live() {
+		switch c.Phase {
+		case PhaseGranted:
+			if job, ok := d.CA.Job(c.Job); ok {
+				if job.Status == agent.JobIdle {
+					if err := d.CA.MarkRunning(c.Job, c.Machine); err != nil {
+						d.logf("ca %s: reconcile job %d: %v", d.CA.Owner(), c.Job, err)
+					}
+				}
+				d.mu.Lock()
+				d.claims[c.Job] = claimRef{contact: c.Contact, machine: c.Machine}
+				d.mu.Unlock()
+				continue
+			}
+			// The queue no longer knows this job: release the provider
+			// rather than leak it.
+			fallthrough
+		case PhaseClaiming:
+			if err := d.sendRelease(c.Contact); err != nil {
+				// Provider unreachable; keep the journal record so the
+				// next restart retries the release.
+				d.logf("ca %s: reconcile release of %s failed: %v", d.CA.Owner(), c.Machine, err)
+				continue
+			}
+			j.Release(c.Job)
+			d.emit("claim_reconciled", "", map[string]string{
+				"job":     fmt.Sprintf("%d", c.Job),
+				"machine": c.Machine,
+				"phase":   c.Phase,
+			})
+		}
+	}
+	return nil
+}
+
+// Journal exposes the claim journal, when enabled.
+func (d *CustomerDaemon) Journal() *ClaimJournal {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.journal
+}
+
+// HighestEpoch reports the fencing high-water mark.
+func (d *CustomerDaemon) HighestEpoch() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.highestEpoch
+}
+
 // AddFlockTarget registers an additional pool whose collector receives
 // this CA's idle-job advertisements.
 func (d *CustomerDaemon) AddFlockTarget(collectorAddr string) {
@@ -238,6 +326,7 @@ func (d *CustomerDaemon) Close() {
 	d.closed = true
 	ln := d.ln
 	shadow := d.shadow
+	journal := d.journal
 	d.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -246,6 +335,9 @@ func (d *CustomerDaemon) Close() {
 		shadow.Close()
 	}
 	d.wg.Wait()
+	if journal != nil {
+		journal.Close()
+	}
 }
 
 // ClaimStats reports accepted and rejected claim attempts.
@@ -345,6 +437,33 @@ func (d *CustomerDaemon) handle(conn net.Conn) {
 // claiming protocol against the provider. The matchmaker is done; from
 // here on the two parties speak directly.
 func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope {
+	// Epoch fencing: a MATCH stamped with a negotiator epoch below the
+	// highest we have seen comes from a deposed leader that has not yet
+	// noticed its lease lapsed. Honouring it could double-grant a
+	// provider the new leader is also matching, so it is refused
+	// outright. Epoch 0 marks a non-HA negotiator and passes unfenced.
+	if env.Epoch > 0 {
+		d.mu.Lock()
+		high := d.highestEpoch
+		if env.Epoch > high {
+			d.highestEpoch = env.Epoch
+		}
+		j := d.journal
+		d.mu.Unlock()
+		if env.Epoch < high {
+			d.mFenced.Inc()
+			d.emit("match_fenced", env.Cycle, map[string]string{
+				"epoch":   fmt.Sprintf("%d", env.Epoch),
+				"current": fmt.Sprintf("%d", high),
+			})
+			return protocol.Errorf("stale negotiator epoch %d (current %d)", env.Epoch, high)
+		}
+		if env.Epoch > high && j != nil {
+			if _, err := j.ObserveEpoch(env.Epoch); err != nil {
+				d.logf("ca %s: journal epoch: %v", d.CA.Owner(), err)
+			}
+		}
+	}
 	machine, err := protocol.DecodeAd(env.PeerAd)
 	if err != nil {
 		return protocol.Errorf("bad peer ad: %v", err)
@@ -372,6 +491,20 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		claimAd.SetString("ShadowContact", d.shadowAddr)
 	}
 	d.mu.Unlock()
+	// The attempt is journaled before the dial: if we die past this
+	// point, reconciliation knows a claim may be outstanding and will
+	// release it. A journal that cannot record the attempt vetoes it —
+	// an untracked claim is exactly the leak the journal exists to
+	// prevent.
+	providerContact, _ := machine.Eval(classad.AttrContact).StringVal()
+	d.mu.Lock()
+	journal := d.journal
+	d.mu.Unlock()
+	if journal != nil {
+		if err := journal.Begin(job.ID, adName(machine), providerContact); err != nil {
+			return protocol.Errorf("claim journal: %v", err)
+		}
+	}
 	// Claim latency is measured end to end: from MATCH receipt here to
 	// the provider's verdict (or failure), the paper's step-3-to-step-4
 	// gap a customer actually experiences.
@@ -391,7 +524,9 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		// so it simply stays Idle and re-advertises next cycle — the
 		// claim-retry path of §3.2; nothing is lost. The notification
 		// itself is acknowledged: the matchmaker's introduction was
-		// delivered, it just didn't pan out.
+		// delivered, it just didn't pan out. The journal keeps the
+		// "claiming" record: the dial may have half-landed, so the
+		// next reconcile sends the idempotent RELEASE.
 		d.mu.Lock()
 		d.claimsRejected++
 		d.mu.Unlock()
@@ -415,7 +550,12 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 	d.mu.Unlock()
 	if !accepted {
 		// Weak consistency at work: the provider's state moved on.
-		// The job stays idle and will be re-advertised next cycle.
+		// The job stays idle and will be re-advertised next cycle. The
+		// provider itself said no, so no claim is outstanding and the
+		// journal record can go.
+		if journal != nil {
+			journal.Abort(job.ID)
+		}
 		d.mClaimRejected.Inc()
 		d.emit("claim_rejected", env.Cycle, map[string]string{
 			"machine": adName(machine),
@@ -431,12 +571,14 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		"job":        fmt.Sprintf("%d", job.ID),
 		"latency_ms": fmt.Sprintf("%d", dur.Milliseconds()),
 	})
-	contact, _ := machine.Eval(classad.AttrContact).StringVal()
+	if journal != nil {
+		journal.Grant(job.ID)
+	}
 	if err := d.CA.MarkRunning(job.ID, adName(machine)); err != nil {
 		return protocol.Errorf("%v", err)
 	}
 	d.mu.Lock()
-	d.claims[job.ID] = claimRef{contact: contact, machine: adName(machine)}
+	d.claims[job.ID] = claimRef{contact: providerContact, machine: adName(machine)}
 	d.mu.Unlock()
 	return &protocol.Envelope{Type: protocol.TypeAck}
 }
@@ -525,7 +667,11 @@ func (d *CustomerDaemon) handlePreempt(env *protocol.Envelope) *protocol.Envelop
 	}
 	d.mu.Lock()
 	delete(d.claims, id)
+	j := d.journal
 	d.mu.Unlock()
+	if j != nil {
+		j.Release(id) // the RA evicted us; nothing left to hold
+	}
 	d.mPreemptsRx.Inc()
 	d.emit("preempted", env.Cycle, map[string]string{
 		"job": fmt.Sprintf("%d", id),
@@ -589,7 +735,11 @@ func (d *CustomerDaemon) handleJobDone(env *protocol.Envelope) *protocol.Envelop
 	}
 	d.mu.Lock()
 	delete(d.claims, id)
+	journal := d.journal
 	d.mu.Unlock()
+	if journal != nil {
+		journal.Release(id) // the RA released its side on completion
+	}
 	return &protocol.Envelope{Type: protocol.TypeAck}
 }
 
@@ -644,12 +794,41 @@ func (d *CustomerDaemon) Complete(jobID int) error {
 	if !had {
 		return nil
 	}
-	// RELEASE is idempotent (the RA acknowledges a duplicate release
-	// of an already-unclaimed machine), so transport failures retry
-	// with backoff. If the provider is truly gone the claim dies with
-	// it — its ad expires and the machine returns via re-advertising.
-	err := netx.Retry(context.Background(), d.retry, func() error {
-		conn, err := d.dialer.Dial(ref.contact)
+	err := d.sendRelease(ref.contact)
+	if err == nil {
+		d.mu.Lock()
+		journal := d.journal
+		d.mu.Unlock()
+		if journal != nil {
+			journal.Release(jobID)
+		}
+	}
+	if err != nil {
+		// The release never landed: remember the claim so a later
+		// Complete call can retry it once the provider is reachable.
+		d.mu.Lock()
+		if _, exists := d.claims[jobID]; !exists {
+			d.claims[jobID] = ref
+		}
+		d.mu.Unlock()
+		d.mReleaseRequeued.Inc()
+		d.emit("release_requeued", "", map[string]string{
+			"job":     fmt.Sprintf("%d", jobID),
+			"machine": ref.machine,
+			"error":   err.Error(),
+		})
+	}
+	return err
+}
+
+// sendRelease delivers one RELEASE to a provider contact. RELEASE is
+// idempotent (the RA acknowledges a duplicate release of an
+// already-unclaimed machine), so transport failures retry with
+// backoff. If the provider is truly gone the claim dies with it — its
+// ad expires and the machine returns via re-advertising.
+func (d *CustomerDaemon) sendRelease(contact string) error {
+	return netx.Retry(context.Background(), d.retry, func() error {
+		conn, err := d.dialer.Dial(contact)
 		if err != nil {
 			return err
 		}
@@ -668,22 +847,6 @@ func (d *CustomerDaemon) Complete(jobID int) error {
 		}
 		return nil
 	})
-	if err != nil {
-		// The release never landed: remember the claim so a later
-		// Complete call can retry it once the provider is reachable.
-		d.mu.Lock()
-		if _, exists := d.claims[jobID]; !exists {
-			d.claims[jobID] = ref
-		}
-		d.mu.Unlock()
-		d.mReleaseRequeued.Inc()
-		d.emit("release_requeued", "", map[string]string{
-			"job":     fmt.Sprintf("%d", jobID),
-			"machine": ref.machine,
-			"error":   err.Error(),
-		})
-	}
-	return err
 }
 
 func adName(ad *classad.Ad) string {

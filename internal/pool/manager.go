@@ -48,6 +48,15 @@ type Manager struct {
 	logf      func(string, ...any)
 	usageFile string
 	history   io.Writer
+	ledger    *matchmaker.UsageLedger
+
+	// HA participation: when haName is set the manager's co-located
+	// negotiator acquires the leadership lease from its own store
+	// before each cycle and stamps the lease epoch into MATCH
+	// notifications, so it coexists safely with standby
+	// NegotiatorDaemons pointed at the same collector.
+	haName   string
+	leaseTTL int64
 
 	dialer      *netx.Dialer
 	notifyRetry netx.RetryPolicy
@@ -59,8 +68,10 @@ type Manager struct {
 	hCycleMatches *obs.Histogram
 	mNotifyErrors *obs.Counter
 
-	mu     sync.Mutex
-	cycles int
+	mu       sync.Mutex
+	cycles   int
+	epoch    uint64 // last lease epoch held (0 when not HA)
+	deadline int64  // last lease deadline (pool-clock seconds)
 }
 
 // ManagerConfig tunes a Manager.
@@ -96,6 +107,26 @@ type ManagerConfig struct {
 	// notification failures (pool_notify_errors_total), and the trace
 	// events that carry each cycle's ID across daemons.
 	Obs *obs.Obs
+	// Store, when set, is a pre-opened advertisement store — typically
+	// collector.OpenDurable, so ads, expiry deadlines and the
+	// leadership lease survive manager restarts — that the manager
+	// adopts (and closes) instead of creating a fresh in-memory one.
+	Store *collector.Store
+	// Ledger, when set, backs the fair-share table with a durable
+	// usage ledger (matchmaker.OpenUsageLedger): every charge is
+	// journaled as it lands, superseding the per-cycle UsageFile save.
+	// The manager adopts and closes it.
+	Ledger *matchmaker.UsageLedger
+	// HAName, when set, enrolls the manager's negotiator half in
+	// leader election under this identity: each RunCycle first
+	// acquires (or renews) the leadership lease and stamps its epoch
+	// into MATCH notifications; a cycle without the lease is a standby
+	// no-op. Leave empty for the classic single-negotiator pool.
+	HAName string
+	// LeaseTTL is the leadership lease duration in pool-clock seconds
+	// (0 selects collector.DefaultLeaseTTL). Only meaningful with
+	// HAName.
+	LeaseTTL int64
 }
 
 // NewManager builds a pool manager.
@@ -114,7 +145,10 @@ func NewManager(cfg ManagerConfig) *Manager {
 		cfg.Matchmaker.Index = true
 		cfg.Matchmaker.Parallel = matchmaker.ParallelAuto
 	}
-	store := collector.New(cfg.Env)
+	store := cfg.Store
+	if store == nil {
+		store = collector.New(cfg.Env)
+	}
 	m := &Manager{
 		store:       store,
 		mm:          matchmaker.New(cfg.Matchmaker),
@@ -122,11 +156,17 @@ func NewManager(cfg ManagerConfig) *Manager {
 		logf:        cfg.Logf,
 		usageFile:   cfg.UsageFile,
 		history:     cfg.History,
+		ledger:      cfg.Ledger,
+		haName:      cfg.HAName,
+		leaseTTL:    cfg.LeaseTTL,
 		dialer:      cfg.Dialer,
 		notifyRetry: cfg.NotifyRetry,
 	}
 	if m.dialer == nil {
 		m.dialer = netx.DefaultDialer
+	}
+	if m.ledger != nil {
+		m.mm.SetUsage(m.ledger.Table())
 	}
 	if cfg.Obs != nil {
 		m.obs = cfg.Obs
@@ -137,8 +177,18 @@ func NewManager(cfg ManagerConfig) *Manager {
 		m.mNotifyErrors = reg.Counter("pool_notify_errors_total")
 		store.Instrument(reg)
 		m.mm.Instrument(cfg.Obs)
+		if m.ledger != nil {
+			m.ledger.Instrument(reg)
+		}
+		if m.haName != "" {
+			reg.GaugeFunc("negotiator_leader_epoch", func() float64 {
+				m.mu.Lock()
+				defer m.mu.Unlock()
+				return float64(m.epoch)
+			})
+		}
 	}
-	if m.usageFile != "" {
+	if m.usageFile != "" && m.ledger == nil {
 		if err := m.mm.Usage().Load(m.usageFile); err != nil {
 			m.logf("pool: usage history %s unreadable, starting fresh: %v", m.usageFile, err)
 		}
@@ -173,11 +223,16 @@ func (m *Manager) Serve(ln net.Listener) string {
 // was built without ManagerConfig.Obs).
 func (m *Manager) Obs() *obs.Obs { return m.obs }
 
-// Close shuts the collector endpoint down.
+// Close shuts the collector endpoint down and releases any adopted
+// durable state (store and ledger).
 func (m *Manager) Close() {
 	if m.server != nil {
 		m.server.Close()
 	}
+	if m.ledger != nil {
+		m.ledger.Close()
+	}
+	m.store.Close()
 }
 
 // Store exposes the ad store for direct (in-process) advertising.
@@ -201,6 +256,11 @@ type CycleResult struct {
 	// Cycle is the cycle's trace identifier: every event this cycle
 	// emitted — across manager, matchmaker, CA and RA — carries it.
 	Cycle string
+	// Standby is true when an HA-enrolled negotiator ran the cycle
+	// without holding the leadership lease: nothing was matched.
+	Standby bool
+	// Epoch is the leadership epoch the cycle ran under (0 without HA).
+	Epoch uint64
 	// Duration is the cycle's wall time.
 	Duration time.Duration
 }
@@ -219,6 +279,30 @@ func (m *Manager) RunCycle() CycleResult {
 	m.mu.Unlock()
 	cycleID := obs.NewCycleID(n)
 
+	// HA: hold the leadership lease before matching anything. A manager
+	// that cannot get (or keep) the lease is a standby this cycle: it
+	// matches nothing, because a concurrent leader may be granting the
+	// same offers.
+	var epoch uint64
+	if m.haName != "" {
+		lease, granted, err := m.store.AcquireLease(m.haName, m.leaseTTL)
+		if err != nil || !granted {
+			if err != nil {
+				m.logf("pool: lease: %v", err)
+			}
+			m.obs.Events().Emit("manager", "cycle_standby", cycleID, map[string]string{
+				"leader": lease.Holder,
+				"epoch":  fmt.Sprint(lease.Epoch),
+			})
+			return CycleResult{Cycle: cycleID, Standby: true, Duration: time.Since(start)}
+		}
+		epoch = lease.Epoch
+		m.mu.Lock()
+		m.epoch = epoch
+		m.deadline = lease.Deadline
+		m.mu.Unlock()
+	}
+
 	requests := m.store.SelectType("Job")
 	var offers []*classad.Ad
 	for _, ad := range m.store.All() {
@@ -231,14 +315,14 @@ func (m *Manager) RunCycle() CycleResult {
 		}
 		offers = append(offers, ad)
 	}
-	res := CycleResult{Requests: len(requests), Offers: len(offers), Cycle: cycleID}
+	res := CycleResult{Requests: len(requests), Offers: len(offers), Cycle: cycleID, Epoch: epoch}
 	m.obs.Events().Emit("manager", "cycle_begin", cycleID, map[string]string{
 		"requests": fmt.Sprint(res.Requests),
 		"offers":   fmt.Sprint(res.Offers),
 	})
 	res.Matches = m.mm.NegotiateCycle(cycleID, requests, offers)
 	for _, match := range res.Matches {
-		if err := m.notify(match, cycleID); err != nil {
+		if err := m.notify(match, cycleID, epoch); err != nil {
 			res.Errors = append(res.Errors, err)
 			m.mNotifyErrors.Inc()
 			m.obs.Events().Emit("manager", "notify_failed", cycleID, map[string]string{
@@ -259,7 +343,14 @@ func (m *Manager) RunCycle() CycleResult {
 			m.store.Invalidate(name)
 		}
 	}
-	if m.usageFile != "" {
+	if m.ledger != nil {
+		if err := m.ledger.MaybeCompact(); err != nil {
+			m.logf("pool: compacting usage ledger: %v", err)
+		}
+		if err := m.ledger.Err(); err != nil {
+			m.logf("pool: usage ledger: %v", err)
+		}
+	} else if m.usageFile != "" {
 		if err := m.mm.Usage().Save(m.usageFile); err != nil {
 			m.logf("pool: saving usage history: %v", err)
 		}
@@ -291,6 +382,11 @@ func (m *Manager) publishSelf(res CycleResult) {
 	ad.SetString(classad.AttrName, "negotiator@pool")
 	m.mu.Lock()
 	ad.SetInt("Cycle", int64(m.cycles))
+	if m.haName != "" {
+		ad.SetString("Leader", m.haName)
+		ad.SetInt("Epoch", int64(m.epoch))
+		ad.SetInt("LeaseDeadline", m.deadline)
+	}
 	m.mu.Unlock()
 	ad.SetInt("LastRequests", int64(res.Requests))
 	ad.SetInt("LastOffers", int64(res.Offers))
@@ -340,11 +436,19 @@ func (m *Manager) logMatch(match matchmaker.Match) {
 	}
 }
 
-// notify runs the matchmaking protocol for one match: a MATCH envelope
-// to each party's Contact address carrying the peer's ad and the
-// cycle's trace ID; the customer's copy also carries the provider's
-// ticket.
-func (m *Manager) notify(match matchmaker.Match, cycleID string) error {
+// notify runs the matchmaking protocol for one match.
+func (m *Manager) notify(match matchmaker.Match, cycleID string, epoch uint64) error {
+	return notifyMatch(m.dialer, m.notifyRetry, m.logf, match, cycleID, epoch)
+}
+
+// notifyMatch runs the matchmaking protocol for one match: a MATCH
+// envelope to each party's Contact address carrying the peer's ad and
+// the cycle's trace ID; the customer's copy also carries the
+// provider's ticket. epoch, when non-zero, is the sender's leadership
+// epoch — the CA fences out envelopes whose epoch has been superseded.
+// Shared by the combined Manager and the standalone NegotiatorDaemon.
+func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, ...any),
+	match matchmaker.Match, cycleID string, epoch uint64) error {
 	session, err := protocol.NewSession()
 	if err != nil {
 		return err
@@ -356,13 +460,14 @@ func (m *Manager) notify(match matchmaker.Match, cycleID string) error {
 	// idle state and is acknowledged as stale), so transport failures
 	// are retried with backoff before the match is abandoned to the
 	// next cycle.
-	if err := netx.Retry(context.Background(), m.notifyRetry, func() error {
-		return sendToContact(m.dialer, match.Request, &protocol.Envelope{
+	if err := netx.Retry(context.Background(), retry, func() error {
+		return sendToContact(dialer, match.Request, &protocol.Envelope{
 			Type:    protocol.TypeMatch,
 			PeerAd:  protocol.EncodeAd(match.Offer),
 			Ticket:  ticket,
 			Session: session,
 			Cycle:   cycleID,
+			Epoch:   epoch,
 		})
 	}); err != nil {
 		return fmt.Errorf("pool: notify customer: %w", err)
@@ -370,13 +475,14 @@ func (m *Manager) notify(match matchmaker.Match, cycleID string) error {
 	// Provider notification is advisory; a provider without a
 	// reachable contact still works because the claim itself carries
 	// everything the RA needs. One bounded attempt is enough.
-	if err := sendToContact(m.dialer, match.Offer, &protocol.Envelope{
+	if err := sendToContact(dialer, match.Offer, &protocol.Envelope{
 		Type:    protocol.TypeMatch,
 		PeerAd:  protocol.EncodeAd(match.Request),
 		Session: session,
 		Cycle:   cycleID,
+		Epoch:   epoch,
 	}); err != nil {
-		m.logf("pool: notify provider: %v", err)
+		logf("pool: notify provider: %v", err)
 	}
 	return nil
 }

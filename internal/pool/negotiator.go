@@ -1,0 +1,379 @@
+package pool
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/matchmaker"
+	"repro/internal/netx"
+	"repro/internal/obs"
+)
+
+// NegotiatorDaemon is a standalone negotiator speaking the wire
+// protocol to a (possibly remote) collector — the half of the paper's
+// pool manager that runs the matchmaking algorithm, split out so a
+// pool can run two of them for availability. The paper's argument
+// that matchmaker failure is tolerable ("the information maintained
+// by the manager is all soft state", §4.3) makes failover simple:
+// nothing needs to be reconciled except the accounting ledger, which
+// ships between peers as a store.Log bundle.
+//
+// Each Tick the daemon requests the leadership lease from the
+// collector. Holding it, the daemon queries the pool, runs one
+// negotiation cycle, and stamps its lease epoch into every MATCH; the
+// CA-side fence (cadaemon.go) then rejects anything an already-deposed
+// leader manages to send. Not holding it, the daemon pulls the
+// leader's usage ledger from its state endpoint so a takeover starts
+// warm.
+type NegotiatorDaemon struct {
+	// Name identifies this negotiator in leader election.
+	Name string
+	// LeaseTTL is the requested lease duration in pool-clock seconds
+	// (0 for the collector's default).
+	LeaseTTL int64
+	// PeerState, when set, is the base URL of the peer negotiator's
+	// state endpoint (http://host:port); a standby pulls /state from
+	// it each tick for warm handoff.
+	PeerState string
+	// Logf receives diagnostics; nil discards.
+	Logf func(string, ...any)
+
+	client *collector.Client
+	mm     *matchmaker.Matchmaker
+	ledger *matchmaker.UsageLedger
+	dialer *netx.Dialer
+	retry  netx.RetryPolicy
+
+	mu       sync.Mutex
+	leader   bool
+	epoch    uint64
+	deadline int64  // current lease deadline (pool-clock seconds)
+	lastSeen uint64 // highest epoch ever observed (ours or the peer's)
+	cycles   int
+	httpSrv  *http.Server
+	httpLn   net.Listener
+	// lastBundle is the most recently installed peer-state bundle,
+	// kept to skip re-installing identical state on every heartbeat.
+	lastBundle []byte
+
+	mFailovers *obs.Counter
+	mStandby   *obs.Counter
+}
+
+// NewNegotiatorDaemon builds a negotiator around a collector client
+// and an optional durable usage ledger (nil keeps accounting in
+// memory).
+func NewNegotiatorDaemon(name string, client *collector.Client, ledger *matchmaker.UsageLedger, mmCfg matchmaker.Config) *NegotiatorDaemon {
+	if !mmCfg.Aggregate && !mmCfg.Index && mmCfg.Parallel == 0 {
+		mmCfg.Index = true
+		mmCfg.Parallel = matchmaker.ParallelAuto
+	}
+	d := &NegotiatorDaemon{
+		Name:   name,
+		Logf:   func(string, ...any) {},
+		client: client,
+		mm:     matchmaker.New(mmCfg),
+		ledger: ledger,
+		dialer: netx.DefaultDialer,
+	}
+	if ledger != nil {
+		d.mm.SetUsage(ledger.Table())
+	}
+	return d
+}
+
+// ConfigureNetwork sets the dialer and retry policy for notifications
+// and collector traffic.
+func (d *NegotiatorDaemon) ConfigureNetwork(dialer *netx.Dialer, retry netx.RetryPolicy) {
+	if dialer == nil {
+		dialer = netx.DefaultDialer
+	}
+	d.dialer = dialer
+	d.retry = retry
+	d.client.Dialer = dialer
+	d.client.Retry = retry
+}
+
+// Instrument routes negotiator activity into o: leadership changes
+// (negotiator_failovers_total — incremented when this daemon takes
+// over from a different leader), standby ticks
+// (negotiator_standby_ticks_total), the current leadership epoch
+// (negotiator_leader_epoch gauge; 0 while standby), plus the
+// matchmaker's and ledger's own metrics.
+func (d *NegotiatorDaemon) Instrument(o *obs.Obs) {
+	reg := o.Registry()
+	d.mFailovers = reg.Counter("negotiator_failovers_total")
+	d.mStandby = reg.Counter("negotiator_standby_ticks_total")
+	reg.GaugeFunc("negotiator_leader_epoch", func() float64 {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if !d.leader {
+			return 0
+		}
+		return float64(d.epoch)
+	})
+	d.mm.Instrument(o)
+	if d.ledger != nil {
+		d.ledger.Instrument(reg)
+	}
+}
+
+// Leader reports whether the daemon held the lease at its last tick,
+// and under which epoch.
+func (d *NegotiatorDaemon) Leader() (bool, uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.leader, d.epoch
+}
+
+// Usage exposes the fair-share table (ledger-backed when a ledger was
+// supplied).
+func (d *NegotiatorDaemon) Usage() *matchmaker.PriorityTable { return d.mm.Usage() }
+
+// Tick runs one heartbeat: acquire or renew the lease, then either
+// negotiate (leader) or sync state from the leader (standby). The
+// caller drives it on the pool's negotiation period — and should do so
+// at least a few times per lease TTL so renewal outpaces expiry.
+func (d *NegotiatorDaemon) Tick() CycleResult {
+	lease, granted, err := d.client.AcquireLease(d.Name, d.LeaseTTL)
+	if err != nil {
+		// Collector unreachable: we cannot prove we still hold the
+		// lease, so behave as a standby and match nothing.
+		d.Logf("negotiator %s: lease: %v", d.Name, err)
+		d.setStandby(0)
+		return CycleResult{Standby: true}
+	}
+	d.observe(lease.Epoch)
+	if !granted {
+		d.setStandby(lease.Epoch)
+		d.syncFromPeer()
+		return CycleResult{Standby: true, Epoch: lease.Epoch}
+	}
+	d.becomeLeader(lease.Epoch, lease.Deadline)
+	return d.negotiate(lease.Epoch)
+}
+
+// observe tracks the highest epoch seen pool-wide.
+func (d *NegotiatorDaemon) observe(epoch uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if epoch > d.lastSeen {
+		d.lastSeen = epoch
+	}
+}
+
+func (d *NegotiatorDaemon) setStandby(leaderEpoch uint64) {
+	d.mu.Lock()
+	was := d.leader
+	d.leader = false
+	d.mu.Unlock()
+	d.mStandby.Inc()
+	if was {
+		d.Logf("negotiator %s: deposed (leader epoch %d)", d.Name, leaderEpoch)
+	}
+}
+
+func (d *NegotiatorDaemon) becomeLeader(epoch uint64, deadline int64) {
+	d.mu.Lock()
+	was, prev := d.leader, d.epoch
+	d.leader, d.epoch, d.deadline = true, epoch, deadline
+	d.mu.Unlock()
+	if !was && epoch > 1 && epoch != prev {
+		// Taking over from a different leader (epoch bumped), not a
+		// pool's very first election and not our own renewal after a
+		// hiccup.
+		d.mFailovers.Inc()
+		d.Logf("negotiator %s: taking over as leader, epoch %d", d.Name, epoch)
+	}
+}
+
+// negotiate runs one cycle as leader against a freshly queried pool
+// snapshot.
+func (d *NegotiatorDaemon) negotiate(epoch uint64) CycleResult {
+	start := time.Now()
+	d.mu.Lock()
+	d.cycles++
+	n := d.cycles
+	d.mu.Unlock()
+	cycleID := obs.NewCycleID(n)
+
+	all, err := d.client.Query(classad.NewAd())
+	if err != nil {
+		d.Logf("negotiator %s: query: %v", d.Name, err)
+		return CycleResult{Cycle: cycleID, Epoch: epoch, Duration: time.Since(start)}
+	}
+	var requests, offers []*classad.Ad
+	for _, ad := range all {
+		typ, ok := ad.Eval(classad.AttrType).StringVal()
+		if !ok {
+			offers = append(offers, ad)
+			continue
+		}
+		switch classad.Fold(typ) {
+		case "job":
+			requests = append(requests, ad)
+		case "negotiator":
+			// the leader's own ad
+		default:
+			offers = append(offers, ad)
+		}
+	}
+	res := CycleResult{Requests: len(requests), Offers: len(offers), Cycle: cycleID, Epoch: epoch}
+	res.Matches = d.mm.NegotiateCycle(cycleID, requests, offers)
+	for _, match := range res.Matches {
+		if err := notifyMatch(d.dialer, d.retry, d.Logf, match, cycleID, epoch); err != nil {
+			res.Errors = append(res.Errors, err)
+			continue
+		}
+		res.Notified++
+		if name, err := collector.NameOf(match.Request); err == nil {
+			if err := d.client.Invalidate(name); err != nil {
+				d.Logf("negotiator %s: invalidate %s: %v", d.Name, name, err)
+			}
+		}
+	}
+	d.publishSelf(res)
+	if d.ledger != nil {
+		if err := d.ledger.MaybeCompact(); err != nil {
+			d.Logf("negotiator %s: ledger compact: %v", d.Name, err)
+		}
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// publishSelf advertises the negotiator's own classad, so cstatus -ha
+// can show who leads under which epoch even when the collector is
+// queried remotely.
+func (d *NegotiatorDaemon) publishSelf(res CycleResult) {
+	ad := classad.NewAd()
+	ad.SetString(classad.AttrType, "Negotiator")
+	ad.SetString(classad.AttrName, "negotiator/"+d.Name)
+	ad.SetString("Leader", d.Name)
+	ad.SetInt("Epoch", int64(res.Epoch))
+	d.mu.Lock()
+	ad.SetInt("Cycle", int64(d.cycles))
+	ad.SetInt("LeaseDeadline", d.deadline)
+	d.mu.Unlock()
+	ad.SetInt("LastRequests", int64(res.Requests))
+	ad.SetInt("LastOffers", int64(res.Offers))
+	ad.SetInt("LastMatches", int64(len(res.Matches)))
+	usage := classad.NewAd()
+	table := d.mm.Usage()
+	for _, customer := range table.Customers() {
+		usage.SetReal(customer, table.Effective(customer))
+	}
+	ad.Set("Usage", classad.NewAdExpr(usage))
+	if err := d.client.Advertise(ad, 0); err != nil {
+		d.Logf("negotiator %s: advertising self: %v", d.Name, err)
+	}
+}
+
+// ServeState starts the warm-handoff endpoint on ln: GET /state
+// returns the usage ledger as a store.Log bundle that a standby
+// installs with UsageLedger.Install. Returns the bound address.
+func (d *NegotiatorDaemon) ServeState(ln net.Listener) string {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/state", func(w http.ResponseWriter, r *http.Request) {
+		if d.ledger == nil {
+			http.Error(w, "no ledger", http.StatusNotFound)
+			return
+		}
+		bundle, err := d.ledger.Ship()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(bundle)
+	})
+	srv := &http.Server{Handler: mux}
+	d.mu.Lock()
+	d.httpSrv, d.httpLn = srv, ln
+	d.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String()
+}
+
+// syncFromPeer pulls the leader's ledger bundle and installs it, so
+// this standby's accounting is warm when it takes over. Best-effort:
+// an unreachable peer (it may just have died — that is why we are
+// about to take over) leaves the local ledger as is.
+func (d *NegotiatorDaemon) syncFromPeer() {
+	if d.PeerState == "" || d.ledger == nil {
+		return
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(d.PeerState + "/state")
+	if err != nil {
+		d.Logf("negotiator %s: peer state: %v", d.Name, err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		d.Logf("negotiator %s: peer state: HTTP %d", d.Name, resp.StatusCode)
+		return
+	}
+	bundle, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		d.Logf("negotiator %s: peer state read: %v", d.Name, err)
+		return
+	}
+	// Installing writes a fresh log generation; skip it when the leader
+	// shipped the same bundle as last heartbeat (an idle pool), so a
+	// standby does not churn a snapshot per poll.
+	d.mu.Lock()
+	same := bytes.Equal(bundle, d.lastBundle)
+	d.mu.Unlock()
+	if same {
+		return
+	}
+	if err := d.ledger.Install(bundle); err != nil {
+		d.Logf("negotiator %s: installing peer state: %v", d.Name, err)
+		return
+	}
+	d.mu.Lock()
+	d.lastBundle = bundle
+	d.mu.Unlock()
+}
+
+// Cycles reports how many leader cycles this daemon has run.
+func (d *NegotiatorDaemon) Cycles() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cycles
+}
+
+// Close stops the state endpoint and releases the ledger.
+func (d *NegotiatorDaemon) Close() {
+	d.mu.Lock()
+	srv, ln := d.httpSrv, d.httpLn
+	d.httpSrv, d.httpLn = nil, nil
+	d.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	if d.ledger != nil {
+		d.ledger.Close()
+	}
+}
+
+// String renders leadership state for logs and cstatus.
+func (d *NegotiatorDaemon) String() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.leader {
+		return fmt.Sprintf("%s: leader (epoch %d, %d cycles)", d.Name, d.epoch, d.cycles)
+	}
+	return fmt.Sprintf("%s: standby (last seen epoch %d)", d.Name, d.lastSeen)
+}

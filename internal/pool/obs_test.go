@@ -5,13 +5,17 @@ import (
 	"fmt"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"testing"
 	"time"
 
 	"repro/internal/agent"
 	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/matchmaker"
 	"repro/internal/netx"
 	"repro/internal/obs"
+	"repro/internal/protocol"
 )
 
 // scrape GETs one path from a live debug endpoint and decodes it —
@@ -111,12 +115,12 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	var snap obs.Snapshot
 	scrape(t, ds.Addr(), "/metrics", &snap)
 	for _, name := range []string{
-		"collector_ads_stored_total",  // advertising protocol
-		"collector_advertise_total",   // collector server
-		"matchmaker_matches_total",    // negotiation
-		"pool_claim_attempts_total",   // CA claim lifecycle
-		"pool_claims_ok_total",        //
-		"pool_ra_claims_total",        // RA claiming protocol
+		"collector_ads_stored_total", // advertising protocol
+		"collector_advertise_total",  // collector server
+		"matchmaker_matches_total",   // negotiation
+		"pool_claim_attempts_total",  // CA claim lifecycle
+		"pool_claims_ok_total",       //
+		"pool_ra_claims_total",       // RA claiming protocol
 		"pool_ra_claims_accepted_total",
 		"pool_ra_releases_total",
 		"netx_dials_total", // transport substrate
@@ -167,6 +171,136 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	// to zero once the protocol exchanges end.
 	for _, g := range []string{"collector_handlers", "pool_ca_handlers", "pool_ra_handlers"} {
 		waitGaugeZero(t, o, g)
+	}
+}
+
+// TestDurabilityMetricsScraped is the durability acceptance run: an
+// HA manager on a durable store and ledger executes a real match, and
+// the /metrics scrape — over HTTP, as an operator's curl would —
+// shows the WAL appending and fsyncing, a snapshot installing, the
+// leadership epoch standing, a deposed-epoch MATCH fenced, and a
+// standby negotiator's election counters registered.
+func TestDurabilityMetricsScraped(t *testing.T) {
+	dir := t.TempDir()
+	o := obs.New()
+
+	cstore, err := collector.OpenDurable(filepath.Join(dir, "collector"), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger, err := matchmaker.OpenUsageLedger(filepath.Join(dir, "usage"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := NewManager(ManagerConfig{
+		Logf: t.Logf, Obs: o, Store: cstore, Ledger: ledger, HAName: "mgr",
+	})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	ra := NewResourceDaemon(agent.NewResource(figure1Machine(), nil), addr, 0, t.Logf)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ra.Close)
+	ca := NewCustomerDaemon(agent.NewCustomer("raman", nil), addr, 0, t.Logf)
+	ca.Instrument(o)
+	if err := ca.EnableJournal(filepath.Join(dir, "ca"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ca.Close)
+
+	ds, err := o.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+
+	ca.CA.Submit(classad.Figure2(), 100)
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if res.Notified != 1 || res.Epoch != 1 {
+		t.Fatalf("cycle = %+v", res)
+	}
+	// Force one snapshot generation so the install counter registers
+	// activity without journaling hundreds of records.
+	if err := ledger.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// A MATCH from a long-deposed negotiator: first raise the CA's
+	// high-water mark (the epoch-3 notification is acknowledged but
+	// finds no idle job), then fence its epoch-2 straggler.
+	machine := figure1Machine()
+	target := classad.NewAd()
+	target.SetString(classad.AttrContact, ca.Contact())
+	for _, tc := range []struct {
+		epoch   uint64
+		wantErr bool
+	}{{3, false}, {2, true}} {
+		err := sendToContact(nil, target, &protocol.Envelope{
+			Type: protocol.TypeMatch, PeerAd: protocol.EncodeAd(machine), Epoch: tc.epoch,
+		})
+		if (err != nil) != tc.wantErr {
+			t.Fatalf("MATCH at epoch %d: err = %v, want error %v", tc.epoch, err, tc.wantErr)
+		}
+	}
+
+	var snap obs.Snapshot
+	scrape(t, ds.Addr(), "/metrics", &snap)
+	for _, name := range []string{
+		"store_wal_appends_total",       // journaled records
+		"store_wal_bytes_total",         //
+		"store_snapshot_installs_total", // the forced compaction
+		"collector_lease_grants_total",  // the manager's own election
+		"pool_fenced_matches_total",     // the deposed straggler
+	} {
+		if snap.Counters[name] <= 0 {
+			t.Errorf("counter %s = %d, want > 0", name, snap.Counters[name])
+		}
+	}
+	if snap.Histograms["store_fsync_seconds"].Count <= 0 {
+		t.Error("store_fsync_seconds histogram is empty: nothing was synced")
+	}
+	if got := snap.Gauges["negotiator_leader_epoch"]; got != 1 {
+		t.Errorf("negotiator_leader_epoch = %g, want 1", got)
+	}
+
+	// A standby negotiator pointed at the same collector registers the
+	// election metrics on its own endpoint.
+	o2 := obs.New()
+	negB := NewNegotiatorDaemon("nego-b", &collector.Client{Addr: addr}, nil,
+		matchmaker.Config{})
+	negB.Instrument(o2)
+	t.Cleanup(negB.Close)
+	if res := negB.Tick(); !res.Standby {
+		t.Fatalf("standby tick against a leading manager = %+v", res)
+	}
+	ds2, err := o2.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds2.Close() })
+	var snap2 obs.Snapshot
+	scrape(t, ds2.Addr(), "/metrics", &snap2)
+	if snap2.Counters["negotiator_standby_ticks_total"] != 1 {
+		t.Errorf("negotiator_standby_ticks_total = %d, want 1", snap2.Counters["negotiator_standby_ticks_total"])
+	}
+	if _, ok := snap2.Counters["negotiator_failovers_total"]; !ok {
+		t.Error("negotiator_failovers_total not registered")
+	}
+	if got := snap2.Gauges["negotiator_leader_epoch"]; got != 0 {
+		t.Errorf("standby's negotiator_leader_epoch = %g, want 0", got)
 	}
 }
 

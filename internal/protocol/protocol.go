@@ -73,6 +73,15 @@ const (
 	// TypeJobDone notifies the customer agent that the starter on a
 	// claimed machine ran the job to completion.
 	TypeJobDone MsgType = "JOB_DONE"
+
+	// Negotiator high availability (not in the paper, which assumes a
+	// single matchmaker per pool; the deployed system later grew the
+	// same mechanism): a negotiator asks the collector — the pool's
+	// single arbiter — for the leadership lease, renewing it each
+	// heartbeat. The reply carries the granted (or observed) holder,
+	// fencing epoch and absolute deadline.
+	TypeLease      MsgType = "LEASE"
+	TypeLeaseReply MsgType = "LEASE_REPLY"
 )
 
 // Envelope is the on-wire frame: one JSON object per line.
@@ -100,8 +109,23 @@ type Envelope struct {
 	Cycle string `json:"cycle,omitempty"`
 	// Lifetime is the advertisement's validity in seconds; the
 	// collector expires ads that are not refreshed (advertising
-	// protocol bookkeeping).
+	// protocol bookkeeping). In a LEASE request it is the requested
+	// lease duration.
 	Lifetime int64 `json:"lifetime,omitempty"`
+	// Epoch is the leadership fencing token: the collector bumps it
+	// each time the lease changes hands, the leader stamps it into
+	// MATCH notifications, and customer agents reject matches bearing
+	// an epoch below the highest they have seen — a deposed leader's
+	// stale matches cannot double-grant a resource. Zero (absent) means
+	// the sender is not HA-aware; such matches are accepted for
+	// compatibility.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Holder names the current lease holder in LEASE traffic.
+	Holder string `json:"holder,omitempty"`
+	// Deadline is the lease expiry as absolute pool time (Unix
+	// seconds). Absolute rather than relative so a standby that
+	// observes the reply can wait out the precise remainder.
+	Deadline int64 `json:"deadline,omitempty"`
 	// Accepted reports a claim verdict.
 	Accepted bool `json:"accepted,omitempty"`
 	// Reason explains errors and claim rejections.

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+)
+
+// The crash-point matrix: a deterministic workload (appends with
+// periodic snapshots) is run against a FaultFS that crashes at the
+// Nth mutating filesystem operation, for every N the clean run
+// performs. After each crash the directory is reopened with a healthy
+// filesystem and the recovered state must satisfy the store's whole
+// contract:
+//
+//  1. durability — every acknowledged record is recovered;
+//  2. prefix integrity — the recovered sequence is a prefix of the
+//     attempted sequence (no invention, reordering or corruption; at
+//     most one unacknowledged tail record may appear, if the crash
+//     landed between a completed write and its acknowledgment).
+
+// crashWorkloadLen is the number of records the workload appends.
+const crashWorkloadLen = 17
+
+// snapshotEvery folds the list into a snapshot after this many
+// appends, so the matrix crosses every snapshot crash window too.
+const snapshotEvery = 5
+
+// runCrashWorkload drives the workload until the log fails, returning
+// the records that were acknowledged.
+func runCrashWorkload(l *Log) (acked []string) {
+	for i := 0; i < crashWorkloadLen; i++ {
+		rec := fmt.Sprintf("item-%02d", i)
+		if err := l.Append([]byte(rec)); err != nil {
+			return acked
+		}
+		acked = append(acked, rec)
+		if (i+1)%snapshotEvery == 0 {
+			state, err := json.Marshal(acked)
+			if err != nil {
+				panic(err)
+			}
+			if err := l.Snapshot(state); err != nil {
+				return acked
+			}
+		}
+	}
+	return acked
+}
+
+// rebuild reconstructs the workload's list from a recovery.
+func rebuild(t *testing.T, rec *Recovered) []string {
+	t.Helper()
+	var list []string
+	if len(rec.Snapshot) > 0 {
+		if err := json.Unmarshal(rec.Snapshot, &list); err != nil {
+			t.Fatalf("recovered snapshot corrupt: %v", err)
+		}
+	}
+	for _, r := range rec.Records {
+		list = append(list, string(r))
+	}
+	return list
+}
+
+// checkRecovered asserts the two contract clauses against the
+// attempted sequence and the acknowledged count.
+func checkRecovered(t *testing.T, label string, recovered, acked []string) {
+	t.Helper()
+	if len(recovered) < len(acked) {
+		t.Fatalf("%s: recovered %d records, %d were acknowledged", label, len(recovered), len(acked))
+	}
+	if len(recovered) > crashWorkloadLen {
+		t.Fatalf("%s: recovered %d records, only %d were ever attempted", label, len(recovered), crashWorkloadLen)
+	}
+	for i, r := range recovered {
+		if want := fmt.Sprintf("item-%02d", i); r != want {
+			t.Fatalf("%s: recovered[%d] = %q, want %q (not a prefix of the attempted sequence)", label, i, r, want)
+		}
+	}
+	if len(recovered) > len(acked)+1 {
+		t.Fatalf("%s: recovered %d records with only %d acknowledged — more than one unacked tail record", label, len(recovered), len(acked))
+	}
+}
+
+// countWorkloadOps runs the workload fault-free and reports how many
+// mutating filesystem operations it performs.
+func countWorkloadOps(t *testing.T) int {
+	t.Helper()
+	ffs := NewFaultFS(nil, FaultPlan{})
+	l, _, err := Open(t.TempDir(), ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := runCrashWorkload(l)
+	l.Close()
+	if len(acked) != crashWorkloadLen {
+		t.Fatalf("fault-free run acknowledged %d of %d records", len(acked), crashWorkloadLen)
+	}
+	return ffs.Stats().Ops
+}
+
+func TestCrashPointMatrix(t *testing.T) {
+	total := countWorkloadOps(t)
+	if total < 2*crashWorkloadLen {
+		t.Fatalf("implausibly few ops (%d) — is the workload writing?", total)
+	}
+	for k := 1; k <= total; k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash-at-op-%03d", k), func(t *testing.T) {
+			dir := t.TempDir()
+			ffs := NewFaultFS(nil, FaultPlan{Seed: int64(k), CrashAtOp: k})
+			l, _, err := Open(dir, ffs)
+			if err != nil {
+				// The crash point landed inside Open itself; nothing
+				// was acknowledged, so any recovery is acceptable.
+				return
+			}
+			acked := runCrashWorkload(l)
+			l.Close()
+			if !ffs.Stats().Crashed {
+				t.Fatalf("crash point %d never fired (%d ops)", k, ffs.Stats().Ops)
+			}
+			l2, rec, err := Open(dir, nil)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			defer l2.Close()
+			checkRecovered(t, fmt.Sprintf("crash@%d", k), rebuild(t, rec), acked)
+		})
+	}
+}
+
+// TestCrashSoak is the long-haul variant `make crash` runs: many
+// seeded probabilistic-fault runs, each reopening after every failure
+// and checking the contract at every recovery, then finishing the
+// workload on the healthy filesystem.
+func TestCrashSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash soak; run via `make crash` or a full `make verify`")
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			plan := FaultPlan{Seed: seed, WriteErr: 0.05, SyncErr: 0.05, RenameErr: 0.05}
+			var acked []string
+			next := 0
+			for attempt := 0; attempt < 100 && next < crashWorkloadLen; attempt++ {
+				ffs := NewFaultFS(nil, plan)
+				plan.Seed += 1000 // fresh fault stream per reopen
+				l, rec, err := Open(dir, ffs)
+				if err != nil {
+					continue
+				}
+				recovered := rebuild(t, rec)
+				checkRecovered(t, fmt.Sprintf("seed %d attempt %d", seed, attempt), recovered, acked)
+				// Resume from what the disk actually holds (it may hold
+				// one record more than was acknowledged).
+				acked = append([]string(nil), recovered...)
+				next = len(recovered)
+				for ; next < crashWorkloadLen; next++ {
+					rec := fmt.Sprintf("item-%02d", next)
+					if err := l.Append([]byte(rec)); err != nil {
+						break
+					}
+					acked = append(acked, rec)
+					if (next+1)%snapshotEvery == 0 {
+						state, _ := json.Marshal(acked)
+						if err := l.Snapshot(state); err != nil {
+							next++
+							break
+						}
+					}
+				}
+				l.Close()
+			}
+			l, rec, err := Open(dir, nil)
+			if err != nil {
+				t.Fatalf("final recovery: %v", err)
+			}
+			defer l.Close()
+			final := rebuild(t, rec)
+			checkRecovered(t, fmt.Sprintf("seed %d final", seed), final, acked)
+			if len(final) != crashWorkloadLen {
+				t.Fatalf("workload never completed: %d of %d records", len(final), crashWorkloadLen)
+			}
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrInjectedCrash is returned by every FaultFS operation at and after
+// the crash point: the process is "dead" as far as the store is
+// concerned, and only a reopen (with a fresh FS) recovers.
+var ErrInjectedCrash = errors.New("store: injected crash")
+
+// FaultPlan describes deterministic fault injection on the mutating
+// filesystem operations (write, fsync, rename, truncate, create,
+// directory sync). Two modes compose:
+//
+//   - CrashAtOp > 0 crashes at exactly the Nth mutating operation:
+//     that operation fails (a failing write additionally tears — a
+//     seeded-length prefix of the data reaches the file, the rest does
+//     not) and every later operation fails too. Sweeping CrashAtOp
+//     over 1..N(workload) is the crash-point matrix: every injected
+//     fault site gets a kill-and-recover test.
+//   - The probabilities inject sporadic failures without killing the
+//     FS, for soak tests: a failed operation may be retried.
+//
+// The Seed drives both the fault RNG and torn-write lengths, so a
+// failing run replays exactly.
+type FaultPlan struct {
+	Seed int64
+	// CrashAtOp crashes at the Nth mutating op (1-based); 0 disables.
+	CrashAtOp int
+	// WriteErr, SyncErr, RenameErr are per-operation failure
+	// probabilities in [0,1]. A probabilistic write failure also tears.
+	WriteErr, SyncErr, RenameErr float64
+}
+
+// FaultStats counts operations seen and faults injected.
+type FaultStats struct {
+	Ops     int // mutating operations observed
+	Faults  int // operations failed (crash point included)
+	Crashed bool
+}
+
+// FaultFS wraps an FS with the plan's faults. Reads are never faulted:
+// recovery correctness is about what reached the disk, and the replay
+// path's tolerance of bad bytes is exercised by checksum tests.
+type FaultFS struct {
+	inner FS
+	plan  FaultPlan
+
+	mu      sync.Mutex
+	rng     *pcg
+	stats   FaultStats
+	crashed bool
+}
+
+// NewFaultFS builds a fault-injecting FS over inner (nil for the real
+// filesystem).
+func NewFaultFS(inner FS, plan FaultPlan) *FaultFS {
+	if inner == nil {
+		inner = DefaultFS
+	}
+	seed := plan.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &FaultFS{inner: inner, plan: plan, rng: newPCG(uint64(seed))}
+}
+
+// Stats reports operations observed and faults injected so far.
+func (f *FaultFS) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// op accounts one mutating operation and decides its fate: nil (let it
+// through), ErrInjectedCrash (crash point reached or already crashed),
+// or a transient injected error. The tear result instructs a failing
+// write to deliver a prefix of its data first.
+func (f *FaultFS) op(prob float64) (fail error, tear bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjectedCrash, false
+	}
+	f.stats.Ops++
+	if f.plan.CrashAtOp > 0 && f.stats.Ops >= f.plan.CrashAtOp {
+		f.crashed = true
+		f.stats.Crashed = true
+		f.stats.Faults++
+		return ErrInjectedCrash, true
+	}
+	if prob > 0 && f.rng.float64() < prob {
+		f.stats.Faults++
+		return fmt.Errorf("store: injected fault (op %d)", f.stats.Ops), true
+	}
+	return nil, false
+}
+
+// tearLen picks how many bytes of a torn write reach the file.
+func (f *FaultFS) tearLen(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	return int(f.rng.uint64() % uint64(n))
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Create(path string) (File, error) {
+	if err, _ := f.op(0); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err, _ := f.op(f.plan.RenameErr); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(path string) error {
+	if err, _ := f.op(0); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	if err, _ := f.op(0); err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err, _ := f.op(f.plan.SyncErr); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(dir)
+}
+
+func (f *FaultFS) ReadDir(dir string) ([]string, error) { return f.inner.ReadDir(dir) }
+
+func (f *FaultFS) MkdirAll(dir string) error { return f.inner.MkdirAll(dir) }
+
+// faultFile forwards to the wrapped file, injecting the plan's write
+// and sync faults. A failing write tears: a seeded-length prefix of
+// the data is written through before the error returns, the on-disk
+// shape a kernel crash mid-write leaves.
+type faultFile struct {
+	File
+	fs *FaultFS
+}
+
+//fsyncguard:ok delegating wrapper; durability is the wrapped file's Sync
+func (w *faultFile) Write(p []byte) (int, error) {
+	err, tear := w.fs.op(w.fs.plan.WriteErr)
+	if err != nil {
+		if tear {
+			n := w.fs.tearLen(len(p))
+			w.File.Write(p[:n]) //fsyncguard:ok torn-write injection, deliberately unsynced
+		}
+		return 0, err
+	}
+	return w.File.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if err, _ := w.fs.op(w.fs.plan.SyncErr); err != nil {
+		return err
+	}
+	return w.File.Sync()
+}
+
+// pcg is a tiny deterministic PRNG (PCG-XSH-RR style mix), the same
+// generator internal/netx uses, duplicated here so the store stays
+// free of network-layer imports.
+type pcg struct{ state uint64 }
+
+func newPCG(seed uint64) *pcg {
+	p := &pcg{state: seed + 0x9E3779B97F4A7C15}
+	p.uint64()
+	return p
+}
+
+func (p *pcg) uint64() uint64 {
+	p.state = p.state*6364136223846793005 + 1442695040888963407
+	x := p.state
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return x
+}
+
+func (p *pcg) float64() float64 {
+	return float64(p.uint64()>>11) / (1 << 53)
+}

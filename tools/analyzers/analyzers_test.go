@@ -31,6 +31,14 @@ func TestLockGuard(t *testing.T) {
 	analyzertest.Run(t, analyzers.LockGuard, "testdata/src/lockguard")
 }
 
+func TestFsyncGuard(t *testing.T) {
+	// Two fixture packages: the general internal/ rule and the
+	// stricter internal/store rule (path placement is load-bearing —
+	// the analyzer keys on the package directory).
+	analyzertest.Run(t, analyzers.FsyncGuard, "testdata/src/fsyncguard/internal/app")
+	analyzertest.Run(t, analyzers.FsyncGuard, "testdata/src/fsyncguard/internal/store")
+}
+
 // TestMsgTypeListInSync re-derives the message-type vocabulary from
 // internal/protocol/protocol.go's syntax and compares it with the
 // analyzer's hardcoded copy, so adding a message type without teaching

@@ -46,6 +46,8 @@ var ProtocolMsgTypes = []string{
 	"TypeCkptLoad",
 	"TypeCkptData",
 	"TypeJobDone",
+	"TypeLease",
+	"TypeLeaseReply",
 }
 
 func runMsgSwitch(p *Pass) {

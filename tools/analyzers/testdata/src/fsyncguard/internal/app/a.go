@@ -1,0 +1,24 @@
+// Package app seeds raw-persistence violations for the fsyncguard
+// analyzer: os.WriteFile and os.Rename guarantee nothing across a
+// crash and must not implement durability in internal/ packages.
+package app
+
+import "os"
+
+func bad(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "os\\.WriteFile persists without fsync"
+}
+
+func alsoBad(oldp, newp string) error {
+	return os.Rename(oldp, newp) // want "os\\.Rename persists without fsync"
+}
+
+// An explicit waiver silences the finding.
+func waived(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) //fsyncguard:ok scratch output, loss is acceptable
+}
+
+// Reading is not persistence.
+func fine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

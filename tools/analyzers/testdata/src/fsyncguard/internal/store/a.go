@@ -1,0 +1,30 @@
+// Package store seeds unsynced-write violations for the fsyncguard
+// analyzer's store-layer rule: inside internal/store, a function that
+// writes must sync, because this layer owns the durability ritual.
+package store
+
+type file interface {
+	Write([]byte) (int, error)
+	Sync() error
+}
+
+func bad(f file, data []byte) error {
+	_, err := f.Write(data) // want "write without a Sync in the same function"
+	return err
+}
+
+func good(f file, data []byte) error {
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+//fsyncguard:ok delegating wrapper; the caller owns the sync
+func waivedByDoc(f file, data []byte) (int, error) {
+	return f.Write(data)
+}
+
+func waivedInline(f file, data []byte) {
+	f.Write(data) //fsyncguard:ok torn-write injection, deliberately unsynced
+}

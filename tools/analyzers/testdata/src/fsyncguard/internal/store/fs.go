@@ -1,0 +1,7 @@
+// The FS boundary file is exempt from the raw-persistence rule: it is
+// where the store wraps exactly these primitives with sync discipline.
+package store
+
+import "os"
+
+func rename(oldp, newp string) error { return os.Rename(oldp, newp) }
