@@ -35,12 +35,13 @@ lint: lint-codes
 	$(GO) run ./tools/analyzers/cmd ./...
 	$(GO) run ./cmd/cadlint testdata/*.ad examples/ads/*.ad
 
-# The DESIGN.md diagnostic-code table is generated from
-# analysis.AllCodes() by hand but enforced by machine: this test
-# re-derives the vocabulary from package source and the doc table and
-# fails on any drift.
+# The DESIGN.md tables are written by hand but enforced by machine:
+# these tests re-derive the diagnostic-code vocabulary (§9) and the
+# metrics-name registry (§12) from package source and fail on any
+# drift against the doc tables.
 lint-codes:
 	$(GO) test -run 'TestAllCodesMatchesSource|TestDesignDocCodeTableInSync' ./internal/classad/analysis
+	$(GO) test -run 'TestDesignDocMetricsTableInSync' ./internal/obs
 
 test:
 	$(GO) build ./...

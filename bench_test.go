@@ -17,6 +17,7 @@ import (
 	"repro/internal/classad"
 	"repro/internal/collector"
 	"repro/internal/matchmaker"
+	"repro/internal/obs"
 	"repro/internal/remote"
 	"repro/internal/sim"
 )
@@ -278,6 +279,39 @@ func BenchmarkNegotiateIndexed(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if len(mm.Negotiate(requests, offers)) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNegotiateTraced prices the causal-observability layer on
+// the negotiation hot path: the same 32-request cycle against 1k
+// offers, bare versus fully instrumented — span recording on
+// trace-stamped requests plus the per-offer rejection forensics that
+// back `cstatus -why`.
+func BenchmarkNegotiateTraced(b *testing.B) {
+	offers := bigPool(1000)
+	requests := bigRequests(32)
+	for _, req := range requests {
+		req.SetString(classad.AttrTraceID, obs.NewTraceID())
+	}
+	for _, mode := range []struct {
+		name       string
+		instrument bool
+	}{
+		{"bare", false},
+		{"instrumented", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			mm := matchmaker.New(matchmaker.Config{Env: classad.FixedEnv(0, 1)})
+			if mode.instrument {
+				mm.Instrument(obs.New())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if len(mm.NegotiateCycle("c-bench", requests, offers)) == 0 {
 					b.Fatal("no matches")
 				}
 			}

@@ -6,15 +6,20 @@
 //
 //	cstatus -pool HOST:PORT [-constraint 'EXPR'] [-long] [-type Machine]
 //	cstatus -debug-addr HOST:PORT -metrics
-//	cstatus -debug-addr HOST:PORT -trace CYCLE-ID
+//	cstatus -debug-addr HOST:PORT -trace TRACE-OR-CYCLE-ID
+//	cstatus -debug-addr HOST:PORT -why OWNER/jobN
 //
 // The constraint is evaluated with `other` bound to each stored ad;
-// ads for which it is true are printed. The -metrics and -trace modes
-// talk to a daemon's observability endpoint (its -debug-addr) instead
-// of the collector: -metrics dumps the metric registry, -trace replays
-// every event stamped with one negotiation-cycle ID — the manager's
-// cycle, the matchmaker's decisions, the CA's claim and the RA's
-// verdict, in order.
+// ads for which it is true are printed. The -metrics, -trace and -why
+// modes talk to a daemon's observability endpoint (its -debug-addr)
+// instead of the collector: -metrics dumps the metric registry with
+// latency quantiles, -trace renders the span tree of one causal trace
+// (the ID csubmit printed) with per-hop latencies — submission,
+// collector storage, negotiation, claim, verdict — falling back to the
+// event replay when the ID names a negotiation cycle, and -why prints
+// the matchmaker's rejection ledger for an unmatched request: per
+// offer, which constraint conjunct failed, who outranked it, or which
+// posting list pruned it.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"repro/internal/classad"
 	"repro/internal/collector"
+	"repro/internal/matchmaker"
 	"repro/internal/obs"
 )
 
@@ -41,8 +47,9 @@ func main() {
 	attrs := flag.String("attrs", "", "comma-separated projection: fetch only these attributes")
 	debugAddr := flag.String("debug-addr", "", "daemon observability endpoint for -metrics / -trace")
 	metrics := flag.Bool("metrics", false, "print the daemon's metric registry")
-	trace := flag.String("trace", "", "replay the events of this negotiation-cycle ID")
-	ha := flag.Bool("ha", false, "show negotiator leadership: leader, epoch, lease deadline (add -debug-addr for durability metrics)")
+	trace := flag.String("trace", "", "render the span tree of this trace ID (or replay a cycle ID's events)")
+	why := flag.String("why", "", "explain why this request went unmatched (rejection ledger)")
+	ha := flag.Bool("ha", false, "show negotiator leadership: leader, epoch, lease deadline (add -debug-addr for daemon health and durability metrics)")
 	flag.Parse()
 
 	if *ha {
@@ -50,15 +57,18 @@ func main() {
 		return
 	}
 
-	if *metrics || *trace != "" {
+	if *metrics || *trace != "" || *why != "" {
 		if *debugAddr == "" {
-			fatalf("-metrics and -trace need -debug-addr (the daemon's debug endpoint)")
+			fatalf("-metrics, -trace and -why need -debug-addr (the daemon's debug endpoint)")
 		}
 		if *metrics {
 			showMetrics(*debugAddr)
 		}
 		if *trace != "" {
 			showTrace(*debugAddr, *trace)
+		}
+		if *why != "" {
+			showWhy(*debugAddr, *why)
 		}
 		return
 	}
@@ -162,6 +172,21 @@ func showHA(poolAddr, debugAddr string) {
 	if debugAddr == "" {
 		return
 	}
+	// Daemon health via absent-ad detection: every daemon advertises a
+	// Daemon-type classad of its own vital signs; one that stops
+	// re-advertising turns "missing" here instead of silently vanishing.
+	var daemons []collector.DaemonStatus
+	if err := tryJSON(debugAddr, "/daemons", &daemons); err == nil && len(daemons) > 0 {
+		fmt.Println("\nDaemon health (self-ads):")
+		fmt.Printf("  %-32s %-12s %-8s %s\n", "DAEMON", "KIND", "STATUS", "OVERDUE")
+		for _, d := range daemons {
+			overdue := "-"
+			if d.Status != "ok" {
+				overdue = fmt.Sprintf("%ds", d.OverdueSeconds)
+			}
+			fmt.Printf("  %-32s %-12s %-8s %s\n", d.Name, d.Kind, d.Status, overdue)
+		}
+	}
 	var snap obs.Snapshot
 	fetchJSON(debugAddr, "/metrics", &snap)
 	fmt.Println("\nDurability:")
@@ -188,18 +213,27 @@ func showHA(poolAddr, debugAddr string) {
 
 // fetchJSON GETs one debug-endpoint path and decodes the reply.
 func fetchJSON(addr, path string, out any) {
+	if err := tryJSON(addr, path, out); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// tryJSON is fetchJSON returning errors instead of exiting, for paths
+// that are allowed to be absent (an older daemon without the handler).
+func tryJSON(addr, path string, out any) error {
 	c := &http.Client{Timeout: 10 * time.Second}
 	resp, err := c.Get("http://" + addr + path)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		fatalf("%s: %s", path, resp.Status)
+		return fmt.Errorf("%s: %s", path, resp.Status)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		fatalf("%s: %v", path, err)
+		return fmt.Errorf("%s: %v", path, err)
 	}
+	return nil
 }
 
 // showMetrics prints a daemon's whole metric registry: counters and
@@ -230,22 +264,91 @@ func showMetrics(addr string) {
 	sort.Strings(names)
 	for _, name := range names {
 		h := snap.Histograms[name]
-		mean := "-"
-		if h.Count > 0 {
-			mean = fmt.Sprintf("%.6g", h.Sum/float64(h.Count))
+		if h.Count == 0 {
+			fmt.Printf("%-44s %12d\n", name, h.Count)
+			continue
 		}
-		fmt.Printf("%-44s %12d  sum=%.6g mean=%s\n", name, h.Count, h.Sum, mean)
+		fmt.Printf("%-44s %12d  mean=%.6g p50=%.6g p95=%.6g p99=%.6g\n",
+			name, h.Count, h.Sum/float64(h.Count), h.P50, h.P95, h.P99)
 	}
 }
 
-// showTrace replays one negotiation cycle's events in order: the
+// showTrace renders one causal trace as a span tree — the submission
+// at the root, each later hop (collector storage, negotiation, claim,
+// verdict) indented under its parent with its duration and its latency
+// relative to the trace root. IDs that name a negotiation cycle
+// instead of a trace fall back to the event replay.
+func showTrace(addr, id string) {
+	var spans []obs.Span
+	if err := tryJSON(addr, "/trace?id="+url.QueryEscape(id), &spans); err == nil && len(spans) > 0 {
+		showSpanTree(id, spans)
+		return
+	}
+	showCycleEvents(addr, id)
+}
+
+// showSpanTree prints the spans of one trace as an indented tree,
+// children ordered by start time. A span whose parent never reached
+// this daemon's ring (dropped, or recorded elsewhere) roots its own
+// subtree rather than vanishing.
+func showSpanTree(id string, spans []obs.Span) {
+	fmt.Printf("trace %s: %d span(s)\n", id, len(spans))
+	byID := make(map[string]obs.Span, len(spans))
+	children := make(map[string][]obs.Span)
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	var roots []obs.Span
+	for _, sp := range spans {
+		if sp.Parent == "" || byID[sp.Parent].ID == "" {
+			roots = append(roots, sp)
+			continue
+		}
+		children[sp.Parent] = append(children[sp.Parent], sp)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+	var origin time.Time
+	if len(roots) > 0 {
+		origin = roots[0].Start
+	}
+	var render func(sp obs.Span, depth int)
+	render = func(sp obs.Span, depth int) {
+		status := ""
+		if sp.Err != "" {
+			status = "  ERROR: " + sp.Err
+		}
+		var fields []string
+		for k := range sp.Fields {
+			fields = append(fields, k)
+		}
+		sort.Strings(fields)
+		var b strings.Builder
+		for _, k := range fields {
+			fmt.Fprintf(&b, " %s=%s", k, sp.Fields[k])
+		}
+		fmt.Printf("%s%-12s %-14s +%-9s %8s%s%s\n",
+			strings.Repeat("  ", depth), sp.Src, sp.Name,
+			sp.Start.Sub(origin).Round(time.Microsecond),
+			sp.End.Sub(sp.Start).Round(time.Microsecond), b.String(), status)
+		kids := children[sp.ID]
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+		for _, kid := range kids {
+			render(kid, depth+1)
+		}
+	}
+	for _, root := range roots {
+		render(root, 0)
+	}
+}
+
+// showCycleEvents replays one negotiation cycle's events in order: the
 // manager opening the cycle, the matchmaker's matches and rejections,
 // the CA's claim attempt and the RA's verdict.
-func showTrace(addr, cycle string) {
+func showCycleEvents(addr, cycle string) {
 	var events []obs.Event
 	fetchJSON(addr, "/events?cycle="+url.QueryEscape(cycle), &events)
 	if len(events) == 0 {
-		fmt.Printf("no events for cycle %s\n", cycle)
+		fmt.Printf("no spans or events for %s\n", cycle)
 		return
 	}
 	fmt.Printf("cycle %s: %d event(s)\n", cycle, len(events))
@@ -261,6 +364,50 @@ func showTrace(addr, cycle string) {
 		}
 		fmt.Printf("%s  %-10s %-16s%s\n",
 			ev.Time.Format("15:04:05.000"), ev.Src, ev.Type, b.String())
+	}
+}
+
+// showWhy prints the matchmaker's forensics for one request: matched
+// (to whom, claimed or not) or the per-offer rejection ledger — which
+// constraint conjunct failed, who outranked it, which posting list
+// pruned it before the scan.
+func showWhy(addr, request string) {
+	var report matchmaker.Report
+	if err := tryJSON(addr, "/why?request="+url.QueryEscape(request), &report); err != nil {
+		var index struct {
+			Requests []string `json:"requests"`
+		}
+		if lerr := tryJSON(addr, "/why", &index); lerr == nil && len(index.Requests) > 0 {
+			fmt.Fprintf(os.Stderr, "cstatus: %v\nrequests with forensics: %s\n",
+				err, strings.Join(index.Requests, ", "))
+			os.Exit(2)
+		}
+		fatalf("%v", err)
+	}
+	when := report.Time.Format("15:04:05.000")
+	if report.Matched {
+		claimed := ""
+		if report.Claimed {
+			claimed = " (offer was already claimed; claim-time revalidation decides)"
+		}
+		fmt.Printf("request %s: matched to %s in cycle %s at %s%s\n",
+			report.Request, report.Offer, report.Cycle, when, claimed)
+	} else {
+		fmt.Printf("request %s: unmatched in cycle %s at %s: %s\n",
+			report.Request, report.Cycle, when, report.Reason)
+	}
+	if len(report.Ledger) > 0 {
+		fmt.Println("per-offer verdicts:")
+		for _, v := range report.Ledger {
+			detail := ""
+			if v.Detail != "" {
+				detail = "  " + v.Detail
+			}
+			fmt.Printf("  %-28s %-18s%s\n", v.Offer, v.Outcome, detail)
+		}
+	}
+	if report.Truncated {
+		fmt.Println("(ledger truncated: more offers were examined than recorded)")
 	}
 }
 

@@ -47,11 +47,11 @@ func main() {
 				// template, so the findings repeat verbatim.
 				lintWarn(fmt.Sprintf("%s (cluster %d)", *spec, j.Cluster), j.Ad)
 			}
-			name, err := submitAd(*agentAddr, j.Ad, int64(j.Work))
+			name, trace, err := submitAd(*agentAddr, j.Ad, int64(j.Work))
 			if err != nil {
 				fatalf("%s: %v", *spec, err)
 			}
-			fmt.Printf("submitted %d.%d as %s\n", j.Cluster, j.Process, name)
+			fmt.Printf("submitted %d.%d as %s%s\n", j.Cluster, j.Process, name, traceSuffix(trace))
 		}
 		fmt.Printf("%d job(s) queued from %s\n", len(jobs), *spec)
 		return
@@ -69,11 +69,11 @@ func main() {
 			fatalf("%s: %v", path, err)
 		}
 		lintWarn(path, ad)
-		name, err := submitAd(*agentAddr, ad, *work)
+		name, trace, err := submitAd(*agentAddr, ad, *work)
 		if err != nil {
 			fatalf("%s: %v", path, err)
 		}
-		fmt.Printf("submitted %s as %s\n", path, name)
+		fmt.Printf("submitted %s as %s%s\n", path, name, traceSuffix(trace))
 	}
 }
 
@@ -93,10 +93,13 @@ func lintWarn(origin string, ad *classad.Ad) {
 	}
 }
 
-func submitAd(addr string, ad *classad.Ad, work int64) (string, error) {
+// submitAd queues one ad and returns the agent-assigned name plus the
+// causal trace ID the agent minted for the job (empty when talking to
+// an older agent).
+func submitAd(addr string, ad *classad.Ad, work int64) (string, string, error) {
 	conn, err := netx.DefaultDialer.Dial(addr)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	defer conn.Close()
 	if err := protocol.Write(conn, &protocol.Envelope{
@@ -104,16 +107,25 @@ func submitAd(addr string, ad *classad.Ad, work int64) (string, error) {
 		Ad:       protocol.EncodeAd(ad),
 		Lifetime: work,
 	}); err != nil {
-		return "", err
+		return "", "", err
 	}
 	reply, err := protocol.Read(bufio.NewReader(conn))
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	if reply.Type != protocol.TypeAck {
-		return "", fmt.Errorf("%s", reply.Reason)
+		return "", "", fmt.Errorf("%s", reply.Reason)
 	}
-	return reply.Name, nil
+	return reply.Name, reply.Trace, nil
+}
+
+// traceSuffix renders the trace pointer shown after a submission:
+// `cstatus -debug-addr ... -trace <id>` replays the job's causal story.
+func traceSuffix(trace string) string {
+	if trace == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (trace %s)", trace)
 }
 
 func fatalf(format string, args ...any) {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/classad"
+	"repro/internal/obs"
 )
 
 // JobStatus is the lifecycle state of a queued job.
@@ -82,6 +83,12 @@ func (c *Customer) Submit(ad *classad.Ad, work float64) *Job {
 	}
 	if _, ok := stamped.Lookup(classad.AttrType); !ok {
 		stamped.SetString(classad.AttrType, "Job")
+	}
+	// Every job is traceable from birth: direct submissions (tests,
+	// simulator) that bypass the CA daemon's submit handler still get a
+	// trace ID, so negotiation spans have something to hang off.
+	if classad.TraceOf(stamped) == "" {
+		stamped.SetString(classad.AttrTraceID, obs.NewTraceID())
 	}
 	j := &Job{ID: c.nextID, Ad: stamped, Status: JobIdle, Work: work}
 	c.jobs[j.ID] = j

@@ -368,6 +368,7 @@ var serviceAdTypes = map[string]bool{
 	"negotiator": true,
 	"collector":  true,
 	"scheduler":  true,
+	"daemon":     true,
 }
 
 // IsCounterpart reports whether two corpus ads are candidates for

@@ -21,6 +21,16 @@ const (
 	AttrOwner        = "Owner"
 	AttrContact      = "Contact"
 	AttrTicket       = "AuthorizationTicket"
+	// AttrTraceID carries a request's causal trace identifier through
+	// the collector: minted at submission, it rides in the job ad so
+	// the negotiation that matches the ad — possibly many cycles later,
+	// possibly under a failed-over negotiator — can stamp it into the
+	// MATCH envelopes it sends (obs spans).
+	AttrTraceID = "TraceId"
+	// AttrTraceSpan is the span ID of the submission that minted the
+	// trace, carried alongside AttrTraceID so spans recorded against
+	// the stored ad parent correctly.
+	AttrTraceSpan = "TraceSpan"
 )
 
 // constraintExpr returns the ad's compatibility expression under
@@ -117,6 +127,24 @@ func SplitConjuncts(e Expr) []Expr {
 		return append(SplitConjuncts(b.l), SplitConjuncts(b.r)...)
 	}
 	return []Expr{e}
+}
+
+// TraceOf reads the ad's causal trace ID (AttrTraceID, stamped at
+// submission); "" for untraced ads.
+func TraceOf(a *Ad) string {
+	if s, ok := a.Eval(AttrTraceID).StringVal(); ok {
+		return s
+	}
+	return ""
+}
+
+// TraceSpanOf reads the span ID spans about this ad should parent to
+// (AttrTraceSpan, the submission span).
+func TraceSpanOf(a *Ad) string {
+	if s, ok := a.Eval(AttrTraceSpan).StringVal(); ok {
+		return s
+	}
+	return ""
 }
 
 // MatchesQuery implements the one-way matching used by status and

@@ -44,6 +44,33 @@ type Store struct {
 	// Observability hooks; nil (no-op) until Instrument is called.
 	mStored, mExpired, mInvalidated *obs.Counter
 	mLeaseGrants, mLeaseTakeovers   *obs.Counter
+
+	// daemons tracks self-advertising daemons (Type == "Daemon") past
+	// their ads' expiry: unlike ordinary ads, a daemon that stops
+	// advertising should be surfaced as missing, not silently dropped.
+	daemons map[string]daemonEntry
+}
+
+// daemonEntry remembers one daemon's latest self-advertisement.
+type daemonEntry struct {
+	kind     string
+	lastSeen int64
+	expires  int64
+}
+
+// DaemonStatus is one daemon's health derived from its self-ads:
+// "ok" while its latest ad is within lifetime, "missing" once the ad
+// has expired without a refresh (the daemon died or is partitioned).
+// Cleanly shut-down daemons INVALIDATE their ad and drop off the list
+// entirely.
+type DaemonStatus struct {
+	Name     string `json:"name"`
+	Kind     string `json:"kind"`
+	Status   string `json:"status"`
+	LastSeen int64  `json:"last_seen"`
+	// OverdueSeconds is how long past expiry the daemon has been
+	// silent (0 while ok).
+	OverdueSeconds int64 `json:"overdue_seconds,omitempty"`
 }
 
 // New returns an empty store reading time from env (nil for the
@@ -104,6 +131,13 @@ func (s *Store) Update(ad *classad.Ad, lifetime int64) error {
 	expires := s.env.Now() + lifetime
 	s.ads[classad.Fold(name)] = entry{ad: ad, expires: expires}
 	s.mStored.Inc()
+	if typ, ok := ad.Eval(classad.AttrType).StringVal(); ok && classad.Fold(typ) == "daemon" {
+		kind, _ := ad.Eval("Daemon").StringVal()
+		if s.daemons == nil {
+			s.daemons = make(map[string]daemonEntry)
+		}
+		s.daemons[classad.Fold(name)] = daemonEntry{kind: kind, lastSeen: s.env.Now(), expires: expires}
+	}
 	// Journal after applying: a failure leaves the ad live in memory
 	// (harmless — it would simply be lost with the process) but
 	// unacknowledged, so the advertiser retries (persist.go).
@@ -118,6 +152,9 @@ func (s *Store) Invalidate(name string) bool {
 	key := classad.Fold(name)
 	_, ok := s.ads[key]
 	delete(s.ads, key)
+	// A daemon invalidating its self-ad is announcing a clean
+	// shutdown: stop tracking it rather than reporting it missing.
+	delete(s.daemons, key)
 	if ok {
 		s.mInvalidated.Inc()
 		// A journal failure here is tolerable in a way an Update failure
@@ -225,6 +262,29 @@ func (s *Store) Lookup(name string) (*classad.Ad, bool) {
 		return nil, false
 	}
 	return e.ad, true
+}
+
+// DaemonHealth reports every self-advertising daemon the store has
+// seen, sorted by name: "ok" while the latest self-ad is live,
+// "missing" once it expired without a refresh or withdrawal — the
+// absent-ad detection behind `cstatus -ha` and /daemons. The pool
+// monitors itself through its own matchmaking substrate: daemons are
+// just ads, and health is just expiry.
+func (s *Store) DaemonHealth() []DaemonStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.env.Now()
+	out := make([]DaemonStatus, 0, len(s.daemons))
+	for name, d := range s.daemons {
+		st := DaemonStatus{Name: name, Kind: d.kind, Status: "ok", LastSeen: d.lastSeen}
+		if d.expires != 0 && d.expires <= now {
+			st.Status = "missing"
+			st.OverdueSeconds = now - d.expires
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Name < out[b].Name })
+	return out
 }
 
 // SelectType returns live ads whose Type attribute equals t — the

@@ -43,6 +43,7 @@ type Server struct {
 
 	// Observability hooks; nil (no-op) until Instrument is called.
 	events                *obs.Events
+	spans                 *obs.Spans
 	mQueries, mProjected  *obs.Counter
 	mAdvertise, mBadFrame *obs.Counter
 	mLintErrs, mLintWarns *obs.Counter
@@ -79,6 +80,7 @@ func (s *Server) Instrument(o *obs.Obs) {
 	reg := o.Registry()
 	s.mu.Lock()
 	s.events = o.Events()
+	s.spans = o.Spans()
 	s.mQueries = reg.Counter("collector_queries_total")
 	s.mProjected = reg.Counter("collector_queries_projected_total")
 	s.mAdvertise = reg.Counter("collector_advertise_total")
@@ -221,9 +223,18 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 			return protocol.Errorf("bad advertisement: %v", err)
 		}
 		s.lintAd(ad)
+		// Traced ads (job ads carrying a TraceId) get an ad_stored span:
+		// the collector hop of the request's causal story.
+		sp := s.spans.Start(classad.TraceOf(ad), classad.TraceSpanOf(ad), "collector", "ad_stored")
 		if err := s.store.Update(ad, env.Lifetime); err != nil {
+			sp.Fail(err.Error())
+			sp.End()
 			return protocol.Errorf("%v", err)
 		}
+		if name, err := NameOf(ad); err == nil {
+			sp.Set("name", name)
+		}
+		sp.End()
 		return &protocol.Envelope{Type: protocol.TypeAck}
 	case protocol.TypeInvalidate:
 		if env.Name == "" {

@@ -237,7 +237,7 @@ func (m *Matchmaker) NegotiateMixed(requests, offers []*classad.Ad) []Match {
 			m.usage.Record(owner(req), float64(len(gm.Offers)))
 			continue
 		}
-		best, reqRank, offRank, _, _ := m.scan(req, offers, ix, available)
+		best, reqRank, offRank, _, _, _, _ := m.scan(req, offers, ix, available)
 		if best >= 0 {
 			available[best] = false
 			out = append(out, Match{Request: req, Offer: offers[best],

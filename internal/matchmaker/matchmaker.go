@@ -31,6 +31,11 @@ type Match struct {
 	// selection key); OfferRank is the offer's Rank of the request
 	// (the tie-breaker).
 	RequestRank, OfferRank float64
+	// Trace is the request's causal trace ID (the job ad's TraceId
+	// attribute) and Span the matchmaker's negotiate-span ID, for the
+	// notifier to propagate into MATCH envelopes. Both empty on
+	// untraced or uninstrumented matches.
+	Trace, Span string
 }
 
 // Config tunes a negotiation cycle.
@@ -71,6 +76,8 @@ type Matchmaker struct {
 
 	// Observability hooks; nil (no-op) until Instrument is called.
 	events      *obs.Events
+	spans       *obs.Spans
+	forensics   *Forensics
 	mMatches    *obs.Counter
 	mRejNone    *obs.Counter // no offers in the pool at all
 	mRejConstr  *obs.Counter // no offer satisfies the bilateral constraints
@@ -106,10 +113,30 @@ func New(cfg Config) *Matchmaker {
 // matchmaker_index_pruned_total / matchmaker_index_unindexed_total),
 // and scan fan-out (matchmaker_scan_workers). Each match and
 // rejection also lands in the event buffer, stamped with the cycle ID
-// passed to NegotiateCycle. Call before the first cycle.
+// passed to NegotiateCycle; requests whose ad carries a TraceId get a
+// negotiate span in the span ring. Instrumentation also switches on
+// negotiation forensics — a per-request rejection ledger retained in a
+// bounded store and served at /why?request= on o's debug endpoint.
+// Call before the first cycle.
 func (m *Matchmaker) Instrument(o *obs.Obs) {
 	reg := o.Registry()
 	m.events = o.Events()
+	m.spans = o.Spans()
+	m.forensics = NewForensics()
+	o.Handle("/why", func(q map[string][]string) (any, error) {
+		var request string
+		if vs := q["request"]; len(vs) > 0 {
+			request = vs[0]
+		}
+		if request == "" {
+			return map[string]any{"requests": m.forensics.Requests()}, nil
+		}
+		r, ok := m.forensics.Lookup(request)
+		if !ok {
+			return nil, fmt.Errorf("no forensics recorded for request %q", request)
+		}
+		return r, nil
+	})
 	m.mMatches = reg.Counter("matchmaker_matches_total")
 	m.mRejNone = reg.Counter("matchmaker_rejected_no_offers_total")
 	m.mRejConstr = reg.Counter("matchmaker_rejected_constraint_total")
@@ -125,6 +152,10 @@ func (m *Matchmaker) Instrument(o *obs.Obs) {
 // instrumented reports whether Instrument has been called; rejection
 // diagnosis does extra matching work that uninstrumented cycles skip.
 func (m *Matchmaker) instrumented() bool { return m.mMatches != nil }
+
+// Forensics exposes the negotiation-forensics store (nil until
+// Instrument is called).
+func (m *Matchmaker) Forensics() *Forensics { return m.forensics }
 
 // Usage exposes the fair-share accounting table.
 func (m *Matchmaker) Usage() *PriorityTable { return m.usage }
@@ -194,12 +225,24 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 		ix = NewOfferIndex(offers)
 	}
 
+	// takenBy records which request consumed each offer this cycle, so
+	// forensic "outranked" verdicts can name the winner.
+	var takenBy []string
+	if m.forensics != nil {
+		takenBy = make([]string, len(offers))
+	}
+
 	var out []Match
 	for _, ri := range order {
 		req := requests[ri]
+		trace := classad.TraceOf(req)
+		sp := m.spans.Start(trace, classad.TraceSpanOf(req), "matchmaker", "negotiate")
+		sp.Set("request", adName(req))
 		var best, scanned int
 		var reqRank, offRank float64
 		var cands []classCand
+		var scanCand []int
+		var scanIndexed bool
 		if agg != nil {
 			sig := Signature(req)
 			var seen bool
@@ -212,7 +255,7 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 			best, reqRank, offRank = agg.pick(cands, available, m.cfg.FirstFit)
 		} else {
 			var workers int
-			best, reqRank, offRank, scanned, workers = m.scan(req, offers, ix, available)
+			best, reqRank, offRank, scanned, workers, scanCand, scanIndexed = m.scan(req, offers, ix, available)
 			m.hScanFanout.Observe(float64(workers))
 		}
 		m.hScanned.Observe(float64(scanned))
@@ -223,6 +266,8 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 				Offer:       offers[best],
 				RequestRank: reqRank,
 				OfferRank:   offRank,
+				Trace:       trace,
+				Span:        sp.ID(),
 			})
 			m.usage.Record(owner(req), 1)
 			m.mMatches.Inc()
@@ -234,6 +279,25 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 					"offer_rank":   fmt.Sprintf("%g", offRank),
 				})
 			}
+			if m.forensics != nil {
+				takenBy[best] = adName(req)
+				r := Report{
+					Request: adName(req), Owner: owner(req), Cycle: cycle,
+					Time: time.Now(), Matched: true, Offer: adName(offers[best]),
+				}
+				if offerClaimed(offers[best]) {
+					r.Claimed = true
+					r.Ledger = []OfferVerdict{{
+						Offer:   r.Offer,
+						Outcome: VerdictMatchedClaimed,
+						Detail: fmt.Sprintf("offer advertises State == \"Claimed\"; "+
+							"claim-time revalidation rejects unless offered rank %g beats the running claim", offRank),
+					}}
+				}
+				m.forensics.record(r)
+			}
+			sp.Set("outcome", "match")
+			sp.Set("offer", adName(offers[best]))
 		} else if m.instrumented() {
 			reason := m.diagnose(req, offers, available, agg, cands)
 			switch reason {
@@ -250,7 +314,17 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 					"reason":  reason,
 				})
 			}
+			if m.forensics != nil {
+				ledger, truncated := m.buildLedger(req, offers, available, takenBy, scanCand, scanIndexed)
+				m.forensics.record(Report{
+					Request: adName(req), Owner: owner(req), Cycle: cycle,
+					Time: time.Now(), Reason: reason,
+					Ledger: ledger, Truncated: truncated,
+				})
+			}
+			sp.Set("outcome", reason)
 		}
+		sp.End()
 	}
 	m.hNegotiate.Observe(time.Since(start).Seconds())
 	return out
@@ -299,10 +373,8 @@ func adName(ad *classad.Ad) string {
 // Config.Parallel — either way the selection is the one better()
 // defines: highest request rank, ties to the higher offer rank,
 // remaining ties to the earliest offer.
-func (m *Matchmaker) scan(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex, available []bool) (best int, reqRank, offRank float64, scanned, workers int) {
-	var cand []int
+func (m *Matchmaker) scan(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex, available []bool) (best int, reqRank, offRank float64, scanned, workers int, cand []int, indexed bool) {
 	if ix != nil {
-		var indexed bool
 		cand, indexed = ix.Candidates(req, m.cfg.Env)
 		if indexed {
 			m.mIdxCand.Add(int64(len(cand)))
@@ -311,7 +383,8 @@ func (m *Matchmaker) scan(req *classad.Ad, offers []*classad.Ad, ix *OfferIndex,
 			m.mIdxMisses.Inc()
 		}
 	}
-	return scanOffers(req, offers, cand, available, m.cfg)
+	best, reqRank, offRank, scanned, workers = scanOffers(req, offers, cand, available, m.cfg)
+	return best, reqRank, offRank, scanned, workers, cand, indexed
 }
 
 // requestOrder returns the indices of requests in service order. With

@@ -90,16 +90,29 @@ func (e *Events) Total() int64 {
 	return e.next
 }
 
-// Snapshot returns the retained events in emission order.
-func (e *Events) Snapshot() []Event {
-	return e.Select("", "", 0)
+// Dropped reports how many events the ring has overwritten.
+func (e *Events) Dropped() int64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if d := e.next - int64(len(e.buf)); d > 0 {
+		return d
+	}
+	return 0
 }
 
-// Select returns retained events in emission order, filtered by cycle
-// and type when non-empty, keeping only the most recent limit events
-// when limit > 0. Always returns a non-nil slice (it is served as
-// JSON).
-func (e *Events) Select(cycle, typ string, limit int) []Event {
+// Snapshot returns the retained events in emission order.
+func (e *Events) Snapshot() []Event {
+	return e.Select("", "", "", 0)
+}
+
+// Select returns retained events in emission order, filtered by src,
+// cycle and type when non-empty, keeping only the most recent limit
+// events when limit > 0. Always returns a non-nil slice (it is served
+// as JSON).
+func (e *Events) Select(src, cycle, typ string, limit int) []Event {
 	out := []Event{}
 	if e == nil {
 		return out
@@ -112,6 +125,9 @@ func (e *Events) Select(cycle, typ string, limit int) []Event {
 	}
 	for seq := lo; seq < e.next; seq++ {
 		ev := e.buf[seq%n]
+		if src != "" && ev.Src != src {
+			continue
+		}
 		if cycle != "" && ev.Cycle != cycle {
 			continue
 		}
@@ -140,18 +156,26 @@ func NewCycleID(n int) string {
 	return fmt.Sprintf("c%d-%s", n, hex.EncodeToString(b[:]))
 }
 
-// Obs bundles the two sinks a component needs. A nil *Obs (and the nil
-// Registry/Events inside a zero Obs) disables instrumentation without
-// any call-site branching.
+// Obs bundles the sinks a component needs. A nil *Obs (and the nil
+// Registry/Events/Spans inside a zero Obs) disables instrumentation
+// without any call-site branching.
 type Obs struct {
 	Reg *Registry
 	Ev  *Events
+	Sp  *Spans
+
+	// handlers holds dynamic debug-endpoint extensions registered via
+	// Handle; the HTTP handler's fallback route consults it, so
+	// components can expose queries (/why, /daemons) without obs
+	// importing them.
+	hmu      sync.Mutex
+	handlers map[string]func(map[string][]string) (any, error)
 }
 
-// New returns an Obs with a fresh registry and a default-capacity
-// event ring.
+// New returns an Obs with a fresh registry, a default-capacity event
+// ring and a default-capacity span ring.
 func New() *Obs {
-	return &Obs{Reg: NewRegistry(), Ev: NewEvents(0)}
+	return &Obs{Reg: NewRegistry(), Ev: NewEvents(0), Sp: NewSpans(0)}
 }
 
 // Registry returns the metrics registry; nil-safe.
@@ -168,4 +192,39 @@ func (o *Obs) Events() *Events {
 		return nil
 	}
 	return o.Ev
+}
+
+// Spans returns the span ring; nil-safe.
+func (o *Obs) Spans() *Spans {
+	if o == nil {
+		return nil
+	}
+	return o.Sp
+}
+
+// Handle registers a debug-endpoint extension at path (e.g. "/why"):
+// fn receives the parsed query parameters and its result is served as
+// JSON (or its error as a 404). Safe to call before or after
+// ServeDebug; nil-safe, so uninstrumented components can register
+// unconditionally.
+func (o *Obs) Handle(path string, fn func(query map[string][]string) (any, error)) {
+	if o == nil {
+		return
+	}
+	o.hmu.Lock()
+	if o.handlers == nil {
+		o.handlers = make(map[string]func(map[string][]string) (any, error))
+	}
+	o.handlers[path] = fn
+	o.hmu.Unlock()
+}
+
+// handler returns the extension registered at path, if any; nil-safe.
+func (o *Obs) handler(path string) func(map[string][]string) (any, error) {
+	if o == nil {
+		return nil
+	}
+	o.hmu.Lock()
+	defer o.hmu.Unlock()
+	return o.handlers[path]
 }

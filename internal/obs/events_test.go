@@ -46,19 +46,51 @@ func TestEventsSelect(t *testing.T) {
 	}
 	e.Emit("mgr", "done", "c1", nil)
 
-	if got := e.Select("c1", "", 0); len(got) != 6 {
+	if got := e.Select("", "c1", "", 0); len(got) != 6 {
 		t.Errorf("cycle filter: %d events, want 6", len(got))
 	}
-	if got := e.Select("c1", "done", 0); len(got) != 1 {
+	if got := e.Select("", "c1", "done", 0); len(got) != 1 {
 		t.Errorf("cycle+type filter: %d events, want 1", len(got))
 	}
-	got := e.Select("", "tick", 3)
+	got := e.Select("", "", "tick", 3)
 	if len(got) != 3 {
 		t.Fatalf("limit: %d events, want 3", len(got))
 	}
 	// Limit keeps the most recent matches.
 	if got[2].Fields["i"] != "9" {
 		t.Errorf("limit kept %v, want the latest ticks", got)
+	}
+}
+
+// TestEventsSelectSrcWraparound pins the src filter across a ring
+// wraparound: two sources interleave past capacity, and selecting one
+// source returns exactly its surviving events, in order, even though
+// the ring has overwritten the early ones.
+func TestEventsSelectSrcWraparound(t *testing.T) {
+	e := NewEvents(8)
+	for i := 0; i < 20; i++ {
+		src := "ca"
+		if i%2 == 1 {
+			src = "ra"
+		}
+		e.Emit(src, fmt.Sprintf("t%d", i), "", nil)
+	}
+	if d := e.Dropped(); d != 12 {
+		t.Errorf("dropped = %d, want 12", d)
+	}
+	got := e.Select("ca", "", "", 0)
+	if len(got) != 4 {
+		t.Fatalf("src filter after wraparound: %d events, want 4 (got %v)", len(got), got)
+	}
+	// The ring holds seqs 12..19; the even ones are "ca".
+	for i, ev := range got {
+		wantSeq := int64(12 + 2*i)
+		if ev.Seq != wantSeq || ev.Src != "ca" {
+			t.Errorf("event %d = seq %d src %s, want seq %d src ca", i, ev.Seq, ev.Src, wantSeq)
+		}
+	}
+	if got := e.Select("ca", "", "", 2); len(got) != 2 || got[1].Seq != 18 {
+		t.Errorf("src filter + limit kept %v, want the 2 latest ca events", got)
 	}
 }
 

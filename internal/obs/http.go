@@ -9,11 +9,12 @@ import (
 )
 
 // Handler returns the debug endpoint: /metrics (registry snapshot as
-// JSON), /events (event ring as JSON, filterable with ?cycle=, ?type=
-// and ?n=), and the standard pprof tree under /debug/pprof/. The
-// handler is read-only and safe to expose on a loopback or
-// operations-network address; it is never started unless a daemon is
-// given -debug-addr.
+// JSON), /events (event ring as JSON, filterable with ?src=, ?cycle=,
+// ?type= and ?n=), /trace (span ring as JSON, filterable with ?id=
+// and ?n=), any extensions registered via Handle, and the standard
+// pprof tree under /debug/pprof/. The handler is read-only and safe
+// to expose on a loopback or operations-network address; it is never
+// started unless a daemon is given -debug-addr.
 func (o *Obs) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -22,7 +23,12 @@ func (o *Obs) Handler() http.Handler {
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query()
 		limit, _ := strconv.Atoi(q.Get("n"))
-		writeJSON(w, o.Events().Select(q.Get("cycle"), q.Get("type"), limit))
+		writeJSON(w, o.Events().Select(q.Get("src"), q.Get("cycle"), q.Get("type"), limit))
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		limit, _ := strconv.Atoi(q.Get("n"))
+		writeJSON(w, o.Spans().Select(q.Get("id"), limit))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -30,6 +36,18 @@ func (o *Obs) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		// Extensions registered via Handle may arrive after ServeDebug
+		// started the mux, so they are resolved per request here
+		// rather than registered as routes.
+		if fn := o.handler(r.URL.Path); fn != nil {
+			v, err := fn(r.URL.Query())
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			writeJSON(w, v)
+			return
+		}
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
@@ -37,7 +55,8 @@ func (o *Obs) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("matchmaking debug endpoint\n" +
 			"  /metrics          metrics registry snapshot (JSON)\n" +
-			"  /events           event ring (JSON; ?cycle= ?type= ?n=)\n" +
+			"  /events           event ring (JSON; ?src= ?cycle= ?type= ?n=)\n" +
+			"  /trace            span ring (JSON; ?id= ?n=)\n" +
 			"  /debug/pprof/     Go runtime profiles\n"))
 	})
 	return mux

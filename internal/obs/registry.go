@@ -15,6 +15,8 @@
 package obs
 
 import (
+	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"sync"
@@ -147,12 +149,18 @@ func (h *Histogram) Sum() float64 {
 
 // HistogramSnapshot is the JSON form of a histogram: per-bucket counts
 // (not cumulative) with their upper bounds; the final bucket (no
-// bound) is the overflow.
+// bound) is the overflow. P50/P95/P99 are quantiles estimated from
+// the bucket counts — exact only at bucket boundaries, linearly
+// interpolated within a bucket, and clamped to the last finite bound
+// when the quantile falls in the overflow bucket.
 type HistogramSnapshot struct {
 	Count   int64     `json:"count"`
 	Sum     float64   `json:"sum"`
 	Bounds  []float64 `json:"bounds"`
 	Buckets []int64   `json:"buckets"`
+	P50     float64   `json:"p50"`
+	P95     float64   `json:"p95"`
+	P99     float64   `json:"p99"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -165,7 +173,41 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.counts {
 		s.Buckets[i] = h.counts[i].Load()
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q < 1) from the bucket
+// counts: it finds the bucket holding the q*Count-th observation and
+// interpolates linearly between the bucket's bounds. Observations in
+// the overflow bucket are indistinguishable beyond the last bound, so
+// quantiles landing there report the last bound (a floor, not an
+// estimate). Returns 0 on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	cum := float64(0)
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Registry names and owns metrics. Metric lookup/creation takes a
@@ -306,4 +348,40 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[k] = v.snapshot()
 	}
 	return s
+}
+
+// Digest hashes the current snapshot into a short stable hex string —
+// the MetricsDigest a daemon publishes in its self-ad. Two scrapes of
+// an idle daemon digest identically; any metric movement changes the
+// digest, so a monitor can detect activity (or a wedged daemon whose
+// digest never changes) without shipping the whole snapshot through
+// the collector. Nil-safe.
+func (r *Registry) Digest() string {
+	s := r.Snapshot()
+	names := make([]string, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for k := range s.Counters {
+		names = append(names, "c:"+k)
+	}
+	for k := range s.Gauges {
+		names = append(names, "g:"+k)
+	}
+	for k := range s.Histograms {
+		names = append(names, "h:"+k)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, n := range names {
+		fmt.Fprint(h, n, "=")
+		switch n[0] {
+		case 'c':
+			fmt.Fprint(h, s.Counters[n[2:]])
+		case 'g':
+			fmt.Fprint(h, s.Gauges[n[2:]])
+		case 'h':
+			hs := s.Histograms[n[2:]]
+			fmt.Fprint(h, hs.Count, "/", hs.Sum)
+		}
+		fmt.Fprint(h, ";")
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }

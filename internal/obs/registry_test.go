@@ -144,3 +144,59 @@ func TestSnapshotJSON(t *testing.T) {
 		t.Errorf("histogram lost: %+v", h)
 	}
 }
+
+// TestHistogramQuantiles: quantiles interpolate within buckets, land
+// exactly on boundaries when the rank does, clamp to the last bound in
+// the overflow bucket, and are zero on an empty histogram.
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 40})
+	// 10 observations in (0,10], 10 in (10,20]: p50 = 10 exactly (rank
+	// 10 exhausts the first bucket), p75 interpolates halfway into the
+	// second bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.snapshot()
+	if got := s.Quantile(0.50); got != 10 {
+		t.Errorf("p50 = %g, want 10", got)
+	}
+	if got := s.Quantile(0.75); got != 15 {
+		t.Errorf("p75 = %g, want 15", got)
+	}
+	if s.P50 != s.Quantile(0.50) || s.P95 != s.Quantile(0.95) || s.P99 != s.Quantile(0.99) {
+		t.Errorf("snapshot quantile fields disagree with Quantile(): %+v", s)
+	}
+
+	// All mass past the last bound: every quantile clamps to it.
+	over := newHistogram([]float64{10, 20, 40})
+	for i := 0; i < 4; i++ {
+		over.Observe(1000)
+	}
+	if got := over.snapshot().Quantile(0.50); got != 40 {
+		t.Errorf("overflow p50 = %g, want clamp to 40", got)
+	}
+
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+// TestRegistryDigest: the digest is stable while metrics are idle and
+// moves when any metric moves — the self-ad's wedged-daemon detector.
+func TestRegistryDigest(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Inc()
+	d1 := r.Digest()
+	if d2 := r.Digest(); d2 != d1 {
+		t.Fatalf("idle digest moved: %s -> %s", d1, d2)
+	}
+	r.Counter("x_total").Inc()
+	if d3 := r.Digest(); d3 == d1 {
+		t.Fatal("digest unchanged after counter increment")
+	}
+	var nilReg *Registry
+	if nilReg.Digest() == "" {
+		t.Fatal("nil registry digest is empty")
+	}
+}

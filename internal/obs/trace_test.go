@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpansRecordSelect(t *testing.T) {
+	s := NewSpans(8)
+	for i := 0; i < 3; i++ {
+		s.Record(Span{Trace: "t-a", ID: NewSpanID(), Src: "ca", Name: "submit"})
+	}
+	s.Record(Span{Trace: "t-b", ID: NewSpanID(), Src: "matchmaker", Name: "negotiate"})
+	if got := s.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := s.Total(); got != 4 {
+		t.Fatalf("Total = %d, want 4", got)
+	}
+	if got := s.Dropped(); got != 0 {
+		t.Fatalf("Dropped = %d, want 0", got)
+	}
+	if got := len(s.Select("t-a", 0)); got != 3 {
+		t.Fatalf("Select(t-a) = %d spans, want 3", got)
+	}
+	if got := len(s.Select("t-b", 0)); got != 1 {
+		t.Fatalf("Select(t-b) = %d spans, want 1", got)
+	}
+	if got := len(s.Select("", 0)); got != 4 {
+		t.Fatalf("Select(all) = %d spans, want 4", got)
+	}
+	if got := len(s.Select("", 2)); got != 2 {
+		t.Fatalf("Select(all, limit 2) = %d spans, want 2", got)
+	}
+	if got := s.Select("t-missing", 0); got == nil || len(got) != 0 {
+		t.Fatalf("Select(missing) = %#v, want empty non-nil slice", got)
+	}
+}
+
+func TestSpansWraparound(t *testing.T) {
+	s := NewSpans(4)
+	for i := 0; i < 10; i++ {
+		trace := "t-even"
+		if i%2 == 1 {
+			trace = "t-odd"
+		}
+		s.Record(Span{Trace: trace, Name: "op", Start: time.Unix(int64(i), 0)})
+	}
+	if got := s.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+	// Ring of 4 retains spans 6..9: two even, two odd.
+	even := s.Select("t-even", 0)
+	if len(even) != 2 || !even[0].Start.Equal(time.Unix(6, 0)) || !even[1].Start.Equal(time.Unix(8, 0)) {
+		t.Fatalf("Select(t-even) = %+v, want spans 6 and 8", even)
+	}
+}
+
+func TestSpanRecLifecycle(t *testing.T) {
+	s := NewSpans(8)
+	sp := s.Start("t-x", "s-parent", "ca", "claim")
+	if sp.ID() == "" {
+		t.Fatal("live recorder has no ID")
+	}
+	sp.Set("machine", "m1")
+	sp.End()
+	sp.End() // idempotent: still one span
+	got := s.Select("t-x", 0)
+	if len(got) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(got))
+	}
+	rec := got[0]
+	if rec.Parent != "s-parent" || rec.Src != "ca" || rec.Name != "claim" {
+		t.Fatalf("span = %+v", rec)
+	}
+	if rec.Fields["machine"] != "m1" {
+		t.Fatalf("fields = %v", rec.Fields)
+	}
+	if rec.End.Before(rec.Start) {
+		t.Fatalf("End %v before Start %v", rec.End, rec.Start)
+	}
+
+	fail := s.Start("t-x", "", "ca", "match_fenced")
+	fail.Fail("stale epoch")
+	fail.End()
+	got = s.Select("t-x", 0)
+	if len(got) != 2 || got[1].Err != "stale epoch" {
+		t.Fatalf("failed span not recorded: %+v", got)
+	}
+}
+
+func TestSpansNilSafety(t *testing.T) {
+	var s *Spans
+	s.Record(Span{})
+	if s.Len() != 0 || s.Total() != 0 || s.Dropped() != 0 {
+		t.Fatal("nil ring reports non-zero state")
+	}
+	if got := s.Select("t", 5); got == nil || len(got) != 0 {
+		t.Fatalf("nil Select = %#v", got)
+	}
+	// A nil ring and an untraced request both yield nil recorders whose
+	// whole surface is a no-op — call sites never branch.
+	for _, rec := range []*SpanRec{s.Start("t", "", "ca", "op"), NewSpans(4).Start("", "", "ca", "op")} {
+		if rec != nil {
+			t.Fatal("expected nil recorder")
+		}
+		if rec.ID() != "" {
+			t.Fatal("nil recorder has an ID")
+		}
+		rec.Set("k", "v")
+		rec.Fail("e")
+		rec.End()
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("trace IDs collide: %s", a)
+	}
+	if len(a) != 2+16 || a[:2] != "t-" {
+		t.Fatalf("trace ID %q has unexpected shape", a)
+	}
+	sp := NewSpanID()
+	if len(sp) != 2+8 || sp[:2] != "s-" {
+		t.Fatalf("span ID %q has unexpected shape", sp)
+	}
+}
+
+func TestSpanJSONShape(t *testing.T) {
+	data, err := json.Marshal(Span{Trace: "t-1", ID: "s-1", Src: "ca", Name: "submit"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"trace"`, `"id"`, `"src"`, `"name"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("marshalled span %s lacks %s", data, key)
+		}
+	}
+	for _, key := range []string{`"parent"`, `"err"`, `"fields"`} {
+		if strings.Contains(string(data), key) {
+			t.Errorf("marshalled span %s includes empty %s", data, key)
+		}
+	}
+}

@@ -74,7 +74,9 @@ type CustomerDaemon struct {
 	maxClaimDur              time.Duration
 
 	// Observability hooks; nil (no-op) until Instrument is called.
+	obs              *obs.Obs
 	events           *obs.Events
+	spans            *obs.Spans
 	mClaimAttempts   *obs.Counter
 	mClaimOK         *obs.Counter
 	mClaimRejected   *obs.Counter
@@ -97,6 +99,7 @@ type CustomerDaemon struct {
 type claimRef struct {
 	contact string
 	machine string
+	trace   string
 }
 
 // NewCustomerDaemon builds a daemon around a CA.
@@ -135,7 +138,9 @@ func (d *CustomerDaemon) Instrument(o *obs.Obs) {
 	reg := o.Registry()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.obs = o
 	d.events = o.Events()
+	d.spans = o.Spans()
 	d.mClaimAttempts = reg.Counter("pool_claim_attempts_total")
 	d.mClaimOK = reg.Counter("pool_claims_ok_total")
 	d.mClaimRejected = reg.Counter("pool_claims_rejected_total")
@@ -156,6 +161,13 @@ func (d *CustomerDaemon) emit(typ, cycle string, fields map[string]string) {
 	ev := d.events
 	d.mu.Unlock()
 	ev.Emit("ca", typ, cycle, fields)
+}
+
+// spansRef reads the span ring under the lock (nil until Instrument).
+func (d *CustomerDaemon) spansRef() *obs.Spans {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spans
 }
 
 // ConfigureNetwork sets the dialer and retry policy used for all of
@@ -246,7 +258,7 @@ func (d *CustomerDaemon) EnableJournal(dir string, fs store.FS) error {
 			// rather than leak it.
 			fallthrough
 		case PhaseClaiming:
-			if err := d.sendRelease(c.Contact); err != nil {
+			if err := d.sendRelease(c.Contact, ""); err != nil {
 				// Provider unreachable; keep the journal record so the
 				// next restart retries the release.
 				d.logf("ca %s: reconcile release of %s failed: %v", d.CA.Owner(), c.Machine, err)
@@ -363,7 +375,16 @@ func (d *CustomerDaemon) MaxClaimDuration() time.Duration {
 func (d *CustomerDaemon) AdvertiseIdle() error {
 	d.mu.Lock()
 	clients := append([]*collector.Client(nil), d.collectors...)
+	o := d.obs
 	d.mu.Unlock()
+	// The CA's own Daemon-type health ad rides along with the queue (to
+	// the home pool only — flock targets monitor their own daemons):
+	// absent-ad detection in `cstatus -ha` then covers CAs too.
+	if o != nil && len(clients) > 0 {
+		if err := clients[0].Advertise(DaemonAd("ca", d.CA.Owner(), o), daemonAdLifetime); err != nil {
+			d.logf("ca %s: advertising daemon ad: %v", d.CA.Owner(), err)
+		}
+	}
 	for _, ad := range d.CA.IdleRequests() {
 		stamped := ad.Copy()
 		stamped.SetString(classad.AttrContact, d.Contact())
@@ -456,6 +477,12 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 				"epoch":   fmt.Sprintf("%d", env.Epoch),
 				"current": fmt.Sprintf("%d", high),
 			})
+			// The refusal is part of the trace: a fenced MATCH shows up
+			// as an errored span, so `cstatus -trace` explains why the
+			// deposed leader's introduction went nowhere.
+			sp := d.spansRef().Start(env.Trace, env.Span, "ca", "match_fenced")
+			sp.Fail(fmt.Sprintf("stale negotiator epoch %d (current %d)", env.Epoch, high))
+			sp.End()
 			return protocol.Errorf("stale negotiator epoch %d (current %d)", env.Epoch, high)
 		}
 		if env.Epoch > high && j != nil {
@@ -508,9 +535,16 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 	// Claim latency is measured end to end: from MATCH receipt here to
 	// the provider's verdict (or failure), the paper's step-3-to-step-4
 	// gap a customer actually experiences.
+	trace := env.Trace
+	if trace == "" {
+		trace = classad.TraceOf(job.Ad)
+	}
+	sp := d.spansRef().Start(trace, env.Span, "ca", "claim")
+	sp.Set("machine", adName(machine))
+	sp.Set("job", fmt.Sprintf("%d", job.ID))
 	d.mClaimAttempts.Inc()
 	start := time.Now()
-	accepted, reason, err := d.claim(machine, claimAd, env.Ticket, env.Cycle)
+	accepted, reason, err := d.claim(machine, claimAd, env.Ticket, env.Cycle, trace, sp.ID())
 	dur := time.Since(start)
 	d.hClaimSeconds.Observe(dur.Seconds())
 	d.mu.Lock()
@@ -531,6 +565,8 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		d.claimsRejected++
 		d.mu.Unlock()
 		d.mClaimFailed.Inc()
+		sp.Fail(err.Error())
+		sp.End()
 		d.emit("claim_failed", env.Cycle, map[string]string{
 			"machine": adName(machine),
 			"job":     fmt.Sprintf("%d", job.ID),
@@ -557,6 +593,9 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 			journal.Abort(job.ID)
 		}
 		d.mClaimRejected.Inc()
+		sp.Set("outcome", "rejected")
+		sp.Set("reason", reason)
+		sp.End()
 		d.emit("claim_rejected", env.Cycle, map[string]string{
 			"machine": adName(machine),
 			"job":     fmt.Sprintf("%d", job.ID),
@@ -566,6 +605,8 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		return &protocol.Envelope{Type: protocol.TypeAck, Reason: reason}
 	}
 	d.mClaimOK.Inc()
+	sp.Set("outcome", "granted")
+	sp.End()
 	d.emit("claim_ok", env.Cycle, map[string]string{
 		"machine":    adName(machine),
 		"job":        fmt.Sprintf("%d", job.ID),
@@ -578,7 +619,7 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 		return protocol.Errorf("%v", err)
 	}
 	d.mu.Lock()
-	d.claims[job.ID] = claimRef{contact: providerContact, machine: adName(machine)}
+	d.claims[job.ID] = claimRef{contact: providerContact, machine: adName(machine), trace: trace}
 	d.mu.Unlock()
 	return &protocol.Envelope{Type: protocol.TypeAck}
 }
@@ -606,7 +647,7 @@ func (d *CustomerDaemon) pickJobFor(machine *classad.Ad) (agent.Job, bool) {
 // notification handler beyond the configured bound. The cycle ID from
 // the MATCH notification rides along in the CLAIM envelope so the
 // provider's events correlate with this negotiation cycle.
-func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket, cycle string) (bool, string, error) {
+func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket, cycle, trace, span string) (bool, string, error) {
 	contact, ok := machine.Eval(classad.AttrContact).StringVal()
 	if !ok || contact == "" {
 		return false, "", errors.New("provider ad has no Contact")
@@ -621,6 +662,8 @@ func (d *CustomerDaemon) claim(machine, jobAd *classad.Ad, ticket, cycle string)
 		Ad:     protocol.EncodeAd(jobAd),
 		Ticket: ticket,
 		Cycle:  cycle,
+		Trace:  trace,
+		Span:   span,
 	}); err != nil {
 		return false, "", err
 	}
@@ -685,10 +728,34 @@ func (d *CustomerDaemon) handlePreempt(env *protocol.Envelope) *protocol.Envelop
 // on the way in: findings never reject the job (the submitter may know
 // better), but they are logged and counted so a pool operator can see
 // queues filling with requests that can never match.
+//
+// Submission is where a causal trace begins: the handler honours a
+// trace the submitter minted (env.Trace) or mints one itself, records
+// the root "submit" span, and stamps TraceId/TraceSpan into the ad so
+// every later hop — collector storage, negotiation (possibly many
+// cycles later, possibly under a failed-over negotiator), claim,
+// verdict — parents its spans back here. The trace ID returns to the
+// submitter in the ack's Trace field.
 func (d *CustomerDaemon) handleSubmit(env *protocol.Envelope) *protocol.Envelope {
 	ad, err := protocol.DecodeAd(env.Ad)
 	if err != nil {
 		return protocol.Errorf("bad job ad: %v", err)
+	}
+	trace := env.Trace
+	if trace == "" {
+		trace = classad.TraceOf(ad)
+	}
+	if trace == "" {
+		trace = obs.NewTraceID()
+	}
+	d.mu.Lock()
+	spans := d.spans
+	d.mu.Unlock()
+	sp := spans.Start(trace, env.Span, "ca", "submit")
+	sp.Set("owner", d.CA.Owner())
+	ad.SetString(classad.AttrTraceID, trace)
+	if id := sp.ID(); id != "" {
+		ad.SetString(classad.AttrTraceSpan, id)
 	}
 	for _, diag := range analysis.AnalyzeAd(ad, nil) {
 		if diag.Severity >= analysis.Error {
@@ -710,8 +777,11 @@ func (d *CustomerDaemon) handleSubmit(env *protocol.Envelope) *protocol.Envelope
 		d.logf("ca %s: submit lint: %s", d.CA.Owner(), diag)
 	}
 	j := d.CA.Submit(ad, float64(env.Lifetime))
+	sp.Set("job", fmt.Sprintf("%d", j.ID))
+	sp.End()
 	return &protocol.Envelope{Type: protocol.TypeAck,
-		Name: fmt.Sprintf("%s/job%d", d.CA.Owner(), j.ID)}
+		Name:  fmt.Sprintf("%s/job%d", d.CA.Owner(), j.ID),
+		Trace: trace}
 }
 
 // handleJobDone settles the queue when a starter ran the job to
@@ -794,7 +864,7 @@ func (d *CustomerDaemon) Complete(jobID int) error {
 	if !had {
 		return nil
 	}
-	err := d.sendRelease(ref.contact)
+	err := d.sendRelease(ref.contact, ref.trace)
 	if err == nil {
 		d.mu.Lock()
 		journal := d.journal
@@ -826,7 +896,7 @@ func (d *CustomerDaemon) Complete(jobID int) error {
 // already-unclaimed machine), so transport failures retry with
 // backoff. If the provider is truly gone the claim dies with it — its
 // ad expires and the machine returns via re-advertising.
-func (d *CustomerDaemon) sendRelease(contact string) error {
+func (d *CustomerDaemon) sendRelease(contact, trace string) error {
 	return netx.Retry(context.Background(), d.retry, func() error {
 		conn, err := d.dialer.Dial(contact)
 		if err != nil {
@@ -834,7 +904,7 @@ func (d *CustomerDaemon) sendRelease(contact string) error {
 		}
 		defer conn.Close()
 		if err := protocol.Write(conn, &protocol.Envelope{
-			Type: protocol.TypeRelease, Name: d.CA.Owner(),
+			Type: protocol.TypeRelease, Name: d.CA.Owner(), Trace: trace,
 		}); err != nil {
 			return err
 		}

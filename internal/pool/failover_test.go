@@ -386,3 +386,107 @@ func TestManagerHAStandby(t *testing.T) {
 		t.Fatalf("post-expiry cycle = %+v, want leader at epoch 2", res)
 	}
 }
+
+// TestTracePropagatesAcrossFailover pins the causal trace through the
+// HA story: the deposed leader's late MATCH for a job is fenced and
+// recorded as an errored span of the job's trace, and the new leader's
+// successful renegotiation of the same job — notify, claim, verdict —
+// appears under the same trace ID. One `cstatus -trace` then shows the
+// whole arc: the introduction that bounced off the epoch fence and the
+// retry that landed.
+func TestTracePropagatesAcrossFailover(t *testing.T) {
+	h := newHAHarness(t)
+	// Route every daemon's spans into one ring so the reassembled tree
+	// can be asserted in one place.
+	h.ra.Instrument(h.caObs)
+	h.negB.Instrument(h.caObs)
+
+	// Cycle 1: A leads under epoch 1 and matches job 1.
+	job1 := h.ca.CA.Submit(classad.Figure2(), 100)
+	h.advertise(t)
+	if res := h.negA.Tick(); res.Standby || res.Epoch != 1 || res.Notified != 1 {
+		t.Fatalf("A's first tick = %+v, want leader at epoch 1 with one match", res)
+	}
+	if err := h.ca.Complete(job1.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job 2 arrives carrying its submission-minted trace; A dies with
+	// the match undone.
+	job2 := h.ca.CA.Submit(classad.Figure2(), 100)
+	trace := classad.TraceOf(job2.Ad)
+	if trace == "" {
+		t.Fatal("job 2 carries no trace ID")
+	}
+	h.advertise(t)
+	h.negA.Close()
+
+	// The new epoch reaches the CA first: a MATCH under epoch 2 for a
+	// machine no idle job wants raises the fencing high-water mark and
+	// is otherwise harmless.
+	vax := classad.NewAd()
+	vax.SetString(classad.AttrType, "Machine")
+	vax.SetString(classad.AttrName, "vax")
+	vax.SetString("Arch", "VAX")
+	target := classad.NewAd()
+	target.SetString(classad.AttrContact, h.ca.Contact())
+	if err := sendToContact(nil, target, &protocol.Envelope{
+		Type: protocol.TypeMatch, PeerAd: protocol.EncodeAd(vax), Epoch: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Now the deposed leader's queued MATCH for job 2 lands, stamped
+	// with the job's trace context. The fence rejects it — and the
+	// refusal joins the trace as an errored span.
+	stale := figure1Machine()
+	err := sendToContact(nil, target, &protocol.Envelope{
+		Type: protocol.TypeMatch, PeerAd: protocol.EncodeAd(stale),
+		Epoch: 1, Trace: trace, Span: "s-deposed",
+	})
+	if err == nil || !strings.Contains(err.Error(), "stale negotiator epoch") {
+		t.Fatalf("stale MATCH error = %v, want epoch fence rejection", err)
+	}
+
+	// B takes over under epoch 2 and renegotiates job 2: the retry that
+	// works, under the same trace.
+	h.clock.Add(collector.DefaultLeaseTTL + 1)
+	res := h.negB.Tick()
+	if res.Standby || res.Epoch != 2 || res.Notified != 1 {
+		t.Fatalf("B's takeover tick = %+v, want leader at epoch 2 with one match", res)
+	}
+	if j, _ := h.ca.CA.Job(job2.ID); j.Status != agent.JobRunning {
+		t.Fatalf("job 2 = %s after failover", j.Status)
+	}
+
+	spans := h.caObs.Spans().Select(trace, 0)
+	byKey := make(map[string]obs.Span)
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			t.Fatalf("Select leaked foreign span %+v", sp)
+		}
+		byKey[sp.Src+"/"+sp.Name] = sp
+	}
+	fenced, ok := byKey["ca/match_fenced"]
+	if !ok {
+		t.Fatalf("no fenced span under trace %s (spans: %v)", trace, byKey)
+	}
+	if !strings.Contains(fenced.Err, "stale negotiator epoch 1") || fenced.Parent != "s-deposed" {
+		t.Fatalf("fenced span = %+v, want errored child of the deposed leader's span", fenced)
+	}
+	notify, ok := byKey["negotiator/notify"]
+	if !ok {
+		t.Fatalf("no notify span from the new leader (spans: %v)", byKey)
+	}
+	claim, ok := byKey["ca/claim"]
+	if !ok || claim.Parent != notify.ID || claim.Fields["outcome"] != "granted" {
+		t.Fatalf("claim span = %+v, want granted child of notify %s", claim, notify.ID)
+	}
+	verdict, ok := byKey["ra/verdict"]
+	if !ok || verdict.Parent != claim.ID || verdict.Fields["outcome"] != "accepted" {
+		t.Fatalf("verdict span = %+v, want accepted child of claim %s", verdict, claim.ID)
+	}
+	if _, ok := byKey["matchmaker/negotiate"]; !ok {
+		t.Errorf("no negotiate span from B's matchmaker (spans: %v)", byKey)
+	}
+}

@@ -187,6 +187,9 @@ func NewManager(cfg ManagerConfig) *Manager {
 				return float64(m.epoch)
 			})
 		}
+		cfg.Obs.Handle("/daemons", func(map[string][]string) (any, error) {
+			return m.store.DaemonHealth(), nil
+		})
 	}
 	if m.usageFile != "" && m.ledger == nil {
 		if err := m.mm.Usage().Load(m.usageFile); err != nil {
@@ -309,8 +312,8 @@ func (m *Manager) RunCycle() CycleResult {
 		typ, ok := ad.Eval(classad.AttrType).StringVal()
 		if ok {
 			switch classad.Fold(typ) {
-			case "job", "negotiator":
-				continue // requests, and the manager's own ad
+			case "job", "negotiator", "daemon":
+				continue // requests, the manager's own ad, and self-ads
 			}
 		}
 		offers = append(offers, ad)
@@ -366,6 +369,7 @@ func (m *Manager) RunCycle() CycleResult {
 		"duration": res.Duration.String(),
 	})
 	m.publishSelf(res)
+	m.publishDaemonAds()
 	return res
 }
 
@@ -438,7 +442,7 @@ func (m *Manager) logMatch(match matchmaker.Match) {
 
 // notify runs the matchmaking protocol for one match.
 func (m *Manager) notify(match matchmaker.Match, cycleID string, epoch uint64) error {
-	return notifyMatch(m.dialer, m.notifyRetry, m.logf, match, cycleID, epoch)
+	return notifyMatch(m.dialer, m.notifyRetry, m.logf, m.obs.Spans(), "manager", match, cycleID, epoch)
 }
 
 // notifyMatch runs the matchmaking protocol for one match: a MATCH
@@ -446,14 +450,27 @@ func (m *Manager) notify(match matchmaker.Match, cycleID string, epoch uint64) e
 // the cycle's trace ID; the customer's copy also carries the
 // provider's ticket. epoch, when non-zero, is the sender's leadership
 // epoch — the CA fences out envelopes whose epoch has been superseded.
+// Traced matches (the request ad carries a TraceId) propagate the
+// trace into both envelopes and record a notify span under src.
 // Shared by the combined Manager and the standalone NegotiatorDaemon.
 func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, ...any),
-	match matchmaker.Match, cycleID string, epoch uint64) error {
+	spans *obs.Spans, src string, match matchmaker.Match, cycleID string, epoch uint64) error {
 	session, err := protocol.NewSession()
 	if err != nil {
 		return err
 	}
 	ticket, _ := match.Offer.Eval(classad.AttrTicket).StringVal()
+	trace := match.Trace
+	if trace == "" {
+		trace = classad.TraceOf(match.Request)
+	}
+	parent := match.Span
+	if parent == "" {
+		parent = classad.TraceSpanOf(match.Request)
+	}
+	sp := spans.Start(trace, parent, src, "notify")
+	sp.Set("request", adName(match.Request))
+	sp.Set("offer", adName(match.Offer))
 
 	// Customer first: it drives the claiming protocol. MATCH is
 	// idempotent for the CA (a duplicate lands after the job left the
@@ -467,9 +484,13 @@ func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, 
 			Ticket:  ticket,
 			Session: session,
 			Cycle:   cycleID,
+			Trace:   trace,
+			Span:    sp.ID(),
 			Epoch:   epoch,
 		})
 	}); err != nil {
+		sp.Fail(err.Error())
+		sp.End()
 		return fmt.Errorf("pool: notify customer: %w", err)
 	}
 	// Provider notification is advisory; a provider without a
@@ -480,10 +501,13 @@ func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, 
 		PeerAd:  protocol.EncodeAd(match.Request),
 		Session: session,
 		Cycle:   cycleID,
+		Trace:   trace,
+		Span:    sp.ID(),
 		Epoch:   epoch,
 	}); err != nil {
 		logf("pool: notify provider: %v", err)
 	}
+	sp.End()
 	return nil
 }
 

@@ -63,6 +63,7 @@ type NegotiatorDaemon struct {
 	// kept to skip re-installing identical state on every heartbeat.
 	lastBundle []byte
 
+	obs        *obs.Obs
 	mFailovers *obs.Counter
 	mStandby   *obs.Counter
 }
@@ -108,6 +109,7 @@ func (d *NegotiatorDaemon) ConfigureNetwork(dialer *netx.Dialer, retry netx.Retr
 // (negotiator_leader_epoch gauge; 0 while standby), plus the
 // matchmaker's and ledger's own metrics.
 func (d *NegotiatorDaemon) Instrument(o *obs.Obs) {
+	d.obs = o
 	reg := o.Registry()
 	d.mFailovers = reg.Counter("negotiator_failovers_total")
 	d.mStandby = reg.Counter("negotiator_standby_ticks_total")
@@ -219,8 +221,9 @@ func (d *NegotiatorDaemon) negotiate(epoch uint64) CycleResult {
 		switch classad.Fold(typ) {
 		case "job":
 			requests = append(requests, ad)
-		case "negotiator":
-			// the leader's own ad
+		case "negotiator", "daemon":
+			// the leader's own ad, and daemon self-ads (monitoring
+			// state, not matchable resources)
 		default:
 			offers = append(offers, ad)
 		}
@@ -228,7 +231,7 @@ func (d *NegotiatorDaemon) negotiate(epoch uint64) CycleResult {
 	res := CycleResult{Requests: len(requests), Offers: len(offers), Cycle: cycleID, Epoch: epoch}
 	res.Matches = d.mm.NegotiateCycle(cycleID, requests, offers)
 	for _, match := range res.Matches {
-		if err := notifyMatch(d.dialer, d.retry, d.Logf, match, cycleID, epoch); err != nil {
+		if err := notifyMatch(d.dialer, d.retry, d.Logf, d.obs.Spans(), "negotiator", match, cycleID, epoch); err != nil {
 			res.Errors = append(res.Errors, err)
 			continue
 		}
@@ -273,6 +276,24 @@ func (d *NegotiatorDaemon) publishSelf(res CycleResult) {
 	ad.Set("Usage", classad.NewAdExpr(usage))
 	if err := d.client.Advertise(ad, 0); err != nil {
 		d.Logf("negotiator %s: advertising self: %v", d.Name, err)
+	}
+	d.publishDaemonAd(res)
+}
+
+// publishDaemonAd advertises the standalone negotiator's Daemon-type
+// health ad (see selfad.go) when instrumented, so absent-ad detection
+// covers remote negotiators too.
+func (d *NegotiatorDaemon) publishDaemonAd(res CycleResult) {
+	if d.obs == nil {
+		return
+	}
+	ad := DaemonAd("negotiator", d.Name, d.obs)
+	ad.SetInt("LeaderEpoch", int64(res.Epoch))
+	if d.ledger != nil {
+		ad.SetInt("WALGeneration", int64(d.ledger.Stats().Gen))
+	}
+	if err := d.client.Advertise(ad, daemonAdLifetime); err != nil {
+		d.Logf("negotiator %s: advertising daemon ad: %v", d.Name, err)
 	}
 }
 

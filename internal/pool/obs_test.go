@@ -139,8 +139,10 @@ func TestObservabilityEndToEnd(t *testing.T) {
 			t.Errorf("histogram %s count = %d, want > 0", name, snap.Histograms[name].Count)
 		}
 	}
-	if got := snap.Gauges["collector_ads"]; got != 2 {
-		t.Errorf("collector_ads gauge = %g, want 2", got)
+	// Machine ad + negotiator self-ad, plus the four Daemon-type health
+	// ads (collector, negotiator, CA, RA) behind absent-ad detection.
+	if got := snap.Gauges["collector_ads"]; got != 6 {
+		t.Errorf("collector_ads gauge = %g, want 6", got)
 	}
 
 	// The trace: one cycle ID stitches the match's story across all
@@ -324,5 +326,131 @@ func TestObservabilityCycleIDsDistinct(t *testing.T) {
 	res := mgr.RunCycle()
 	if want := fmt.Sprintf("c%d-", mgr.Cycles()); len(res.Cycle) < len(want) || res.Cycle[:len(want)] != want {
 		t.Errorf("cycle ID %q does not start with %q", res.Cycle, want)
+	}
+}
+
+// TestTraceAndWhyAcceptance pins the PR's two headline debug surfaces
+// over real HTTP, as `cstatus -trace` and `cstatus -why` consume them:
+// /trace?id= returns the span tree of one submission covering at least
+// four daemons (collector, matchmaker, manager, CA, RA), and
+// /why?request= explains an unmatched request from the live rejection
+// ledger. /daemons rounds it out with every daemon's self-ad health.
+func TestTraceAndWhyAcceptance(t *testing.T) {
+	o := obs.New()
+	mgr := NewManager(ManagerConfig{Logf: t.Logf, Obs: o})
+	addr, err := mgr.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	ra := NewResourceDaemon(agent.NewResource(figure1Machine(), nil), addr, 0, t.Logf)
+	ra.Instrument(o)
+	if _, err := ra.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ra.Close)
+
+	ca := NewCustomerDaemon(agent.NewCustomer("raman", nil), addr, 0, t.Logf)
+	ca.Instrument(o)
+	if _, err := ca.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ca.Close)
+
+	ds, err := o.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ds.Close() })
+
+	// One matchable job and one that can never match.
+	job := ca.CA.Submit(classad.Figure2(), 100)
+	hog := classad.Figure2()
+	if err := hog.SetExprString(classad.AttrConstraint, `other.Memory >= 1048576`); err != nil {
+		t.Fatal(err)
+	}
+	ca.CA.Submit(hog, 100)
+
+	if err := ra.Advertise(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ca.AdvertiseIdle(); err != nil {
+		t.Fatal(err)
+	}
+	res := mgr.RunCycle()
+	if res.Notified != 1 {
+		t.Fatalf("cycle = %+v, want one notified match", res)
+	}
+
+	// The span tree of the matched job's trace, scraped as the CLI
+	// does. The submission happened in-process (no submit span), but
+	// the trace must still cover collector storage, negotiation, the
+	// manager's notification, the CA's claim and the RA's verdict.
+	trace := classad.TraceOf(job.Ad)
+	if trace == "" {
+		t.Fatal("submitted job has no trace ID")
+	}
+	var spans []obs.Span
+	scrape(t, ds.Addr(), "/trace?id="+url.QueryEscape(trace), &spans)
+	srcs := make(map[string]bool)
+	names := make(map[string]string)
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			t.Errorf("span %s/%s carries trace %q, want %q", sp.Src, sp.Name, sp.Trace, trace)
+		}
+		if sp.End.Before(sp.Start) {
+			t.Errorf("span %s/%s ends before it starts", sp.Src, sp.Name)
+		}
+		srcs[sp.Src] = true
+		names[sp.Name] = sp.Src
+	}
+	if len(srcs) < 4 {
+		t.Fatalf("trace covers %d daemons (%v), want >= 4 (spans: %+v)", len(srcs), srcs, spans)
+	}
+	for name, src := range map[string]string{
+		"ad_stored": "collector", "negotiate": "matchmaker",
+		"notify": "manager", "claim": "ca", "verdict": "ra",
+	} {
+		if names[name] != src {
+			t.Errorf("no %s span from %s (got %v)", name, src, names)
+		}
+	}
+
+	// The forensic explanation of the unmatched request, scraped live.
+	var report matchmaker.Report
+	scrape(t, ds.Addr(), "/why?request="+url.QueryEscape("raman/job2"), &report)
+	if report.Matched || report.Cycle != res.Cycle {
+		t.Fatalf("report = %+v, want unmatched in cycle %s", report, res.Cycle)
+	}
+	if report.Reason == "" || len(report.Ledger) == 0 {
+		t.Fatalf("report = %+v, want a reason and a per-offer ledger", report)
+	}
+	v := report.Ledger[0]
+	if v.Offer == "" || v.Outcome == "" || v.Detail == "" {
+		t.Fatalf("ledger entry = %+v, want offer, outcome and detail", v)
+	}
+
+	// The /why index lists every request with a retained report.
+	var index struct {
+		Requests []string `json:"requests"`
+	}
+	scrape(t, ds.Addr(), "/why", &index)
+	if len(index.Requests) != 2 {
+		t.Fatalf("/why index = %v, want both jobs", index.Requests)
+	}
+
+	// Daemon health from self-ads: the manager's collector and
+	// negotiator halves, the CA and the RA, all current.
+	var daemons []collector.DaemonStatus
+	scrape(t, ds.Addr(), "/daemons", &daemons)
+	kinds := make(map[string]string)
+	for _, d := range daemons {
+		kinds[d.Kind] = d.Status
+	}
+	for _, kind := range []string{"collector", "negotiator", "ca", "ra"} {
+		if kinds[kind] != "ok" {
+			t.Errorf("daemon kind %q status = %q, want ok (daemons: %+v)", kind, kinds[kind], daemons)
+		}
 	}
 }

@@ -49,7 +49,9 @@ type ResourceDaemon struct {
 	starterCancel chan struct{}
 
 	// Observability hooks; nil (no-op) until Instrument is called.
+	obs           *obs.Obs
 	events        *obs.Events
+	spans         *obs.Spans
 	mClaimsRx     *obs.Counter
 	mClaimsAccept *obs.Counter
 	mClaimsRefuse *obs.Counter
@@ -87,7 +89,9 @@ func (d *ResourceDaemon) Instrument(o *obs.Obs) {
 	reg := o.Registry()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.obs = o
 	d.events = o.Events()
+	d.spans = o.Spans()
 	d.mClaimsRx = reg.Counter("pool_ra_claims_total")
 	d.mClaimsAccept = reg.Counter("pool_ra_claims_accepted_total")
 	d.mClaimsRefuse = reg.Counter("pool_ra_claims_rejected_total")
@@ -175,7 +179,18 @@ func (d *ResourceDaemon) Advertise() error {
 		return err
 	}
 	ad.SetString(classad.AttrContact, d.Contact())
-	return d.collector.Advertise(ad, d.lifetime)
+	if err := d.collector.Advertise(ad, d.lifetime); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	o := d.obs
+	d.mu.Unlock()
+	if o != nil {
+		if err := d.collector.Advertise(DaemonAd("ra", d.RA.Name(), o), daemonAdLifetime); err != nil {
+			d.logf("ra %s: advertising daemon ad: %v", d.RA.Name(), err)
+		}
+	}
+	return nil
 }
 
 // Invalidate withdraws the RA's ad from the collector.
@@ -286,7 +301,21 @@ func (d *ResourceDaemon) handleClaim(conn net.Conn, r *bufio.Reader, env *protoc
 		}
 	}
 	d.mClaimsRx.Inc()
+	// The verdict is the last hop of the submission trace: parented to
+	// the CA's claim span via the CLAIM envelope's Trace/Span fields.
+	d.mu.Lock()
+	spans := d.spans
+	d.mu.Unlock()
+	sp := spans.Start(env.Trace, env.Span, "ra", "verdict")
+	sp.Set("job", adName(job))
+	sp.Set("machine", d.RA.Name())
 	out := d.RA.RequestClaim(job, env.Ticket)
+	if out.Accepted {
+		sp.Set("outcome", "accepted")
+	} else {
+		sp.Fail(out.Reason)
+	}
+	sp.End()
 	if out.Accepted {
 		d.mClaimsAccept.Inc()
 		d.emit("claim_accepted", env.Cycle, map[string]string{
@@ -388,9 +417,10 @@ func (d *ResourceDaemon) maybeStartJob(job *classad.Ad) {
 			d.logf("ra %s: release after completion: %v", d.RA.Name(), err)
 		}
 		if err := sendToContact(d.dialer, job, &protocol.Envelope{
-			Type: protocol.TypeJobDone,
-			Ad:   protocol.EncodeAd(job),
-			Name: d.RA.Name(),
+			Type:  protocol.TypeJobDone,
+			Ad:    protocol.EncodeAd(job),
+			Name:  d.RA.Name(),
+			Trace: classad.TraceOf(job),
 		}); err != nil {
 			d.logf("ra %s: job-done notify: %v", d.RA.Name(), err)
 		}
@@ -411,9 +441,10 @@ func (d *ResourceDaemon) notifyPreempted(claim agent.Claim) {
 		d.onEvict(claim)
 	}
 	err := sendToContact(d.dialer, claim.Job, &protocol.Envelope{
-		Type: protocol.TypePreempt,
-		Ad:   protocol.EncodeAd(claim.Job),
-		Name: d.RA.Name(),
+		Type:  protocol.TypePreempt,
+		Ad:    protocol.EncodeAd(claim.Job),
+		Name:  d.RA.Name(),
+		Trace: classad.TraceOf(claim.Job),
 	})
 	if err != nil {
 		d.logf("ra %s: preempt notify: %v", d.RA.Name(), err)

@@ -1,0 +1,72 @@
+package pool
+
+// Daemon self-advertisement: every daemon periodically publishes a
+// Machine-style classad describing its own health, so the pool
+// monitors itself through its own matchmaking substrate — "All
+// entities are represented with classads" (paper §4), the monitoring
+// system included. The collector tracks Type == "Daemon" ads past
+// expiry (collector.DaemonHealth), which is the absent-ad detection
+// behind `cstatus -ha`: a daemon that stops advertising turns
+// "missing" instead of silently vanishing.
+
+import (
+	"fmt"
+
+	"repro/internal/classad"
+	"repro/internal/obs"
+)
+
+// daemonAdLifetime is the validity of a manager-published self-ad in
+// pool-clock seconds: short enough that a dead daemon is surfaced
+// within a couple of negotiation periods, long enough to survive a
+// slow cycle.
+const daemonAdLifetime = 120
+
+// DaemonAd builds the self-advertisement for one daemon: kind names
+// the role ("collector", "negotiator", "ca", "ra"), name the instance.
+// The ad carries the health signals a monitor needs to detect a
+// wedged (not just dead) daemon: a digest of the metrics registry
+// (unchanging digest = no activity), event/span ring totals and drop
+// counts. Callers add role-specific attributes (LeaderEpoch,
+// WALGeneration) before advertising.
+func DaemonAd(kind, name string, o *obs.Obs) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString(classad.AttrType, "Daemon")
+	ad.SetString(classad.AttrName, fmt.Sprintf("daemon/%s/%s", kind, name))
+	ad.SetString("Daemon", kind)
+	ad.SetString("MetricsDigest", o.Registry().Digest())
+	ad.SetInt("EventsTotal", o.Events().Total())
+	ad.SetInt("EventsDropped", o.Events().Dropped())
+	ad.SetInt("SpansTotal", o.Spans().Total())
+	ad.SetInt("SpansDropped", o.Spans().Dropped())
+	return ad
+}
+
+// publishDaemonAds stores the manager's own self-ads (its collector
+// and co-located negotiator halves) after each cycle. Skipped when
+// the manager is uninstrumented — there is no health to report.
+func (m *Manager) publishDaemonAds() {
+	if m.obs == nil {
+		return
+	}
+	name := m.haName
+	if name == "" {
+		name = "pool"
+	}
+	for _, kind := range []string{"collector", "negotiator"} {
+		ad := DaemonAd(kind, name, m.obs)
+		if kind == "negotiator" {
+			m.mu.Lock()
+			ad.SetInt("LeaderEpoch", int64(m.epoch))
+			m.mu.Unlock()
+			if m.ledger != nil {
+				ad.SetInt("WALGeneration", int64(m.ledger.Stats().Gen))
+			}
+		} else if stats, ok := m.store.LogStats(); ok {
+			ad.SetInt("WALGeneration", int64(stats.Gen))
+		}
+		if err := m.store.Update(ad, daemonAdLifetime); err != nil {
+			m.logf("pool: publishing %s self-ad: %v", kind, err)
+		}
+	}
+}

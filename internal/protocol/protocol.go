@@ -107,6 +107,16 @@ type Envelope struct {
 	// party of one match share an ID (obs package). Older peers ignore
 	// the field; its absence simply leaves events uncorrelated.
 	Cycle string `json:"cycle,omitempty"`
+	// Trace is the causal trace identifier minted when a request is
+	// submitted and propagated through every envelope sent on its
+	// behalf (MATCH, CLAIM, RELEASE, PREEMPT, JOB_DONE), so the spans
+	// each daemon records reassemble into one cross-process trace
+	// (obs package). Like Cycle, older peers ignore it; its absence
+	// leaves the request untraced, never unserved.
+	Trace string `json:"trace,omitempty"`
+	// Span is the sender's span ID — the parent under which the
+	// receiver records its own span, giving the trace its tree shape.
+	Span string `json:"span,omitempty"`
 	// Lifetime is the advertisement's validity in seconds; the
 	// collector expires ads that are not refreshed (advertising
 	// protocol bookkeeping). In a LEASE request it is the requested

@@ -31,6 +31,12 @@ func TestLockGuard(t *testing.T) {
 	analyzertest.Run(t, analyzers.LockGuard, "testdata/src/lockguard")
 }
 
+func TestTraceCtx(t *testing.T) {
+	// The internal/ path placement is load-bearing: the analyzer only
+	// fires inside internal/ packages.
+	analyzertest.Run(t, analyzers.TraceCtx, "testdata/src/tracectx/internal/app")
+}
+
 func TestFsyncGuard(t *testing.T) {
 	// Two fixture packages: the general internal/ rule and the
 	// stricter internal/store rule (path placement is load-bearing —

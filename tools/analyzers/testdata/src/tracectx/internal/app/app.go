@@ -1,0 +1,39 @@
+// Package app seeds trace-context violations for the tracectx
+// analyzer: lifecycle envelopes (MATCH, CLAIM, RELEASE, PREEMPT,
+// JOB_DONE) built in internal/ packages must carry Trace so the span
+// tree an operator pulls with `cstatus -trace` stays connected.
+package app
+
+import "repro/internal/protocol"
+
+func send(*protocol.Envelope) {}
+
+func badMatch(ticket string) {
+	send(&protocol.Envelope{ // want "TypeMatch envelope without Trace"
+		Type:   protocol.TypeMatch,
+		Ticket: ticket,
+	})
+}
+
+func badClaimValue() protocol.Envelope {
+	return protocol.Envelope{Type: protocol.TypeClaim} // want "TypeClaim envelope without Trace"
+}
+
+func goodRelease(trace string) {
+	send(&protocol.Envelope{
+		Type:  protocol.TypeRelease,
+		Trace: trace,
+	})
+}
+
+// An explicit waiver silences the finding.
+func waivedPreempt() {
+	send(&protocol.Envelope{ //tracectx:ok fault injector replays pre-tracing envelopes
+		Type: protocol.TypePreempt,
+	})
+}
+
+// Control-plane messages carry no job trace; they are exempt.
+func fineAdvertise() {
+	send(&protocol.Envelope{Type: protocol.TypeAdvertise})
+}

@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// TraceCtx enforces the causal-tracing invariant PR 7 introduced: every
+// envelope on the match/claim lifecycle carries the trace context of
+// the job it concerns, so `cstatus -trace` can stitch the submission's
+// story across daemons. Concretely, a protocol.Envelope composite
+// literal in an internal/ package whose Type is one of the lifecycle
+// messages (MATCH, CLAIM, RELEASE, PREEMPT, JOB_DONE) must also set
+// Trace — an untraced hop is a hole in the span tree that only shows
+// up when an operator needs the trace most, mid-incident.
+//
+// Advertising and control messages (ADVERTISE, SUBMIT, ACK, ...) are
+// exempt: they either mint the trace themselves or carry none. A
+// `//tracectx:ok <reason>` comment on the literal's opening line
+// waives a finding for deliberately untraced hops (e.g. a fault
+// injector replaying a pre-tracing envelope).
+var TraceCtx = &Analyzer{
+	Name:      "tracectx",
+	Doc:       "lifecycle protocol.Envelope literals in internal/ must carry Trace so span trees stay connected",
+	SkipTests: true,
+	Run:       runTraceCtx,
+}
+
+// tracedMsgTypes are the Type constant names whose envelopes ride the
+// match/claim lifecycle and therefore must propagate trace context.
+var tracedMsgTypes = map[string]bool{
+	"TypeMatch":   true,
+	"TypeClaim":   true,
+	"TypeRelease": true,
+	"TypePreempt": true,
+	"TypeJobDone": true,
+}
+
+func runTraceCtx(p *Pass) {
+	dir := filepath.ToSlash(p.Pkg.Dir)
+	if !strings.Contains(dir, "internal/") {
+		return
+	}
+	alias := importName(p.File.Ast, "repro/internal/protocol")
+	if alias == "" {
+		return
+	}
+	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isSelector(lit.Type, alias, "Envelope") {
+			return true
+		}
+		typ, hasTrace := "", false
+		for _, elt := range lit.Elts {
+			kv, ok := elt.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			switch key.Name {
+			case "Type":
+				if sel, ok := kv.Value.(*ast.SelectorExpr); ok {
+					typ = sel.Sel.Name
+				} else if id, ok := kv.Value.(*ast.Ident); ok {
+					typ = id.Name
+				}
+			case "Trace":
+				hasTrace = true
+			}
+		}
+		if !tracedMsgTypes[typ] || hasTrace {
+			return true
+		}
+		if directiveAtLine(p, "tracectx:ok", p.Pkg.Fset.Position(lit.Pos()).Line) {
+			return true
+		}
+		p.Reportf(lit.Pos(),
+			"%s envelope without Trace: lifecycle messages must propagate trace context (//tracectx:ok <reason> to waive)",
+			typ)
+		return true
+	})
+}
+
+// isSelector reports whether e is the selector base.name.
+func isSelector(e ast.Expr, base, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == base
+}
+
+// directiveAtLine reports whether a comment containing the directive
+// sits on the given source line.
+func directiveAtLine(p *Pass, directive string, line int) bool {
+	for _, cg := range p.File.Ast.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, directive) &&
+				p.Pkg.Fset.Position(c.Pos()).Line == line {
+				return true
+			}
+		}
+	}
+	return false
+}
