@@ -4,7 +4,9 @@
 #   make test         tier-1 check as ROADMAP.md defines it
 #   make test-short   the fast loop: -short skips chaos/simulation soak tests
 #   make lint         go vet + repo-invariant analyzers + cadlint over shipped ads + lint-codes
-#   make lint-codes   DESIGN.md CAD-code table must match the analyzer source
+#   make lint-codes   DESIGN.md CAD/MC-code tables must match the analyzer/checker source
+#   make mc-short     exhaustive model check of the canonical small pool (the verify-depth run)
+#   make mc           deeper model check (MC_FULL=1), plus liveness and mutant self-tests
 #   make fuzz         short protocol fuzz run (FuzzReadEnvelope)
 #   make crash        durability soak: crash-point matrices + randomized fault soak
 #   make bench        matchmaker/classad hot-path benchmarks -> BENCH_matchmaker.json
@@ -18,30 +20,45 @@ FUZZTIME ?= 15s
 # cycle benchmarks and the Negotiate* index/scan benchmarks).
 BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation
 
-.PHONY: verify test test-short build vet lint lint-codes fuzz crash bench bench-check ci
+.PHONY: verify test test-short build vet lint lint-codes mc mc-short fuzz crash bench bench-check ci
 
-verify: lint
+verify: lint mc-short
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 
 # All static analysis in one target: go vet, the custom invariant
 # analyzers (tools/analyzers: nodial, obsguard, msgswitch, lockguard,
-# fsyncguard) over every package, the ClassAd linter over every ad we ship, and
-# the docs/code sync gate. The intentionally broken fixtures live
-# under testdata/lint/ and tools/analyzers/testdata/, which none of
-# these reach.
+# fsyncguard, tracectx, epochguard, replyguard) over every package, the
+# ClassAd linter over every ad we ship, and the docs/code sync gate.
+# The intentionally broken fixtures live under testdata/lint/ and
+# tools/analyzers/testdata/, which none of these reach.
 lint: lint-codes
 	$(GO) vet ./...
 	$(GO) run ./tools/analyzers/cmd ./...
 	$(GO) run ./cmd/cadlint testdata/*.ad examples/ads/*.ad
 
 # The DESIGN.md tables are written by hand but enforced by machine:
-# these tests re-derive the diagnostic-code vocabulary (§9) and the
-# metrics-name registry (§12) from package source and fail on any
-# drift against the doc tables.
+# these tests re-derive the diagnostic-code vocabulary (§9), the
+# metrics-name registry (§12), and the model-checker invariant codes
+# (§13) from package source and fail on any drift against the doc
+# tables.
 lint-codes:
 	$(GO) test -run 'TestAllCodesMatchesSource|TestDesignDocCodeTableInSync' ./internal/classad/analysis
 	$(GO) test -run 'TestDesignDocMetricsTableInSync' ./internal/obs
+	$(GO) test -run 'TestAllMCCodesMatchesSource|TestDesignDocModelCheckTableInSync' ./internal/modelcheck
+
+# Exhaustive small-scope model check of the canonical pool (2 machines,
+# 2 jobs, 2 negotiators): the checker owns every source of
+# nondeterminism, so a green run means no reachable interleaving within
+# the depth bound violates MC101-MC105. -v surfaces the
+# explored-schedule and distinct-state counts. mc-short is the verify
+# gate; mc sets MC_FULL=1 for the deeper bound and adds the liveness
+# and seeded-mutant self-tests.
+mc-short:
+	$(GO) test -run 'TestExhaustiveSmallPoolInvariants' -v ./internal/modelcheck | grep -v '^=== RUN'
+
+mc:
+	MC_FULL=1 $(GO) test -count=1 -v ./internal/modelcheck | grep -v '^=== RUN'
 
 test:
 	$(GO) build ./...

@@ -95,19 +95,25 @@ func (a *aggregation) NumClasses() int { return len(a.groups) }
 type classCand struct {
 	group            int
 	reqRank, offRank float64
+	// claimed is the class's State == "Claimed" status. State is part
+	// of the aggregation signature (it is not an identity attribute),
+	// so every member of a class shares it and the representative's
+	// value stands for the group in better()'s tie-break.
+	claimed bool
 }
 
 // candidates evaluates the request against one representative per
 // class and returns the compatible classes. Members of a class are
 // identical modulo identity attributes, so any member represents.
-func (a *aggregation) candidates(req *classad.Ad, offers []*classad.Ad, env *classad.Env) []classCand {
+func (a *aggregation) candidates(req *classad.Ad, offers []*classad.Ad, cfg Config) []classCand {
 	var out []classCand
 	for gi, group := range a.groups {
-		res := classad.MatchEnv(req, offers[group[0]], env)
+		res := classad.MatchEnv(req, offers[group[0]], cfg.Env)
 		if !res.Matched {
 			continue
 		}
-		out = append(out, classCand{group: gi, reqRank: res.LeftRank, offRank: res.RightRank})
+		out = append(out, classCand{group: gi, reqRank: res.LeftRank, offRank: res.RightRank,
+			claimed: !cfg.LegacyClaimedTieBreak && offerClaimed(offers[group[0]])})
 	}
 	return out
 }
@@ -119,6 +125,7 @@ func (a *aggregation) candidates(req *classad.Ad, offers []*classad.Ad, env *cla
 // earliest available compatible offer).
 func (a *aggregation) pick(cands []classCand, available []bool, firstFit bool) (best int, reqRank, offRank float64) {
 	best = -1
+	var bestClaimed bool
 	for _, c := range cands {
 		oi := a.firstAvailable(c.group, available)
 		if oi < 0 {
@@ -129,8 +136,8 @@ func (a *aggregation) pick(cands []classCand, available []bool, firstFit bool) (
 			if best < 0 || oi < best {
 				best, reqRank, offRank = oi, c.reqRank, c.offRank
 			}
-		case best < 0 || better(candidate{oi, c.reqRank, c.offRank}, candidate{best, reqRank, offRank}):
-			best, reqRank, offRank = oi, c.reqRank, c.offRank
+		case best < 0 || better(candidate{oi, c.reqRank, c.offRank, c.claimed}, candidate{best, reqRank, offRank, bestClaimed}):
+			best, reqRank, offRank, bestClaimed = oi, c.reqRank, c.offRank, c.claimed
 		}
 	}
 	return best, reqRank, offRank

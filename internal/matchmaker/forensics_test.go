@@ -137,14 +137,16 @@ func TestForensicsLedgerTruncates(t *testing.T) {
 	}
 }
 
-// TestForensicsClaimedOfferLivelock is the regression net for ROADMAP
-// item 1: a machine that advertises State == "Claimed" but equal rank
-// to an idle twin keeps winning the tie-break (earliest index), the
-// claim-time revalidation keeps bouncing it, and the job starves while
-// an idle machine sits next to it. Forensics must name the signature —
-// Matched + Claimed with a matched-claimed ledger entry — every cycle,
-// so an operator running `cstatus -why` sees the loop rather than a
-// healthy-looking match counter.
+// TestForensicsClaimedOfferLivelock pins ROADMAP item 1 as *resolved*:
+// a machine that advertises State == "Claimed" at equal rank to an
+// idle twin used to win the earliest-index tie-break every cycle, the
+// claim-time revalidation bounced it every cycle, and the job starved
+// while an idle machine sat next to it. better() now prefers unclaimed
+// offers at equal request rank (scan.go), so the idle twin wins, the
+// claim succeeds, and nothing matched-claimed appears in forensics.
+// modelcheck's MC201 liveness check rediscovers the old behaviour as a
+// counterexample trace when the tie-break is reverted
+// (TestLivelockRegression in internal/modelcheck).
 func TestForensicsClaimedOfferLivelock(t *testing.T) {
 	m := New(Config{})
 	m.Instrument(obs.New())
@@ -158,21 +160,32 @@ func TestForensicsClaimedOfferLivelock(t *testing.T) {
 	for cycle := 1; cycle <= 3; cycle++ {
 		id := fmt.Sprintf("c-%d", cycle)
 		got := m.NegotiateCycle(id, []*classad.Ad{req}, offers)
-		if len(got) != 1 || adName(got[0].Offer) != "claimed" {
-			t.Fatalf("cycle %d: matches = %+v, want the claimed machine (tie-break livelock)", cycle, got)
+		if len(got) != 1 || adName(got[0].Offer) != "idle" {
+			t.Fatalf("cycle %d: matches = %+v, want the idle machine (tie-break resolved)", cycle, got)
 		}
 		r, ok := m.Forensics().Lookup("alice/job1")
 		if !ok {
 			t.Fatalf("cycle %d: no report", cycle)
 		}
-		if !r.Matched || !r.Claimed || r.Cycle != id {
-			t.Fatalf("cycle %d: report = %+v, want matched+claimed", cycle, r)
+		if !r.Matched || r.Claimed || r.Cycle != id {
+			t.Fatalf("cycle %d: report = %+v, want matched against an unclaimed offer", cycle, r)
 		}
-		if len(r.Ledger) != 1 || r.Ledger[0].Outcome != VerdictMatchedClaimed {
-			t.Fatalf("cycle %d: ledger = %+v, want matched-claimed", cycle, r.Ledger)
+		if len(r.Ledger) != 0 {
+			t.Fatalf("cycle %d: ledger = %+v, want no matched-claimed entry", cycle, r.Ledger)
 		}
-		if !strings.Contains(r.Ledger[0].Detail, "claim-time revalidation") {
-			t.Fatalf("cycle %d: detail %q does not explain the bounce", cycle, r.Ledger[0].Detail)
-		}
+	}
+
+	// The claimed machine is still reachable when it strictly outranks
+	// the idle one in the request's eyes — preemption stays possible.
+	prefer := named(job("alice", "INTEL", 32), "alice/job2")
+	if err := prefer.SetExprString("Rank", `ifThenElse(other.Name == "claimed", 1, 0)`); err != nil {
+		t.Fatal(err)
+	}
+	got := m.NegotiateCycle("c-4", []*classad.Ad{prefer}, offers)
+	if len(got) != 1 || adName(got[0].Offer) != "claimed" {
+		t.Fatalf("preferring request: matches = %+v, want the claimed machine", got)
+	}
+	if r, _ := m.Forensics().Lookup("alice/job2"); !r.Claimed {
+		t.Fatalf("preferring request: report = %+v, want Claimed flagged", r)
 	}
 }

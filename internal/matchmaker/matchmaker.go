@@ -66,6 +66,22 @@ type Config struct {
 	// n>1 forces exactly n workers. The reduction is deterministic —
 	// parallel results are bit-identical to the sequential scan.
 	Parallel int
+	// DeferCharges stops NegotiateCycle from charging fair-share usage
+	// at match emission. The caller owns charging instead — the pool
+	// manager and negotiator daemon charge via Usage().Record only when
+	// the customer's MATCH ack reports the claim was accepted, so a
+	// match that bounces off claim-time revalidation never bills the
+	// customer (modelcheck invariant MC104 is the backstop). Off by
+	// default: a bare matchmaker keeps the paper's simple
+	// charge-per-match accounting.
+	DeferCharges bool
+	// LegacyClaimedTieBreak reinstates the pre-fix selection order that
+	// ignored an offer's claimed state on rank ties (earliest index
+	// won). It exists solely so modelcheck's MC201 regression and the
+	// seeded-mutant self-tests can mechanically rediscover the
+	// claimed-offer livelock (ROADMAP item 1); production configs must
+	// leave it off.
+	LegacyClaimedTieBreak bool
 }
 
 // Matchmaker runs negotiation cycles. The zero value is usable; usage
@@ -180,6 +196,11 @@ func owner(ad *classad.Ad) string {
 	return ""
 }
 
+// OwnerOf is the exported form of the accounting identity rule:
+// callers charging deferred usage (Config.DeferCharges) must bill the
+// same customer key Negotiate would have.
+func OwnerOf(ad *classad.Ad) string { return owner(ad) }
+
 // Negotiate runs one cycle: it considers requests customer by
 // customer — ordered by fair-share priority when enabled — and for
 // each request selects, among compatible offers, the one the request
@@ -248,7 +269,7 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 			var seen bool
 			cands, seen = memo[sig]
 			if !seen {
-				cands = agg.candidates(req, offers, m.cfg.Env)
+				cands = agg.candidates(req, offers, m.cfg)
 				memo[sig] = cands
 				scanned = agg.NumClasses()
 			}
@@ -269,7 +290,9 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 				Trace:       trace,
 				Span:        sp.ID(),
 			})
-			m.usage.Record(owner(req), 1)
+			if !m.cfg.DeferCharges {
+				m.usage.Record(owner(req), 1)
+			}
 			m.mMatches.Inc()
 			if m.events != nil {
 				m.events.Emit("matchmaker", "match", cycle, map[string]string{

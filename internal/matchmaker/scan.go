@@ -33,22 +33,37 @@ const ParallelAuto = -1
 // more than it saves and the scan stays sequential.
 const minParallelScan = 64
 
-// candidate identifies one compatible offer and the two ranks the
-// selection rule orders by.
+// candidate identifies one compatible offer, the two ranks the
+// selection rule orders by, and whether the offer advertises itself as
+// already claimed (the ROADMAP item 1 tie-break input).
 type candidate struct {
 	index            int
 	reqRank, offRank float64
+	claimed          bool
 }
 
 // better reports whether a should be selected over b. This is THE
 // selection rule of the negotiation cycle — linearScan, BestOffer,
 // aggregation and the parallel reduction all defer to it: higher
-// request rank wins, ties go to the higher offer rank, remaining ties
-// to the earliest offer (paper §3.2: "the Rank attributes are then
-// used to choose among compatible matches").
+// request rank wins, ties go first to unclaimed offers, then to the
+// higher offer rank, remaining ties to the earliest offer (paper
+// §3.2: "the Rank attributes are then used to choose among compatible
+// matches").
+//
+// The unclaimed-over-claimed preference resolves the claimed-offer
+// livelock (ROADMAP item 1, pinned by TestForensicsClaimedOfferLivelock
+// and modelcheck's MC201): a claimed machine that ties an idle twin on
+// rank used to win the earliest-index tie-break every cycle, and the
+// resulting match bounced off claim-time rank revalidation every
+// cycle. A strictly higher request rank still selects the claimed
+// machine — that is exactly the preemption case the claim protocol
+// admits.
 func better(a, b candidate) bool {
 	if a.reqRank != b.reqRank {
 		return a.reqRank > b.reqRank
+	}
+	if a.claimed != b.claimed {
+		return !a.claimed
 	}
 	if a.offRank != b.offRank {
 		return a.offRank > b.offRank
@@ -86,13 +101,14 @@ func scanOffers(req *classad.Ad, offers []*classad.Ad, cand []int, available []b
 	}
 	workers = scanWorkers(cfg.Parallel, n)
 	if workers <= 1 {
-		best, reqRank, offRank, scanned = scanRange(req, offers, cand, available, cfg, 0, n)
+		best, reqRank, offRank, _, scanned = scanRange(req, offers, cand, available, cfg, 0, n)
 		return best, reqRank, offRank, scanned, 1
 	}
 
 	type shard struct {
 		best             int
 		reqRank, offRank float64
+		claimed          bool
 		scanned          int
 	}
 	results := make([]shard, workers)
@@ -104,7 +120,7 @@ func scanOffers(req *classad.Ad, offers []*classad.Ad, cand []int, available []b
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			s := &results[w]
-			s.best, s.reqRank, s.offRank, s.scanned = scanRange(req, offers, cand, available, cfg, lo, hi)
+			s.best, s.reqRank, s.offRank, s.claimed, s.scanned = scanRange(req, offers, cand, available, cfg, lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -116,6 +132,7 @@ func scanOffers(req *classad.Ad, offers []*classad.Ad, cand []int, available []b
 	// mode the first shard with a hit holds the lowest compatible
 	// index.
 	best = -1
+	var bestClaimed bool
 	for _, s := range results {
 		scanned += s.scanned
 		if s.best < 0 {
@@ -127,8 +144,8 @@ func scanOffers(req *classad.Ad, offers []*classad.Ad, cand []int, available []b
 			}
 			continue
 		}
-		if best < 0 || better(candidate{s.best, s.reqRank, s.offRank}, candidate{best, reqRank, offRank}) {
-			best, reqRank, offRank = s.best, s.reqRank, s.offRank
+		if best < 0 || better(candidate{s.best, s.reqRank, s.offRank, s.claimed}, candidate{best, reqRank, offRank, bestClaimed}) {
+			best, reqRank, offRank, bestClaimed = s.best, s.reqRank, s.offRank, s.claimed
 		}
 	}
 	return best, reqRank, offRank, scanned, workers
@@ -136,9 +153,10 @@ func scanOffers(req *classad.Ad, offers []*classad.Ad, cand []int, available []b
 
 // scanRange is the sequential kernel: it evaluates candidates lo..hi
 // (indices into cand, or into offers directly when cand is nil) and
-// returns the local winner. In first-fit mode it stops at the first
+// returns the local winner (claimed reports the winner's claimed
+// status, for the shard fold). In first-fit mode it stops at the first
 // hit.
-func scanRange(req *classad.Ad, offers []*classad.Ad, cand []int, available []bool, cfg Config, lo, hi int) (best int, reqRank, offRank float64, scanned int) {
+func scanRange(req *classad.Ad, offers []*classad.Ad, cand []int, available []bool, cfg Config, lo, hi int) (best int, reqRank, offRank float64, claimed bool, scanned int) {
 	best = -1
 	for i := lo; i < hi; i++ {
 		oi := i
@@ -153,12 +171,16 @@ func scanRange(req *classad.Ad, offers []*classad.Ad, cand []int, available []bo
 		if !res.Matched {
 			continue
 		}
+		// Under LegacyClaimedTieBreak (modelcheck regression harness
+		// only) claimed state is invisible to better(), restoring the
+		// livelock-prone pre-fix order.
+		cl := !cfg.LegacyClaimedTieBreak && offerClaimed(offers[oi])
 		if cfg.FirstFit {
-			return oi, res.LeftRank, res.RightRank, scanned
+			return oi, res.LeftRank, res.RightRank, cl, scanned
 		}
-		if best < 0 || better(candidate{oi, res.LeftRank, res.RightRank}, candidate{best, reqRank, offRank}) {
-			best, reqRank, offRank = oi, res.LeftRank, res.RightRank
+		if best < 0 || better(candidate{oi, res.LeftRank, res.RightRank, cl}, candidate{best, reqRank, offRank, claimed}) {
+			best, reqRank, offRank, claimed = oi, res.LeftRank, res.RightRank, cl
 		}
 	}
-	return best, reqRank, offRank, scanned
+	return best, reqRank, offRank, claimed, scanned
 }

@@ -16,13 +16,21 @@ func TestBetterComparator(t *testing.T) {
 		a, b candidate
 		want bool
 	}{
-		{"higher request rank wins", candidate{5, 2, 0}, candidate{1, 1, 9}, true},
-		{"lower request rank loses", candidate{1, 1, 9}, candidate{5, 2, 0}, false},
-		{"request tie, higher offer rank wins", candidate{5, 1, 3}, candidate{1, 1, 2}, true},
-		{"request tie, lower offer rank loses", candidate{1, 1, 2}, candidate{5, 1, 3}, false},
-		{"full tie, earlier offer wins", candidate{1, 1, 1}, candidate{5, 1, 1}, true},
-		{"full tie, later offer loses", candidate{5, 1, 1}, candidate{1, 1, 1}, false},
-		{"identical candidate is not better", candidate{3, 1, 1}, candidate{3, 1, 1}, false},
+		{"higher request rank wins", candidate{5, 2, 0, false}, candidate{1, 1, 9, false}, true},
+		{"lower request rank loses", candidate{1, 1, 9, false}, candidate{5, 2, 0, false}, false},
+		{"request tie, higher offer rank wins", candidate{5, 1, 3, false}, candidate{1, 1, 2, false}, true},
+		{"request tie, lower offer rank loses", candidate{1, 1, 2, false}, candidate{5, 1, 3, false}, false},
+		{"full tie, earlier offer wins", candidate{1, 1, 1, false}, candidate{5, 1, 1, false}, true},
+		{"full tie, later offer loses", candidate{5, 1, 1, false}, candidate{1, 1, 1, false}, false},
+		{"identical candidate is not better", candidate{3, 1, 1, false}, candidate{3, 1, 1, false}, false},
+		// ROADMAP item 1: at equal request rank an unclaimed offer beats
+		// a claimed one, even a later or higher-offer-ranked one …
+		{"request tie, unclaimed beats claimed", candidate{5, 1, 0, false}, candidate{1, 1, 9, true}, true},
+		{"request tie, claimed loses to unclaimed", candidate{1, 1, 9, true}, candidate{5, 1, 0, false}, false},
+		// … but a strictly higher request rank still selects the claimed
+		// offer — that is the preemption case the claim protocol admits.
+		{"higher request rank beats unclaimed", candidate{5, 2, 0, true}, candidate{1, 1, 9, false}, true},
+		{"claimed full tie, earlier offer wins", candidate{1, 1, 1, true}, candidate{5, 1, 1, true}, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -86,7 +94,7 @@ func TestParallelScanMatchesSequential(t *testing.T) {
 		available[i] = true
 	}
 	for _, req := range requests {
-		wantBest, wantReq, wantOff, wantScanned := scanRange(
+		wantBest, wantReq, wantOff, _, wantScanned := scanRange(
 			req, offers, nil, available, Config{Env: env}, 0, len(offers))
 		for _, workers := range []int{2, 3, 7, 16} {
 			cfg := Config{Env: env, Parallel: workers}

@@ -1,0 +1,110 @@
+package modelcheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var codeLit = regexp.MustCompile(`"(MC\d{3})"`)
+
+// TestAllMCCodesMatchesSource re-derives the invariant vocabulary from
+// the package's own source: every "MCnnn" literal in a non-test file
+// must appear in AllCodes and vice versa, so a new invariant cannot
+// ship without a row in the table.
+func TestAllMCCodesMatchesSource(t *testing.T) {
+	fromSource := map[string]bool{}
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range codeLit.FindAllStringSubmatch(string(data), -1) {
+			fromSource[m[1]] = true
+		}
+	}
+	if len(fromSource) == 0 {
+		t.Fatal("no MC code literals found in package source")
+	}
+
+	declared := map[string]bool{}
+	var prev string
+	for _, info := range AllCodes() {
+		if declared[info.Code] {
+			t.Errorf("AllCodes lists %s twice", info.Code)
+		}
+		if info.Code <= prev {
+			t.Errorf("AllCodes out of order: %s after %s", info.Code, prev)
+		}
+		prev = info.Code
+		declared[info.Code] = true
+		if !fromSource[info.Code] {
+			t.Errorf("AllCodes lists %s but no source literal declares it", info.Code)
+		}
+		if info.Kind != "safety" && info.Kind != "liveness" {
+			t.Errorf("%s has kind %q", info.Code, info.Kind)
+		}
+	}
+	for code := range fromSource {
+		if !declared[code] {
+			t.Errorf("source declares %s but AllCodes does not list it", code)
+		}
+	}
+}
+
+var docRow = regexp.MustCompile(`^\| (MC\d{3}) \| (\w+) \| (.+) \|$`)
+
+// TestDesignDocModelCheckTableInSync is the `make lint-codes` gate:
+// the DESIGN.md §13 invariant table must list exactly the codes
+// AllCodes declares, each with its declared kind.
+func TestDesignDocModelCheckTableInSync(t *testing.T) {
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := map[string]string{}
+	var order []string
+	for _, line := range strings.Split(string(data), "\n") {
+		m := docRow.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		if _, dup := documented[m[1]]; dup {
+			t.Errorf("DESIGN.md documents %s twice", m[1])
+		}
+		documented[m[1]] = m[2]
+		order = append(order, m[1])
+	}
+	if len(documented) == 0 {
+		t.Fatal("no MC invariant table rows found in DESIGN.md")
+	}
+	if !sort.StringsAreSorted(order) {
+		t.Errorf("DESIGN.md invariant table out of code order: %v", order)
+	}
+
+	for _, info := range AllCodes() {
+		kind, ok := documented[info.Code]
+		if !ok {
+			t.Errorf("DESIGN.md is missing a row for %s (%s)", info.Code, info.Summary)
+			continue
+		}
+		if kind != info.Kind {
+			t.Errorf("DESIGN.md documents %s as %q, the checker reports it as %q",
+				info.Code, kind, info.Kind)
+		}
+		delete(documented, info.Code)
+	}
+	for code := range documented {
+		t.Errorf("DESIGN.md documents %s but the checker does not declare it", code)
+	}
+}

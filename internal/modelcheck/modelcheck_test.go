@@ -1,0 +1,163 @@
+package modelcheck
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// canonicalConfig is the pool `make mc` checks on every run: two
+// machines, two single-unit jobs, two negotiators racing for the
+// lease, and one clock tick that can depose a leader mid-flight.
+// Small enough to exhaust, rich enough that every safety invariant has
+// something to bite on: concurrent cycles, message reordering, ticket
+// staleness, lease takeover.
+func canonicalConfig() Config {
+	return Config{
+		Machines: []MachineSpec{
+			{Name: "m1", Ad: `[ Type = "Machine"; Name = "m1"; Memory = 32 ]`},
+			{Name: "m2", Ad: `[ Type = "Machine"; Name = "m2"; Memory = 64 ]`},
+		},
+		Jobs: []JobSpec{
+			{Name: "alice/j1", Owner: "alice", Work: 1,
+				Ad: `[ Type = "Job"; Name = "alice/j1"; Owner = "alice" ]`},
+			{Name: "bob/j1", Owner: "bob", Work: 1,
+				Ad: `[ Type = "Job"; Name = "bob/j1"; Owner = "bob" ]`},
+		},
+		Negotiators: []string{"neg1", "neg2"},
+		MaxTicks:    1,
+	}
+}
+
+// TestExhaustiveSmallPoolInvariants is the `make mc-short` gate: the
+// canonical pool, explored exhaustively to the depth bound, holds
+// every safety invariant. -short trims the depth for the inner dev
+// loop; MC_FULL=1 (what `make mc` sets) deepens it.
+func TestExhaustiveSmallPoolInvariants(t *testing.T) {
+	cfg := canonicalConfig()
+	cfg.MaxDepth = 9
+	cfg.MaxSchedules = 400000
+	if os.Getenv("MC_FULL") != "" {
+		cfg.MaxDepth = 11
+		cfg.MaxSchedules = 0
+	}
+	start := time.Now()
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("explored %d schedules over %d distinct states (deepest %d, truncated %v) in %v",
+		res.Schedules, res.States, res.Deepest, res.Truncated, time.Since(start))
+	for _, v := range res.Violations {
+		t.Errorf("invariant violated: %v\nschedule: %v", v, v.Schedule)
+	}
+	if res.Schedules < 10000 {
+		t.Errorf("explored only %d schedules; the bound is supposed to cover >= 10000", res.Schedules)
+	}
+}
+
+// TestLivenessCanonicalPool: under fair scheduling, both finite jobs
+// of the canonical pool complete (MC201 holds on main).
+func TestLivenessCanonicalPool(t *testing.T) {
+	res, err := CheckLiveness(canonicalConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("liveness violated: %v\n%s", res.Violation,
+			strings.Join(res.Violation.Trace, "\n"))
+	}
+	t.Logf("all obligations served in %d fair rounds", res.Rounds)
+}
+
+// livelockConfig reconstructs ROADMAP item 1: machine A is claimed by
+// an infinite job, its idle twin B ties every rank, and a late-arriving
+// job must choose between them every cycle.
+func livelockConfig(legacy bool) Config {
+	return Config{
+		Machines: []MachineSpec{
+			{Name: "A", Ad: `[ Type = "Machine"; Name = "A"; Memory = 32 ]`},
+			{Name: "B", Ad: `[ Type = "Machine"; Name = "B"; Memory = 32 ]`},
+		},
+		Jobs: []JobSpec{
+			// The incumbent: grabs A in round 1 and never finishes.
+			{Name: "alice/forever", Owner: "alice", Work: -1,
+				Ad: `[ Type = "Job"; Name = "alice/forever"; Owner = "alice" ]`},
+			// The victim: arrives once A is claimed, ties A and B on
+			// rank. Pre-fix, the earliest-index tie-break picked the
+			// claimed A every cycle and the claim bounced every cycle.
+			{Name: "bob/starved", Owner: "bob", Work: 1, Delay: 1,
+				Ad: `[ Type = "Job"; Name = "bob/starved"; Owner = "bob" ]`},
+		},
+		Negotiators:           []string{"neg1"},
+		LegacyClaimedTieBreak: legacy,
+	}
+}
+
+// TestLivelockRegression mechanically rediscovers the claimed-offer
+// livelock (ROADMAP item 1) as an MC201 counterexample under the
+// legacy tie-break, and proves the unclaimed-over-claimed fix resolves
+// it. This is the model checker's version of
+// TestForensicsClaimedOfferLivelock, with the loop detected rather
+// than asserted.
+func TestLivelockRegression(t *testing.T) {
+	res, err := CheckLiveness(livelockConfig(true), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || res.Violation.Code != CodeStarvation {
+		t.Fatalf("legacy tie-break: want %s, got %v", CodeStarvation, res.Violation)
+	}
+	if len(res.Starved) != 1 || res.Starved[0] != "bob/starved" {
+		t.Errorf("starved = %v, want bob/starved", res.Starved)
+	}
+	trace := strings.Join(res.Violation.Trace, "\n")
+	if !strings.Contains(trace, "MATCH bob/starved -> A") ||
+		!strings.Contains(trace, "claim rejected") {
+		t.Errorf("counterexample trace does not show the bounce loop:\n%s", trace)
+	}
+	t.Logf("livelock rediscovered: %v", res.Violation)
+
+	fixed, err := CheckLiveness(livelockConfig(false), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fixed.Violation != nil {
+		t.Fatalf("unclaimed-over-claimed tie-break still livelocks: %v\n%s",
+			fixed.Violation, strings.Join(fixed.Violation.Trace, "\n"))
+	}
+}
+
+// TestExploreRespectsMaxSchedules: the truncation valve reports
+// itself.
+func TestExploreRespectsMaxSchedules(t *testing.T) {
+	cfg := canonicalConfig()
+	cfg.MaxDepth = 8
+	cfg.MaxSchedules = 500
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Schedules > 500 {
+		t.Fatalf("truncation: %+v", res)
+	}
+}
+
+// TestConfigValidation: malformed scenarios fail loudly, not deep in a
+// replay.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Explore(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := canonicalConfig()
+	cfg.Machines[0].Ad = `[ Name = "mismatch" ]`
+	if _, err := Explore(cfg); err == nil {
+		t.Error("machine Name mismatch accepted")
+	}
+	cfg = canonicalConfig()
+	cfg.Jobs[0].Ad = `[ not classad`
+	if _, err := Explore(cfg); err == nil {
+		t.Error("unparsable job ad accepted")
+	}
+}

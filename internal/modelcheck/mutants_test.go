@@ -1,0 +1,166 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+)
+
+// Seeded-mutant self-test: each hook plants one protocol bug, and the
+// checker must rediscover it as the expected MC code with a schedule
+// that replays. A model checker that cannot catch planted bugs proves
+// nothing by passing on main.
+
+// epochMutantConfig is the deposed-leader scenario: neg1 matches job1
+// to A at epoch 1, the clock tick deposes it, neg2 matches job2 to B
+// at epoch 2, and the two MATCH notifications race to the customer.
+// Constraints pin each job to its machine so both matches can be in
+// flight at once with both tickets live.
+func epochMutantConfig(disableFence bool) Config {
+	return Config{
+		Machines: []MachineSpec{
+			{Name: "A", Ad: `[ Type = "Machine"; Name = "A"; Memory = 32 ]`},
+			{Name: "B", Ad: `[ Type = "Machine"; Name = "B"; Memory = 64 ]`},
+		},
+		Jobs: []JobSpec{
+			{Name: "alice/j1", Owner: "alice", Work: 1,
+				Ad: `[ Type = "Job"; Name = "alice/j1"; Owner = "alice"; Constraint = other.Memory < 64 ]`},
+			{Name: "bob/j1", Owner: "bob", Work: 1,
+				Ad: `[ Type = "Job"; Name = "bob/j1"; Owner = "bob"; Constraint = other.Memory >= 64 ]`},
+		},
+		Negotiators:     []string{"neg1", "neg2"},
+		MaxTicks:        1,
+		MaxDepth:        9,
+		StopOnViolation: true,
+		Hooks:           Hooks{DisableEpochFence: disableFence},
+	}
+}
+
+func findCode(t *testing.T, res *Result, code string) *Violation {
+	t.Helper()
+	for _, v := range res.Violations {
+		if v.Code == code {
+			return v
+		}
+	}
+	t.Fatalf("no %s violation found; got %v (after %d schedules)", code, res.Violations, res.Schedules)
+	return nil
+}
+
+// TestMutantStaleEpochClaim: with the customer's epoch fence disabled,
+// the explorer finds a schedule where a deposed negotiator's MATCH is
+// honoured after the new leader's — MC102 — and the counterexample
+// replays and renders. With the fence in place the same space is
+// clean, which is the point of the fence.
+func TestMutantStaleEpochClaim(t *testing.T) {
+	res, err := Explore(epochMutantConfig(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := findCode(t, res, CodeStaleEpochClaim)
+	t.Logf("MC102 rediscovered after %d schedules: %v", res.Schedules, v)
+
+	rendered, err := RenderTrace(epochMutantConfig(true), v.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered, "counterexample MC102") ||
+		!strings.Contains(rendered, "stale epoch") {
+		t.Errorf("rendered trace missing the violation:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "match_sent") {
+		t.Errorf("rendered trace carries no matchmaker events:\n%s", rendered)
+	}
+
+	clean, err := Explore(epochMutantConfig(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Violations) != 0 {
+		t.Fatalf("fence enabled but violations found: %v", clean.Violations)
+	}
+}
+
+// TestMutantDoubleCharge: billing two units per acknowledged claim
+// breaks ledger conservation on the very first grant — MC104.
+func TestMutantDoubleCharge(t *testing.T) {
+	cfg := Config{
+		Machines: []MachineSpec{
+			{Name: "m1", Ad: `[ Type = "Machine"; Name = "m1" ]`},
+		},
+		Jobs: []JobSpec{
+			{Name: "alice/j1", Owner: "alice", Work: 1,
+				Ad: `[ Type = "Job"; Name = "alice/j1"; Owner = "alice" ]`},
+		},
+		Negotiators:     []string{"neg1"},
+		MaxDepth:        5,
+		StopOnViolation: true,
+		Hooks:           Hooks{DoubleCharge: true},
+	}
+	res, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := findCode(t, res, CodeLedgerConservation)
+	if !strings.Contains(v.Detail, "2 units charged against 1") {
+		t.Errorf("detail = %q", v.Detail)
+	}
+	rendered, err := RenderTrace(cfg, v.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rendered, "counterexample MC104") {
+		t.Errorf("rendered trace missing MC104:\n%s", rendered)
+	}
+
+	cfg.Hooks.DoubleCharge = false
+	clean, err := Explore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clean.Violations) != 0 {
+		t.Fatalf("unmutated billing violates: %v", clean.Violations)
+	}
+}
+
+// TestMutantDropClaimRequeue: losing a bounced claim instead of
+// requeueing it starves the job forever — MC201 under the fair
+// scheduler. One machine, a two-round incumbent, and a second job
+// whose first claim is guaranteed to bounce off the incumbent's claim.
+func TestMutantDropClaimRequeue(t *testing.T) {
+	cfg := Config{
+		Machines: []MachineSpec{
+			{Name: "m1", Ad: `[ Type = "Machine"; Name = "m1" ]`},
+		},
+		Jobs: []JobSpec{
+			{Name: "alice/long", Owner: "alice", Work: 2,
+				Ad: `[ Type = "Job"; Name = "alice/long"; Owner = "alice" ]`},
+			{Name: "bob/j1", Owner: "bob", Work: 1,
+				Ad: `[ Type = "Job"; Name = "bob/j1"; Owner = "bob" ]`},
+		},
+		Negotiators: []string{"neg1"},
+		Hooks:       Hooks{DropClaimRequeue: true},
+	}
+	res, err := CheckLiveness(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil || res.Violation.Code != CodeStarvation {
+		t.Fatalf("want %s, got %v", CodeStarvation, res.Violation)
+	}
+	if len(res.Starved) != 1 || res.Starved[0] != "bob/j1" {
+		t.Errorf("starved = %v, want bob/j1", res.Starved)
+	}
+	if trace := strings.Join(res.Violation.Trace, "\n"); !strings.Contains(trace, "DROPPED") {
+		t.Errorf("trace does not show the dropped claim:\n%s", trace)
+	}
+
+	cfg.Hooks.DropClaimRequeue = false
+	clean, err := CheckLiveness(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Violation != nil {
+		t.Fatalf("requeueing pool still starves: %v\n%s", clean.Violation,
+			strings.Join(clean.Violation.Trace, "\n"))
+	}
+}

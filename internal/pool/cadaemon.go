@@ -621,7 +621,11 @@ func (d *CustomerDaemon) handleMatch(env *protocol.Envelope) *protocol.Envelope 
 	d.mu.Lock()
 	d.claims[job.ID] = claimRef{contact: providerContact, machine: adName(machine), trace: trace}
 	d.mu.Unlock()
-	return &protocol.Envelope{Type: protocol.TypeAck}
+	// Accepted tells the notifying negotiator the claim actually
+	// landed: that ack — not the match itself — is what charges the
+	// customer's fair-share usage. Every other return path leaves
+	// Accepted false, so bounced matches never bill.
+	return &protocol.Envelope{Type: protocol.TypeAck, Accepted: true}
 }
 
 // pickJobFor selects the idle job this match should serve: the first

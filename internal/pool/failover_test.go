@@ -193,7 +193,7 @@ func TestNegotiatorFailover(t *testing.T) {
 	machine.SetString(classad.AttrTicket, "stale")
 	target := classad.NewAd()
 	target.SetString(classad.AttrContact, h.ca.Contact())
-	err := sendToContact(nil, target, &protocol.Envelope{
+	_, err := sendToContact(nil, target, &protocol.Envelope{
 		Type:   protocol.TypeMatch,
 		PeerAd: protocol.EncodeAd(machine),
 		Ticket: "stale",
@@ -430,7 +430,7 @@ func TestTracePropagatesAcrossFailover(t *testing.T) {
 	vax.SetString("Arch", "VAX")
 	target := classad.NewAd()
 	target.SetString(classad.AttrContact, h.ca.Contact())
-	if err := sendToContact(nil, target, &protocol.Envelope{
+	if _, err := sendToContact(nil, target, &protocol.Envelope{
 		Type: protocol.TypeMatch, PeerAd: protocol.EncodeAd(vax), Epoch: 2,
 	}); err != nil {
 		t.Fatal(err)
@@ -440,7 +440,7 @@ func TestTracePropagatesAcrossFailover(t *testing.T) {
 	// with the job's trace context. The fence rejects it — and the
 	// refusal joins the trace as an errored span.
 	stale := figure1Machine()
-	err := sendToContact(nil, target, &protocol.Envelope{
+	_, err := sendToContact(nil, target, &protocol.Envelope{
 		Type: protocol.TypeMatch, PeerAd: protocol.EncodeAd(stale),
 		Epoch: 1, Trace: trace, Span: "s-deposed",
 	})

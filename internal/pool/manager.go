@@ -145,6 +145,11 @@ func NewManager(cfg ManagerConfig) *Manager {
 		cfg.Matchmaker.Index = true
 		cfg.Matchmaker.Parallel = matchmaker.ParallelAuto
 	}
+	// Pool accounting is charge-on-claim-ack: the matchmaker defers,
+	// and RunCycle bills only when the customer's MATCH ack reports the
+	// claim was accepted. A match that bounces off claim-time
+	// revalidation costs the customer nothing.
+	cfg.Matchmaker.DeferCharges = true
 	store := cfg.Store
 	if store == nil {
 		store = collector.New(cfg.Env)
@@ -254,6 +259,9 @@ type CycleResult struct {
 	Matches          []matchmaker.Match
 	// Notified counts matches whose parties were both reachable.
 	Notified int
+	// Charged counts matches whose customer acknowledged a granted
+	// claim — the only ones that billed fair-share usage.
+	Charged int
 	// Errors collects notification failures (unreachable contacts).
 	Errors []error
 	// Cycle is the cycle's trace identifier: every event this cycle
@@ -325,7 +333,8 @@ func (m *Manager) RunCycle() CycleResult {
 	})
 	res.Matches = m.mm.NegotiateCycle(cycleID, requests, offers)
 	for _, match := range res.Matches {
-		if err := m.notify(match, cycleID, epoch); err != nil {
+		accepted, err := m.notify(match, cycleID, epoch)
+		if err != nil {
 			res.Errors = append(res.Errors, err)
 			m.mNotifyErrors.Inc()
 			m.obs.Events().Emit("manager", "notify_failed", cycleID, map[string]string{
@@ -336,6 +345,12 @@ func (m *Manager) RunCycle() CycleResult {
 			continue
 		}
 		res.Notified++
+		if accepted {
+			// The claim landed: now — and only now — the customer is
+			// charged (Config.DeferCharges holds the matchmaker back).
+			m.mm.Usage().Record(matchmaker.OwnerOf(match.Request), 1)
+			res.Charged++
+		}
 		m.logMatch(match)
 		// The matched request leaves the store: its CA will
 		// re-advertise if the claim falls through. The provider ad
@@ -441,7 +456,7 @@ func (m *Manager) logMatch(match matchmaker.Match) {
 }
 
 // notify runs the matchmaking protocol for one match.
-func (m *Manager) notify(match matchmaker.Match, cycleID string, epoch uint64) error {
+func (m *Manager) notify(match matchmaker.Match, cycleID string, epoch uint64) (bool, error) {
 	return notifyMatch(m.dialer, m.notifyRetry, m.logf, m.obs.Spans(), "manager", match, cycleID, epoch)
 }
 
@@ -453,11 +468,17 @@ func (m *Manager) notify(match matchmaker.Match, cycleID string, epoch uint64) e
 // Traced matches (the request ad carries a TraceId) propagate the
 // trace into both envelopes and record a notify span under src.
 // Shared by the combined Manager and the standalone NegotiatorDaemon.
+//
+// accepted reports whether the customer's ack carried Accepted — the
+// claim was granted — which is the signal deferred fair-share charging
+// keys on. A CA predating the flag acks without it; such a pool simply
+// stops charging, which is the conservative failure mode (customers
+// are under- rather than over-billed).
 func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, ...any),
-	spans *obs.Spans, src string, match matchmaker.Match, cycleID string, epoch uint64) error {
+	spans *obs.Spans, src string, match matchmaker.Match, cycleID string, epoch uint64) (accepted bool, err error) {
 	session, err := protocol.NewSession()
 	if err != nil {
-		return err
+		return false, err
 	}
 	ticket, _ := match.Offer.Eval(classad.AttrTicket).StringVal()
 	trace := match.Trace
@@ -478,7 +499,7 @@ func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, 
 	// are retried with backoff before the match is abandoned to the
 	// next cycle.
 	if err := netx.Retry(context.Background(), retry, func() error {
-		return sendToContact(dialer, match.Request, &protocol.Envelope{
+		reply, err := sendToContact(dialer, match.Request, &protocol.Envelope{
 			Type:    protocol.TypeMatch,
 			PeerAd:  protocol.EncodeAd(match.Offer),
 			Ticket:  ticket,
@@ -488,15 +509,20 @@ func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, 
 			Span:    sp.ID(),
 			Epoch:   epoch,
 		})
+		if err != nil {
+			return err
+		}
+		accepted = reply.Accepted
+		return nil
 	}); err != nil {
 		sp.Fail(err.Error())
 		sp.End()
-		return fmt.Errorf("pool: notify customer: %w", err)
+		return false, fmt.Errorf("pool: notify customer: %w", err)
 	}
 	// Provider notification is advisory; a provider without a
 	// reachable contact still works because the claim itself carries
 	// everything the RA needs. One bounded attempt is enough.
-	if err := sendToContact(dialer, match.Offer, &protocol.Envelope{
+	if _, err := sendToContact(dialer, match.Offer, &protocol.Envelope{
 		Type:    protocol.TypeMatch,
 		PeerAd:  protocol.EncodeAd(match.Request),
 		Session: session,
@@ -507,37 +533,39 @@ func notifyMatch(dialer *netx.Dialer, retry netx.RetryPolicy, logf func(string, 
 	}); err != nil {
 		logf("pool: notify provider: %v", err)
 	}
+	sp.Set("claim_accepted", fmt.Sprint(accepted))
 	sp.End()
-	return nil
+	return accepted, nil
 }
 
 // sendToContact dials the ad's Contact address with bounded connect
-// and I/O deadlines, delivers one envelope, and waits for an ACK.
-func sendToContact(d *netx.Dialer, ad *classad.Ad, env *protocol.Envelope) error {
+// and I/O deadlines, delivers one envelope, and returns the
+// acknowledging reply.
+func sendToContact(d *netx.Dialer, ad *classad.Ad, env *protocol.Envelope) (*protocol.Envelope, error) {
 	contact, ok := ad.Eval(classad.AttrContact).StringVal()
 	if !ok || contact == "" {
 		// No retry can conjure a contact address.
-		return netx.Permanent(errors.New("ad has no Contact address"))
+		return nil, netx.Permanent(errors.New("ad has no Contact address"))
 	}
 	if d == nil {
 		d = netx.DefaultDialer
 	}
 	conn, err := d.Dial(contact)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer conn.Close()
 	if err := protocol.Write(conn, env); err != nil {
-		return err
+		return nil, err
 	}
 	reply, err := protocol.Read(bufio.NewReader(conn))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if reply.Type == protocol.TypeError {
-		return netx.Permanent(errors.New(reply.Reason))
+		return nil, netx.Permanent(errors.New(reply.Reason))
 	}
-	return nil
+	return reply, nil
 }
 
 // quietReadError reports whether a handler read error is ordinary

@@ -76,6 +76,9 @@ func NewNegotiatorDaemon(name string, client *collector.Client, ledger *matchmak
 		mmCfg.Index = true
 		mmCfg.Parallel = matchmaker.ParallelAuto
 	}
+	// Same accounting rule as the combined Manager: matches bill only
+	// when the customer's ack reports the claim was accepted.
+	mmCfg.DeferCharges = true
 	d := &NegotiatorDaemon{
 		Name:   name,
 		Logf:   func(string, ...any) {},
@@ -231,11 +234,16 @@ func (d *NegotiatorDaemon) negotiate(epoch uint64) CycleResult {
 	res := CycleResult{Requests: len(requests), Offers: len(offers), Cycle: cycleID, Epoch: epoch}
 	res.Matches = d.mm.NegotiateCycle(cycleID, requests, offers)
 	for _, match := range res.Matches {
-		if err := notifyMatch(d.dialer, d.retry, d.Logf, d.obs.Spans(), "negotiator", match, cycleID, epoch); err != nil {
+		accepted, err := notifyMatch(d.dialer, d.retry, d.Logf, d.obs.Spans(), "negotiator", match, cycleID, epoch)
+		if err != nil {
 			res.Errors = append(res.Errors, err)
 			continue
 		}
 		res.Notified++
+		if accepted {
+			d.mm.Usage().Record(matchmaker.OwnerOf(match.Request), 1)
+			res.Charged++
+		}
 		if name, err := collector.NameOf(match.Request); err == nil {
 			if err := d.client.Invalidate(name); err != nil {
 				d.Logf("negotiator %s: invalidate %s: %v", d.Name, name, err)

@@ -25,9 +25,16 @@ func TestNegotiatorPublishesItself(t *testing.T) {
 	if err := mgr.Store().Update(job, 0); err != nil {
 		t.Fatal(err)
 	}
+	// Usage is charged on claim acknowledgment, not match emission —
+	// and this pool has no reachable CA, so seed the table directly to
+	// exercise its publication.
+	mgr.Usage().Record("raman", 1)
 	res := mgr.RunCycle()
 	if len(res.Matches) != 1 {
 		t.Fatalf("cycle: %+v", res)
+	}
+	if res.Charged != 0 {
+		t.Fatalf("Charged = %d on a cycle with no acknowledged claim", res.Charged)
 	}
 
 	// The negotiator ad answers a one-way query.

@@ -250,7 +250,7 @@ func TestDurabilityMetricsScraped(t *testing.T) {
 		epoch   uint64
 		wantErr bool
 	}{{3, false}, {2, true}} {
-		err := sendToContact(nil, target, &protocol.Envelope{
+		_, err := sendToContact(nil, target, &protocol.Envelope{
 			Type: protocol.TypeMatch, PeerAd: protocol.EncodeAd(machine), Epoch: tc.epoch,
 		})
 		if (err != nil) != tc.wantErr {

@@ -111,14 +111,18 @@ func TestManagerUsagePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := mgr.RunCycle()
-	// Notification fails (no contacts) but usage was recorded for the
-	// match and the table was saved.
+	// Notification fails (no contacts), and — charge-on-claim-ack —
+	// a match that never produced an acknowledged claim bills nothing.
 	if len(res.Matches) != 1 {
 		t.Fatalf("matches = %d", len(res.Matches))
 	}
-	if u := mgr.Usage().Effective("raman"); u != 1 {
-		t.Errorf("usage = %v", u)
+	if u := mgr.Usage().Effective("raman"); u != 0 {
+		t.Errorf("usage = %v, want 0 for an unacknowledged match", u)
 	}
+	// Charge as an acknowledged claim would have, then run a cycle so
+	// the per-cycle save persists the table.
+	mgr.Usage().Record("raman", 1)
+	mgr.RunCycle()
 
 	// A restarted manager inherits the history.
 	mgr2 := NewManager(ManagerConfig{

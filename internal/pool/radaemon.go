@@ -232,7 +232,7 @@ func (d *ResourceDaemon) handle(conn net.Conn) {
 		}
 		var reply *protocol.Envelope
 		switch env.Type {
-		case protocol.TypeMatch:
+		case protocol.TypeMatch: //epochguard:ok advisory notification; the claim protocol re-fences via the ticket
 			// Step 3: the provider learns who it was matched to.
 			// Advisory — the claim carries everything needed.
 			reply = &protocol.Envelope{Type: protocol.TypeAck}
@@ -416,7 +416,7 @@ func (d *ResourceDaemon) maybeStartJob(job *classad.Ad) {
 		if err := d.RA.Release(owner); err != nil {
 			d.logf("ra %s: release after completion: %v", d.RA.Name(), err)
 		}
-		if err := sendToContact(d.dialer, job, &protocol.Envelope{
+		if _, err := sendToContact(d.dialer, job, &protocol.Envelope{
 			Type:  protocol.TypeJobDone,
 			Ad:    protocol.EncodeAd(job),
 			Name:  d.RA.Name(),
@@ -440,7 +440,7 @@ func (d *ResourceDaemon) notifyPreempted(claim agent.Claim) {
 	if d.onEvict != nil {
 		d.onEvict(claim)
 	}
-	err := sendToContact(d.dialer, claim.Job, &protocol.Envelope{
+	_, err := sendToContact(d.dialer, claim.Job, &protocol.Envelope{
 		Type:  protocol.TypePreempt,
 		Ad:    protocol.EncodeAd(claim.Job),
 		Name:  d.RA.Name(),

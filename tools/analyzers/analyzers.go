@@ -51,7 +51,7 @@ type Analyzer struct {
 
 // All returns every analyzer `make verify` runs.
 func All() []*Analyzer {
-	return []*Analyzer{NoDial, ObsGuard, MsgSwitch, LockGuard, FsyncGuard, TraceCtx}
+	return []*Analyzer{NoDial, ObsGuard, MsgSwitch, LockGuard, FsyncGuard, TraceCtx, EpochGuard, ReplyGuard}
 }
 
 // File is one parsed source file.

@@ -45,6 +45,43 @@ func TestFsyncGuard(t *testing.T) {
 	analyzertest.Run(t, analyzers.FsyncGuard, "testdata/src/fsyncguard/internal/store")
 }
 
+func TestEpochGuard(t *testing.T) {
+	// internal/ placement is load-bearing: the analyzer only fires
+	// inside internal/ packages.
+	analyzertest.Run(t, analyzers.EpochGuard, "testdata/src/epochguard/internal/app")
+}
+
+func TestReplyGuard(t *testing.T) {
+	analyzertest.Run(t, analyzers.ReplyGuard, "testdata/src/replyguard/internal/app")
+}
+
+// TestReplyGuardPartition checks that replyguard's request/reply
+// classification partitions the protocol vocabulary exactly: every
+// message type is either a request or a reply, never both, never
+// neither. ProtocolMsgTypes is itself synced against protocol.go by
+// TestMsgTypeListInSync, so drift in protocol.go fails one of the two.
+func TestReplyGuardPartition(t *testing.T) {
+	class := map[string]string{}
+	for _, name := range analyzers.RequestMsgTypes {
+		class[name] = "request"
+	}
+	for _, name := range analyzers.ReplyMsgTypes {
+		if prev, dup := class[name]; dup {
+			t.Errorf("%s classified as both %s and reply", name, prev)
+		}
+		class[name] = "reply"
+	}
+	for _, name := range analyzers.ProtocolMsgTypes {
+		if _, ok := class[name]; !ok {
+			t.Errorf("%s is in ProtocolMsgTypes but neither request- nor reply-class", name)
+		}
+		delete(class, name)
+	}
+	for name, kind := range class {
+		t.Errorf("%s classified as %s but is not in ProtocolMsgTypes", name, kind)
+	}
+}
+
 // TestMsgTypeListInSync re-derives the message-type vocabulary from
 // internal/protocol/protocol.go's syntax and compares it with the
 // analyzer's hardcoded copy, so adding a message type without teaching

@@ -1,0 +1,122 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// EpochGuard enforces the epoch-fencing conformance rule the HA
+// negotiator pair depends on: every MATCH-envelope consumer in
+// internal/ must consult the negotiator-epoch high-water mark before
+// acting on the notification. A deposed leader keeps sending MATCHes
+// until it notices its lease lapsed; a consumer that dispatches on
+// protocol.TypeMatch without ever looking at an epoch will honour
+// those stale introductions, which is exactly the double-grant the
+// lease's fencing token exists to prevent (modelcheck invariant
+// MC102 is the dynamic half of this check).
+//
+// The check is syntactic but call-following: the `case
+// protocol.TypeMatch:` clause, or any same-file function it calls
+// (transitively), must reference an identifier containing "epoch"
+// (e.g. env.Epoch, highestEpoch, ObserveEpoch). Consumers that are
+// deliberately advisory — the MATCH carries nothing the claim protocol
+// does not re-verify — waive the finding with `//epochguard:ok
+// <reason>` on the case clause's line.
+var EpochGuard = &Analyzer{
+	Name:      "epochguard",
+	Doc:       "MATCH-envelope consumers in internal/ must consult the negotiator-epoch high-water mark",
+	SkipTests: true,
+	Run:       runEpochGuard,
+}
+
+func runEpochGuard(p *Pass) {
+	dir := filepath.ToSlash(p.Pkg.Dir)
+	if !strings.Contains(dir, "internal/") {
+		return
+	}
+	alias := importName(p.File.Ast, "repro/internal/protocol")
+	if alias == "" {
+		return
+	}
+	// Index the file's function declarations so the check can follow
+	// `reply = d.handleMatch(env)` into the handler's body.
+	fns := map[string]*ast.FuncDecl{}
+	for _, decl := range p.File.Ast.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok {
+			fns[fd.Name.Name] = fd
+		}
+	}
+	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
+		clause, ok := n.(*ast.CaseClause)
+		if !ok || !caseListsMatch(clause, alias) {
+			return true
+		}
+		if consultsEpoch(clause.Body, fns, map[string]bool{}) {
+			return true
+		}
+		if directiveAtLine(p, "epochguard:ok", p.Pkg.Fset.Position(clause.Pos()).Line) {
+			return true
+		}
+		p.Reportf(clause.Pos(),
+			"TypeMatch consumer never consults the negotiator epoch: a deposed leader's stale MATCH would be honoured (//epochguard:ok <reason> to waive)")
+		return true
+	})
+}
+
+// caseListsMatch reports whether the clause dispatches on
+// protocol.TypeMatch.
+func caseListsMatch(clause *ast.CaseClause, alias string) bool {
+	for _, e := range clause.List {
+		if isSelector(e, alias, "TypeMatch") {
+			return true
+		}
+	}
+	return false
+}
+
+// consultsEpoch reports whether the statements, or any same-file
+// function they (transitively) call, reference an epoch identifier.
+func consultsEpoch(stmts []ast.Stmt, fns map[string]*ast.FuncDecl, visited map[string]bool) bool {
+	found := false
+	for _, stmt := range stmts {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.Ident:
+				if strings.Contains(strings.ToLower(x.Name), "epoch") {
+					found = true
+					return false
+				}
+			case *ast.CallExpr:
+				if name := calleeName(x); name != "" && !visited[name] {
+					visited[name] = true
+					if fd := fns[name]; fd != nil && fd.Body != nil &&
+						consultsEpoch(fd.Body.List, fns, visited) {
+						found = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName extracts the called function or method name from a call
+// expression: f(...) or recv.f(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,190 @@
+package analyzers
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// ReplyGuard enforces the request/reply conformance of protocol
+// handlers: a handler that dispatches protocol requests must produce
+// an answer on every return path, and the answer must be a
+// reply-class message. A `return nil` in a handler is a hung peer —
+// the connection loop writes whatever the handler returns, and nil
+// either panics the writer or silently drops the request the client
+// is blocked on. Returning a request-class envelope (say, a MATCH
+// from a claim handler) inverts the protocol's direction on a
+// connection the peer is using as a reply channel.
+//
+// Scope: internal/ functions named handle*/dispatch* whose result
+// includes *protocol.Envelope. The request/reply classification below
+// is sync-tested against msgswitch's ProtocolMsgTypes (itself
+// re-derived from protocol.go's syntax), so the partition cannot
+// drift from the wire vocabulary. `//replyguard:ok <reason>` on the
+// return's line waives a finding (e.g. a handler whose nil is
+// documented as "hijacked the connection").
+var ReplyGuard = &Analyzer{
+	Name:      "replyguard",
+	Doc:       "protocol request handlers must write a reply-class envelope on every return path",
+	SkipTests: true,
+	Run:       runReplyGuard,
+}
+
+// RequestMsgTypes are the message types that initiate an exchange: a
+// handler receives them and owes the peer an answer.
+var RequestMsgTypes = []string{
+	"TypeAdvertise",
+	"TypeInvalidate",
+	"TypeQuery",
+	"TypeMatch",
+	"TypeClaim",
+	"TypeRelease",
+	"TypePreempt",
+	"TypeChallenge",
+	"TypeSubmit",
+	"TypeSysOpen",
+	"TypeSysRead",
+	"TypeSysWrite",
+	"TypeSysTrunc",
+	"TypeSysClose",
+	"TypeCkptSave",
+	"TypeCkptLoad",
+	"TypeJobDone",
+	"TypeLease",
+}
+
+// ReplyMsgTypes are the message types that answer an exchange: the
+// only types a request handler may return. TestReplyGuardPartition
+// checks that RequestMsgTypes and ReplyMsgTypes partition
+// ProtocolMsgTypes exactly.
+var ReplyMsgTypes = []string{
+	"TypeQueryReply",
+	"TypeClaimReply",
+	"TypeChalReply",
+	"TypeAck",
+	"TypeError",
+	"TypeSysFd",
+	"TypeSysData",
+	"TypeCkptData",
+	"TypeLeaseReply",
+}
+
+func runReplyGuard(p *Pass) {
+	dir := filepath.ToSlash(p.Pkg.Dir)
+	if !strings.Contains(dir, "internal/") {
+		return
+	}
+	alias := importName(p.File.Ast, "repro/internal/protocol")
+	if alias == "" {
+		return
+	}
+	replyClass := make(map[string]bool, len(ReplyMsgTypes))
+	for _, name := range ReplyMsgTypes {
+		replyClass[name] = true
+	}
+	requestClass := make(map[string]bool, len(RequestMsgTypes))
+	for _, name := range RequestMsgTypes {
+		requestClass[name] = true
+	}
+	for _, decl := range p.File.Ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !isHandlerName(fd.Name.Name) {
+			continue
+		}
+		idx := envelopeResultIndex(fd.Type, alias)
+		if idx < 0 {
+			continue
+		}
+		checkHandlerReturns(p, fd, idx, requestClass)
+	}
+}
+
+// isHandlerName matches the repo's handler naming convention.
+func isHandlerName(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "handle") || strings.HasPrefix(lower, "dispatch")
+}
+
+// envelopeResultIndex finds the *protocol.Envelope result position,
+// or -1.
+func envelopeResultIndex(ft *ast.FuncType, alias string) int {
+	if ft.Results == nil {
+		return -1
+	}
+	idx := 0
+	for _, field := range ft.Results.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if star, ok := field.Type.(*ast.StarExpr); ok && isSelector(star.X, alias, "Envelope") {
+			return idx
+		}
+		idx += n
+	}
+	return -1
+}
+
+// checkHandlerReturns walks the handler's own return statements
+// (nested function literals are the closure's business, not the
+// handler's) and reports nil replies and request-class replies.
+func checkHandlerReturns(p *Pass, fd *ast.FuncDecl, idx int, requestClass map[string]bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(x.Results) <= idx {
+				return true // bare return with named results: can't see it syntactically
+			}
+			res := x.Results[idx]
+			line := p.Pkg.Fset.Position(x.Pos()).Line
+			if id, ok := res.(*ast.Ident); ok && id.Name == "nil" {
+				if !directiveAtLine(p, "replyguard:ok", line) {
+					p.Reportf(x.Pos(),
+						"handler %s returns nil reply: every protocol request must be answered or explicitly rejected (//replyguard:ok <reason> to waive)",
+						fd.Name.Name)
+				}
+				return true
+			}
+			if typ := envelopeLitType(res); requestClass[typ] {
+				if !directiveAtLine(p, "replyguard:ok", line) {
+					p.Reportf(x.Pos(),
+						"handler %s replies with request-class %s: handlers answer with reply-class envelopes (ACK, ERROR, *_REPLY)",
+						fd.Name.Name, typ)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+}
+
+// envelopeLitType extracts the Type constant name from a returned
+// protocol.Envelope composite literal (with or without &), or "".
+func envelopeLitType(e ast.Expr) string {
+	if un, ok := e.(*ast.UnaryExpr); ok {
+		e = un.X
+	}
+	lit, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return ""
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Type" {
+			continue
+		}
+		if sel, ok := kv.Value.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name
+		}
+		if id, ok := kv.Value.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}

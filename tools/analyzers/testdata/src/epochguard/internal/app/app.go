@@ -1,0 +1,73 @@
+// Package app seeds epoch-fencing violations for the epochguard
+// analyzer: internal/ consumers dispatching on protocol.TypeMatch must
+// consult the negotiator-epoch high-water mark, or a deposed leader's
+// stale MATCH would be honoured.
+package app
+
+import "repro/internal/protocol"
+
+type daemon struct {
+	highestEpoch uint64
+}
+
+// badDispatch acts on a MATCH without ever looking at an epoch.
+func (d *daemon) badDispatch(env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeMatch: // want "TypeMatch consumer never consults the negotiator epoch"
+		return &protocol.Envelope{Type: protocol.TypeAck, Name: env.Name}
+	default:
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+}
+
+// goodInline fences right in the case clause.
+func (d *daemon) goodInline(env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeMatch:
+		if env.Epoch < d.highestEpoch {
+			return &protocol.Envelope{Type: protocol.TypeError}
+		}
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	default:
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+}
+
+// goodViaHelper delegates to a same-file handler that fences; the
+// analyzer follows the call.
+func (d *daemon) goodViaHelper(env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeMatch:
+		return d.handleMatch(env)
+	default:
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+}
+
+func (d *daemon) handleMatch(env *protocol.Envelope) *protocol.Envelope {
+	if env.Epoch > 0 && env.Epoch < d.highestEpoch {
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// waived is deliberately advisory: the claim protocol re-verifies
+// everything the MATCH carries.
+func (d *daemon) waived(env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeMatch: //epochguard:ok advisory notification, claim re-fences
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	default:
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+}
+
+// otherTypes don't need an epoch consult at all.
+func (d *daemon) otherTypes(env *protocol.Envelope) *protocol.Envelope {
+	switch env.Type {
+	case protocol.TypeQuery:
+		return &protocol.Envelope{Type: protocol.TypeQueryReply}
+	default:
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+}

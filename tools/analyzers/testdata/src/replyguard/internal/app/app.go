@@ -1,0 +1,70 @@
+// Package app seeds reply-conformance violations for the replyguard
+// analyzer: protocol request handlers must answer on every return
+// path, and with a reply-class envelope.
+package app
+
+import "repro/internal/protocol"
+
+type server struct{}
+
+// handleNil drops the request on one path — a hung peer.
+func (s *server) handleNil(env *protocol.Envelope) *protocol.Envelope {
+	if env.Name == "" {
+		return nil // want "handler handleNil returns nil reply"
+	}
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleBackwards answers a claim with another request-class message,
+// inverting the protocol's direction on the connection.
+func (s *server) handleBackwards(env *protocol.Envelope) *protocol.Envelope {
+	return &protocol.Envelope{Type: protocol.TypeMatch} // want "handler handleBackwards replies with request-class TypeMatch"
+}
+
+// dispatchQuery is well-behaved: every path yields a reply-class
+// envelope.
+func (s *server) dispatchQuery(env *protocol.Envelope) *protocol.Envelope {
+	if env.Name == "" {
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+	return &protocol.Envelope{Type: protocol.TypeQueryReply}
+}
+
+// handleHijack documents why its nil is fine: the handler took over
+// the connection and will write frames itself.
+func (s *server) handleHijack(env *protocol.Envelope) *protocol.Envelope {
+	return nil //replyguard:ok connection hijacked, handler streams frames directly
+}
+
+// handleNamed uses a bare return with named results; the analyzer
+// cannot see through it syntactically and stays silent.
+func (s *server) handleNamed(env *protocol.Envelope) (reply *protocol.Envelope) {
+	reply = &protocol.Envelope{Type: protocol.TypeAck}
+	return
+}
+
+// handleErrPair returns (reply, error): the envelope index is tracked
+// positionally, so the nil error on the happy path is not a finding
+// but the nil reply on the sad path is.
+func (s *server) handleErrPair(env *protocol.Envelope) (*protocol.Envelope, error) {
+	if env.Name == "" {
+		return nil, nil // want "handler handleErrPair returns nil reply"
+	}
+	return &protocol.Envelope{Type: protocol.TypeClaimReply}, nil
+}
+
+// handleClosure's inner function literal is the closure's business,
+// not the handler's return path.
+func (s *server) handleClosure(env *protocol.Envelope) *protocol.Envelope {
+	f := func() *protocol.Envelope {
+		return nil
+	}
+	_ = f
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// lookup is not named handle*/dispatch*, so it is out of scope even
+// though it returns an envelope.
+func (s *server) lookup(name string) *protocol.Envelope {
+	return nil
+}
