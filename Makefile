@@ -17,8 +17,9 @@ GO ?= go
 FUZZTIME ?= 15s
 # The hot paths a matchmaker lives on: classad parse/eval/match and
 # the negotiation-cycle variants (Negotiat covers both the Negotiation*
-# cycle benchmarks and the Negotiate* index/scan benchmarks).
-BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation
+# cycle benchmarks and the Negotiate* index/scan benchmarks;
+# SteadyState is the event-driven delta wake vs full-rebuild pair).
+BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation|SteadyState
 
 .PHONY: verify test test-short build vet lint lint-codes mc mc-short fuzz crash bench bench-check ci
 

@@ -678,3 +678,83 @@ func BenchmarkFacadeMatch(b *testing.B) {
 		}
 	}
 }
+
+// ---- Event-driven steady state: delta wakes vs full rebuilds ----
+
+// namedBigRequests is bigRequests plus the Name attribute the
+// incremental engine keys requests by.
+func namedBigRequests(n int) []*classad.Ad {
+	out := bigRequests(n)
+	for i, ad := range out {
+		ad.SetString("Name", fmt.Sprintf("bench-j%d", i))
+	}
+	return out
+}
+
+// BenchmarkSteadyStateDeltas measures one steady-state wake at pool
+// scale: 10k offers, 32 live requests, and 1% of the offers
+// re-advertised with changed content between wakes. The incremental
+// engine replays only what the churn touched; the full-rebuild pair is
+// what timer mode pays for the same pool every period. The committed
+// baseline pins the gap (>=10x less negotiation work per wake); the
+// evals/wake metric is the engine's own bilateral-evaluation count.
+func BenchmarkSteadyStateDeltas(b *testing.B) {
+	const nOffers = 10000
+	const nReqs = 32
+	const churn = nOffers / 100 // 1% per wake
+	env := classad.FixedEnv(0, 1)
+	offers := bigPool(nOffers)
+	requests := namedBigRequests(nReqs)
+
+	// churned rebuilds offer i with a round-dependent Mips, so each
+	// churn round really changes content (and rank landscape).
+	churned := func(i, round int) *classad.Ad {
+		ad := classad.MustParse(offers[i].String())
+		ad.SetInt("Mips", int64(10+(i*7+round*13+1)%90))
+		return ad
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		eng := matchmaker.NewIncremental(matchmaker.New(matchmaker.Config{Env: env, Index: true}))
+		for _, ad := range offers {
+			name, _ := ad.Eval("Name").StringVal()
+			eng.Notify(matchmaker.AdDelta{Kind: matchmaker.AdUpsert, Name: name, Ad: ad})
+		}
+		for _, ad := range requests {
+			name, _ := ad.Eval("Name").StringVal()
+			eng.Notify(matchmaker.AdDelta{Kind: matchmaker.AdUpsert, Name: name, Ad: ad})
+		}
+		if ms, _ := eng.Recompute("seed"); len(ms) == 0 {
+			b.Fatal("no matches at seed")
+		}
+		var evals int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for k := 0; k < churn; k++ {
+				i := (n*churn + k) % nOffers
+				eng.Notify(matchmaker.AdDelta{Kind: matchmaker.AdUpsert,
+					Name: fmt.Sprintf("m%d", i), Ad: churned(i, n)})
+			}
+			_, stats := eng.Recompute("wake")
+			evals += stats.Evals
+		}
+		b.ReportMetric(float64(evals)/float64(b.N), "evals/wake")
+	})
+
+	b.Run("full-rebuild", func(b *testing.B) {
+		mm := matchmaker.New(matchmaker.Config{Env: env, Index: true})
+		work := append([]*classad.Ad(nil), offers...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			for k := 0; k < churn; k++ {
+				i := (n*churn + k) % nOffers
+				work[i] = churned(i, n)
+			}
+			if len(mm.Negotiate(requests, work)) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}

@@ -5,18 +5,26 @@
 // Usage:
 //
 //	cadvertise -pool HOST:PORT [-lifetime SECONDS] [-debug-addr ADDR] FILE...
+//	cadvertise -pool HOST:PORT -refresh 60 FILE...
 //	cadvertise -pool HOST:PORT -invalidate NAME
 //
-// Each FILE may contain one or more bracketed classads. With
-// -debug-addr the tool serves /metrics while it runs and prints the
-// netx transport counters (dials, retries, backoff) on exit — handy
-// for seeing what a flaky collector cost.
+// Each FILE may contain one or more bracketed classads. With -refresh
+// the tool keeps running and re-advertises the files every period the
+// way a daemon heartbeat does — as UPDATE_DELTA envelopes carrying
+// only the attributes that changed since the last refresh (an empty
+// delta when nothing did), with automatic fallback to a full
+// ADVERTISE on any sequence mismatch. With -debug-addr the tool
+// serves /metrics while it runs and prints the netx transport
+// counters (dials, retries, backoff) on exit — handy for seeing what
+// a flaky collector cost.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"repro/internal/classad"
 	"repro/internal/collector"
@@ -27,6 +35,7 @@ import (
 func main() {
 	poolAddr := flag.String("pool", "127.0.0.1:9618", "collector address")
 	lifetime := flag.Int64("lifetime", 0, "advertisement lifetime in seconds (0 = collector default)")
+	refresh := flag.Int64("refresh", 0, "keep running and re-advertise every SECONDS as deltas (0 = advertise once and exit)")
 	invalidate := flag.String("invalidate", "", "withdraw the ad stored under this name")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics and pprof on this address while running")
 	flag.Parse()
@@ -60,31 +69,71 @@ func main() {
 	if flag.NArg() == 0 {
 		fatalf("no ad files given")
 	}
-	sent := 0
-	for _, path := range flag.Args() {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		ads, err := classad.ParseMulti(string(data))
-		if err != nil {
-			// A bare attribute list is a single ad.
-			ad, err2 := classad.Parse(string(data))
-			if err2 != nil {
-				fatalf("%s: %v", path, err)
+	if *refresh <= 0 {
+		sent := 0
+		for _, path := range flag.Args() {
+			for _, ad := range loadAds(path) {
+				if err := client.Advertise(ad, *lifetime); err != nil {
+					fatalf("%s: %v", path, err)
+				}
+				name, _ := ad.Eval(classad.AttrName).StringVal()
+				fmt.Printf("advertised %q\n", name)
+				sent++
 			}
-			ads = []*classad.Ad{ad}
 		}
-		for _, ad := range ads {
-			if err := client.Advertise(ad, *lifetime); err != nil {
-				fatalf("%s: %v", path, err)
+		fmt.Printf("%d advertisement(s) sent to %s\n", sent, *poolAddr)
+		return
+	}
+
+	// Refresh mode: heartbeat the files as deltas until interrupted.
+	// Files are re-read each period, so editing one between refreshes
+	// ships exactly the changed attributes.
+	da := collector.NewDeltaAdvertiser(client)
+	beat := func() {
+		for _, path := range flag.Args() {
+			for _, ad := range loadAds(path) {
+				name, _ := ad.Eval(classad.AttrName).StringVal()
+				if err := da.Advertise(ad, *lifetime); err != nil {
+					fmt.Fprintf(os.Stderr, "cadvertise: %s: %v\n", name, err)
+				}
 			}
-			name, _ := ad.Eval(classad.AttrName).StringVal()
-			fmt.Printf("advertised %q\n", name)
-			sent++
 		}
 	}
-	fmt.Printf("%d advertisement(s) sent to %s\n", sent, *poolAddr)
+	beat()
+	fulls, deltas, _ := da.Stats()
+	fmt.Printf("%d advertisement(s) established at %s, refreshing every %ds\n", fulls+deltas, *poolAddr, *refresh)
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	ticker := time.NewTicker(time.Duration(*refresh) * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			beat()
+		case <-stop:
+			fulls, deltas, fallbacks := da.Stats()
+			fmt.Printf("cadvertise: %d full ad(s), %d delta(s), %d fallback(s)\n", fulls, deltas, fallbacks)
+			return
+		}
+	}
+}
+
+// loadAds parses one file into its classads (a bare attribute list is
+// a single ad).
+func loadAds(path string) []*classad.Ad {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	ads, err := classad.ParseMulti(string(data))
+	if err != nil {
+		ad, err2 := classad.Parse(string(data))
+		if err2 != nil {
+			fatalf("%s: %v", path, err)
+		}
+		ads = []*classad.Ad{ad}
+	}
+	return ads
 }
 
 func fatalf(format string, args ...any) {

@@ -34,6 +34,8 @@ func main() {
 	name := flag.String("name", "", "this negotiator's identity in leader election (required)")
 	poolAddr := flag.String("pool", "127.0.0.1:9618", "collector address")
 	period := flag.Int64("period", 60, "heartbeat/negotiation period in seconds")
+	event := flag.Bool("event", false, "event mode: negotiate only when the collector's pool-change counter moved")
+	fallbackEvery := flag.Int64("fallback-heartbeats", 10, "event mode: force a full negotiation every N heartbeats")
 	leaseTTL := flag.Int64("lease-ttl", 0, "requested lease duration in seconds (0 for the collector's default)")
 	fairShare := flag.Bool("fairshare", true, "order customers by past usage")
 	aggregate := flag.Bool("aggregate", false, "enable group matching over regular ads")
@@ -91,12 +93,29 @@ func main() {
 	signal.Notify(stop, os.Interrupt)
 	ticker := time.NewTicker(time.Duration(*period) * time.Second)
 	defer ticker.Stop()
+	var beats int64
 	for {
 		select {
 		case <-ticker.C:
-			res := d.Tick()
+			var res pool.CycleResult
+			if *event {
+				// Event mode: the lease heartbeat carries the collector's
+				// pool-change counter; an unchanged pool skips the cycle.
+				// Every -fallback-heartbeats ticks one is forced anyway —
+				// the remote analogue of the in-process fallback rebuild.
+				beats++
+				res = d.TickEvent(*fallbackEvery > 0 && beats%*fallbackEvery == 0)
+			} else {
+				res = d.Tick()
+			}
 			if res.Standby {
 				log.Printf("cnegotiator: %s", d)
+				continue
+			}
+			if res.Skipped {
+				if *verbose {
+					log.Printf("cnegotiator: epoch %d: pool unchanged, cycle skipped", res.Epoch)
+				}
 				continue
 			}
 			log.Printf("cnegotiator: epoch %d cycle: %d requests, %d offers, %d matches, %d notified, %d errors",

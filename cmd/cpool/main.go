@@ -7,14 +7,21 @@
 // and with -ha-name the manager's negotiator half takes part in
 // leader election against standby cnegotiator processes.
 //
+// With -period 0 the manager goes event-driven: negotiation sleeps on
+// the ad store's change feed and wakes only when an advertisement
+// actually changes, with a periodic full-rebuild fallback (-fallback)
+// as the safety net. A quiet pool then costs no negotiation at all.
+//
 // Usage:
 //
 //	cpool [-listen ADDR] [-period SECONDS] [-fairshare] [-aggregate] [-debug-addr ADDR]
 //	cpool -store-dir /var/pool/collector -usage-dir /var/pool/usage -ha-name mgr
-//	cpool -store-dir /var/pool/collector -period 0   # collector only; cnegotiator pair matches
+//	cpool -period 0 [-fallback SECONDS]              # event-driven negotiation
+//	cpool -collector-only                            # no local negotiation; cnegotiator pair matches
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -31,7 +38,9 @@ import (
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9618", "collector listen address")
-	period := flag.Int64("period", 300, "negotiation cycle period in seconds (0: collector only, leave matching to cnegotiator)")
+	period := flag.Int64("period", 300, "negotiation cycle period in seconds (0: event-driven, negotiate on ad changes)")
+	fallback := flag.Int64("fallback", 300, "event mode: full-rebuild fallback period in seconds")
+	collectorOnly := flag.Bool("collector-only", false, "store ads and arbitrate the lease only; leave matching to cnegotiator")
 	fairShare := flag.Bool("fairshare", true, "order customers by past usage")
 	aggregate := flag.Bool("aggregate", false, "enable group matching over regular ads")
 	usageFile := flag.String("usage", "", "persist fair-share history to this file")
@@ -107,12 +116,23 @@ func main() {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt)
-	if *period <= 0 {
+	if *collectorOnly {
 		// Collector-only mode: external cnegotiator processes hold the
 		// lease and drive the cycles; this process just stores ads,
 		// answers queries, and arbitrates the lease.
 		log.Printf("cpool: collector on %s (no local negotiation)", addr)
 		<-stop
+		log.Printf("cpool: shutting down")
+		return
+	}
+	if *period <= 0 {
+		// Event-driven mode: negotiation sleeps on the store's change
+		// feed; the fallback timer forces the classic full rebuild.
+		el := mgr.StartEvents(time.Duration(*fallback) * time.Second)
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() { <-stop; cancel() }()
+		log.Printf("cpool: collector on %s, event-driven negotiation (fallback every %ds)", addr, *fallback)
+		el.Run(ctx)
 		log.Printf("cpool: shutting down")
 		return
 	}

@@ -26,6 +26,13 @@ const DefaultLifetime int64 = 900
 type entry struct {
 	ad      *classad.Ad
 	expires int64 // absolute seconds; 0 means never
+	// seq is the advertiser-assigned sequence number of this ad state;
+	// an UPDATE_DELTA applies only against a matching seq (delta.go).
+	seq uint64
+	// src caches ad.String() so a refresh can cheaply detect that the
+	// content did not change — the steady-state heartbeat — and skip
+	// publishing a delta to the change feed.
+	src string
 }
 
 // Store is a thread-safe advertisement store. The zero value is not
@@ -41,9 +48,21 @@ type Store struct {
 	// Negotiator leadership lease (lease.go).
 	lease Lease
 
+	// Change-feed subscribers (delta.go).
+	subs []*Subscription
+	// version counts published deltas — a cheap monotonic "did the
+	// pool change" signal remote negotiators poll (not persisted: a
+	// restart resets it, which reads as a change, which is correct).
+	version uint64
+	// Hooks are the seeded fault-injection points (delta.go); zero in
+	// production.
+	Hooks Hooks
+
 	// Observability hooks; nil (no-op) until Instrument is called.
 	mStored, mExpired, mInvalidated *obs.Counter
 	mLeaseGrants, mLeaseTakeovers   *obs.Counter
+	mDeltaApplied, mDeltaMismatch   *obs.Counter
+	mDeltaBytesSaved                *obs.Counter
 
 	// daemons tracks self-advertising daemons (Type == "Daemon") past
 	// their ads' expiry: unlike ordinary ads, a daemon that stops
@@ -97,6 +116,9 @@ func (s *Store) Instrument(reg *obs.Registry) {
 	s.mInvalidated = reg.Counter("collector_ads_invalidated_total")
 	s.mLeaseGrants = reg.Counter("collector_lease_grants_total")
 	s.mLeaseTakeovers = reg.Counter("collector_lease_takeovers_total")
+	s.mDeltaApplied = reg.Counter("collector_delta_applied_total")
+	s.mDeltaMismatch = reg.Counter("collector_delta_mismatch_total")
+	s.mDeltaBytesSaved = reg.Counter("collector_delta_bytes_saved_total")
 	log := s.log
 	s.mu.Unlock()
 	reg.GaugeFunc("collector_ads", func() float64 { return float64(s.Len()) })
@@ -119,6 +141,14 @@ func NameOf(ad *classad.Ad) (string, error) {
 // DefaultLifetime. Re-advertising under the same Name replaces the
 // previous ad, which is how agents publish state changes.
 func (s *Store) Update(ad *classad.Ad, lifetime int64) error {
+	return s.UpdateSeq(ad, lifetime, 0)
+}
+
+// UpdateSeq is Update with an explicit advertiser-assigned sequence
+// number (the wire ADVERTISE's Seq field); seq 0 means the advertiser
+// is not sequence-aware and the store assigns the successor of the
+// stored sequence, so mixed full/delta refresh paths stay coherent.
+func (s *Store) UpdateSeq(ad *classad.Ad, lifetime int64, seq uint64) error {
 	name, err := NameOf(ad)
 	if err != nil {
 		return err
@@ -128,20 +158,40 @@ func (s *Store) Update(ad *classad.Ad, lifetime int64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pruneLocked()
+	key := classad.Fold(name)
+	prev, existed := s.ads[key]
+	if seq == 0 {
+		seq = prev.seq + 1
+	}
+	src := ad.String()
 	expires := s.env.Now() + lifetime
-	s.ads[classad.Fold(name)] = entry{ad: ad, expires: expires}
+	s.ads[key] = entry{ad: ad, expires: expires, seq: seq, src: src}
 	s.mStored.Inc()
+	s.trackDaemonLocked(ad, key, expires)
+	switch {
+	case !existed:
+		s.publishLocked(Delta{Kind: DeltaAdded, Name: key, Ad: ad})
+	case prev.src != src:
+		s.publishLocked(Delta{Kind: DeltaChanged, Name: key, Ad: ad})
+		// Content-identical refresh: a pure heartbeat publishes nothing.
+	}
+	// Journal after applying: a failure leaves the ad live in memory
+	// (harmless — it would simply be lost with the process) but
+	// unacknowledged, so the advertiser retries (persist.go).
+	return s.journalLocked(persistRecord{Op: opUpdate, Ad: src, Expires: expires, Seq: seq})
+}
+
+// trackDaemonLocked maintains the daemon-health map for ads of
+// Type == "Daemon". The caller holds s.mu.
+func (s *Store) trackDaemonLocked(ad *classad.Ad, key string, expires int64) {
 	if typ, ok := ad.Eval(classad.AttrType).StringVal(); ok && classad.Fold(typ) == "daemon" {
 		kind, _ := ad.Eval("Daemon").StringVal()
 		if s.daemons == nil {
 			s.daemons = make(map[string]daemonEntry)
 		}
-		s.daemons[classad.Fold(name)] = daemonEntry{kind: kind, lastSeen: s.env.Now(), expires: expires}
+		s.daemons[key] = daemonEntry{kind: kind, lastSeen: s.env.Now(), expires: expires}
 	}
-	// Journal after applying: a failure leaves the ad live in memory
-	// (harmless — it would simply be lost with the process) but
-	// unacknowledged, so the advertiser retries (persist.go).
-	return s.journalLocked(persistRecord{Op: opUpdate, Ad: ad.String(), Expires: expires})
 }
 
 // Invalidate removes the ad stored under name, reporting whether one
@@ -150,13 +200,14 @@ func (s *Store) Invalidate(name string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := classad.Fold(name)
-	_, ok := s.ads[key]
+	e, ok := s.ads[key]
 	delete(s.ads, key)
 	// A daemon invalidating its self-ad is announcing a clean
 	// shutdown: stop tracking it rather than reporting it missing.
 	delete(s.daemons, key)
 	if ok {
 		s.mInvalidated.Inc()
+		s.publishLocked(Delta{Kind: DeltaInvalidated, Name: key, Ad: e.ad})
 		// A journal failure here is tolerable in a way an Update failure
 		// is not: a resurrected ad still carries its original absolute
 		// expiry, so the worst case is the paper's ordinary weak
@@ -174,6 +225,7 @@ func (s *Store) pruneLocked() {
 		if e.expires != 0 && e.expires <= now {
 			delete(s.ads, k)
 			s.mExpired.Inc()
+			s.publishLocked(Delta{Kind: DeltaExpired, Name: k, Ad: e.ad})
 		}
 	}
 }

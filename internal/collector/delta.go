@@ -1,0 +1,279 @@
+package collector
+
+// Delta advertising and the store's change feed. Two independent
+// mechanisms share the machinery here:
+//
+//   - On the wire, an advertiser refreshes a stored ad with an
+//     UPDATE_DELTA envelope carrying only changed attributes against a
+//     base sequence number. The collector merges the delta into its
+//     stored copy; on any sequence mismatch it rejects the delta and
+//     the advertiser falls back to a full ADVERTISE, so a lost or
+//     reordered delta degrades to the paper's ordinary full-ad refresh
+//     rather than corrupting state.
+//
+//   - In process, the store publishes a change feed — one Delta per ad
+//     added, changed, expired, or invalidated — over a subscription
+//     seam. The event-driven negotiation engine (internal/matchmaker,
+//     incremental.go) sleeps on this feed instead of a fixed cycle
+//     timer. A content-identical refresh (the steady-state heartbeat)
+//     publishes nothing, which is what makes the dirty set empty and
+//     negotiation idle while the pool is quiet.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/classad"
+)
+
+// ErrSeqMismatch rejects an UPDATE_DELTA whose BaseSeq does not equal
+// the stored ad's sequence (or whose ad is not stored at all). The
+// advertiser recovers by sending a full ADVERTISE.
+var ErrSeqMismatch = errors.New("collector: delta base sequence mismatch")
+
+// DeltaKind classifies one store change.
+type DeltaKind int
+
+const (
+	// DeltaAdded: an ad appeared under a name not previously stored.
+	DeltaAdded DeltaKind = iota
+	// DeltaChanged: a stored ad's content changed (full re-advertise
+	// with different attributes, or a merged wire delta).
+	DeltaChanged
+	// DeltaExpired: an ad's lifetime ran out without a refresh.
+	DeltaExpired
+	// DeltaInvalidated: the advertiser explicitly withdrew the ad.
+	DeltaInvalidated
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaAdded:
+		return "added"
+	case DeltaChanged:
+		return "changed"
+	case DeltaExpired:
+		return "expired"
+	case DeltaInvalidated:
+		return "invalidated"
+	}
+	return fmt.Sprintf("DeltaKind(%d)", int(k))
+}
+
+// Delta is one published store change. Ad carries the post-change ad
+// for Added/Changed and the last stored ad for Expired/Invalidated.
+type Delta struct {
+	Kind DeltaKind
+	Name string // folded ad name
+	Ad   *classad.Ad
+}
+
+// Hooks are seeded fault-injection points for the delta machinery's
+// self-tests (the PR 8 modelcheck style): each hook reintroduces a
+// specific bug the test suite must mechanically rediscover. All hooks
+// are off in production.
+type Hooks struct {
+	// StaleDeltaApply makes ApplyDelta merge a delta whose BaseSeq
+	// does not match the stored sequence — the classic
+	// lost-update-then-patch corruption the sequence check exists to
+	// prevent.
+	StaleDeltaApply bool
+}
+
+// Subscription is one subscriber's view of the store's change feed:
+// an unbounded FIFO the store appends to and the subscriber drains.
+// Unbounded is deliberate — dropping a delta would silently undo the
+// engine's dirty marking (exactly the DropDirtyNotification mutant),
+// and a subscriber further behind than the ad pool is reconciled by
+// the fallback full rebuild, not by backpressure on advertisers.
+type Subscription struct {
+	store *Store
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Delta
+	closed bool
+}
+
+// Subscribe registers a new change-feed subscriber. Deltas published
+// after the call are queued until Drain/Wait collects them; Close
+// unregisters.
+func (s *Store) Subscribe() *Subscription {
+	sub := &Subscription{store: s}
+	sub.cond = sync.NewCond(&sub.mu)
+	s.mu.Lock()
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	return sub
+}
+
+// publishLocked fans one delta out to every subscriber. The caller
+// holds s.mu; subscriber locks nest strictly inside it.
+func (s *Store) publishLocked(d Delta) {
+	s.version++
+	for _, sub := range s.subs {
+		sub.mu.Lock()
+		if !sub.closed {
+			sub.queue = append(sub.queue, d)
+			sub.cond.Signal()
+		}
+		sub.mu.Unlock()
+	}
+}
+
+// Drain returns and clears the queued deltas without blocking.
+func (sub *Subscription) Drain() []Delta {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	out := sub.queue
+	sub.queue = nil
+	return out
+}
+
+// Wait blocks until at least one delta is queued or the subscription
+// closes, then returns the drained queue (nil once closed).
+func (sub *Subscription) Wait() []Delta {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	for len(sub.queue) == 0 && !sub.closed {
+		sub.cond.Wait()
+	}
+	out := sub.queue
+	sub.queue = nil
+	return out
+}
+
+// Pending reports the queued delta count.
+func (sub *Subscription) Pending() int {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return len(sub.queue)
+}
+
+// Close unregisters the subscription and wakes any blocked Wait.
+func (sub *Subscription) Close() {
+	s := sub.store
+	s.mu.Lock()
+	for i, x := range s.subs {
+		if x == sub {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	sub.mu.Lock()
+	sub.closed = true
+	sub.cond.Broadcast()
+	sub.mu.Unlock()
+}
+
+// MergeAd applies a delta — attributes to set, attributes to remove —
+// to a base ad and returns the merged copy. The base is not modified
+// (stored ads are immutable once published to the change feed).
+func MergeAd(base, changes *classad.Ad, removed []string) *classad.Ad {
+	merged := base.Copy()
+	if changes != nil {
+		for _, name := range changes.Names() {
+			e, _ := changes.Lookup(name)
+			merged.Set(name, e)
+		}
+	}
+	for _, name := range removed {
+		merged.Delete(name)
+	}
+	return merged
+}
+
+// DiffAds computes the delta that turns prev into next: an ad holding
+// every attribute of next that is new or textually different in prev,
+// and the names present in prev but gone from next. Attribute
+// comparison is on unparsed expression text — the same canonical form
+// the store journals — so a semantically identical re-parse never
+// manufactures a spurious delta.
+func DiffAds(prev, next *classad.Ad) (changes *classad.Ad, removed []string) {
+	changes = classad.NewAd()
+	for _, name := range next.Names() {
+		ne, _ := next.Lookup(name)
+		if pe, ok := prev.Lookup(name); ok && pe.String() == ne.String() {
+			continue
+		}
+		changes.Set(name, ne)
+	}
+	for _, name := range prev.Names() {
+		if _, ok := next.Lookup(name); !ok {
+			removed = append(removed, name)
+		}
+	}
+	return changes, removed
+}
+
+// ApplyDelta merges a wire delta into the stored ad: the entry under
+// name must exist with sequence baseSeq; changes and removed are
+// applied on top of it, the result stored under seq with a refreshed
+// lifetime. An empty delta (no changes, no removals) is a pure
+// heartbeat — it renews the lifetime and publishes nothing to the
+// change feed. Any sequence mismatch (including an absent ad) returns
+// ErrSeqMismatch so the advertiser falls back to a full ADVERTISE.
+func (s *Store) ApplyDelta(name string, baseSeq, seq uint64, changes *classad.Ad, removed []string, lifetime int64) error {
+	if lifetime <= 0 {
+		lifetime = DefaultLifetime
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	key := classad.Fold(name)
+	e, ok := s.ads[key]
+	if !ok || e.seq != baseSeq {
+		// The StaleDeltaApply mutant skips the sequence check and
+		// patches whatever is stored — it still cannot patch an ad that
+		// does not exist.
+		if !s.Hooks.StaleDeltaApply || !ok {
+			s.mDeltaMismatch.Inc()
+			return fmt.Errorf("collector: ad %q: stored seq %d, delta base %d: %w",
+				name, e.seq, baseSeq, ErrSeqMismatch)
+		}
+	}
+	merged := MergeAd(e.ad, changes, removed)
+	if mergedName, err := NameOf(merged); err != nil || classad.Fold(mergedName) != key {
+		return fmt.Errorf("collector: delta for %q may not change the ad's Name", name)
+	}
+	src := merged.String()
+	expires := s.env.Now() + lifetime
+	s.ads[key] = entry{ad: merged, expires: expires, seq: seq, src: src}
+	s.mStored.Inc()
+	s.mDeltaApplied.Inc()
+	deltaLen := len(removed)
+	if changes != nil {
+		deltaLen += len(changes.String())
+	}
+	if saved := len(src) - deltaLen; saved > 0 {
+		s.mDeltaBytesSaved.Add(int64(saved))
+	}
+	s.trackDaemonLocked(merged, key, expires)
+	if src != e.src {
+		s.publishLocked(Delta{Kind: DeltaChanged, Name: key, Ad: merged})
+	}
+	return s.journalLocked(persistRecord{Op: opUpdate, Ad: src, Expires: expires, Seq: seq})
+}
+
+// Version reports the store's pool-change counter: it advances once
+// per published delta (add/change/expire/invalidate), so an unchanged
+// Version between two reads means no matchable state changed — the
+// signal a remote negotiator uses to skip an idle negotiation cycle.
+// It is not persisted; a collector restart restarts it, which any
+// cached comparison simply reads as "changed".
+func (s *Store) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked()
+	return s.version
+}
+
+// Seq reports the stored sequence number for name (0 if absent or the
+// advertiser was not sequence-aware).
+func (s *Store) Seq(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ads[classad.Fold(name)].seq
+}

@@ -1,0 +1,285 @@
+package collector
+
+// Delta-wire tests: the merge(base, delta) == full property, the
+// sequence-gap -> full-re-advertise fallback, the empty-delta
+// heartbeat, the pool-change counter, and mechanical rediscovery of
+// the StaleDeltaApply mutant.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/obs"
+)
+
+// randAd builds an ad named name with a random subset of a fixed
+// attribute pool, each holding a random literal or expression.
+func randAd(rng *rand.Rand, name string) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Name", name)
+	ad.SetString("Type", "Machine")
+	attrs := []string{"Arch", "Memory", "Mips", "State", "LoadAvg", "Pool", "Disk"}
+	for _, attr := range attrs {
+		switch rng.Intn(4) {
+		case 0: // absent
+		case 1:
+			ad.SetInt(attr, int64(rng.Intn(512)))
+		case 2:
+			ad.SetString(attr, fmt.Sprintf("v%d", rng.Intn(8)))
+		case 3:
+			if err := ad.SetExprString(attr, fmt.Sprintf("other.Prio >= %d", rng.Intn(8))); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return ad
+}
+
+// adsEquivalent compares two ads attribute by attribute on unparsed
+// expression text — the same canonical form DiffAds diffs on — so the
+// comparison is order-insensitive.
+func adsEquivalent(a, b *classad.Ad) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for _, name := range a.Names() {
+		ae, _ := a.Lookup(name)
+		be, ok := b.Lookup(name)
+		if !ok || ae.String() != be.String() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestMergeDeltaEquivalentToFull is the in-memory half of the delta
+// property: for any two ads, applying DiffAds' output to the base
+// reproduces the target exactly.
+func TestMergeDeltaEquivalentToFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		prev := randAd(rng, "m1")
+		next := randAd(rng, "m1")
+		changes, removed := DiffAds(prev, next)
+		merged := MergeAd(prev, changes, removed)
+		if !adsEquivalent(merged, next) {
+			t.Fatalf("iteration %d: merge(base, diff) != full\nbase   %s\ntarget %s\nmerged %s",
+				i, prev, next, merged)
+		}
+		// An unchanged ad must diff to the empty delta — the unchanged
+		// heartbeat costs zero attributes on the wire.
+		changes, removed = DiffAds(next, next)
+		if changes.Len() != 0 || len(removed) != 0 {
+			t.Fatalf("iteration %d: identical ads produced a non-empty delta: %s / %v", i, changes, removed)
+		}
+	}
+}
+
+// TestApplyDeltaMatchesDirectStore runs the same property through the
+// store: patching a stored base with a wire delta leaves exactly the
+// ad a full re-advertise would have stored, at the new sequence.
+func TestApplyDeltaMatchesDirectStore(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 200; i++ {
+		base := randAd(rng, "m1")
+		next := randAd(rng, "m1")
+
+		patched := New(nil)
+		if err := patched.UpdateSeq(base, 60, 1); err != nil {
+			t.Fatal(err)
+		}
+		changes, removed := DiffAds(base, next)
+		if err := patched.ApplyDelta("m1", 1, 2, changes, removed, 60); err != nil {
+			t.Fatalf("iteration %d: ApplyDelta: %v", i, err)
+		}
+
+		direct := New(nil)
+		if err := direct.UpdateSeq(next, 60, 2); err != nil {
+			t.Fatal(err)
+		}
+
+		got, _ := patched.Lookup("m1")
+		want, _ := direct.Lookup("m1")
+		if !adsEquivalent(got, want) {
+			t.Fatalf("iteration %d: patched store diverged from direct store\ngot  %s\nwant %s", i, got, want)
+		}
+		if patched.Seq("m1") != 2 {
+			t.Fatalf("iteration %d: patched seq = %d, want 2", i, patched.Seq("m1"))
+		}
+	}
+}
+
+// TestApplyDeltaHeartbeat pins the steady-state refresh: an empty
+// delta renews the lifetime, advances the sequence, and publishes
+// nothing to the change feed.
+func TestApplyDeltaHeartbeat(t *testing.T) {
+	clock := int64(1000)
+	env := &classad.Env{Now: func() int64 { return clock }}
+	s := New(env)
+	sub := s.Subscribe()
+	ad := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 64]`)
+	if err := s.UpdateSeq(ad, 60, 1); err != nil {
+		t.Fatal(err)
+	}
+	sub.Drain() // the add itself
+
+	clock += 50
+	if err := s.ApplyDelta("m1", 1, 2, nil, nil, 60); err != nil {
+		t.Fatal(err)
+	}
+	if ds := sub.Drain(); len(ds) != 0 {
+		t.Fatalf("empty delta published %d change(s): %v", len(ds), ds)
+	}
+	clock += 50 // past the original expiry, inside the renewed one
+	if _, ok := s.Lookup("m1"); !ok {
+		t.Fatalf("heartbeat did not renew the lifetime")
+	}
+	if got := s.Seq("m1"); got != 2 {
+		t.Fatalf("seq after heartbeat = %d, want 2", got)
+	}
+}
+
+// TestDeltaSequenceGapFallsBackToFull wires a DeltaAdvertiser to a
+// real server, yanks its base out from under it with an out-of-band
+// full advertise, and checks the next refresh recovers with a full
+// ADVERTISE (counted as a fallback) that re-establishes the ad.
+func TestDeltaSequenceGapFallsBackToFull(t *testing.T) {
+	srv, client := startServer(t)
+	o := obs.New()
+	srv.Store().Instrument(o.Registry())
+
+	da := NewDeltaAdvertiser(client)
+	v1 := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 64]`)
+	if err := da.Advertise(v1, 60); err != nil {
+		t.Fatal(err)
+	}
+
+	// Out-of-band: a plain Advertise (sequence-unaware) resets the
+	// stored sequence, exactly what a racing advertiser or collector
+	// restart looks like from this advertiser's side.
+	if err := client.Advertise(classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 32]`), 60); err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 128]`)
+	if err := da.Advertise(v2, 60); err != nil {
+		t.Fatalf("advertise after sequence gap: %v", err)
+	}
+	fulls, deltas, fallbacks := da.Stats()
+	if fallbacks != 1 || fulls != 2 {
+		t.Fatalf("stats after gap: fulls=%d deltas=%d fallbacks=%d, want fulls=2 fallbacks=1", fulls, deltas, fallbacks)
+	}
+	stored, ok := srv.Store().Lookup("m1")
+	if !ok || !adsEquivalent(stored, v2) {
+		t.Fatalf("stored ad after fallback = %v, want %s", stored, v2)
+	}
+	if got := o.Registry().Snapshot().Counters["collector_delta_mismatch_total"]; got != 1 {
+		t.Fatalf("collector_delta_mismatch_total = %d, want 1", got)
+	}
+
+	// Once re-based, the next unchanged refresh is a delta again.
+	if err := da.Advertise(v2, 60); err != nil {
+		t.Fatal(err)
+	}
+	if _, deltas, _ := da.Stats(); deltas != 1 {
+		t.Fatalf("deltas after re-base = %d, want 1", deltas)
+	}
+}
+
+// TestStaleDeltaApplyMutantRediscovered replays the lost-update
+// scenario the sequence check exists for. Healthy store: the stale
+// delta is rejected, the stored ad stays what the last full advertise
+// established, and the advertiser's fallback re-converges it. Mutant
+// store: the stale delta is merged and the stored ad diverges from
+// every state any advertiser ever intended.
+func TestStaleDeltaApplyMutantRediscovered(t *testing.T) {
+	v1 := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 64; Arch = "INTEL"]`)
+	v2 := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 32; Arch = "SPARC"; Disk = 100]`)
+	v3 := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 128; Arch = "INTEL"]`)
+
+	scenario := func(s *Store) error {
+		if err := s.UpdateSeq(v1, 60, 1); err != nil {
+			t.Fatal(err)
+		}
+		// Lost update: another writer re-establishes the ad at seq 5.
+		if err := s.UpdateSeq(v2, 60, 5); err != nil {
+			t.Fatal(err)
+		}
+		// A delta computed against the long-gone v1 base.
+		changes, removed := DiffAds(v1, v3)
+		return s.ApplyDelta("m1", 1, 6, changes, removed, 60)
+	}
+
+	healthy := New(nil)
+	o := obs.New()
+	healthy.Instrument(o.Registry())
+	err := scenario(healthy)
+	if err == nil || !IsSeqMismatch(err) {
+		t.Fatalf("healthy store accepted a stale delta (err = %v)", err)
+	}
+	if got, _ := healthy.Lookup("m1"); !adsEquivalent(got, v2) {
+		t.Fatalf("healthy store mutated the ad on a rejected delta: %s", got)
+	}
+	if got := o.Registry().Snapshot().Counters["collector_delta_mismatch_total"]; got != 1 {
+		t.Fatalf("collector_delta_mismatch_total = %d, want 1", got)
+	}
+
+	mutant := New(nil)
+	mutant.Hooks.StaleDeltaApply = true
+	if err := scenario(mutant); err != nil {
+		t.Fatalf("mutant unexpectedly rejected the stale delta: %v", err)
+	}
+	got, _ := mutant.Lookup("m1")
+	for _, intended := range []*classad.Ad{v1, v2, v3} {
+		if adsEquivalent(got, intended) {
+			t.Fatalf("mutant store landed on an intended state %s; the corruption went undetected", intended)
+		}
+	}
+	t.Logf("mutant corrupted the stored ad to %s (never advertised by anyone)", got)
+}
+
+// TestStoreVersionAdvancesOncePerDelta pins the pool-change counter
+// remote negotiators poll through the lease heartbeat: it moves once
+// per published delta and holds still across content-identical
+// refreshes.
+func TestStoreVersionAdvancesOncePerDelta(t *testing.T) {
+	clock := int64(1000)
+	env := &classad.Env{Now: func() int64 { return clock }}
+	s := New(env)
+	if got := s.Version(); got != 0 {
+		t.Fatalf("fresh store version = %d", got)
+	}
+	ad := classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 64]`)
+	if err := s.Update(ad, 60); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(); got != 1 {
+		t.Fatalf("version after add = %d, want 1", got)
+	}
+	// Content-identical heartbeat: no delta, no version movement.
+	if err := s.Update(ad, 60); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(); got != 1 {
+		t.Fatalf("version after identical refresh = %d, want 1", got)
+	}
+	if err := s.Update(classad.MustParse(`[Name = "m1"; Type = "Machine"; Memory = 128]`), 60); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Version(); got != 2 {
+		t.Fatalf("version after change = %d, want 2", got)
+	}
+	if err := s.Update(classad.MustParse(`[Name = "m2"; Type = "Machine"]`), 60); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate("m2")
+	if got := s.Version(); got != 4 {
+		t.Fatalf("version after add+invalidate = %d, want 4", got)
+	}
+	clock += 120 // m1 expires
+	if got := s.Version(); got != 5 {
+		t.Fatalf("version after expiry = %d, want 5", got)
+	}
+}

@@ -1,0 +1,144 @@
+package collector
+
+// Client-side delta advertising: a DeltaAdvertiser wraps a Client,
+// remembers the last ad it successfully established per name, and
+// refreshes with UPDATE_DELTA envelopes carrying only what changed —
+// an empty delta for the steady-state unchanged heartbeat. Any
+// sequence mismatch (collector restarted, delta lost, another
+// advertiser raced) falls back to a full ADVERTISE, re-establishing
+// the base the next deltas build on.
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/classad"
+	"repro/internal/protocol"
+)
+
+// AdvertiseSeq sends a full ad with an explicit sequence number, the
+// base future deltas patch.
+func (c *Client) AdvertiseSeq(ad *classad.Ad, lifetime int64, seq uint64) error {
+	reply, err := c.roundTrip(&protocol.Envelope{
+		Type: protocol.TypeAdvertise, Ad: protocol.EncodeAd(ad),
+		Lifetime: lifetime, Seq: seq,
+	})
+	if err != nil {
+		return err
+	}
+	return ackOrError(reply)
+}
+
+// AdvertiseDelta refreshes the ad stored under name with only the
+// changed attributes and removals, against base sequence baseSeq. A
+// sequence mismatch surfaces as an error whose text carries
+// ErrSeqMismatch's sentinel; IsSeqMismatch recognizes it.
+func (c *Client) AdvertiseDelta(name string, baseSeq, seq uint64, changes *classad.Ad, removed []string, lifetime int64) error {
+	env := &protocol.Envelope{
+		Type: protocol.TypeUpdateDelta, Name: name,
+		BaseSeq: baseSeq, Seq: seq, Removed: removed, Lifetime: lifetime,
+	}
+	if changes != nil && changes.Len() > 0 {
+		env.Ad = protocol.EncodeAd(changes)
+	}
+	reply, err := c.roundTrip(env)
+	if err != nil {
+		return err
+	}
+	return ackOrError(reply)
+}
+
+// IsSeqMismatch reports whether an AdvertiseDelta error is the
+// collector rejecting the delta's base sequence — the signal to fall
+// back to a full ADVERTISE. The check is textual because the verdict
+// crosses the wire as an ERROR reason.
+func IsSeqMismatch(err error) bool {
+	return err != nil && strings.Contains(err.Error(), ErrSeqMismatch.Error())
+}
+
+// DeltaAdvertiser is the stateful refresh helper daemon heartbeat
+// loops use in place of repeated Client.Advertise calls.
+type DeltaAdvertiser struct {
+	c *Client
+
+	mu   sync.Mutex
+	last map[string]*baseAd
+
+	// Stats (cumulative, for logs and tests).
+	fulls, deltas, fallbacks int
+}
+
+// baseAd is the last state the collector acknowledged for one name.
+type baseAd struct {
+	ad  *classad.Ad
+	seq uint64
+}
+
+// NewDeltaAdvertiser wraps c.
+func NewDeltaAdvertiser(c *Client) *DeltaAdvertiser {
+	return &DeltaAdvertiser{c: c, last: make(map[string]*baseAd)}
+}
+
+// Advertise establishes or refreshes ad at the collector, choosing the
+// cheapest correct envelope: a full ADVERTISE the first time, an
+// UPDATE_DELTA (possibly empty — the unchanged heartbeat) afterwards,
+// and a full re-ADVERTISE whenever the collector rejects the delta's
+// base sequence.
+func (da *DeltaAdvertiser) Advertise(ad *classad.Ad, lifetime int64) error {
+	name, err := NameOf(ad)
+	if err != nil {
+		return err
+	}
+	key := classad.Fold(name)
+	da.mu.Lock()
+	base := da.last[key]
+	da.mu.Unlock()
+	if base == nil {
+		return da.full(key, ad, lifetime, 1)
+	}
+	changes, removed := DiffAds(base.ad, ad)
+	seq := base.seq + 1
+	err = da.c.AdvertiseDelta(name, base.seq, seq, changes, removed, lifetime)
+	if IsSeqMismatch(err) {
+		da.mu.Lock()
+		da.fallbacks++
+		da.mu.Unlock()
+		return da.full(key, ad, lifetime, seq)
+	}
+	if err != nil {
+		return err
+	}
+	da.mu.Lock()
+	da.deltas++
+	da.last[key] = &baseAd{ad: ad.Copy(), seq: seq}
+	da.mu.Unlock()
+	return nil
+}
+
+// full sends a complete ad and records it as the new delta base.
+func (da *DeltaAdvertiser) full(key string, ad *classad.Ad, lifetime int64, seq uint64) error {
+	if err := da.c.AdvertiseSeq(ad, lifetime, seq); err != nil {
+		return err
+	}
+	da.mu.Lock()
+	da.fulls++
+	da.last[key] = &baseAd{ad: ad.Copy(), seq: seq}
+	da.mu.Unlock()
+	return nil
+}
+
+// Forget drops the remembered base for name (e.g. after invalidating
+// it), so the next Advertise sends a full ad.
+func (da *DeltaAdvertiser) Forget(name string) {
+	da.mu.Lock()
+	delete(da.last, classad.Fold(name))
+	da.mu.Unlock()
+}
+
+// Stats reports how many full ads, deltas, and mismatch fallbacks this
+// advertiser has sent.
+func (da *DeltaAdvertiser) Stats() (fulls, deltas, fallbacks int) {
+	da.mu.Lock()
+	defer da.mu.Unlock()
+	return da.fulls, da.deltas, da.fallbacks
+}

@@ -37,10 +37,13 @@ const (
 // persistRecord is one journaled mutation.
 type persistRecord struct {
 	Op string `json:"op"`
-	// Update: the ad in source syntax and its absolute expiry
-	// (0 = never expires).
+	// Update: the ad in source syntax, its absolute expiry
+	// (0 = never expires), and the advertiser's sequence number
+	// (0 = not sequence-aware; a post-recovery delta then mismatches
+	// and the advertiser falls back to a full ADVERTISE).
 	Ad      string `json:"ad,omitempty"`
 	Expires int64  `json:"expires,omitempty"`
+	Seq     uint64 `json:"seq,omitempty"`
 	// Invalidate: the withdrawn name.
 	Name string `json:"name,omitempty"`
 	// Lease: the full post-transition lease state.
@@ -59,6 +62,7 @@ type persistSnapshot struct {
 type persistAd struct {
 	Ad      string `json:"ad"`
 	Expires int64  `json:"expires"`
+	Seq     uint64 `json:"seq,omitempty"`
 }
 
 // OpenDurable opens (or creates) a durable store rooted at dir,
@@ -79,7 +83,7 @@ func OpenDurable(dir string, env *classad.Env, fs store.FS) (*Store, error) {
 			return nil, fmt.Errorf("collector: corrupt snapshot: %w", err)
 		}
 		for _, pa := range snap.Ads {
-			if err := s.replayUpdate(pa.Ad, pa.Expires); err != nil {
+			if err := s.replayUpdate(pa.Ad, pa.Expires, pa.Seq); err != nil {
 				l.Close()
 				return nil, err
 			}
@@ -94,7 +98,7 @@ func OpenDurable(dir string, env *classad.Env, fs store.FS) (*Store, error) {
 		}
 		switch r.Op {
 		case opUpdate:
-			if err := s.replayUpdate(r.Ad, r.Expires); err != nil {
+			if err := s.replayUpdate(r.Ad, r.Expires, r.Seq); err != nil {
 				l.Close()
 				return nil, err
 			}
@@ -113,7 +117,7 @@ func OpenDurable(dir string, env *classad.Env, fs store.FS) (*Store, error) {
 
 // replayUpdate applies a journaled (or snapshotted) advertisement
 // without re-journaling it.
-func (s *Store) replayUpdate(src string, expires int64) error {
+func (s *Store) replayUpdate(src string, expires int64, seq uint64) error {
 	ad, err := classad.Parse(src)
 	if err != nil {
 		return fmt.Errorf("collector: corrupt journaled ad: %w", err)
@@ -122,7 +126,7 @@ func (s *Store) replayUpdate(src string, expires int64) error {
 	if err != nil {
 		return fmt.Errorf("collector: journaled ad lost its name: %w", err)
 	}
-	s.ads[classad.Fold(name)] = entry{ad: ad, expires: expires}
+	s.ads[classad.Fold(name)] = entry{ad: ad, expires: expires, seq: seq, src: src}
 	return nil
 }
 
@@ -158,7 +162,7 @@ func (s *Store) snapshotLocked() error {
 	s.pruneLocked()
 	snap := persistSnapshot{Lease: s.lease, Ads: make([]persistAd, 0, len(s.ads))}
 	for _, e := range s.ads {
-		snap.Ads = append(snap.Ads, persistAd{Ad: e.ad.String(), Expires: e.expires})
+		snap.Ads = append(snap.Ads, persistAd{Ad: e.ad.String(), Expires: e.expires, Seq: e.seq})
 	}
 	raw, err := json.Marshal(snap)
 	if err != nil {

@@ -226,7 +226,7 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 		// Traced ads (job ads carrying a TraceId) get an ad_stored span:
 		// the collector hop of the request's causal story.
 		sp := s.spans.Start(classad.TraceOf(ad), classad.TraceSpanOf(ad), "collector", "ad_stored")
-		if err := s.store.Update(ad, env.Lifetime); err != nil {
+		if err := s.store.UpdateSeq(ad, env.Lifetime, env.Seq); err != nil {
 			sp.Fail(err.Error())
 			sp.End()
 			return protocol.Errorf("%v", err)
@@ -235,6 +235,25 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 			sp.Set("name", name)
 		}
 		sp.End()
+		return &protocol.Envelope{Type: protocol.TypeAck}
+	case protocol.TypeUpdateDelta:
+		s.mAdvertise.Inc()
+		if env.Name == "" {
+			return protocol.Errorf("delta update requires a name")
+		}
+		var changes *classad.Ad
+		if env.Ad != "" {
+			var err error
+			if changes, err = protocol.DecodeAd(env.Ad); err != nil {
+				return protocol.Errorf("bad delta: %v", err)
+			}
+		}
+		if err := s.store.ApplyDelta(env.Name, env.BaseSeq, env.Seq, changes, env.Removed, env.Lifetime); err != nil {
+			// ErrSeqMismatch rides back as an ordinary ERROR; the reason
+			// text carries the sentinel the client maps back to a typed
+			// error so the advertiser knows to re-send the full ad.
+			return protocol.Errorf("%v", err)
+		}
 		return &protocol.Envelope{Type: protocol.TypeAck}
 	case protocol.TypeInvalidate:
 		if env.Name == "" {
@@ -270,9 +289,13 @@ func (s *Server) dispatch(env *protocol.Envelope) *protocol.Envelope {
 		if err != nil {
 			return protocol.Errorf("lease: %v", err)
 		}
+		// Seq piggybacks the store's pool-change counter so an
+		// event-driven negotiator learns "did anything change" from the
+		// lease heartbeat it must send anyway.
 		return &protocol.Envelope{
 			Type: protocol.TypeLeaseReply, Accepted: granted,
 			Holder: lease.Holder, Epoch: lease.Epoch, Deadline: lease.Deadline,
+			Seq: s.store.Version(),
 		}
 	default:
 		return protocol.Errorf("collector does not handle %s", env.Type)
@@ -456,19 +479,30 @@ func (c *Client) QueryProject(query *classad.Ad, attrs []string) ([]*classad.Ad,
 // own grant, or the incumbent it lost to (granted false). Safe to
 // retry: re-requesting a held lease renews it.
 func (c *Client) AcquireLease(holder string, ttl int64) (Lease, bool, error) {
+	lease, granted, _, err := c.AcquireLeaseSeq(holder, ttl)
+	return lease, granted, err
+}
+
+// AcquireLeaseSeq is AcquireLease additionally returning the
+// collector's pool-change counter (Store.Version) from the reply — the
+// signal an event-driven negotiator compares across heartbeats to
+// decide whether a negotiation cycle has any work. A collector
+// predating the counter reports 0, which compares as "changed" against
+// any cached value's successor and so degrades to timer-mode behavior.
+func (c *Client) AcquireLeaseSeq(holder string, ttl int64) (Lease, bool, uint64, error) {
 	reply, err := c.roundTrip(&protocol.Envelope{
 		Type: protocol.TypeLease, Holder: holder, Lifetime: ttl,
 	})
 	if err != nil {
-		return Lease{}, false, err
+		return Lease{}, false, 0, err
 	}
 	if reply.Type == protocol.TypeError {
-		return Lease{}, false, errors.New(reply.Reason)
+		return Lease{}, false, 0, errors.New(reply.Reason)
 	}
 	if reply.Type != protocol.TypeLeaseReply {
-		return Lease{}, false, errors.New("collector: unexpected reply " + string(reply.Type))
+		return Lease{}, false, 0, errors.New("collector: unexpected reply " + string(reply.Type))
 	}
-	return Lease{Holder: reply.Holder, Epoch: reply.Epoch, Deadline: reply.Deadline}, reply.Accepted, nil
+	return Lease{Holder: reply.Holder, Epoch: reply.Epoch, Deadline: reply.Deadline}, reply.Accepted, reply.Seq, nil
 }
 
 func ackOrError(reply *protocol.Envelope) error {

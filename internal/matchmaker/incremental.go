@@ -1,0 +1,793 @@
+package matchmaker
+
+// Event-driven incremental negotiation (ROADMAP item 3): the dirty-set
+// engine that replaces the fixed-timer full rebuild.
+//
+// The collector store publishes ad deltas (new/changed/expired/
+// invalidated) over its subscription seam; the pool manager adapts
+// them into AdDeltas and Notify()s this engine. The engine keeps a
+// persistent OfferIndex (reusing its incremental Add/Remove), the
+// previous wake's full assignment, and a dirty request set — a
+// request is dirty if it is new, was unmatched, or its prior match's
+// offer was touched by a delta (the ISSUE's rule). A
+// needs_matchmaking condition variable wakes negotiation only when
+// there is queued work, so a quiet pool costs nothing; a configurable
+// full-rebuild fallback (MarkAllDirty) is the safety net against any
+// lost notification.
+//
+// Correctness contract (pinned by TestIncrementalDifferential):
+// after any delta stream, Recompute's assignment, fair-share charges,
+// and forensic verdicts are identical to a from-scratch NegotiateCycle
+// over the same live ads. The argument for the one shortcut the
+// engine takes — a clean matched request re-examines only the
+// "frontier" instead of the whole pool — is:
+//
+//   - Requests are replayed in the same canonical order as a full
+//     cycle (name-sorted, then fair-share). If the order diverges
+//     from the previous wake at position k (usage changed, a request
+//     arrived or left), every request from k on is marked dirty, so
+//     the shortcut only applies where the serving prefix is
+//     literally identical.
+//   - The frontier is the set of offers whose content or availability
+//     differs from the previous wake at the corresponding point of
+//     the replay: offers touched by deltas, offers freed by departed
+//     requests, plus — grown during the replay — both sides of every
+//     pick that changed. By induction, an offer outside the frontier
+//     is bit-identical and identically available at a clean request's
+//     turn.
+//   - A clean request's previous pick therefore still beats every
+//     non-frontier offer (same ads, same ranks, same claimed state,
+//     and the same relative tie-break order, because positions are
+//     assigned in name-sorted order and the relative order of two
+//     fixed names never changes). The new winner is the better() of
+//     the previous pick and the best frontier challenger — a scan
+//     over the frontier only.
+//
+// Unmatched and dirty requests take the full indexed scan, which is
+// exactly the NegotiateCycle path (same scanOffers kernel, same
+// better() comparator, same diagnose/forensics), so their outcomes
+// are trivially identical.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/classad"
+	"repro/internal/obs"
+)
+
+// AdDeltaKind classifies one pool change as the engine sees it.
+type AdDeltaKind int
+
+const (
+	// AdUpsert: an ad appeared or changed; Ad carries the new content.
+	AdUpsert AdDeltaKind = iota
+	// AdRemove: the ad named Name expired or was invalidated.
+	AdRemove
+)
+
+// AdDelta is one pool change delivered to the engine. Name is the
+// ad's folded name; Ad is nil for AdRemove.
+type AdDelta struct {
+	Kind AdDeltaKind
+	Name string
+	Ad   *classad.Ad
+}
+
+// IncrementalHooks are seeded fault-injection points for the engine's
+// self-tests (PR 8 style); all off in production.
+type IncrementalHooks struct {
+	// DropDirtyNotification silently discards content-change deltas
+	// for offers the engine already knows — the "resource changed but
+	// nobody re-matched it" bug the change feed exists to prevent. The
+	// differential suite and the modelcheck delivery-order schedule
+	// must both rediscover it.
+	DropDirtyNotification bool
+}
+
+// offerRec is the engine's record of one live offer.
+type offerRec struct {
+	ad   *classad.Ad
+	slot int // slot in the persistent OfferIndex
+	src  string
+}
+
+// reqRec is the engine's record of one live request and its previous
+// outcome.
+type reqRec struct {
+	ad    *classad.Ad
+	src   string
+	dirty bool
+	// Previous wake's outcome.
+	matched          bool
+	offer            string // folded name of the matched offer
+	reqRank, offRank float64
+}
+
+// WakeStats summarizes one Recompute for callers and tests.
+type WakeStats struct {
+	// Requests and Offers are the pool sizes this wake served.
+	Requests, Offers int
+	// Deltas is how many queued deltas this wake absorbed.
+	Deltas int
+	// Dirty is how many requests took the full scan path.
+	Dirty int
+	// Clean is how many matched requests took the frontier shortcut.
+	Clean int
+	// Evals counts bilateral MatchEnv evaluations performed — the
+	// negotiation work the incremental engine exists to avoid.
+	Evals int
+	// FullRebuild reports that this wake ran with every request dirty
+	// (first wake, MarkAllDirty fallback, or an unsupported config).
+	FullRebuild bool
+}
+
+// Incremental is the event-driven negotiation engine. Construct with
+// NewIncremental, feed it AdDeltas via Notify, and run wakes with
+// Recompute (typically from a loop blocked on Wait). All methods are
+// safe for concurrent use; Recompute itself is serialized.
+type Incremental struct {
+	m *Matchmaker
+
+	// Hooks seed faults for self-tests; zero in production.
+	Hooks IncrementalHooks
+
+	mu   sync.Mutex
+	cond *sync.Cond // needs_matchmaking: signaled on queued work
+	// pending is the queued delta stream; forceFull requests a full
+	// rebuild on the next wake.
+	pending   []AdDelta
+	forceFull bool
+	closed    bool
+
+	// Persistent negotiation state.
+	ix       *OfferIndex
+	offers   map[string]*offerRec
+	requests map[string]*reqRec
+	// touched accumulates offer names whose content changed (or that
+	// appeared/disappeared) since the last wake — the initial
+	// frontier.
+	touched map[string]bool
+	// freed accumulates offers released by requests that left the
+	// pool since the last wake.
+	freed map[string]bool
+	// prevOrder is the request-name order the previous wake served.
+	prevOrder []string
+	// hadOffers is whether the previous wake saw a non-empty offer
+	// pool (the no-offers reason boundary; crossing it dirties
+	// unmatched requests, which are always dirty anyway — kept for
+	// clarity of the invariant).
+	hadOffers bool
+	firstWake bool
+
+	// Observability; nil-safe until InstrumentEngine.
+	gDirty        *obs.Gauge
+	mWakes        *obs.Counter
+	mCoalesced    *obs.Counter
+	mFullRebuilds *obs.Counter
+	mEvals        *obs.Counter
+}
+
+// NewIncremental wraps m. The engine owns m's cycle execution: run
+// wakes through Recompute, not NegotiateCycle. Charging is forced to
+// the deferred model (Config.DeferCharges) — an event-driven engine
+// has no per-cycle charge point, so the caller bills usage on claim
+// acknowledgment exactly as pool.NewManager already does.
+// Aggregate/FirstFit configs are served by falling back to a full
+// rebuild every wake (still correct, no longer incremental).
+func NewIncremental(m *Matchmaker) *Incremental {
+	m.cfg.DeferCharges = true
+	e := &Incremental{
+		m:         m,
+		ix:        NewOfferIndex(nil),
+		offers:    make(map[string]*offerRec),
+		requests:  make(map[string]*reqRec),
+		touched:   make(map[string]bool),
+		freed:     make(map[string]bool),
+		firstWake: true,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// InstrumentEngine registers the engine's own metrics with o:
+// matchmaker_dirty_requests (gauge: dirty-set depth after the last
+// wake's drain), matchmaker_wakes_total, matchmaker_wake_coalesced_total
+// (deltas absorbed into an already-pending wake),
+// matchmaker_full_rebuilds_total (fallback cycles), and
+// matchmaker_incremental_evals_total (bilateral evaluations spent).
+// The embedded Matchmaker is instrumented separately (Instrument).
+func (e *Incremental) InstrumentEngine(o *obs.Obs) {
+	reg := o.Registry()
+	e.mu.Lock()
+	e.gDirty = reg.Gauge("matchmaker_dirty_requests")
+	e.mWakes = reg.Counter("matchmaker_wakes_total")
+	e.mCoalesced = reg.Counter("matchmaker_wake_coalesced_total")
+	e.mFullRebuilds = reg.Counter("matchmaker_full_rebuilds_total")
+	e.mEvals = reg.Counter("matchmaker_incremental_evals_total")
+	e.mu.Unlock()
+}
+
+// Matchmaker exposes the embedded matchmaker (usage, forensics).
+func (e *Incremental) Matchmaker() *Matchmaker { return e.m }
+
+// classifyAd mirrors the pool manager's request/offer split: Type
+// "Job" is a request, negotiator and daemon self-ads are neither, and
+// everything else — including ads with no Type — is an offer.
+const (
+	adRequest = iota
+	adOffer
+	adIgnore
+)
+
+func classifyAd(ad *classad.Ad) int {
+	typ, ok := ad.Eval(classad.AttrType).StringVal()
+	if !ok {
+		return adOffer
+	}
+	switch classad.Fold(typ) {
+	case "job":
+		return adRequest
+	case "negotiator", "daemon":
+		return adIgnore
+	}
+	return adOffer
+}
+
+// Notify queues deltas and signals needs_matchmaking. Deltas for ads
+// the engine ignores (negotiator/daemon self-ads) are dropped without
+// a wake, so a self-advertising manager does not wake itself forever.
+func (e *Incremental) Notify(deltas ...AdDelta) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	queued := false
+	for _, d := range deltas {
+		if d.Kind == AdUpsert {
+			if d.Ad == nil || classifyAd(d.Ad) == adIgnore {
+				continue
+			}
+			if e.Hooks.DropDirtyNotification {
+				// Seeded mutant: a content change for a known offer is
+				// dropped on the floor — the index keeps the stale ad and
+				// nothing re-enters negotiation for it.
+				if _, known := e.offers[classad.Fold(d.Name)]; known {
+					continue
+				}
+			}
+		} else {
+			// A removal for a name the engine never stored is noise.
+			key := classad.Fold(d.Name)
+			if _, isOffer := e.offers[key]; !isOffer {
+				if _, isReq := e.requests[key]; !isReq {
+					continue
+				}
+			}
+		}
+		if len(e.pending) > 0 || e.forceFull {
+			e.mCoalesced.Inc()
+		}
+		e.pending = append(e.pending, d)
+		queued = true
+	}
+	if queued {
+		e.cond.Signal()
+	}
+}
+
+// MarkAllDirty requests a full rebuild on the next wake — the
+// fallback cycle's entry point — and signals needs_matchmaking.
+func (e *Incremental) MarkAllDirty() {
+	e.mu.Lock()
+	e.forceFull = true
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// Wait blocks on needs_matchmaking until there is queued work (or a
+// forced rebuild), returning false once the engine is closed.
+func (e *Incremental) Wait() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.pending) == 0 && !e.forceFull && !e.closed {
+		e.cond.Wait()
+	}
+	return !e.closed
+}
+
+// NeedsWake reports whether Recompute has queued work, without
+// blocking.
+func (e *Incremental) NeedsWake() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending) > 0 || e.forceFull
+}
+
+// Close wakes any blocked Wait and marks the engine closed.
+func (e *Incremental) Close() {
+	e.mu.Lock()
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// drainLocked applies queued deltas to the persistent state: the
+// offer index, the request set, the dirty marks, and the initial
+// frontier. The caller holds e.mu.
+func (e *Incremental) drainLocked() int {
+	n := len(e.pending)
+	for _, d := range e.pending {
+		key := classad.Fold(d.Name)
+		switch d.Kind {
+		case AdUpsert:
+			switch classifyAd(d.Ad) {
+			case adRequest:
+				src := d.Ad.String()
+				if prev, ok := e.requests[key]; ok {
+					if prev.src == src {
+						continue // content-identical refresh
+					}
+					prev.ad, prev.src, prev.dirty = d.Ad, src, true
+				} else {
+					e.requests[key] = &reqRec{ad: d.Ad, src: src, dirty: true}
+				}
+				// A job and an offer may not share a name (the store
+				// would have overwritten one with the other); drop any
+				// stale offer record under the same key.
+				e.dropOfferLocked(key)
+			case adOffer:
+				src := d.Ad.String()
+				if prev, ok := e.offers[key]; ok {
+					if prev.src == src {
+						continue
+					}
+					e.ix.Remove(prev.slot)
+					prev.ad, prev.src, prev.slot = d.Ad, src, e.ix.Add(d.Ad)
+				} else {
+					e.offers[key] = &offerRec{ad: d.Ad, src: src, slot: e.ix.Add(d.Ad)}
+				}
+				// A request re-advertised as an offer (name reuse) frees
+				// whatever it held, like any other request departure.
+				if rec, ok := e.requests[key]; ok {
+					if rec.matched {
+						e.freed[rec.offer] = true
+					}
+					delete(e.requests, key)
+				}
+				e.touched[key] = true
+			}
+		case AdRemove:
+			if rec, ok := e.requests[key]; ok {
+				if rec.matched {
+					e.freed[rec.offer] = true
+				}
+				delete(e.requests, key)
+			}
+			e.dropOfferLocked(key)
+		}
+	}
+	e.pending = nil
+	return n
+}
+
+// dropOfferLocked retires the offer stored under key, if any.
+func (e *Incremental) dropOfferLocked(key string) {
+	if rec, ok := e.offers[key]; ok {
+		e.ix.Remove(rec.slot)
+		delete(e.offers, key)
+		e.touched[key] = true
+	}
+}
+
+// compactLocked rebuilds the persistent index once dead slots
+// outnumber live ones, so long churny runs do not grow it without
+// bound. Rebuilding evaluates nothing — it is one pass over the live
+// offers' attributes.
+func (e *Incremental) compactLocked() {
+	if len(e.ix.offers) < 64 || 2*len(e.offers) > len(e.ix.offers) {
+		return
+	}
+	names := make([]string, 0, len(e.offers))
+	for name := range e.offers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	ads := make([]*classad.Ad, len(names))
+	for i, name := range names {
+		ads[i] = e.offers[name].ad
+	}
+	e.ix = NewOfferIndex(ads)
+	for i, name := range names {
+		e.offers[name].slot = i
+	}
+}
+
+// Recompute runs one wake: it drains the queued deltas, replays the
+// negotiation in canonical order with the frontier shortcut, and
+// returns the complete current assignment (every live match, not just
+// the changed ones — MATCH notification is idempotent and the caller
+// retries unacknowledged matches exactly as in timer mode). The
+// returned assignment is what NegotiateCycle would produce from
+// scratch over the engine's current ads.
+func (e *Incremental) Recompute(cycle string) ([]Match, WakeStats) {
+	start := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	var stats WakeStats
+	stats.Deltas = e.drainLocked()
+	full := e.forceFull || e.firstWake || e.m.cfg.Aggregate || e.m.cfg.FirstFit
+	e.forceFull, e.firstWake = false, false
+	if full {
+		stats.FullRebuild = true
+		e.mFullRebuilds.Inc()
+		for _, rec := range e.requests {
+			rec.dirty = true
+		}
+	}
+	e.compactLocked()
+
+	// Name-sorted view of the live offers: positions in this view are
+	// the tie-break indices, identical to a full cycle over the
+	// store's sorted snapshot. Relative order of two fixed names never
+	// changes across wakes, which is what keeps the previous pick's
+	// tie-break comparisons valid.
+	offerNames := make([]string, 0, len(e.offers))
+	for name := range e.offers {
+		offerNames = append(offerNames, name)
+	}
+	sort.Strings(offerNames)
+	view := make([]*classad.Ad, len(offerNames))
+	posOf := make(map[string]int, len(offerNames))
+	posOfSlot := make([]int, len(e.ix.offers))
+	for i := range posOfSlot {
+		posOfSlot[i] = -1
+	}
+	for i, name := range offerNames {
+		rec := e.offers[name]
+		view[i] = rec.ad
+		posOf[name] = i
+		posOfSlot[rec.slot] = i
+	}
+
+	// Canonical request order: name-sorted base, fair-share on top —
+	// the same order a full cycle computes over the store's sorted
+	// job snapshot. Any divergence from the previous wake's order
+	// dirties every request from the divergence point on.
+	reqNames := make([]string, 0, len(e.requests))
+	for name := range e.requests {
+		reqNames = append(reqNames, name)
+	}
+	sort.Strings(reqNames)
+	reqAds := make([]*classad.Ad, len(reqNames))
+	for i, name := range reqNames {
+		reqAds[i] = e.requests[name].ad
+	}
+	order := e.m.requestOrder(reqAds)
+	ordered := make([]string, len(order))
+	for i, ri := range order {
+		ordered[i] = reqNames[ri]
+	}
+	for i, name := range ordered {
+		if i >= len(e.prevOrder) || e.prevOrder[i] != name {
+			for _, later := range ordered[i:] {
+				e.requests[later].dirty = true
+			}
+			break
+		}
+	}
+	e.prevOrder = ordered
+
+	// The pool crossing empty<->non-empty flips unmatched reasons
+	// between no-offers and constraint-failed; unmatched requests are
+	// always dirty (the ISSUE's rule), so the boundary needs no extra
+	// marking — tracked only to keep the invariant explicit.
+	e.hadOffers = len(view) > 0
+
+	// Initial frontier: touched offers plus offers freed by departed
+	// requests, as view positions. It grows as replayed picks change.
+	frontier := make([]bool, len(view))
+	for name := range e.touched {
+		if pos, ok := posOf[name]; ok {
+			frontier[pos] = true
+		}
+	}
+	for name := range e.freed {
+		if pos, ok := posOf[name]; ok {
+			frontier[pos] = true
+		}
+	}
+	e.touched = make(map[string]bool)
+	e.freed = make(map[string]bool)
+
+	// Requests whose prior match's offer was touched (or disappeared)
+	// are dirty — the ISSUE's third rule; unmatched requests are dirty
+	// by the second.
+	for _, name := range ordered {
+		rec := e.requests[name]
+		if !rec.matched {
+			rec.dirty = true
+			continue
+		}
+		pos, alive := posOf[rec.offer]
+		if !alive || frontier[pos] {
+			rec.dirty = true
+		}
+	}
+
+	// Snapshot the initial frontier and, when indexing is on, build a
+	// mini-index over just those offers: a clean request's challenger
+	// scan then evaluates only the frontier members that could possibly
+	// satisfy its constraint (Candidates is a superset of the matching
+	// offers, so skipping the rest drops no challenger). Offers the
+	// replay adds to the frontier later are collected in grown and
+	// scanned unpruned — there are few of them.
+	var frontierPos []int
+	for ci := range frontier {
+		if frontier[ci] {
+			frontierPos = append(frontierPos, ci)
+		}
+	}
+	var fix *OfferIndex
+	if e.m.cfg.Index && len(frontierPos) > 0 {
+		fads := make([]*classad.Ad, len(frontierPos))
+		for k, pos := range frontierPos {
+			fads[k] = view[pos]
+		}
+		fix = NewOfferIndex(fads)
+	}
+	var grown []int
+	extendFrontier := func(pos int) {
+		if !frontier[pos] {
+			frontier[pos] = true
+			grown = append(grown, pos)
+		}
+	}
+
+	stats.Requests, stats.Offers = len(ordered), len(view)
+	dirtyCount := 0
+	for _, name := range ordered {
+		if e.requests[name].dirty {
+			dirtyCount++
+		}
+	}
+	stats.Dirty = dirtyCount
+	stats.Clean = len(ordered) - dirtyCount
+	e.gDirty.Set(int64(dirtyCount))
+	e.mWakes.Inc()
+
+	avail := make([]bool, len(view))
+	for i := range avail {
+		avail[i] = true
+	}
+	var takenBy []string
+	if e.m.forensics != nil {
+		takenBy = make([]string, len(view))
+	}
+
+	var out []Match
+	for _, name := range ordered {
+		rec := e.requests[name]
+		var best int
+		var reqRank, offRank float64
+		var scanCand []int
+		var scanIndexed bool
+		if !rec.dirty {
+			// Frontier shortcut: the previous pick still beats every
+			// unchanged offer; only frontier members can challenge it.
+			pos := posOf[rec.offer]
+			if !avail[pos] {
+				// An earlier changed pick took it; fall back to the
+				// full scan for this request.
+				rec.dirty = true
+				stats.Dirty++
+				stats.Clean--
+			} else {
+				best, reqRank, offRank = pos, rec.reqRank, rec.offRank
+				cur := candidate{pos, rec.reqRank, rec.offRank,
+					!e.m.cfg.LegacyClaimedTieBreak && offerClaimed(view[pos])}
+				challenge := func(ci int) {
+					if !avail[ci] || ci == pos {
+						return
+					}
+					stats.Evals++
+					res := classad.MatchEnv(rec.ad, view[ci], e.m.cfg.Env)
+					if !res.Matched {
+						return
+					}
+					ch := candidate{ci, res.LeftRank, res.RightRank,
+						!e.m.cfg.LegacyClaimedTieBreak && offerClaimed(view[ci])}
+					if better(ch, cur) {
+						cur = ch
+						best, reqRank, offRank = ci, res.LeftRank, res.RightRank
+					}
+				}
+				if fix != nil {
+					if slots, ok := fix.Candidates(rec.ad, e.m.cfg.Env); ok {
+						for _, s := range slots {
+							challenge(frontierPos[s])
+						}
+					} else {
+						for _, ci := range frontierPos {
+							challenge(ci)
+						}
+					}
+				} else {
+					for _, ci := range frontierPos {
+						challenge(ci)
+					}
+				}
+				for _, ci := range grown {
+					challenge(ci)
+				}
+			}
+		}
+		var sp *obs.SpanRec
+		if rec.dirty {
+			// Dirty requests are genuinely re-negotiated, so they get
+			// the same trace span a full cycle would record; a clean
+			// request keeps its prior decision and emits nothing.
+			sp = e.m.spans.Start(classad.TraceOf(rec.ad), classad.TraceSpanOf(rec.ad), "matchmaker", "negotiate")
+			sp.Set("request", adName(rec.ad))
+			var scanned int
+			best, reqRank, offRank, scanned, scanCand, scanIndexed = e.scanDirty(rec.ad, view, posOfSlot, avail)
+			stats.Evals += scanned
+		}
+
+		prevMatched, prevOffer := rec.matched, rec.offer
+		if best >= 0 {
+			avail[best] = false
+			if takenBy != nil {
+				takenBy[best] = adName(rec.ad)
+			}
+			rec.matched, rec.offer = true, offerNames[best]
+			rec.reqRank, rec.offRank = reqRank, offRank
+			out = append(out, Match{
+				Request: rec.ad, Offer: view[best],
+				RequestRank: reqRank, OfferRank: offRank,
+				Trace: classad.TraceOf(rec.ad),
+				Span:  sp.ID(),
+			})
+			sp.Set("outcome", "match")
+			sp.Set("offer", offerNames[best])
+		} else {
+			rec.matched, rec.offer = false, ""
+		}
+		sp.End()
+		// Every pick difference extends the frontier: the old offer is
+		// free where it was taken, the new one taken where it was free.
+		if rec.offer != prevOffer || rec.matched != prevMatched {
+			if prevMatched {
+				if pos, ok := posOf[prevOffer]; ok {
+					extendFrontier(pos)
+				}
+			}
+			if rec.matched {
+				extendFrontier(best)
+			}
+		}
+		e.recordOutcome(cycle, rec, view, avail, takenBy, best, offRank, scanCand, scanIndexed)
+		rec.dirty = false
+	}
+
+	e.mEvals.Add(int64(stats.Evals))
+	e.m.hNegotiate.Observe(time.Since(start).Seconds())
+	return out, stats
+}
+
+// scanDirty is the dirty request's full path: the persistent index's
+// candidates mapped into view positions, then the shared scanOffers
+// kernel — the same two-stage scan a full cycle runs.
+func (e *Incremental) scanDirty(req *classad.Ad, view []*classad.Ad, posOfSlot []int, avail []bool) (best int, reqRank, offRank float64, scanned int, cand []int, indexed bool) {
+	m := e.m
+	if m.cfg.Index {
+		var slots []int
+		slots, indexed = e.ix.Candidates(req, m.cfg.Env)
+		if indexed {
+			cand = make([]int, 0, len(slots))
+			for _, s := range slots {
+				if pos := posOfSlot[s]; pos >= 0 {
+					cand = append(cand, pos)
+				}
+			}
+			sort.Ints(cand)
+			m.mIdxCand.Add(int64(len(cand)))
+			m.mIdxPruned.Add(int64(len(view) - len(cand)))
+		} else {
+			m.mIdxMisses.Inc()
+		}
+	}
+	var workers int
+	best, reqRank, offRank, scanned, workers = scanOffers(req, view, cand, avail, m.cfg)
+	m.hScanFanout.Observe(float64(workers))
+	m.hScanned.Observe(float64(scanned))
+	return best, reqRank, offRank, scanned, cand, indexed
+}
+
+// recordOutcome mirrors NegotiateCycle's per-request bookkeeping —
+// match counters, events, forensic reports, rejection diagnosis — for
+// requests the wake actually recomputed. A clean request that kept
+// its match retains its previous report verbatim, which is identical
+// in every verdict field.
+func (e *Incremental) recordOutcome(cycle string, rec *reqRec, view []*classad.Ad, avail []bool, takenBy []string, best int, offRank float64, scanCand []int, scanIndexed bool) {
+	m := e.m
+	if !m.instrumented() {
+		return
+	}
+	if rec.matched {
+		m.mMatches.Inc()
+		if m.events != nil {
+			m.events.Emit("matchmaker", "match", cycle, map[string]string{
+				"request":      adName(rec.ad),
+				"offer":        adName(view[best]),
+				"request_rank": fmt.Sprintf("%g", rec.reqRank),
+				"offer_rank":   fmt.Sprintf("%g", rec.offRank),
+			})
+		}
+		if m.forensics != nil {
+			r := Report{
+				Request: adName(rec.ad), Owner: owner(rec.ad), Cycle: cycle,
+				Time: time.Now(), Matched: true, Offer: adName(view[best]),
+			}
+			if offerClaimed(view[best]) {
+				r.Claimed = true
+				r.Ledger = []OfferVerdict{{
+					Offer:   r.Offer,
+					Outcome: VerdictMatchedClaimed,
+					Detail: fmt.Sprintf("offer advertises State == \"Claimed\"; "+
+						"claim-time revalidation rejects unless offered rank %g beats the running claim", offRank),
+				}}
+			}
+			m.forensics.record(r)
+		}
+		return
+	}
+	reason := m.diagnose(rec.ad, view, avail, nil, nil)
+	switch reason {
+	case ReasonNoOffers:
+		m.mRejNone.Inc()
+	case ReasonConstraintFailed:
+		m.mRejConstr.Inc()
+	case ReasonOutranked:
+		m.mRejTaken.Inc()
+	}
+	if m.events != nil {
+		m.events.Emit("matchmaker", "no_match", cycle, map[string]string{
+			"request": adName(rec.ad),
+			"reason":  reason,
+		})
+	}
+	if m.forensics != nil {
+		ledger, truncated := m.buildLedger(rec.ad, view, avail, takenBy, scanCand, scanIndexed)
+		m.forensics.record(Report{
+			Request: adName(rec.ad), Owner: owner(rec.ad), Cycle: cycle,
+			Time: time.Now(), Reason: reason,
+			Ledger: ledger, Truncated: truncated,
+		})
+	}
+}
+
+// Matches returns the current assignment without recomputing, in the
+// previous wake's order (tests and status tools).
+func (e *Incremental) Matches() []Match {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []Match
+	for _, name := range e.prevOrder {
+		rec, ok := e.requests[name]
+		if !ok || !rec.matched {
+			continue
+		}
+		off, ok := e.offers[rec.offer]
+		if !ok {
+			continue
+		}
+		out = append(out, Match{
+			Request: rec.ad, Offer: off.ad,
+			RequestRank: rec.reqRank, OfferRank: rec.offRank,
+			Trace: classad.TraceOf(rec.ad),
+		})
+	}
+	return out
+}

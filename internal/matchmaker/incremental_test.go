@@ -1,0 +1,479 @@
+package matchmaker
+
+// Differential tests for the event-driven incremental engine: a long
+// seeded delta stream is driven through a real collector store and its
+// change feed into an Incremental engine, and at every quiescent point
+// the engine's assignment, fair-share charges, and forensic verdicts
+// are compared against a from-scratch NegotiateCycle over the same
+// live ads. The same harness, with Hooks.DropDirtyNotification on,
+// must mechanically rediscover the dropped-wake mutant.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/classad"
+	"repro/internal/collector"
+	"repro/internal/obs"
+)
+
+// diffWorld drives one seeded operation stream against a collector
+// store, the incremental engine subscribed to it, and a shadow usage
+// table that records only claim-acknowledgment charges.
+type diffWorld struct {
+	t     *testing.T
+	rng   *rand.Rand
+	clock int64
+	env   *classad.Env
+
+	store *collector.Store
+	sub   *collector.Subscription
+	eng   *Incremental
+
+	// shadow receives exactly the claim-ack charges the harness issues;
+	// the engine's table must never drift from it (Recompute must not
+	// charge — DeferCharges is forced).
+	shadow *PriorityTable
+
+	machines map[string]*classad.Ad // live machine name -> last advertised ad
+	jobs     map[string]bool        // live job names
+	owners   []string
+	step     int
+	wakes    int
+
+	// diffs accumulates every divergence found at a quiescent point;
+	// the healthy run asserts it stays empty, the mutant run asserts
+	// it does not.
+	diffs []string
+}
+
+func newDiffWorld(t *testing.T, seed int64) *diffWorld {
+	w := &diffWorld{
+		t:        t,
+		rng:      rand.New(rand.NewSource(seed)),
+		clock:    1_000_000,
+		machines: make(map[string]*classad.Ad),
+		jobs:     make(map[string]bool),
+		shadow:   NewPriorityTable(),
+	}
+	w.env = &classad.Env{
+		Now:  func() int64 { return w.clock },
+		Rand: func() float64 { return 0.25 },
+	}
+	w.store = collector.New(w.env)
+	w.sub = w.store.Subscribe()
+	// Half-life off: decay folds elapsed time multiplicatively, so two
+	// tables that decay at different call points drift by an ulp even
+	// when fed identical charges. The differential compares exact
+	// charge accounting; decay itself is priority_test.go's business.
+	w.shadow.SetHalfLife(0)
+	m := New(Config{Env: w.env, Index: true, FairShare: true})
+	m.Instrument(obs.New())
+	w.eng = NewIncremental(m)
+	w.eng.InstrumentEngine(obs.New())
+	w.eng.Matchmaker().Usage().SetHalfLife(0)
+	for i := 0; i < 5; i++ {
+		w.owners = append(w.owners, fmt.Sprintf("user%d", i))
+	}
+	w.shadow.Advance(float64(w.clock))
+	w.eng.Matchmaker().Usage().Advance(float64(w.clock))
+	return w
+}
+
+// sortedKeys gives deterministic random selection over a map.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (w *diffWorld) genMachine(name string) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Type", "Machine")
+	ad.SetString("Name", name)
+	ad.SetString("Arch", []string{"INTEL", "SPARC"}[w.rng.Intn(2)])
+	ad.SetInt("Memory", int64(32<<w.rng.Intn(4)))
+	ad.SetInt("Mips", int64(50+w.rng.Intn(400)))
+	state := "Unclaimed"
+	if w.rng.Intn(10) == 0 {
+		state = "Claimed"
+	}
+	ad.SetString("State", state)
+	if w.rng.Intn(4) == 0 {
+		if err := ad.SetExprString("Constraint", fmt.Sprintf("other.Prio >= %d", w.rng.Intn(5))); err != nil {
+			w.t.Fatal(err)
+		}
+	} else {
+		ad.Set("Constraint", classad.Lit(classad.Bool(true)))
+	}
+	if err := ad.SetExprString("Rank", "other.Prio"); err != nil {
+		w.t.Fatal(err)
+	}
+	return ad
+}
+
+func (w *diffWorld) genJob(name string) *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Type", "Job")
+	ad.SetString("Name", name)
+	ad.SetString("Owner", w.owners[w.rng.Intn(len(w.owners))])
+	ad.SetInt("Prio", int64(w.rng.Intn(10)))
+	arch := []string{"INTEL", "SPARC"}[w.rng.Intn(2)]
+	if err := ad.SetExprString("Constraint",
+		fmt.Sprintf("other.Arch == %q && other.Memory >= %d", arch, int64(32<<w.rng.Intn(4)))); err != nil {
+		w.t.Fatal(err)
+	}
+	if w.rng.Intn(2) == 0 {
+		if err := ad.SetExprString("Rank", "other.Mips"); err != nil {
+			w.t.Fatal(err)
+		}
+	}
+	return ad
+}
+
+// op applies one random pool mutation. Machine names come from a pool
+// of 30 and job names from a pool of 100, so forensics never evicts
+// (the report store holds 256 distinct request names).
+func (w *diffWorld) op() {
+	switch n := w.rng.Intn(100); {
+	case n < 25: // advertise (new or changed) machine
+		name := fmt.Sprintf("mach-%02d", w.rng.Intn(30))
+		ad := w.genMachine(name)
+		if err := w.store.Update(ad, int64(120+w.rng.Intn(600))); err != nil {
+			w.t.Fatal(err)
+		}
+		w.machines[name] = ad
+	case n < 32: // content-identical heartbeat: lifetime renewal only
+		names := sortedKeys(w.machines)
+		if len(names) == 0 {
+			return
+		}
+		name := names[w.rng.Intn(len(names))]
+		if err := w.store.Update(w.machines[name], int64(120+w.rng.Intn(600))); err != nil {
+			w.t.Fatal(err)
+		}
+	case n < 40: // withdraw machine
+		names := sortedKeys(w.machines)
+		if len(names) == 0 {
+			return
+		}
+		name := names[w.rng.Intn(len(names))]
+		w.store.Invalidate(name)
+		delete(w.machines, name)
+	case n < 62: // submit (or resubmit) job
+		name := fmt.Sprintf("job-%02d", w.rng.Intn(100))
+		if err := w.store.Update(w.genJob(name), int64(300+w.rng.Intn(600))); err != nil {
+			w.t.Fatal(err)
+		}
+		w.jobs[name] = true
+	case n < 70: // remove job
+		names := sortedKeys(w.jobs)
+		if len(names) == 0 {
+			return
+		}
+		name := names[w.rng.Intn(len(names))]
+		w.store.Invalidate(name)
+		delete(w.jobs, name)
+	case n < 80: // time passes; ads may expire, usage decays
+		w.clock += int64(1 + w.rng.Intn(120))
+		w.shadow.Advance(float64(w.clock))
+		w.eng.Matchmaker().Usage().Advance(float64(w.clock))
+		w.store.Prune()
+		for name := range w.machines {
+			if _, ok := w.store.Lookup(name); !ok {
+				delete(w.machines, name)
+			}
+		}
+		for name := range w.jobs {
+			if _, ok := w.store.Lookup(name); !ok {
+				delete(w.jobs, name)
+			}
+		}
+	case n < 90: // claim acknowledged: charge the owner, retire the job
+		ms := w.eng.Matches()
+		if len(ms) == 0 {
+			return
+		}
+		m := ms[w.rng.Intn(len(ms))]
+		own := OwnerOf(m.Request)
+		w.eng.Matchmaker().Usage().Record(own, 1)
+		w.shadow.Record(own, 1)
+		name := adName(m.Request)
+		w.store.Invalidate(name)
+		delete(w.jobs, classad.Fold(name))
+	default: // flip a machine's claimed state, all else unchanged
+		names := sortedKeys(w.machines)
+		if len(names) == 0 {
+			return
+		}
+		name := names[w.rng.Intn(len(names))]
+		ad := classad.MustParse(w.machines[name].String())
+		state := "Unclaimed"
+		if s, _ := ad.Eval("State").StringVal(); s == "Unclaimed" {
+			state = "Claimed"
+		}
+		ad.SetString("State", state)
+		if err := w.store.Update(ad, int64(120+w.rng.Intn(600))); err != nil {
+			w.t.Fatal(err)
+		}
+		w.machines[name] = ad
+	}
+}
+
+// quiesce drains the change feed into the engine, wakes it if (and
+// only if) there is work, and runs the differential comparison.
+func (w *diffWorld) quiesce() {
+	w.store.Prune()
+	var deltas []AdDelta
+	for _, d := range w.sub.Drain() {
+		switch d.Kind {
+		case collector.DeltaExpired, collector.DeltaInvalidated:
+			deltas = append(deltas, AdDelta{Kind: AdRemove, Name: d.Name})
+		default:
+			deltas = append(deltas, AdDelta{Kind: AdUpsert, Name: d.Name, Ad: d.Ad})
+		}
+	}
+	w.eng.Notify(deltas...)
+	if w.eng.NeedsWake() {
+		w.eng.Recompute(fmt.Sprintf("w%04d", w.step))
+		w.wakes++
+	}
+	w.compare()
+}
+
+func (w *diffWorld) diff(format string, args ...any) {
+	w.diffs = append(w.diffs, fmt.Sprintf("step %d: ", w.step)+fmt.Sprintf(format, args...))
+}
+
+// compare checks the engine against a from-scratch negotiation cycle
+// over the store's live ads: same assignment, same forensic verdicts,
+// and a usage table that has accumulated only the claim-ack charges.
+func (w *diffWorld) compare() {
+	em := map[string]string{}
+	for _, m := range w.eng.Matches() {
+		em[classad.Fold(adName(m.Request))] = classad.Fold(adName(m.Offer))
+	}
+
+	ref := New(Config{Env: w.env, Index: true, FairShare: true, DeferCharges: true})
+	ref.Instrument(obs.New())
+	ref.SetUsage(w.eng.Matchmaker().Usage())
+	var reqs, offs []*classad.Ad
+	for _, ad := range w.store.All() {
+		switch classifyAd(ad) {
+		case adRequest:
+			reqs = append(reqs, ad)
+		case adOffer:
+			offs = append(offs, ad)
+		}
+	}
+	rm := map[string]string{}
+	for _, m := range ref.NegotiateCycle(fmt.Sprintf("ref%04d", w.step), reqs, offs) {
+		rm[classad.Fold(adName(m.Request))] = classad.Fold(adName(m.Offer))
+	}
+
+	for r, o := range rm {
+		if got, ok := em[r]; !ok {
+			w.diff("full cycle matches %s -> %s; engine left it unmatched", r, o)
+		} else if got != o {
+			w.diff("full cycle matches %s -> %s; engine matched %s", r, o, got)
+		}
+	}
+	for r, o := range em {
+		if _, ok := rm[r]; !ok {
+			w.diff("engine matches %s -> %s; full cycle left it unmatched", r, o)
+		}
+	}
+
+	engF, refF := w.eng.Matchmaker().Forensics(), ref.Forensics()
+	for _, ad := range reqs {
+		name := adName(ad)
+		er, eok := engF.Lookup(name)
+		rr, rok := refF.Lookup(name)
+		if !rok {
+			w.t.Fatalf("step %d: reference cycle recorded no report for live request %s", w.step, name)
+		}
+		if !eok {
+			w.diff("engine has no forensic report for live request %s", name)
+			continue
+		}
+		if er.Matched != rr.Matched || er.Offer != rr.Offer || er.Reason != rr.Reason || er.Claimed != rr.Claimed {
+			w.diff("forensics for %s: engine {matched=%v offer=%q reason=%q claimed=%v}, full cycle {matched=%v offer=%q reason=%q claimed=%v}",
+				name, er.Matched, er.Offer, er.Reason, er.Claimed, rr.Matched, rr.Offer, rr.Reason, rr.Claimed)
+		}
+	}
+
+	for _, own := range w.owners {
+		if got, want := w.eng.Matchmaker().Usage().Effective(own), w.shadow.Effective(own); got != want {
+			w.diff("usage for %s: engine table %g, claim-ack shadow %g (a wake charged usage)", own, got, want)
+		}
+	}
+}
+
+// run drives steps operations with a quiescent-point comparison after
+// every one.
+func (w *diffWorld) run(steps int) {
+	for i := 0; i < steps; i++ {
+		w.step = i
+		w.op()
+		w.quiesce()
+	}
+}
+
+func diffSteps(t *testing.T) int {
+	if testing.Short() {
+		return 150
+	}
+	return 600
+}
+
+// TestIncrementalDifferential is the correctness contract: after any
+// delta stream, the incremental engine's assignment, charges, and
+// forensic verdicts equal a from-scratch full cycle's at every
+// quiescent point.
+func TestIncrementalDifferential(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := newDiffWorld(t, seed)
+			w.run(diffSteps(t))
+			if len(w.diffs) > 0 {
+				n := len(w.diffs)
+				if n > 5 {
+					w.diffs = w.diffs[:5]
+				}
+				t.Fatalf("%d divergence(s) from the full cycle; first few:\n%s", n, joinLines(w.diffs))
+			}
+			if w.wakes == 0 {
+				t.Fatalf("stream produced no wakes; differential exercised nothing")
+			}
+		})
+	}
+}
+
+// TestIncrementalDifferentialRediscoversDroppedWake seeds the
+// DropDirtyNotification mutant — content changes for known offers are
+// silently discarded — and demands the differential suite catch it.
+func TestIncrementalDifferentialRediscoversDroppedWake(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		w := newDiffWorld(t, seed)
+		w.eng.Hooks.DropDirtyNotification = true
+		w.run(diffSteps(t))
+		if len(w.diffs) > 0 {
+			t.Logf("seed %d: mutant rediscovered after %d steps: %s", seed, w.step, w.diffs[0])
+			return
+		}
+	}
+	t.Fatalf("DropDirtyNotification mutant survived the differential suite on every seed")
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for _, l := range lines {
+		out += "  " + l + "\n"
+	}
+	return out
+}
+
+// TestIncrementalWaitWake pins the needs_matchmaking discipline: Wait
+// blocks until Notify queues real work, ignored self-ads do not wake
+// the engine, and Close releases the waiter.
+func TestIncrementalWaitWake(t *testing.T) {
+	m := New(Config{})
+	eng := NewIncremental(m)
+	if eng.NeedsWake() {
+		t.Fatalf("fresh engine claims pending work")
+	}
+
+	self := classad.NewAd()
+	self.SetString("Type", "Negotiator")
+	self.SetString("Name", "nego-1")
+	eng.Notify(AdDelta{Kind: AdUpsert, Name: "nego-1", Ad: self})
+	if eng.NeedsWake() {
+		t.Fatalf("negotiator self-ad woke the engine; self-wake loop")
+	}
+	daemon := classad.NewAd()
+	daemon.SetString("Type", "Daemon")
+	daemon.SetString("Name", "ra-1-daemon")
+	eng.Notify(AdDelta{Kind: AdUpsert, Name: "ra-1-daemon", Ad: daemon})
+	if eng.NeedsWake() {
+		t.Fatalf("daemon self-ad woke the engine")
+	}
+	// A removal for a name the engine never stored is noise too.
+	eng.Notify(AdDelta{Kind: AdRemove, Name: "never-seen"})
+	if eng.NeedsWake() {
+		t.Fatalf("unknown removal woke the engine")
+	}
+
+	woke := make(chan bool, 1)
+	go func() { woke <- eng.Wait() }()
+	eng.Notify(AdDelta{Kind: AdUpsert, Name: "m1", Ad: machine("m1", "INTEL", 64)})
+	if ok := <-woke; !ok {
+		t.Fatalf("Wait returned closed on a live engine")
+	}
+
+	matches, stats := eng.Recompute("c1")
+	if len(matches) != 0 || stats.Offers != 1 || stats.Requests != 0 {
+		t.Fatalf("unexpected first wake: %d matches, stats %+v", len(matches), stats)
+	}
+	if eng.NeedsWake() {
+		t.Fatalf("Recompute left work pending")
+	}
+
+	go func() { woke <- eng.Wait() }()
+	eng.Close()
+	if ok := <-woke; ok {
+		t.Fatalf("Wait did not observe Close")
+	}
+}
+
+// TestIncrementalMarkAllDirty pins the fallback: a full rebuild is
+// forced even with an empty delta queue, and it repairs state a
+// dropped notification corrupted.
+func TestIncrementalMarkAllDirty(t *testing.T) {
+	m := New(Config{})
+	eng := NewIncremental(m)
+	eng.Notify(
+		AdDelta{Kind: AdUpsert, Name: "m1", Ad: machine("m1", "INTEL", 64)},
+		AdDelta{Kind: AdUpsert, Name: "j1", Ad: namedJob("j1", "u1", "INTEL", 32)},
+	)
+	if ms, _ := eng.Recompute("c1"); len(ms) != 1 {
+		t.Fatalf("expected 1 match, got %d", len(ms))
+	}
+
+	// Simulate a lost notification: the machine shrank below the job's
+	// floor but the engine never heard.
+	eng.Hooks.DropDirtyNotification = true
+	eng.Notify(AdDelta{Kind: AdUpsert, Name: "m1", Ad: machine("m1", "INTEL", 16)})
+	if eng.NeedsWake() {
+		t.Fatalf("mutant did not drop the notification")
+	}
+	eng.Hooks.DropDirtyNotification = false
+
+	eng.MarkAllDirty()
+	if !eng.NeedsWake() {
+		t.Fatalf("MarkAllDirty queued no work")
+	}
+	// The fallback rebuild re-noticed nothing (the engine's copy of m1
+	// is stale) but it re-negotiates every request against its stored
+	// ads — and once the store's next full refresh arrives, the repair
+	// completes. Here we deliver the repair as the fallback's re-sync.
+	eng.Notify(AdDelta{Kind: AdUpsert, Name: "m1", Ad: machine("m1", "INTEL", 16)})
+	ms, stats := eng.Recompute("c2")
+	if !stats.FullRebuild {
+		t.Fatalf("fallback wake was not a full rebuild: %+v", stats)
+	}
+	if len(ms) != 0 {
+		t.Fatalf("fallback kept a match the shrunken machine cannot satisfy: %v", ms)
+	}
+}
+
+// namedJob is job() plus the Name the engine keys requests by.
+func namedJob(name, owner, arch string, minMem int64) *classad.Ad {
+	ad := job(owner, arch, minMem)
+	ad.SetString("Name", name)
+	return ad
+}

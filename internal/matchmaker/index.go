@@ -253,17 +253,28 @@ func (ix *OfferIndex) Add(off *classad.Ad) int {
 	i := ix.addLocked(off)
 	// A freshly appended slot has the highest index, so string and
 	// expression lists stay sorted; the numeric axis needs an insert.
+	// addLocked appended the new entry at the tail, so one rotation
+	// into its binary-searched position restores order — a full
+	// re-sort here is O(n log n) per Add and dominates steady-state
+	// delta wakes at pool scale.
 	for _, name := range off.Names() {
 		p := ix.attrs[classad.Fold(name)]
 		if p == nil || len(p.nums) == 0 {
 			continue
 		}
-		sort.Slice(p.nums, func(a, b int) bool {
-			if p.nums[a].val != p.nums[b].val {
-				return p.nums[a].val < p.nums[b].val
+		last := len(p.nums) - 1
+		e := p.nums[last]
+		if e.idx != i {
+			continue // this attribute was not numeric on the new offer
+		}
+		at := sort.Search(last, func(k int) bool {
+			if p.nums[k].val != e.val {
+				return p.nums[k].val > e.val
 			}
-			return p.nums[a].idx < p.nums[b].idx
+			return p.nums[k].idx > e.idx
 		})
+		copy(p.nums[at+1:], p.nums[at:last])
+		p.nums[at] = e
 	}
 	return i
 }

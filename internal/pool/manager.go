@@ -270,6 +270,9 @@ type CycleResult struct {
 	// Standby is true when an HA-enrolled negotiator ran the cycle
 	// without holding the leadership lease: nothing was matched.
 	Standby bool
+	// Skipped is true when an event-mode heartbeat (TickEvent) held the
+	// lease but skipped negotiation because the pool had not changed.
+	Skipped bool
 	// Epoch is the leadership epoch the cycle ran under (0 without HA).
 	Epoch uint64
 	// Duration is the cycle's wall time.

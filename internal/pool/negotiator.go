@@ -46,6 +46,9 @@ type NegotiatorDaemon struct {
 	Logf func(string, ...any)
 
 	client *collector.Client
+	// deltas refreshes the negotiator's self-ads with UPDATE_DELTA
+	// envelopes (full ads only when attributes actually changed).
+	deltas *collector.DeltaAdvertiser
 	mm     *matchmaker.Matchmaker
 	ledger *matchmaker.UsageLedger
 	dialer *netx.Dialer
@@ -56,6 +59,10 @@ type NegotiatorDaemon struct {
 	epoch    uint64
 	deadline int64  // current lease deadline (pool-clock seconds)
 	lastSeen uint64 // highest epoch ever observed (ours or the peer's)
+	// Event mode (TickEvent): the collector's pool-change counter as of
+	// this daemon's last completed cycle, used to skip idle heartbeats.
+	lastSeq  uint64
+	seqKnown bool
 	cycles   int
 	httpSrv  *http.Server
 	httpLn   net.Listener
@@ -83,6 +90,7 @@ func NewNegotiatorDaemon(name string, client *collector.Client, ledger *matchmak
 		Name:   name,
 		Logf:   func(string, ...any) {},
 		client: client,
+		deltas: collector.NewDeltaAdvertiser(client),
 		mm:     matchmaker.New(mmCfg),
 		ledger: ledger,
 		dialer: netx.DefaultDialer,
@@ -282,7 +290,7 @@ func (d *NegotiatorDaemon) publishSelf(res CycleResult) {
 		usage.SetReal(customer, table.Effective(customer))
 	}
 	ad.Set("Usage", classad.NewAdExpr(usage))
-	if err := d.client.Advertise(ad, 0); err != nil {
+	if err := d.deltas.Advertise(ad, 0); err != nil {
 		d.Logf("negotiator %s: advertising self: %v", d.Name, err)
 	}
 	d.publishDaemonAd(res)
@@ -300,7 +308,7 @@ func (d *NegotiatorDaemon) publishDaemonAd(res CycleResult) {
 	if d.ledger != nil {
 		ad.SetInt("WALGeneration", int64(d.ledger.Stats().Gen))
 	}
-	if err := d.client.Advertise(ad, daemonAdLifetime); err != nil {
+	if err := d.deltas.Advertise(ad, daemonAdLifetime); err != nil {
 		d.Logf("negotiator %s: advertising daemon ad: %v", d.Name, err)
 	}
 }

@@ -33,8 +33,11 @@ type ResourceDaemon struct {
 	WriteTimeout time.Duration
 
 	collector *collector.Client
-	lifetime  int64
-	dialer    *netx.Dialer
+	// deltas refreshes the RA's ads with UPDATE_DELTA envelopes: an
+	// unchanged heartbeat ships an empty delta instead of the full ad.
+	deltas   *collector.DeltaAdvertiser
+	lifetime int64
+	dialer   *netx.Dialer
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -66,11 +69,13 @@ func NewResourceDaemon(ra *agent.Resource, collectorAddr string, lifetime int64,
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	client := &collector.Client{Addr: collectorAddr}
 	return &ResourceDaemon{
 		RA:           ra,
 		IdleTimeout:  netx.DefaultIdleTimeout,
 		WriteTimeout: netx.DefaultIOTimeout,
-		collector:    &collector.Client{Addr: collectorAddr},
+		collector:    client,
+		deltas:       collector.NewDeltaAdvertiser(client),
 		lifetime:     lifetime,
 		dialer:       netx.DefaultDialer,
 		logf:         logf,
@@ -179,14 +184,14 @@ func (d *ResourceDaemon) Advertise() error {
 		return err
 	}
 	ad.SetString(classad.AttrContact, d.Contact())
-	if err := d.collector.Advertise(ad, d.lifetime); err != nil {
+	if err := d.deltas.Advertise(ad, d.lifetime); err != nil {
 		return err
 	}
 	d.mu.Lock()
 	o := d.obs
 	d.mu.Unlock()
 	if o != nil {
-		if err := d.collector.Advertise(DaemonAd("ra", d.RA.Name(), o), daemonAdLifetime); err != nil {
+		if err := d.deltas.Advertise(DaemonAd("ra", d.RA.Name(), o), daemonAdLifetime); err != nil {
 			d.logf("ra %s: advertising daemon ad: %v", d.RA.Name(), err)
 		}
 	}
@@ -195,6 +200,7 @@ func (d *ResourceDaemon) Advertise() error {
 
 // Invalidate withdraws the RA's ad from the collector.
 func (d *ResourceDaemon) Invalidate() error {
+	d.deltas.Forget(d.RA.Name())
 	return d.collector.Invalidate(d.RA.Name())
 }
 

@@ -17,6 +17,9 @@ func FuzzReadEnvelope(f *testing.F) {
 	seeds := []*Envelope{
 		{Type: TypeAdvertise, Ad: "[ Name = \"m1\"; Type = \"Machine\" ]", Lifetime: 900},
 		{Type: TypeInvalidate, Name: "m1"},
+		{Type: TypeUpdateDelta, Name: "m1", BaseSeq: 3, Seq: 4,
+			Ad: "[ State = \"Claimed\" ]", Removed: []string{"LoadAvg"}, Lifetime: 900},
+		{Type: TypeUpdateDelta, Name: "m1", BaseSeq: 7, Seq: 8, Lifetime: 900},
 		{Type: TypeQuery, Ad: "[ Requirements = other.Type == \"Machine\" ]", Projection: []string{"Name", "Arch"}},
 		{Type: TypeQueryReply, Ads: []string{"[ Name = \"a\" ]", "[ Name = \"b\" ]"}},
 		{Type: TypeMatch, PeerAd: "[ Name = \"m1\" ]", Ticket: "deadbeef", Session: "cafe"},

@@ -40,6 +40,16 @@ type MsgType string
 const (
 	TypeAdvertise  MsgType = "ADVERTISE"
 	TypeInvalidate MsgType = "INVALIDATE"
+	// TypeUpdateDelta refreshes a previously advertised ad by sending
+	// only the attributes that changed (Ad) and the attributes that
+	// disappeared (Removed) against a base sequence number. The
+	// collector merges the delta into its stored copy when BaseSeq
+	// matches the stored sequence and otherwise rejects the delta so
+	// the advertiser falls back to a full ADVERTISE — a lost or
+	// reordered delta can delay freshness but never corrupt an ad.
+	// An empty delta (no Ad, no Removed) is a pure heartbeat: it
+	// renews the lifetime without resending any attribute.
+	TypeUpdateDelta MsgType = "UPDATE_DELTA"
 	TypeQuery      MsgType = "QUERY"
 	TypeQueryReply MsgType = "QUERY_REPLY"
 	TypeMatch      MsgType = "MATCH"
@@ -136,6 +146,15 @@ type Envelope struct {
 	// seconds). Absolute rather than relative so a standby that
 	// observes the reply can wait out the precise remainder.
 	Deadline int64 `json:"deadline,omitempty"`
+	// Seq is the advertiser-assigned sequence number of the ad state
+	// an ADVERTISE or UPDATE_DELTA establishes; BaseSeq is the
+	// sequence number the delta patches. The collector applies an
+	// UPDATE_DELTA only when BaseSeq equals the stored ad's sequence,
+	// so deltas compose into exactly the ad the advertiser holds.
+	Seq     uint64 `json:"seq,omitempty"`
+	BaseSeq uint64 `json:"base_seq,omitempty"`
+	// Removed lists attributes deleted since BaseSeq (UPDATE_DELTA).
+	Removed []string `json:"removed,omitempty"`
 	// Accepted reports a claim verdict.
 	Accepted bool `json:"accepted,omitempty"`
 	// Reason explains errors and claim rejections.
@@ -216,6 +235,9 @@ func Read(r *bufio.Reader) (*Envelope, error) {
 	}
 	if len(e.Projection) == 0 {
 		e.Projection = nil
+	}
+	if len(e.Removed) == 0 {
+		e.Removed = nil
 	}
 	return &e, nil
 }

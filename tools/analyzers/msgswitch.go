@@ -23,6 +23,7 @@ var MsgSwitch = &Analyzer{
 var ProtocolMsgTypes = []string{
 	"TypeAdvertise",
 	"TypeInvalidate",
+	"TypeUpdateDelta",
 	"TypeQuery",
 	"TypeQueryReply",
 	"TypeMatch",

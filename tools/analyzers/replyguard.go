@@ -35,6 +35,7 @@ var ReplyGuard = &Analyzer{
 var RequestMsgTypes = []string{
 	"TypeAdvertise",
 	"TypeInvalidate",
+	"TypeUpdateDelta",
 	"TypeQuery",
 	"TypeMatch",
 	"TypeClaim",
