@@ -4,7 +4,8 @@
 #   make test         tier-1 check as ROADMAP.md defines it
 #   make test-short   the fast loop: -short skips chaos/simulation soak tests
 #   make lint         go vet + repo-invariant analyzers + cadlint over shipped ads + lint-codes
-#   make lint-codes   DESIGN.md CAD/MC-code tables must match the analyzer/checker source
+#   make lint-codes   DESIGN.md CAD/MC-code/analyzer tables must match the analyzer/checker source
+#   make lint-fix-list machine-readable analyzer findings: file:line: code
 #   make mc-short     exhaustive model check of the canonical small pool (the verify-depth run)
 #   make mc           deeper model check (MC_FULL=1), plus liveness and mutant self-tests
 #   make fuzz         short protocol fuzz run (FuzzReadEnvelope)
@@ -21,32 +22,41 @@ FUZZTIME ?= 15s
 # SteadyState is the event-driven delta wake vs full-rebuild pair).
 BENCHPAT ?= Parse|Eval|Match|Unparse|Negotiat|Aggregation|FairShare|Analyze|ClaimRevalidation|SteadyState
 
-.PHONY: verify test test-short build vet lint lint-codes mc mc-short fuzz crash bench bench-check ci
+.PHONY: verify test test-short build vet lint lint-codes lint-fix-list mc mc-short fuzz crash bench bench-check ci
 
 verify: lint mc-short
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 
 # All static analysis in one target: go vet, the custom invariant
-# analyzers (tools/analyzers: nodial, obsguard, msgswitch, lockguard,
-# fsyncguard, tracectx, epochguard, replyguard) over every package, the
+# analyzers (tools/analyzers, typed framework v2: nodial, obsguard,
+# msgswitch, lockguard, fsyncguard, tracectx, epochguard, replyguard,
+# condguard, determguard, goroguard, sendguard) over every package, the
 # ClassAd linter over every ad we ship, and the docs/code sync gate.
-# The intentionally broken fixtures live under testdata/lint/ and
-# tools/analyzers/testdata/, which none of these reach.
+# The analyzer driver prints a per-analyzer timing summary and fails
+# past its 30s budget. The intentionally broken fixtures live under
+# testdata/lint/ and tools/analyzers/testdata/, which none of these
+# reach.
 lint: lint-codes
 	$(GO) vet ./...
 	$(GO) run ./tools/analyzers/cmd ./...
 	$(GO) run ./cmd/cadlint testdata/*.ad examples/ads/*.ad
 
+# Machine-readable findings for editor/script consumption: one
+# `file:line: analyzer` per violation, nothing else.
+lint-fix-list:
+	$(GO) run ./tools/analyzers/cmd -list ./...
+
 # The DESIGN.md tables are written by hand but enforced by machine:
 # these tests re-derive the diagnostic-code vocabulary (§9), the
-# metrics-name registry (§12), and the model-checker invariant codes
-# (§13) from package source and fail on any drift against the doc
-# tables.
+# analyzer roster (§9), the metrics-name registry (§12), and the
+# model-checker invariant codes (§13) from package source and fail on
+# any drift against the doc tables.
 lint-codes:
 	$(GO) test -run 'TestAllCodesMatchesSource|TestDesignDocCodeTableInSync' ./internal/classad/analysis
 	$(GO) test -run 'TestDesignDocMetricsTableInSync' ./internal/obs
 	$(GO) test -run 'TestAllMCCodesMatchesSource|TestDesignDocModelCheckTableInSync' ./internal/modelcheck
+	$(GO) test -run 'TestDesignDocAnalyzerTableInSync' ./tools/analyzers
 
 # Exhaustive small-scope model check of the canonical pool (2 machines,
 # 2 jobs, 2 negotiators): the checker owns every source of

@@ -31,9 +31,9 @@ var defaultEnvVal *Env
 func DefaultEnv() *Env {
 	defaultEnvOnce.Do(func() {
 		var mu sync.Mutex
-		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		rng := rand.New(rand.NewSource(time.Now().UnixNano())) //determguard:ok DefaultEnv IS the wall-clock seam; replayed code gets an injected Env
 		defaultEnvVal = &Env{
-			Now: func() int64 { return time.Now().Unix() },
+			Now: func() int64 { return time.Now().Unix() }, //determguard:ok DefaultEnv IS the wall-clock seam; replayed code gets an injected Env
 			Rand: func() float64 {
 				mu.Lock()
 				defer mu.Unlock()

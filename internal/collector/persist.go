@@ -3,6 +3,7 @@ package collector
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/classad"
 	"repro/internal/store"
@@ -164,6 +165,9 @@ func (s *Store) snapshotLocked() error {
 	for _, e := range s.ads {
 		snap.Ads = append(snap.Ads, persistAd{Ad: e.ad.String(), Expires: e.expires, Seq: e.seq})
 	}
+	// Canonical order: map iteration must not leak into the snapshot
+	// bytes, or two stores with identical contents persist differently.
+	sort.Slice(snap.Ads, func(i, j int) bool { return snap.Ads[i].Seq < snap.Ads[j].Seq })
 	raw, err := json.Marshal(snap)
 	if err != nil {
 		return fmt.Errorf("collector: snapshot encode: %w", err)

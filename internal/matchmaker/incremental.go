@@ -52,7 +52,6 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/classad"
 	"repro/internal/obs"
@@ -411,7 +410,7 @@ func (e *Incremental) compactLocked() {
 // returned assignment is what NegotiateCycle would produce from
 // scratch over the engine's current ads.
 func (e *Incremental) Recompute(cycle string) ([]Match, WakeStats) {
-	start := time.Now()
+	start := e.m.now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 
@@ -672,7 +671,7 @@ func (e *Incremental) Recompute(cycle string) ([]Match, WakeStats) {
 	}
 
 	e.mEvals.Add(int64(stats.Evals))
-	e.m.hNegotiate.Observe(time.Since(start).Seconds())
+	e.m.hNegotiate.Observe(e.m.now().Sub(start).Seconds())
 	return out, stats
 }
 
@@ -728,7 +727,7 @@ func (e *Incremental) recordOutcome(cycle string, rec *reqRec, view []*classad.A
 		if m.forensics != nil {
 			r := Report{
 				Request: adName(rec.ad), Owner: owner(rec.ad), Cycle: cycle,
-				Time: time.Now(), Matched: true, Offer: adName(view[best]),
+				Time: m.now(), Matched: true, Offer: adName(view[best]),
 			}
 			if offerClaimed(view[best]) {
 				r.Claimed = true
@@ -762,7 +761,7 @@ func (e *Incremental) recordOutcome(cycle string, rec *reqRec, view []*classad.A
 		ledger, truncated := m.buildLedger(rec.ad, view, avail, takenBy, scanCand, scanIndexed)
 		m.forensics.record(Report{
 			Request: adName(rec.ad), Owner: owner(rec.ad), Cycle: cycle,
-			Time: time.Now(), Reason: reason,
+			Time: m.now(), Reason: reason,
 			Ledger: ledger, Truncated: truncated,
 		})
 	}

@@ -169,6 +169,18 @@ func (m *Matchmaker) Instrument(o *obs.Obs) {
 // diagnosis does extra matching work that uninstrumented cycles skip.
 func (m *Matchmaker) instrumented() bool { return m.mMatches != nil }
 
+// now reads the negotiation clock. Cycle timestamps (forensics
+// reports, latency observations) must come from the injected Env when
+// one is configured: the model checker replays cycles under a virtual
+// clock, and a wall-clock read here would leak nondeterminism into
+// replayed state. Without an Env the wall clock is the clock.
+func (m *Matchmaker) now() time.Time {
+	if m.cfg.Env != nil && m.cfg.Env.Now != nil {
+		return time.Unix(m.cfg.Env.Now(), 0)
+	}
+	return time.Now() //determguard:ok the non-replay default; modelcheck always injects Env.Now
+}
+
 // Forensics exposes the negotiation-forensics store (nil until
 // Instrument is called).
 func (m *Matchmaker) Forensics() *Forensics { return m.forensics }
@@ -228,7 +240,7 @@ func (m *Matchmaker) Negotiate(requests, offers []*classad.Ad) []Match {
 // cycle's decisions correlate with the manager, CA and RA events that
 // surround them.
 func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad) []Match {
-	start := time.Now()
+	start := m.now()
 	order := m.requestOrder(requests)
 	available := make([]bool, len(offers))
 	for i := range available {
@@ -306,7 +318,7 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 				takenBy[best] = adName(req)
 				r := Report{
 					Request: adName(req), Owner: owner(req), Cycle: cycle,
-					Time: time.Now(), Matched: true, Offer: adName(offers[best]),
+					Time: m.now(), Matched: true, Offer: adName(offers[best]),
 				}
 				if offerClaimed(offers[best]) {
 					r.Claimed = true
@@ -341,7 +353,7 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 				ledger, truncated := m.buildLedger(req, offers, available, takenBy, scanCand, scanIndexed)
 				m.forensics.record(Report{
 					Request: adName(req), Owner: owner(req), Cycle: cycle,
-					Time: time.Now(), Reason: reason,
+					Time: m.now(), Reason: reason,
 					Ledger: ledger, Truncated: truncated,
 				})
 			}
@@ -349,7 +361,7 @@ func (m *Matchmaker) NegotiateCycle(cycle string, requests, offers []*classad.Ad
 		}
 		sp.End()
 	}
-	m.hNegotiate.Observe(time.Since(start).Seconds())
+	m.hNegotiate.Observe(m.now().Sub(start).Seconds())
 	return out
 }
 

@@ -11,6 +11,7 @@ package modelcheck
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/classad"
@@ -103,8 +104,14 @@ func referenceAssignment(streams [][]matchmaker.AdDelta) map[string]string {
 			final[d.Name] = d.Ad
 		}
 	}
+	names := make([]string, 0, len(final))
+	for name := range final {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var reqs, offs []*classad.Ad
-	for _, ad := range final {
+	for _, name := range names {
+		ad := final[name]
 		if typ, _ := ad.Eval("Type").StringVal(); classad.Fold(typ) == "job" {
 			reqs = append(reqs, ad)
 		} else {

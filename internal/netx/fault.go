@@ -166,7 +166,7 @@ func (c *FaultConn) Read(p []byte) (int, error) {
 func (c *FaultConn) Write(p []byte) (int, error) {
 	f := c.f
 	if f.roll(f.plan.Delay, &f.statsRef().Delays) {
-		time.Sleep(f.plan.DelayTime)
+		time.Sleep(f.plan.DelayTime) //determguard:ok injected latency on a real socket is wall-clock by design; the checker schedules actions itself, not through FaultConn
 	}
 	if f.roll(f.plan.Reset, &f.statsRef().Resets) {
 		abort(c.Conn)

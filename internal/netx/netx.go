@@ -149,7 +149,7 @@ func (c *timeoutConn) Read(p []byte) (int, error) {
 
 func (c *timeoutConn) Write(p []byte) (int, error) {
 	if c.write > 0 {
-		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.write)); err != nil {
+		if err := c.Conn.SetWriteDeadline(time.Now().Add(c.write)); err != nil { //determguard:ok kernel socket deadlines are wall-clock by definition
 			return 0, err
 		}
 	}

@@ -1,28 +1,29 @@
 // Package analyzers implements the repository's custom static
 // analyzers as a miniature, dependency-free take on the go/analysis
-// framework: a loader that parses package directories to syntax, a
-// Pass that carries one file through one analyzer, and a runner that
-// collects findings in source order. `make verify` drives it via
-// tools/analyzers/cmd, so repo invariants that gofmt and go vet cannot
-// see — every outbound dial goes through internal/netx, obs hook
-// methods stay nil-receiver-safe, protocol envelope switches stay
-// exhaustive — break the build instead of rotting quietly.
+// framework. v2 of the framework is *typed*: the whole module is
+// parsed and type-checked once with go/parser + go/types (load.go),
+// and every analyzer's Pass carries the package's *types.Info, the
+// loaded package graph, and a lazily built cross-package call graph
+// (callgraph.go). Analyzers therefore resolve imports, receivers,
+// constants and call targets by type identity, not identifier text —
+// an aliased or dot import of "net" is still "net", a mutex reached
+// through a struct field is still a sync.Mutex, and a helper defined
+// in another file (or package) is still followable.
 //
-// The framework is deliberately syntactic: no type checking, no
-// cross-package facts. Each invariant here is checkable from a single
-// file's AST, which keeps the whole machine small enough to live in
-// the repo it guards.
+// `make verify` drives the suite via tools/analyzers/cmd, so repo
+// invariants that gofmt and go vet cannot see — every outbound dial
+// goes through internal/netx, obs hook methods stay nil-receiver-safe,
+// protocol envelope switches stay exhaustive, modelcheck-replayed code
+// stays deterministic — break the build instead of rotting quietly.
 package analyzers
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
-	"path/filepath"
+	"go/types"
 	"sort"
-	"strings"
+	"time"
 )
 
 // Finding is one rule violation at a source position.
@@ -51,7 +52,10 @@ type Analyzer struct {
 
 // All returns every analyzer `make verify` runs.
 func All() []*Analyzer {
-	return []*Analyzer{NoDial, ObsGuard, MsgSwitch, LockGuard, FsyncGuard, TraceCtx, EpochGuard, ReplyGuard}
+	return []*Analyzer{
+		NoDial, ObsGuard, MsgSwitch, LockGuard, FsyncGuard, TraceCtx, EpochGuard, ReplyGuard,
+		CondGuard, DetermGuard, GoroGuard, SendGuard,
+	}
 }
 
 // File is one parsed source file.
@@ -61,17 +65,45 @@ type File struct {
 	Test bool
 }
 
-// Package is one directory's worth of parsed files sharing a FileSet.
+// Package is one directory's worth of parsed files sharing a FileSet,
+// type-checked as one package (in-package _test.go files included,
+// exactly as `go test` compiles them).
 type Package struct {
 	Dir   string
+	Path  string // import path ("<module>.test" suffix for external test pkgs)
 	Name  string
 	Fset  *token.FileSet
 	Files []File
+
+	// Types and Info are the go/types results for the package. Info is
+	// never nil for a loaded package; TypeErrors collects any check
+	// errors (analyzers still run on a partially typed package, the
+	// driver surfaces the errors separately).
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Program is one coherent load of the module: the requested packages,
+// their shared FileSet, and lazily built whole-program facts (call
+// graph, constant tables). All packages share one loader, so types are
+// identical across packages and fixture runs.
+type Program struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	loader *loader
+
+	cg        *CallGraph
+	msgConsts map[string]string               // constant value -> canonical protocol.Type* name
+	blockSumm map[*types.Func]string          // lockguard: does this function block, and how
+	reachMemo map[string]map[*types.Func]bool // analyzer name -> reachable-function set
 }
 
 // Pass carries one file through one analyzer.
 type Pass struct {
 	Analyzer *Analyzer
+	Prog     *Program
 	Pkg      *Package
 	File     File
 
@@ -87,87 +119,47 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// LoadDir parses the .go files directly inside dir (non-recursive,
-// comments retained for test expectations). Directories with no Go
-// files yield a package with no files, not an error.
-func LoadDir(dir string) (*Package, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	pkg := &Package{Dir: dir, Fset: token.NewFileSet()}
-	for _, ent := range entries {
-		if ent.IsDir() || !strings.HasSuffix(ent.Name(), ".go") {
-			continue
-		}
-		path := filepath.Join(dir, ent.Name())
-		f, err := parser.ParseFile(pkg.Fset, path, nil, parser.ParseComments)
-		if err != nil {
-			return nil, err
-		}
-		file := File{Path: path, Ast: f, Test: strings.HasSuffix(ent.Name(), "_test.go")}
-		pkg.Files = append(pkg.Files, file)
-		if pkg.Name == "" && !file.Test {
-			pkg.Name = f.Name.Name
-		}
-	}
-	return pkg, nil
-}
-
-// Load walks each root recursively and parses every package directory
-// found. A trailing "/..." on a root is accepted (and redundant: the
-// walk always recurses). testdata, vendor, hidden and underscore
-// directories are skipped, mirroring the go tool's build rules.
-func Load(roots []string) ([]*Package, error) {
-	var pkgs []*Package
-	for _, root := range roots {
-		root = strings.TrimSuffix(root, "...")
-		root = strings.TrimSuffix(root, string(filepath.Separator))
-		root = strings.TrimSuffix(root, "/")
-		if root == "" {
-			root = "."
-		}
-		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != root && (name == "testdata" || name == "vendor" ||
-				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return filepath.SkipDir
-			}
-			pkg, err := LoadDir(path)
-			if err != nil {
-				return err
-			}
-			if len(pkg.Files) > 0 {
-				pkgs = append(pkgs, pkg)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	return pkgs, nil
+// Stat is one analyzer's share of a timed run.
+type Stat struct {
+	Name     string
+	Files    int
+	Findings int
+	Elapsed  time.Duration
 }
 
 // Run applies every analyzer to every file of every package and
 // returns the findings in source order.
-func Run(as []*Analyzer, pkgs []*Package) []Finding {
+func Run(as []*Analyzer, prog *Program) []Finding {
+	findings, _ := RunTimed(as, prog)
+	return findings
+}
+
+// RunTimed is Run plus a per-analyzer summary (files visited,
+// findings, wall time) for the driver's timing report. Analyzers run
+// in the given order; within one analyzer, packages and files run in
+// load order, so diagnostics are position-stable across runs.
+func RunTimed(as []*Analyzer, prog *Program) ([]Finding, []Stat) {
 	var findings []Finding
-	for _, pkg := range pkgs {
-		for _, a := range as {
+	stats := make([]Stat, 0, len(as))
+	for _, a := range as {
+		start := time.Now()
+		files := 0
+		before := len(findings)
+		for _, pkg := range prog.Pkgs {
 			for _, f := range pkg.Files {
 				if a.SkipTests && f.Test {
 					continue
 				}
-				a.Run(&Pass{Analyzer: a, Pkg: pkg, File: f, findings: &findings})
+				files++
+				a.Run(&Pass{Analyzer: a, Prog: prog, Pkg: pkg, File: f, findings: &findings})
 			}
 		}
+		stats = append(stats, Stat{
+			Name:     a.Name,
+			Files:    files,
+			Findings: len(findings) - before,
+			Elapsed:  time.Since(start),
+		})
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
@@ -177,7 +169,10 @@ func Run(as []*Analyzer, pkgs []*Package) []Finding {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings
+	return findings, stats
 }

@@ -6,6 +6,11 @@
 // matches the double-quoted regular expression; findings without a
 // want comment, and want comments without a finding, both fail the
 // test.
+//
+// Fixtures are loaded through the typed framework, so they must
+// type-check: a fixture with type errors fails the test outright.
+// That is deliberate — the analyzers resolve by type identity, and an
+// ill-typed fixture would silently exercise nothing.
 package analyzertest
 
 import (
@@ -29,19 +34,47 @@ type expectation struct {
 // with the fixture's want comments.
 func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
 	t.Helper()
-	pkg, err := analyzers.LoadDir(dir)
+	prog, err := analyzers.LoadDir(dir)
 	if err != nil {
 		t.Fatalf("load %s: %v", dir, err)
 	}
-	if len(pkg.Files) == 0 {
-		t.Fatalf("no Go files in %s", dir)
+	check(t, a, prog)
+}
+
+// RunDirs loads several fixture directories as one program — for
+// analyzers whose facts cross package boundaries (determguard's
+// reachability from a driver package into the code it replays) — and
+// compares findings across all of them with the want comments.
+func RunDirs(t *testing.T, a *analyzers.Analyzer, dirs ...string) {
+	t.Helper()
+	prog, err := analyzers.Load(dirs)
+	if err != nil {
+		t.Fatalf("load %v: %v", dirs, err)
 	}
-	expects, err := wants(pkg)
+	check(t, a, prog)
+}
+
+func check(t *testing.T, a *analyzers.Analyzer, prog *analyzers.Program) {
+	t.Helper()
+	files := 0
+	for _, pkg := range prog.Pkgs {
+		files += len(pkg.Files)
+		for _, err := range pkg.TypeErrors {
+			t.Errorf("fixture does not type-check: %v", err)
+		}
+	}
+	if files == 0 {
+		t.Fatal("no Go files in fixture")
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	expects, err := wants(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	findings := analyzers.Run([]*analyzers.Analyzer{a}, []*analyzers.Package{pkg})
+	findings := analyzers.Run([]*analyzers.Analyzer{a}, prog)
 	for _, f := range findings {
 		matched := false
 		for _, exp := range expects {
@@ -67,27 +100,29 @@ func Run(t *testing.T, a *analyzers.Analyzer, dir string) {
 }
 
 // wants collects the fixture's expectations from its comments.
-func wants(pkg *analyzers.Package) ([]*expectation, error) {
+func wants(prog *analyzers.Program) ([]*expectation, error) {
 	var out []*expectation
-	for _, f := range pkg.Files {
-		for _, group := range f.Ast.Comments {
-			for _, c := range group.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				idx := strings.Index(text, "want ")
-				if idx < 0 {
-					continue
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Ast.Comments {
+				for _, c := range group.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					idx := strings.Index(text, "want ")
+					if idx < 0 {
+						continue
+					}
+					quoted := strings.TrimSpace(text[idx+len("want "):])
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s: malformed want comment %q: %v", f.Path, c.Text, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp %q: %v", f.Path, pat, err)
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
 				}
-				quoted := strings.TrimSpace(text[idx+len("want "):])
-				pat, err := strconv.Unquote(quoted)
-				if err != nil {
-					return nil, fmt.Errorf("%s: malformed want comment %q: %v", f.Path, c.Text, err)
-				}
-				re, err := regexp.Compile(pat)
-				if err != nil {
-					return nil, fmt.Errorf("%s: bad want regexp %q: %v", f.Path, pat, err)
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
 			}
 		}
 	}

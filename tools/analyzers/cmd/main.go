@@ -1,22 +1,40 @@
-// Command cmd drives the repository's custom static analyzers (nodial,
-// obsguard, msgswitch) over package directories, printing findings as
-// file:line:col and exiting non-zero when any invariant is violated.
-// `make verify` runs it over ./... alongside go vet.
+// Command cmd drives the repository's custom static analyzers over
+// package directories, printing findings as file:line:col and exiting
+// non-zero when any invariant is violated. The whole tree is loaded
+// and type-checked once; every analyzer shares the typed program and
+// its call graph. `make lint` (inside `make verify`) runs it over
+// ./... alongside go vet.
+//
+// Flags:
+//
+//	-list    emit machine-readable `file:line: code` lines only (for
+//	         `make lint-fix-list`), no summary
+//
+// The per-analyzer summary on stderr shows name, files visited,
+// findings and wall time; the total is asserted against a 30s budget
+// so the typed framework can never quietly make `make verify`
+// unbearable.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/tools/analyzers"
 )
 
+// lintBudget is the hard wall-time ceiling for a full run: typed
+// loading plus all analyzers. Exceeding it is itself a failure.
+const lintBudget = 30 * time.Second
+
 func main() {
+	listOnly := flag.Bool("list", false, "emit file:line: code lines only")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: analyzers [dir ...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: analyzers [-list] [dir ...]\n\nAnalyzers:\n")
 		for _, a := range analyzers.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
 	}
 	flag.Parse()
@@ -24,14 +42,51 @@ func main() {
 	if len(roots) == 0 {
 		roots = []string{"."}
 	}
-	pkgs, err := analyzers.Load(roots)
+
+	start := time.Now()
+	prog, err := analyzers.Load(roots)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
 		os.Exit(2)
 	}
-	findings := analyzers.Run(analyzers.All(), pkgs)
+	typeErrs := 0
+	for _, pkg := range prog.Pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "analyzers: type error: %v\n", terr)
+			typeErrs++
+		}
+	}
+	if typeErrs > 0 {
+		fmt.Fprintf(os.Stderr, "analyzers: %d type errors — typed analysis would be unsound, fix the build first\n", typeErrs)
+		os.Exit(2)
+	}
+	loadTime := time.Since(start)
+
+	findings, stats := analyzers.RunTimed(analyzers.All(), prog)
+	total := time.Since(start)
+
+	if *listOnly {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: %s\n", f.Pos.Filename, f.Pos.Line, f.Analyzer)
+		}
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, f := range findings {
 		fmt.Println(f)
+	}
+	fmt.Fprintf(os.Stderr, "analyzers: loaded %d packages in %v\n", len(prog.Pkgs), loadTime.Round(time.Millisecond))
+	for _, s := range stats {
+		fmt.Fprintf(os.Stderr, "  %-12s %4d files  %3d findings  %6dms\n",
+			s.Name, s.Files, s.Findings, s.Elapsed.Milliseconds())
+	}
+	fmt.Fprintf(os.Stderr, "analyzers: total %v (budget %v)\n", total.Round(time.Millisecond), lintBudget)
+	if total > lintBudget {
+		fmt.Fprintf(os.Stderr, "analyzers: exceeded the %v lint budget\n", lintBudget)
+		os.Exit(1)
 	}
 	if len(findings) > 0 {
 		os.Exit(1)

@@ -1,0 +1,335 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CondGuard pins the sync.Cond discipline the Incremental engine's
+// Wait/Notify protocol (and the collector's delta subscriptions)
+// depend on. Two rules:
+//
+//  1. Every sync.Cond.Wait sits inside a for loop. Wait releases the
+//     lock and can wake spuriously or late — only re-checking the
+//     condition in a loop makes the wakeup safe. An `if` around Wait
+//     proceeds on a false condition.
+//  2. Signal and Broadcast are called only while the mutex the Cond
+//     was constructed over is held. An unlocked signal races the
+//     waiter's condition check: the waiter can test, lose the CPU,
+//     miss the signal, then block forever on a condition that is
+//     already true.
+//
+// The Cond→mutex association is recovered from `sync.NewCond(&mu)`
+// construction sites anywhere in the package, by object identity — the
+// field the Cond lives in, not the variable name at the call site.
+// `//condguard:ok <reason>` on the offending line waives a finding.
+var CondGuard = &Analyzer{
+	Name:      "condguard",
+	Doc:       "sync.Cond.Wait must sit in a condition loop; Signal/Broadcast require the associated mutex held",
+	SkipTests: true,
+	Run:       runCondGuard,
+}
+
+func runCondGuard(p *Pass) {
+	if p.Pkg.Info == nil {
+		return
+	}
+	assoc := condAssociations(p.Pkg)
+	for _, decl := range p.File.Ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		checkWaitLoops(p, fd.Body)
+		checkSignalsHoldLock(p, fd.Body, assoc)
+	}
+}
+
+// condMethod recognizes a call to a (*sync.Cond) method and returns
+// the method name and the Cond's object (variable or field), or "".
+func condMethod(info *types.Info, call *ast.CallExpr) (method string, cond types.Object) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || !fromPkg(fn, "sync") {
+		return "", nil
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", nil
+	}
+	named := namedOf(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Cond" {
+		return "", nil
+	}
+	return fn.Name(), lastObj(info, sel.X)
+}
+
+// condAssociations maps each Cond object to the mutex object it was
+// constructed over, from every `sync.NewCond(&mu)` site in the
+// package: assignments, var declarations and composite-literal fields.
+func condAssociations(pkg *Package) map[types.Object]types.Object {
+	assoc := map[types.Object]types.Object{}
+	info := pkg.Info
+	// objOf resolves an assignment target: a := defines (Defs), a =
+	// uses (Uses), a field selector uses the field object.
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if def := info.Defs[id]; def != nil {
+				return def
+			}
+		}
+		return lastObj(info, e)
+	}
+	newCondMutex := func(e ast.Expr) (types.Object, bool) {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return nil, false
+		}
+		fn := StaticCallee(info, call)
+		if fn == nil || !isPkgObj(fn, "sync", "NewCond") {
+			return nil, false
+		}
+		return lastObj(info, call.Args[0]), true
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i := range n.Rhs {
+					if mu, ok := newCondMutex(n.Rhs[i]); ok && mu != nil {
+						if cond := objOf(n.Lhs[i]); cond != nil {
+							assoc[cond] = mu
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) != len(n.Values) {
+					return true
+				}
+				for i := range n.Values {
+					if mu, ok := newCondMutex(n.Values[i]); ok && mu != nil {
+						if cond := info.Defs[n.Names[i]]; cond != nil {
+							assoc[cond] = mu
+						}
+					}
+				}
+			case *ast.KeyValueExpr:
+				if mu, ok := newCondMutex(n.Value); ok && mu != nil {
+					if key, isID := n.Key.(*ast.Ident); isID {
+						if cond := info.Uses[key]; cond != nil {
+							assoc[cond] = mu
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return assoc
+}
+
+// checkWaitLoops flags Cond.Wait calls with no enclosing for loop in
+// the same function body (function literals are their own scope).
+func checkWaitLoops(p *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node, loopDepth int)
+	walk = func(n ast.Node, loopDepth int) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				walk(n.Body, 0)
+				return false
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, loopDepth)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, loopDepth)
+				}
+				if n.Post != nil {
+					walk(n.Post, loopDepth)
+				}
+				walk(n.Body, loopDepth+1)
+				return false
+			case *ast.CallExpr:
+				method, _ := condMethod(p.Pkg.Info, n)
+				if method == "Wait" && loopDepth == 0 {
+					line := p.Pkg.Fset.Position(n.Pos()).Line
+					if !directiveAtLine(p, "condguard:ok", line) {
+						p.Reportf(n.Pos(),
+							"sync.Cond.Wait outside a for-condition loop: spurious and stale wakeups proceed on a false condition (//condguard:ok <reason> to waive)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(body, 0)
+}
+
+// checkSignalsHoldLock flags Signal/Broadcast calls made while the
+// Cond's associated mutex is not held, threading a statement-ordered
+// held set exactly like lockguard (deferred unlock keeps the lock held
+// to return; branches fork the set; goroutines and closures start
+// lock-free).
+func checkSignalsHoldLock(p *Pass, body *ast.BlockStmt, assoc map[types.Object]types.Object) {
+	w := &condFlow{pass: p, assoc: assoc}
+	w.stmts(body.List, map[types.Object]bool{})
+}
+
+type condFlow struct {
+	pass  *Pass
+	assoc map[types.Object]types.Object
+}
+
+func (w *condFlow) stmts(list []ast.Stmt, held map[types.Object]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func copyHeldObjs(held map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func (w *condFlow) stmt(s ast.Stmt, held map[types.Object]bool) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(n.X, held)
+	case *ast.SendStmt:
+		w.expr(n.Chan, held)
+		w.expr(n.Value, held)
+	case *ast.AssignStmt:
+		for _, e := range n.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range n.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range n.Results {
+			w.expr(e, held)
+		}
+	case *ast.DeferStmt:
+		// A deferred unlock releases only at return; the deferred call
+		// itself is not part of the walked region.
+		for _, arg := range n.Call.Args {
+			w.expr(arg, held)
+		}
+	case *ast.GoStmt:
+		if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, map[types.Object]bool{})
+		}
+		for _, arg := range n.Call.Args {
+			w.expr(arg, held)
+		}
+	case *ast.BlockStmt:
+		w.stmts(n.List, held)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, held)
+		}
+		w.expr(n.Cond, held)
+		w.stmts(n.Body.List, copyHeldObjs(held))
+		if n.Else != nil {
+			w.stmt(n.Else, copyHeldObjs(held))
+		}
+	case *ast.ForStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, held)
+		}
+		if n.Cond != nil {
+			w.expr(n.Cond, held)
+		}
+		w.stmts(n.Body.List, copyHeldObjs(held))
+	case *ast.RangeStmt:
+		w.expr(n.X, held)
+		w.stmts(n.Body.List, copyHeldObjs(held))
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			w.stmt(n.Init, held)
+		}
+		if n.Tag != nil {
+			w.expr(n.Tag, held)
+		}
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeldObjs(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body, copyHeldObjs(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range n.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body, copyHeldObjs(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(n.Stmt, held)
+	}
+}
+
+func (w *condFlow) expr(e ast.Expr, held map[types.Object]bool) {
+	if e == nil {
+		return
+	}
+	info := w.pass.Pkg.Info
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch c := n.(type) {
+		case *ast.FuncLit:
+			w.stmts(c.Body.List, map[types.Object]bool{})
+			return false
+		case *ast.CallExpr:
+			if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+				if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && fromPkg(fn, "sync") {
+					switch fn.Name() {
+					case "Lock", "RLock":
+						if mu := lastObj(info, sel.X); mu != nil {
+							held[mu] = true
+						}
+					case "Unlock", "RUnlock":
+						if mu := lastObj(info, sel.X); mu != nil {
+							delete(held, mu)
+						}
+					}
+				}
+			}
+			method, cond := condMethod(info, c)
+			if (method == "Signal" || method == "Broadcast") && cond != nil {
+				if mu := w.assoc[cond]; mu != nil && !held[mu] {
+					line := w.pass.Pkg.Fset.Position(c.Pos()).Line
+					if !directiveAtLine(w.pass, "condguard:ok", line) {
+						w.pass.Reportf(c.Pos(),
+							"sync.Cond.%s without holding %s: a waiter can check its condition and block between the state change and this wakeup (//condguard:ok <reason> to waive)",
+							method, mu.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,218 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetermGuard is the replay-soundness guard for the model checker:
+// internal/modelcheck replays real component code under a virtual
+// clock and a schedule it owns, and its state fingerprints are only
+// meaningful if that code is deterministic. A wall-clock read, a
+// global math/rand draw, a time.Sleep, or a map iteration whose order
+// escapes into state silently de-soundens every exhaustive-exploration
+// result. This analyzer walks the typed call graph from every function
+// declared in internal/modelcheck (its in-package test drivers
+// included, and following goroutine spawns — spawned code still
+// executes under replay) and flags those nondeterminism sources in any
+// reachable function.
+//
+// internal/obs is exempt: observability timestamps and span IDs are
+// deliberately wall-clock and never enter replay fingerprints — the
+// checker compares pool state, not telemetry. Elsewhere,
+// `//determguard:ok <reason>` on the offending line waives a finding
+// (for checker-owned nondeterminism like the explicitly seeded
+// DefaultEnv fallback); modelcheck-reachable production code should be
+// fixed to use the injected clock instead.
+var DetermGuard = &Analyzer{
+	Name: "determguard",
+	Doc:  "no wall-clock, global rand, sleeps, or order-escaping map ranges in code reachable from internal/modelcheck",
+	Run:  runDetermGuard,
+}
+
+// determTimeFuncs are the package-time entry points that read or
+// depend on the wall clock.
+var determTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"AfterFunc": true,
+}
+
+// determRandExempt are the math/rand constructors that produce a
+// locally seeded source — the deterministic alternative this analyzer
+// pushes toward — as opposed to draws from the global source.
+var determRandExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewZipf":    true,
+	"NewChaCha8": true,
+}
+
+func runDetermGuard(p *Pass) {
+	if p.Pkg.Info == nil {
+		return
+	}
+	if strings.Contains(p.Pkg.Path, "internal/obs") {
+		return
+	}
+	reach := determReachable(p.Prog)
+	for fd, fn := range p.fileFuncs() {
+		if !reach[fn] || fd.Body == nil {
+			continue
+		}
+		checkDeterminism(p, fd)
+	}
+}
+
+// determReachable computes (once per program) the set of functions
+// reachable from any internal/modelcheck declaration, goroutine spawns
+// included.
+func determReachable(prog *Program) map[*types.Func]bool {
+	if prog.reachMemo == nil {
+		prog.reachMemo = map[string]map[*types.Func]bool{}
+	}
+	if r, ok := prog.reachMemo["determguard"]; ok {
+		return r
+	}
+	cg := prog.CallGraph()
+	var roots []*types.Func
+	for _, fn := range cg.Funcs() {
+		if pkg := cg.PackageOf(fn); pkg != nil && strings.Contains(pkg.Path, "internal/modelcheck") {
+			roots = append(roots, fn)
+		}
+	}
+	r := cg.Reachable(roots, false)
+	prog.reachMemo["determguard"] = r
+	return r
+}
+
+func checkDeterminism(p *Pass, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	report := func(n ast.Node, format string, args ...any) {
+		line := p.Pkg.Fset.Position(n.Pos()).Line
+		if directiveAtLine(p, "determguard:ok", line) {
+			return
+		}
+		p.Reportf(n.Pos(), format, args...)
+	}
+	// sortAfter records positions of sort calls so an order-escaping
+	// map range can be discharged by a later sort in the same function.
+	var sortCalls []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := StaticCallee(info, call)
+		if fn != nil && fn.Pkg() != nil &&
+			(fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices") {
+			sortCalls = append(sortCalls, call)
+		}
+		return true
+	})
+	sortedAfter := func(n ast.Node) bool {
+		for _, s := range sortCalls {
+			if s.Pos() > n.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			obj := info.Uses[n.Sel]
+			if !pkgScoped(obj) {
+				return true
+			}
+			if fromPkg(obj, "time") && determTimeFuncs[obj.Name()] {
+				report(n,
+					"time.%s in modelcheck-replayed code: wall-clock dependence breaks replay determinism; route through the injected clock (//determguard:ok <reason> to waive)",
+					obj.Name())
+			}
+			if obj != nil && obj.Pkg() != nil &&
+				(obj.Pkg().Path() == "math/rand" || obj.Pkg().Path() == "math/rand/v2") {
+				if _, isFn := obj.(*types.Func); isFn && !determRandExempt[obj.Name()] {
+					report(n,
+						"math/rand.%s in modelcheck-replayed code: the global source breaks replay determinism; draw from an injected seeded source (//determguard:ok <reason> to waive)",
+						obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			t := p.typeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if mapOrderEscapes(info, n) && !sortedAfter(n) {
+				report(n,
+					"map iteration order escapes this loop in modelcheck-replayed code: collect and sort before use (//determguard:ok <reason> to waive)")
+			}
+		}
+		return true
+	})
+}
+
+// mapOrderEscapes reports whether the range body lets iteration order
+// reach state: appending to a slice, sending on a channel, or
+// returning the ranged key/value from inside the loop all preserve
+// encounter order, which over a map is nondeterministic. Writes keyed
+// by the ranged key, pure reductions (sums, max), and early returns of
+// unrelated values stay order-independent and are not flagged.
+func mapOrderEscapes(info *types.Info, rng *ast.RangeStmt) bool {
+	// The loop's own key/value objects: a return that surfaces one of
+	// them surfaces iteration order.
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id != nil {
+			if obj := info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			}
+			if obj := info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	usesLoopVar := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && (loopVars[info.Uses[id]]) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	escapes := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			escapes = true
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if usesLoopVar(res) {
+					escapes = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				escapes = true
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}

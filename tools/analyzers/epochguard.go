@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/types"
 	"path/filepath"
 	"strings"
 )
@@ -16,13 +17,15 @@ import (
 // lease's fencing token exists to prevent (modelcheck invariant
 // MC102 is the dynamic half of this check).
 //
-// The check is syntactic but call-following: the `case
-// protocol.TypeMatch:` clause, or any same-file function it calls
-// (transitively), must reference an identifier containing "epoch"
-// (e.g. env.Epoch, highestEpoch, ObserveEpoch). Consumers that are
-// deliberately advisory — the MATCH carries nothing the claim protocol
-// does not re-verify — waive the finding with `//epochguard:ok
-// <reason>` on the case clause's line.
+// The check is call-following through the typed call graph: the `case
+// protocol.TypeMatch:` clause, or any module function it calls
+// (transitively, across files and packages), must reference an
+// identifier containing "epoch" (e.g. env.Epoch, highestEpoch,
+// ObserveEpoch). The case expression resolves by constant identity, so
+// a dot import or local constant alias of TypeMatch is still TypeMatch.
+// Consumers that are deliberately advisory — the MATCH carries nothing
+// the claim protocol does not re-verify — waive the finding with
+// `//epochguard:ok <reason>` on the case clause's line.
 var EpochGuard = &Analyzer{
 	Name:      "epochguard",
 	Doc:       "MATCH-envelope consumers in internal/ must consult the negotiator-epoch high-water mark",
@@ -35,24 +38,13 @@ func runEpochGuard(p *Pass) {
 	if !strings.Contains(dir, "internal/") {
 		return
 	}
-	alias := importName(p.File.Ast, "repro/internal/protocol")
-	if alias == "" {
-		return
-	}
-	// Index the file's function declarations so the check can follow
-	// `reply = d.handleMatch(env)` into the handler's body.
-	fns := map[string]*ast.FuncDecl{}
-	for _, decl := range p.File.Ast.Decls {
-		if fd, ok := decl.(*ast.FuncDecl); ok {
-			fns[fd.Name.Name] = fd
-		}
-	}
+	cg := p.Prog.CallGraph()
 	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
 		clause, ok := n.(*ast.CaseClause)
-		if !ok || !caseListsMatch(clause, alias) {
+		if !ok || !caseListsMatch(p, clause) {
 			return true
 		}
-		if consultsEpoch(clause.Body, fns, map[string]bool{}) {
+		if consultsEpoch(p, cg, clause.Body, map[*types.Func]bool{}) {
 			return true
 		}
 		if directiveAtLine(p, "epochguard:ok", p.Pkg.Fset.Position(clause.Pos()).Line) {
@@ -65,58 +57,55 @@ func runEpochGuard(p *Pass) {
 }
 
 // caseListsMatch reports whether the clause dispatches on
-// protocol.TypeMatch.
-func caseListsMatch(clause *ast.CaseClause, alias string) bool {
+// protocol.TypeMatch, by constant identity.
+func caseListsMatch(p *Pass, clause *ast.CaseClause) bool {
 	for _, e := range clause.List {
-		if isSelector(e, alias, "TypeMatch") {
+		if p.msgConstName(e) == "TypeMatch" {
 			return true
 		}
 	}
 	return false
 }
 
-// consultsEpoch reports whether the statements, or any same-file
-// function they (transitively) call, reference an epoch identifier.
-func consultsEpoch(stmts []ast.Stmt, fns map[string]*ast.FuncDecl, visited map[string]bool) bool {
-	found := false
+// consultsEpoch reports whether the statements, or any module function
+// they (transitively) call — in this file, another file, or another
+// package — reference an epoch identifier.
+func consultsEpoch(p *Pass, cg *CallGraph, stmts []ast.Stmt, visited map[*types.Func]bool) bool {
 	for _, stmt := range stmts {
-		ast.Inspect(stmt, func(n ast.Node) bool {
-			if found {
+		if nodeConsultsEpoch(p.Pkg.Info, cg, stmt, visited) {
+			return true
+		}
+	}
+	return false
+}
+
+func nodeConsultsEpoch(info *types.Info, cg *CallGraph, node ast.Node, visited map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(x.Name), "epoch") {
+				found = true
 				return false
 			}
-			switch x := n.(type) {
-			case *ast.Ident:
-				if strings.Contains(strings.ToLower(x.Name), "epoch") {
-					found = true
-					return false
-				}
-			case *ast.CallExpr:
-				if name := calleeName(x); name != "" && !visited[name] {
-					visited[name] = true
-					if fd := fns[name]; fd != nil && fd.Body != nil &&
-						consultsEpoch(fd.Body.List, fns, visited) {
-						found = true
-						return false
-					}
-				}
+		case *ast.CallExpr:
+			fn := StaticCallee(info, x)
+			if fn == nil || visited[fn] {
+				return true
 			}
-			return true
-		})
-		if found {
-			return true
+			visited[fn] = true
+			decl := cg.Decl(fn)
+			callePkg := cg.PackageOf(fn)
+			if decl != nil && decl.Body != nil && callePkg != nil && callePkg.Info != nil &&
+				nodeConsultsEpoch(callePkg.Info, cg, decl.Body, visited) {
+				found = true
+				return false
+			}
 		}
-	}
-	return false
-}
-
-// calleeName extracts the called function or method name from a call
-// expression: f(...) or recv.f(...).
-func calleeName(call *ast.CallExpr) string {
-	switch fn := call.Fun.(type) {
-	case *ast.Ident:
-		return fn.Name
-	case *ast.SelectorExpr:
-		return fn.Sel.Name
-	}
-	return ""
+		return true
+	})
+	return found
 }

@@ -54,27 +54,32 @@ func runFsyncGuard(p *Pass) {
 }
 
 // checkRawOsPersistence implements rule 1: os.WriteFile / os.Rename
-// outside the FS boundary.
+// outside the FS boundary, resolved by object identity so an aliased
+// or dot import of "os" cannot dodge the rule.
 func checkRawOsPersistence(p *Pass) {
-	alias := importName(p.File.Ast, "os")
-	if alias == "" {
-		return
+	inSelector := map[*ast.Ident]bool{}
+	report := func(n ast.Node, qual, name string) {
+		if suppressedAtLine(p, p.Pkg.Fset.Position(n.Pos()).Line) {
+			return
+		}
+		p.Reportf(n.Pos(),
+			"%s.%s persists without fsync: use store.AtomicWriteFile (or a store.Log) so the data survives a crash",
+			qual, name)
 	}
 	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			inSelector[n.Sel] = true
+			obj := p.use(n.Sel)
+			if fromPkg(obj, "os") && pkgScoped(obj) && fsyncNames[obj.Name()] {
+				report(n, writtenQualifier(n, "os"), obj.Name())
+			}
+		case *ast.Ident:
+			obj := p.use(n)
+			if !inSelector[n] && fromPkg(obj, "os") && pkgScoped(obj) && fsyncNames[obj.Name()] {
+				report(n, "os", obj.Name())
+			}
 		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Name != alias || !fsyncNames[sel.Sel.Name] {
-			return true
-		}
-		if suppressedAtLine(p, p.Pkg.Fset.Position(sel.Pos()).Line) {
-			return true
-		}
-		p.Reportf(sel.Pos(),
-			"%s.%s persists without fsync: use store.AtomicWriteFile (or a store.Log) so the data survives a crash",
-			alias, sel.Sel.Name)
 		return true
 	})
 }

@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// GoroGuard pins the goroutine-lifecycle discipline the daemons
+// follow: every `go` statement in an internal/ package must have a
+// reachable shutdown path, or the pool leaks a goroutine per
+// start/stop cycle — exactly what the EventLoop, DeltaAdvertiser and
+// negotiator-standby teardown tests guard dynamically. A spawn is
+// accepted when:
+//
+//   - the spawning function registers with a sync.WaitGroup (the
+//     lifecycle owner joins it on Close/Stop), or
+//   - the spawned body can be shut down from outside: it receives from
+//     a channel, ranges over one, or selects (a closed done/subscription
+//     channel unblocks it), or it watches a context.
+//
+// A spawn whose body the analyzer cannot see (a method value from
+// another module, http.Server.Serve) is skipped — the owning package
+// is responsible for its teardown. `//goroguard:ok <reason>` on the
+// `go` statement's line waives a finding.
+var GoroGuard = &Analyzer{
+	Name:      "goroguard",
+	Doc:       "every go statement in internal/ needs a reachable shutdown path: WaitGroup registration or a done/context signal in the body",
+	SkipTests: true,
+	Run:       runGoroGuard,
+}
+
+func runGoroGuard(p *Pass) {
+	dir := filepath.ToSlash(p.Pkg.Dir)
+	if !strings.Contains(dir, "internal/") {
+		return
+	}
+	info := p.Pkg.Info
+	if info == nil {
+		return
+	}
+	cg := p.Prog.CallGraph()
+	for _, decl := range p.File.Ast.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		registersWG := callsWaitGroupAdd(info, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if registersWG {
+				return true
+			}
+			body := spawnedBody(info, cg, gs)
+			if body == nil {
+				// Unresolvable target (stdlib method value, function
+				// value): nothing provable either way.
+				return true
+			}
+			if hasShutdownSignal(info, body) {
+				return true
+			}
+			line := p.Pkg.Fset.Position(gs.Pos()).Line
+			if directiveAtLine(p, "goroguard:ok", line) {
+				return true
+			}
+			p.Reportf(gs.Pos(),
+				"goroutine has no reachable shutdown path: register with the owner's WaitGroup or watch a done channel/context in the body (//goroguard:ok <reason> to waive)")
+			return true
+		})
+	}
+}
+
+// callsWaitGroupAdd reports whether the body calls Add on a
+// sync.WaitGroup — the spawning side of the lifecycle-owner handshake.
+func callsWaitGroupAdd(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || !fromPkg(fn, "sync") || fn.Name() != "Add" {
+			return !found
+		}
+		sig := fn.Type().(*types.Signature)
+		if sig.Recv() == nil {
+			return !found
+		}
+		if named := namedOf(sig.Recv().Type()); named != nil && named.Obj().Name() == "WaitGroup" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// spawnedBody resolves the code the go statement runs: a function
+// literal's body, or the declaration body of a statically resolved
+// module function. Nil when the target is dynamic or out of module.
+func spawnedBody(info *types.Info, cg *CallGraph, gs *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := StaticCallee(info, gs.Call); fn != nil {
+		if decl := cg.Decl(fn); decl != nil {
+			return decl.Body
+		}
+	}
+	return nil
+}
+
+// hasShutdownSignal reports whether the spawned body can observe a
+// shutdown from outside: any channel receive, channel range, or select
+// (a closed channel unblocks all three), or a context.Context
+// reference (ctx.Done, ctx.Err). Nested function literals count — the
+// signal is still inside the spawned goroutine's code.
+func hasShutdownSignal(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				if named := namedOf(obj.Type()); named != nil &&
+					named.Obj().Name() == "Context" && fromPkg(named.Obj(), "context") {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

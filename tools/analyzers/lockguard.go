@@ -3,6 +3,7 @@ package analyzers
 import (
 	"fmt"
 	"go/ast"
+	"go/types"
 )
 
 // LockGuard flags blocking operations performed while a sync.Mutex or
@@ -14,14 +15,21 @@ import (
 // reader needs the same lock to drain. Sends inside a select with a
 // default case are exempt: they cannot block.
 //
-// The check is syntactic and per-function: a receiver spelled X is
-// considered held between X.Lock()/X.RLock() and X.Unlock()/X.RUnlock()
-// in statement order, and a deferred unlock keeps X held until return
-// (that is the point: everything after the defer runs under the lock).
-// Function literals and go statements start with no locks held.
+// The walk is per-function and statement-ordered: a receiver spelled X
+// is considered held between X.Lock()/X.RLock() and
+// X.Unlock()/X.RUnlock() in statement order, and a deferred unlock
+// keeps X held until return (that is the point: everything after the
+// defer runs under the lock). Function literals and go statements
+// start with no locks held. Lock recognition and blocking-call
+// classification are typed — only real sync.(RW)Mutex/Locker methods
+// transition the held set, only real package-net dials and protocol
+// round-trips classify as blocking — and calls to same-package helpers
+// are followed across files: a dial buried in a helper in another file
+// is still a dial under the lock. `//lockguard:ok <reason>` on the
+// offending line waives a finding.
 var LockGuard = &Analyzer{
 	Name:      "lockguard",
-	Doc:       "flags channel sends and netx/protocol/net I/O while a sync mutex is held",
+	Doc:       "flags channel sends and netx/protocol/net I/O while a sync mutex is held, following same-package helper calls",
 	SkipTests: true,
 	Run:       runLockGuard,
 }
@@ -31,11 +39,7 @@ var LockGuard = &Analyzer{
 var lockguardProtoOps = map[string]bool{"Write": true, "Read": true}
 
 func runLockGuard(p *Pass) {
-	g := &lockGuard{
-		pass:       p,
-		netAlias:   importName(p.File.Ast, "net"),
-		protoAlias: importName(p.File.Ast, "repro/internal/protocol"),
-	}
+	g := &lockGuard{pass: p}
 	for _, decl := range p.File.Ast.Decls {
 		fn, ok := decl.(*ast.FuncDecl)
 		if !ok || fn.Body == nil {
@@ -46,9 +50,16 @@ func runLockGuard(p *Pass) {
 }
 
 type lockGuard struct {
-	pass       *Pass
-	netAlias   string
-	protoAlias string
+	pass *Pass
+}
+
+// report emits a finding unless a //lockguard:ok directive waives it.
+func (g *lockGuard) report(pos ast.Node, format string, args ...any) {
+	line := g.pass.Pkg.Fset.Position(pos.Pos()).Line
+	if directiveAtLine(g.pass, "lockguard:ok", line) {
+		return
+	}
+	g.pass.Reportf(pos.Pos(), format, args...)
 }
 
 // heldNames renders the held set for a finding message.
@@ -86,7 +97,7 @@ func (g *lockGuard) stmt(s ast.Stmt, held map[string]bool) {
 		g.expr(n.Chan, held)
 		g.expr(n.Value, held)
 		if len(held) > 0 {
-			g.pass.Reportf(n.Arrow,
+			g.report(n,
 				"channel send while %s is held: a blocked receiver deadlocks every contender of the lock", heldNames(held))
 		}
 	case *ast.AssignStmt:
@@ -180,7 +191,7 @@ func (g *lockGuard) stmt(s ast.Stmt, held map[string]bool) {
 			}
 			// A send in a select with a default case cannot block.
 			if send, ok := cc.Comm.(*ast.SendStmt); ok && !hasDefault && len(held) > 0 {
-				g.pass.Reportf(send.Arrow,
+				g.report(send,
 					"channel send while %s is held: a blocked receiver deadlocks every contender of the lock", heldNames(held))
 			}
 			g.stmts(cc.Body, copyHeld(held))
@@ -191,31 +202,37 @@ func (g *lockGuard) stmt(s ast.Stmt, held map[string]bool) {
 }
 
 // expr scans one expression: lock-state transitions, blocking calls,
-// and function literals (which start lock-free).
+// helper calls that block transitively, and function literals (which
+// start lock-free).
 func (g *lockGuard) expr(e ast.Expr, held map[string]bool) {
 	if e == nil {
 		return
 	}
+	info := g.pass.Pkg.Info
 	ast.Inspect(e, func(n ast.Node) bool {
 		switch c := n.(type) {
 		case *ast.FuncLit:
 			g.stmts(c.Body.List, map[string]bool{})
 			return false
 		case *ast.CallExpr:
-			if name, method, ok := recvMethod(c); ok {
+			if name, method, isSync := syncLockMethod(info, c); isSync {
 				switch {
 				case method == "Lock" || method == "RLock":
 					if len(c.Args) == 0 {
 						held[name] = true
 					}
-				case isUnlock(method):
+				case method == "Unlock" || method == "RUnlock":
 					delete(held, name)
 				}
 			}
 			if len(held) > 0 {
-				if msg := g.blockingCall(c); msg != "" {
-					g.pass.Reportf(c.Pos(),
+				if msg := blockingCall(info, c); msg != "" {
+					g.report(c,
 						"%s while %s is held: network latency becomes lock hold time for every contender", msg, heldNames(held))
+				} else if callee, op := g.blockingHelper(c); callee != "" {
+					g.report(c,
+						"call to %s, which performs %s, while %s is held: network latency becomes lock hold time for every contender (//lockguard:ok <reason> to waive)",
+						callee, op, heldNames(held))
 				}
 			}
 		}
@@ -223,23 +240,46 @@ func (g *lockGuard) expr(e ast.Expr, held map[string]bool) {
 	})
 }
 
-// blockingCall classifies a call as network-blocking and names it, or
-// returns "".
-func (g *lockGuard) blockingCall(c *ast.CallExpr) string {
+// syncLockMethod recognizes a Lock/RLock/Unlock/RUnlock call on a real
+// sync.(RW)Mutex or sync.Locker — by method identity, so a mutex
+// reached through struct fields or an embedded field still counts, and
+// an unrelated type's Lock method does not.
+func syncLockMethod(info *types.Info, c *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := c.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	if !fromPkg(info.Uses[sel.Sel], "sync") {
+		return "", "", false
+	}
+	return exprString(sel.X), sel.Sel.Name, true
+}
+
+// blockingCall classifies a call as directly network-blocking and
+// names it, or returns "". Classification is by object identity:
+// package-net dials and protocol read/write round-trips resolve
+// through any import spelling; a Dial* method on any receiver
+// (netx.Dialer, a collector client's embedded dialer, ...) opens an
+// outbound connection by repo convention.
+func blockingCall(info *types.Info, c *ast.CallExpr) string {
 	sel, ok := c.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return ""
 	}
-	if id, ok := sel.X.(*ast.Ident); ok {
-		if g.netAlias != "" && id.Name == g.netAlias && dialNames[sel.Sel.Name] {
-			return fmt.Sprintf("%s.%s", id.Name, sel.Sel.Name)
+	obj := info.Uses[sel.Sel]
+	if pkgScoped(obj) {
+		if fromPkg(obj, "net") && dialNames[obj.Name()] {
+			return fmt.Sprintf("%s.%s", writtenQualifier(sel, "net"), obj.Name())
 		}
-		if g.protoAlias != "" && id.Name == g.protoAlias && lockguardProtoOps[sel.Sel.Name] {
-			return fmt.Sprintf("%s.%s round-trip", id.Name, sel.Sel.Name)
+		if fromProtocol(obj) && lockguardProtoOps[obj.Name()] {
+			return fmt.Sprintf("%s.%s round-trip", writtenQualifier(sel, "protocol"), obj.Name())
 		}
 	}
-	// A Dial* method on any receiver (netx.Dialer, a collector client's
-	// embedded dialer, ...) opens an outbound connection.
 	switch sel.Sel.Name {
 	case "Dial", "DialContext", "DialTotal":
 		return exprString(sel.X) + "." + sel.Sel.Name
@@ -247,18 +287,83 @@ func (g *lockGuard) blockingCall(c *ast.CallExpr) string {
 	return ""
 }
 
-// recvMethod unpacks a method call expression into the rendered
-// receiver and the method name.
-func recvMethod(c *ast.CallExpr) (recv, method string, ok bool) {
-	sel, isSel := c.Fun.(*ast.SelectorExpr)
-	if !isSel {
-		return "", "", false
+// blockingHelper reports whether the call statically resolves to a
+// same-package function whose body (transitively, still within the
+// package) performs a blocking operation. Returns the callee's name
+// and a description of the operation, or "". This is the cross-file
+// half of the invariant: the old single-file matcher could not see a
+// dial two files away.
+func (g *lockGuard) blockingHelper(c *ast.CallExpr) (callee, op string) {
+	fn := StaticCallee(g.pass.Pkg.Info, c)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() != g.pass.Pkg.Types {
+		return "", ""
 	}
-	return exprString(sel.X), sel.Sel.Name, true
+	op = g.pass.Prog.blockingSummary(fn, map[*types.Func]bool{})
+	if op == "" {
+		return "", ""
+	}
+	return fn.Name(), op
 }
 
-func isUnlock(method string) bool {
-	return method == "Unlock" || method == "RUnlock"
+// blockingSummary computes (memoized) whether fn's body performs a
+// blocking operation — a direct blocking call, a bare channel send, or
+// a call to another same-package function that does — and describes
+// it. Function literals and go statements inside fn are skipped: what
+// a spawned goroutine or stored closure does is not charged to fn's
+// caller.
+func (prog *Program) blockingSummary(fn *types.Func, visiting map[*types.Func]bool) string {
+	if prog.blockSumm == nil {
+		prog.blockSumm = map[*types.Func]string{}
+	}
+	if s, ok := prog.blockSumm[fn]; ok {
+		return s
+	}
+	if visiting[fn] {
+		return ""
+	}
+	visiting[fn] = true
+	cg := prog.CallGraph()
+	decl := cg.Decl(fn)
+	pkg := cg.PackageOf(fn)
+	summary := ""
+	if decl != nil && decl.Body != nil && pkg != nil && pkg.Info != nil {
+		var walk func(n ast.Node)
+		walk = func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				if summary != "" {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt:
+					return false
+				case *ast.SelectStmt:
+					// Sends under a default-carrying select cannot block.
+					for _, c := range n.Body.List {
+						if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+							return false
+						}
+					}
+				case *ast.SendStmt:
+					summary = "a channel send"
+				case *ast.CallExpr:
+					if msg := blockingCall(pkg.Info, n); msg != "" {
+						summary = msg
+						return false
+					}
+					if callee := StaticCallee(pkg.Info, n); callee != nil && callee.Pkg() == pkg.Types {
+						if s := prog.blockingSummary(callee, visiting); s != "" {
+							summary = s
+							return false
+						}
+					}
+				}
+				return true
+			})
+		}
+		walk(decl.Body)
+	}
+	prog.blockSumm[fn] = summary
+	return summary
 }
 
 // exprString renders simple receiver chains (a, a.b, a.b.c) for

@@ -52,11 +52,6 @@ var ProtocolMsgTypes = []string{
 }
 
 func runMsgSwitch(p *Pass) {
-	alias := importName(p.File.Ast, "repro/internal/protocol")
-	inProtocol := p.File.Ast.Name.Name == "protocol"
-	if alias == "" && !inProtocol {
-		return
-	}
 	known := make(map[string]bool, len(ProtocolMsgTypes))
 	for _, name := range ProtocolMsgTypes {
 		known[name] = true
@@ -78,7 +73,10 @@ func runMsgSwitch(p *Pass) {
 				continue
 			}
 			for _, e := range clause.List {
-				if name := msgTypeName(e, alias, inProtocol); known[name] {
+				// Constant identity, not spelling: a dot import's bare
+				// TypeMatch and a locally aliased constant both resolve
+				// to the canonical protocol name.
+				if name := p.msgConstName(e); known[name] {
 					covered[name] = true
 				}
 			}
@@ -103,21 +101,4 @@ func runMsgSwitch(p *Pass) {
 			len(covered), len(ProtocolMsgTypes), strings.Join(shown, ", "), suffix)
 		return true
 	})
-}
-
-// msgTypeName resolves a case expression to a Type* constant name:
-// protocol.TypeX through the import alias, or a bare TypeX inside
-// package protocol itself.
-func msgTypeName(e ast.Expr, alias string, inProtocol bool) string {
-	switch x := e.(type) {
-	case *ast.SelectorExpr:
-		if id, ok := x.X.(*ast.Ident); ok && alias != "" && id.Name == alias {
-			return x.Sel.Name
-		}
-	case *ast.Ident:
-		if inProtocol {
-			return x.Name
-		}
-	}
-	return ""
 }

@@ -3,7 +3,6 @@ package analyzers
 import (
 	"go/ast"
 	"path/filepath"
-	"strconv"
 	"strings"
 )
 
@@ -13,6 +12,10 @@ import (
 // fault injection. A raw net.Dial hangs forever on a dead peer and is
 // invisible to the chaos suite — exactly the failure mode the wire
 // layer was hardened against.
+//
+// Resolution is by type identity: any reference to a dialing object of
+// package net is flagged no matter how the import is spelled — an
+// aliased import, a dot import, or a helper re-export cannot dodge it.
 var NoDial = &Analyzer{
 	Name:      "nodial",
 	Doc:       "flags direct net dialing outside internal/netx; outbound connections must use the netx dialer",
@@ -37,45 +40,29 @@ func runNoDial(p *Pass) {
 	if strings.HasSuffix(filepath.ToSlash(p.Pkg.Dir), "internal/netx") {
 		return
 	}
-	alias := importName(p.File.Ast, "net")
-	if alias == "" {
-		return
-	}
+	// Selector uses report once at the selector; remember their Sel
+	// idents so the bare-identifier walk below does not re-report them.
+	inSelector := map[*ast.Ident]bool{}
 	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
-		sel, ok := n.(*ast.SelectorExpr)
-		if !ok {
-			return true
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			inSelector[n.Sel] = true
+			obj := p.use(n.Sel)
+			if fromPkg(obj, "net") && pkgScoped(obj) && dialNames[obj.Name()] {
+				p.Reportf(n.Pos(),
+					"%s.%s bypasses internal/netx: dial through netx.Dialer so the connection gets deadlines, retries and fault injection",
+					writtenQualifier(n, "net"), obj.Name())
+			}
+		case *ast.Ident:
+			// A dot import leaves no selector: the bare identifier
+			// resolves straight into package net.
+			obj := p.use(n)
+			if !inSelector[n] && fromPkg(obj, "net") && pkgScoped(obj) && dialNames[obj.Name()] {
+				p.Reportf(n.Pos(),
+					"net.%s bypasses internal/netx: dial through netx.Dialer so the connection gets deadlines, retries and fault injection",
+					obj.Name())
+			}
 		}
-		id, ok := sel.X.(*ast.Ident)
-		if !ok || id.Name != alias || !dialNames[sel.Sel.Name] {
-			return true
-		}
-		p.Reportf(sel.Pos(),
-			"%s.%s bypasses internal/netx: dial through netx.Dialer so the connection gets deadlines, retries and fault injection",
-			alias, sel.Sel.Name)
 		return true
 	})
-}
-
-// importName returns the identifier under which the file imports path,
-// or "" if it does not. A dot or blank import returns "" — neither can
-// appear as a selector base.
-func importName(f *ast.File, path string) string {
-	for _, imp := range f.Imports {
-		p, err := strconv.Unquote(imp.Path.Value)
-		if err != nil || p != path {
-			continue
-		}
-		if imp.Name != nil {
-			if imp.Name.Name == "." || imp.Name.Name == "_" {
-				return ""
-			}
-			return imp.Name.Name
-		}
-		if i := strings.LastIndex(p, "/"); i >= 0 {
-			return p[i+1:]
-		}
-		return p
-	}
-	return ""
 }

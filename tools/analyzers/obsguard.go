@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/types"
 )
 
 // ObsGuard enforces the contract internal/obs documents: every
@@ -40,7 +41,7 @@ func runObsGuard(p *Pass) {
 		if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
 			continue
 		}
-		recv, typ := receiver(fd)
+		recv, typ := receiver(p, fd)
 		if typ == "" || !guardedTypes[typ] {
 			continue
 		}
@@ -53,26 +54,32 @@ func runObsGuard(p *Pass) {
 	}
 }
 
-// receiver extracts the receiver identifier and pointed-to type name
-// of a method declared on a pointer receiver ("" type otherwise —
-// value receivers cannot be nil).
-func receiver(fd *ast.FuncDecl) (name, typ string) {
-	if len(fd.Recv.List) != 1 {
-		return "", ""
-	}
-	field := fd.Recv.List[0]
-	star, ok := field.Type.(*ast.StarExpr)
+// receiver resolves the receiver identifier and pointed-to type name
+// through the type checker ("" type for value receivers, which cannot
+// be nil). Resolving by type identity instead of receiver syntax means
+// a parenthesized receiver like `(c *(Counter))` cannot dodge the
+// check the way it dodged the old StarExpr{Ident} pattern match.
+func receiver(p *Pass, fd *ast.FuncDecl) (name, typ string) {
+	fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
 	if !ok {
 		return "", ""
 	}
-	id, ok := star.X.(*ast.Ident)
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return "", ""
+	}
+	ptr, ok := types.Unalias(sig.Recv().Type()).(*types.Pointer)
 	if !ok {
 		return "", ""
 	}
-	if len(field.Names) == 1 {
-		name = field.Names[0].Name
+	named := namedOf(ptr.Elem())
+	if named == nil {
+		return "", ""
 	}
-	return name, id.Name
+	if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		name = fd.Recv.List[0].Names[0].Name
+	}
+	return name, named.Obj().Name()
 }
 
 // nilGuarded reports whether one of the first two statements is an if

@@ -2,6 +2,7 @@ package analyzers
 
 import (
 	"go/ast"
+	"go/types"
 	"path/filepath"
 	"strings"
 )
@@ -75,14 +76,6 @@ func runReplyGuard(p *Pass) {
 	if !strings.Contains(dir, "internal/") {
 		return
 	}
-	alias := importName(p.File.Ast, "repro/internal/protocol")
-	if alias == "" {
-		return
-	}
-	replyClass := make(map[string]bool, len(ReplyMsgTypes))
-	for _, name := range ReplyMsgTypes {
-		replyClass[name] = true
-	}
 	requestClass := make(map[string]bool, len(RequestMsgTypes))
 	for _, name := range RequestMsgTypes {
 		requestClass[name] = true
@@ -92,7 +85,7 @@ func runReplyGuard(p *Pass) {
 		if !ok || fd.Body == nil || !isHandlerName(fd.Name.Name) {
 			continue
 		}
-		idx := envelopeResultIndex(fd.Type, alias)
+		idx := envelopeResultIndex(p, fd)
 		if idx < 0 {
 			continue
 		}
@@ -106,22 +99,19 @@ func isHandlerName(name string) bool {
 	return strings.HasPrefix(lower, "handle") || strings.HasPrefix(lower, "dispatch")
 }
 
-// envelopeResultIndex finds the *protocol.Envelope result position,
-// or -1.
-func envelopeResultIndex(ft *ast.FuncType, alias string) int {
-	if ft.Results == nil {
+// envelopeResultIndex finds the *protocol.Envelope result position by
+// type identity (a named alias of Envelope still counts), or -1.
+func envelopeResultIndex(p *Pass, fd *ast.FuncDecl) int {
+	fn, ok := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
 		return -1
 	}
-	idx := 0
-	for _, field := range ft.Results.List {
-		n := len(field.Names)
-		if n == 0 {
-			n = 1
+	results := fn.Type().(*types.Signature).Results()
+	for i := 0; i < results.Len(); i++ {
+		t := types.Unalias(results.At(i).Type())
+		if _, isPtr := t.(*types.Pointer); isPtr && isEnvelopeType(t) {
+			return i
 		}
-		if star, ok := field.Type.(*ast.StarExpr); ok && isSelector(star.X, alias, "Envelope") {
-			return idx
-		}
-		idx += n
 	}
 	return -1
 }
@@ -149,7 +139,7 @@ func checkHandlerReturns(p *Pass, fd *ast.FuncDecl, idx int, requestClass map[st
 				}
 				return true
 			}
-			if typ := envelopeLitType(res); requestClass[typ] {
+			if typ := envelopeLitType(p, res); requestClass[typ] {
 				if !directiveAtLine(p, "replyguard:ok", line) {
 					p.Reportf(x.Pos(),
 						"handler %s replies with request-class %s: handlers answer with reply-class envelopes (ACK, ERROR, *_REPLY)",
@@ -162,14 +152,15 @@ func checkHandlerReturns(p *Pass, fd *ast.FuncDecl, idx int, requestClass map[st
 	ast.Inspect(fd.Body, walk)
 }
 
-// envelopeLitType extracts the Type constant name from a returned
-// protocol.Envelope composite literal (with or without &), or "".
-func envelopeLitType(e ast.Expr) string {
+// envelopeLitType extracts the canonical Type constant name from a
+// returned protocol.Envelope composite literal (with or without &) by
+// constant identity, or "".
+func envelopeLitType(p *Pass, e ast.Expr) string {
 	if un, ok := e.(*ast.UnaryExpr); ok {
 		e = un.X
 	}
 	lit, ok := e.(*ast.CompositeLit)
-	if !ok {
+	if !ok || !isEnvelopeType(p.typeOf(lit)) {
 		return ""
 	}
 	for _, elt := range lit.Elts {
@@ -180,12 +171,7 @@ func envelopeLitType(e ast.Expr) string {
 		if key, ok := kv.Key.(*ast.Ident); !ok || key.Name != "Type" {
 			continue
 		}
-		if sel, ok := kv.Value.(*ast.SelectorExpr); ok {
-			return sel.Sel.Name
-		}
-		if id, ok := kv.Value.(*ast.Ident); ok {
-			return id.Name
-		}
+		return p.msgConstName(kv.Value)
 	}
 	return ""
 }

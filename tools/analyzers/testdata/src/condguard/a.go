@@ -1,0 +1,66 @@
+// Package condguard seeds sync.Cond discipline violations: Wait
+// outside a condition loop, and Signal/Broadcast without the
+// associated mutex held. The Cond→mutex association is recovered from
+// the sync.NewCond construction sites by object identity.
+package condguard
+
+import "sync"
+
+type queue struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	items    []int
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// badWait proceeds on a spurious or stale wakeup: the condition is
+// checked once, before sleeping, never after.
+func (q *queue) badWait() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		q.notEmpty.Wait() // want "sync\\.Cond\\.Wait outside a for-condition loop"
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item
+}
+
+// goodWait re-checks in a loop: the only safe shape.
+func (q *queue) goodWait() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.notEmpty.Wait()
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	return item
+}
+
+// badSignal races the waiter's condition check: the append and the
+// wakeup are not atomic with respect to a waiter testing len(items).
+func (q *queue) badSignal(item int) {
+	q.mu.Lock()
+	q.items = append(q.items, item)
+	q.mu.Unlock()
+	q.notEmpty.Signal() // want "sync\\.Cond\\.Signal without holding mu"
+}
+
+// goodBroadcast wakes under the lock.
+func (q *queue) goodBroadcast(item int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.items = append(q.items, item)
+	q.notEmpty.Broadcast()
+}
+
+// waivedSignal documents why the unlocked wakeup is tolerable here.
+func (q *queue) waivedSignal() {
+	q.notEmpty.Signal() //condguard:ok close-time wakeup, no condition left to miss
+}

@@ -1,0 +1,32 @@
+// Clean file: disciplined sync.Cond use end to end — the analyzer
+// must stay silent here.
+package condguard
+
+import "sync"
+
+type gate struct {
+	mu     sync.Mutex
+	open   bool
+	opened *sync.Cond
+}
+
+func newGate() *gate {
+	g := &gate{}
+	g.opened = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *gate) waitOpen() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for !g.open {
+		g.opened.Wait()
+	}
+}
+
+func (g *gate) openUp() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.open = true
+	g.opened.Broadcast()
+}

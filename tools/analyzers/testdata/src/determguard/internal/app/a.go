@@ -1,0 +1,64 @@
+// Package app is replayed by the determguard fixture's driver:
+// everything Step and Fingerprint reach executes under replay, so
+// wall-clock reads, global rand draws, and order-escaping map ranges
+// here de-sounden the checker's fingerprints. OffReplay is the
+// negative control — same sins, not reachable, no findings.
+package app
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type World struct {
+	clock int64
+	seen  map[string]int64
+	log   []string
+}
+
+func (w *World) Step(now int64) {
+	w.clock = now
+	if w.seen == nil {
+		w.seen = map[string]int64{}
+	}
+	w.seen["stamp"] = time.Now().Unix() // want "time\\.Now in modelcheck-replayed code"
+	if rand.Float64() < 0.5 {           // want "math/rand\\.Float64 in modelcheck-replayed code"
+		w.clock++
+	}
+	w.jitter()
+}
+
+// jitter is reachable through Step: one more hop for the call graph.
+func (w *World) jitter() {
+	time.Sleep(time.Millisecond) // want "time\\.Sleep in modelcheck-replayed code"
+}
+
+// Fingerprint lets map iteration order escape into the state hash.
+func (w *World) Fingerprint() string {
+	out := ""
+	for k, v := range w.seen { // want "map iteration order escapes this loop"
+		out += k
+		w.log = append(w.log, k)
+		_ = v
+	}
+	return out
+}
+
+// SortedNames is the discharged shape: collect, then sort before use.
+func (w *World) SortedNames() []string {
+	names := make([]string, 0, len(w.seen))
+	for k := range w.seen {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WaivedStamp is checker-owned nondeterminism, documented in place.
+func (w *World) WaivedStamp() int64 {
+	if w.clock != 0 {
+		return w.clock
+	}
+	return time.Now().Unix() //determguard:ok fallback outside replay; the driver always seeds the clock
+}

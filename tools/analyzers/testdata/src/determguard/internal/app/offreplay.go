@@ -1,0 +1,11 @@
+// Clean-by-scope file: OffReplay commits every nondeterminism sin the
+// analyzer knows, but nothing on a modelcheck path calls it — the
+// reachability gate, not luck, keeps it silent.
+package app
+
+import "time"
+
+func OffReplay() int64 {
+	time.Sleep(time.Millisecond)
+	return time.Now().Unix()
+}

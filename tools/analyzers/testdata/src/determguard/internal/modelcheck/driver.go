@@ -1,0 +1,19 @@
+// Package modelcheck is the determguard fixture's replay driver: its
+// path makes every function here a reachability root, and the
+// violations it can reach live one package over, in internal/app —
+// findable only through the cross-package call graph. This file
+// itself is clean: the driver owns the virtual clock.
+package modelcheck
+
+import "repro/tools/analyzers/testdata/src/determguard/internal/app"
+
+// Explore replays the component under a schedule the checker owns.
+func Explore(steps int) string {
+	w := &app.World{}
+	for i := 0; i < steps; i++ {
+		w.Step(int64(i))
+	}
+	_ = w.SortedNames()
+	_ = w.WaivedStamp()
+	return w.Fingerprint()
+}

@@ -1,0 +1,29 @@
+// Cross-file delegation: the MATCH case hands off to a handler
+// declared in crossfile_helper.go that fences on the epoch. The old
+// single-file analyzer could not see that body and reported a false
+// positive here; the typed call graph follows the call and stays
+// silent. The dot-import dispatch below is the converse: no qualifier
+// for a syntax matcher to key on, but the violation is still caught.
+package app
+
+import . "repro/internal/protocol"
+
+func (d *daemon) dispatchRemote(env *Envelope) *Envelope {
+	switch env.Type {
+	case TypeMatch:
+		return d.handleMatchRemote(env)
+	default:
+		return &Envelope{Type: TypeError}
+	}
+}
+
+// dotBadDispatch never consults an epoch, and the bare TypeMatch
+// constant resolves by identity despite the dot import.
+func (d *daemon) dotBadDispatch(env *Envelope) *Envelope {
+	switch env.Type {
+	case TypeMatch: // want "TypeMatch consumer never consults the negotiator epoch"
+		return &Envelope{Type: TypeAck, Name: env.Name}
+	default:
+		return &Envelope{Type: TypeError}
+	}
+}

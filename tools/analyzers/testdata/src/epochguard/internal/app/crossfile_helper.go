@@ -1,0 +1,12 @@
+package app
+
+import "repro/internal/protocol"
+
+// handleMatchRemote fences: dispatchRemote in crossfile.go relies on
+// this body being visible across files.
+func (d *daemon) handleMatchRemote(env *protocol.Envelope) *protocol.Envelope {
+	if env.Epoch > 0 && env.Epoch < d.highestEpoch {
+		return &protocol.Envelope{Type: protocol.TypeError}
+	}
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}

@@ -1,0 +1,18 @@
+// A dot import of os leaves no `os.` selector for a syntax matcher to
+// key on — the old analyzer missed this spelling entirely. Object
+// identity resolves the bare names back to package os.
+package app
+
+import . "os"
+
+func dotPersist(b []byte) error {
+	return WriteFile("state.json", b, 0o644) // want "os\\.WriteFile persists without fsync"
+}
+
+func dotSwap() error {
+	return Rename("state.json.tmp", "state.json") // want "os\\.Rename persists without fsync"
+}
+
+func dotRead() ([]byte, error) {
+	return ReadFile("state.json")
+}

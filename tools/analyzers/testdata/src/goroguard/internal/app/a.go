@@ -1,0 +1,87 @@
+// Package app seeds goroutine-lifecycle violations for the goroguard
+// analyzer: every `go` statement in internal/ needs a reachable
+// shutdown path — WaitGroup registration by the spawner, or a
+// done-channel/context signal in the spawned body.
+package app
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+	work chan int
+}
+
+// leak spawns a goroutine nothing can stop: no WaitGroup, no signal.
+func (s *server) leak() {
+	go func() { // want "goroutine has no reachable shutdown path"
+		for {
+			process(0)
+		}
+	}()
+}
+
+// leakNamed leaks through a named function: the body is resolved
+// through the call graph, not just function literals.
+func (s *server) leakNamed() {
+	go spin() // want "goroutine has no reachable shutdown path"
+}
+
+func spin() {
+	for {
+		process(0)
+	}
+}
+
+// joined registers with the owner's WaitGroup: the owner's Close joins.
+func (s *server) joined() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			process(0)
+		}
+	}()
+}
+
+// signaled watches a done channel: closing it unblocks the select.
+func (s *server) signaled() {
+	go func() {
+		for {
+			select {
+			case n := <-s.work:
+				process(n)
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}
+
+// ranged drains a channel: closing s.work ends the loop.
+func (s *server) ranged() {
+	go func() {
+		for n := range s.work {
+			process(n)
+		}
+	}()
+}
+
+// ctxBound watches a context.
+func (s *server) ctxBound(ctx context.Context) {
+	go watch(ctx)
+}
+
+func watch(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// waived documents why the leak is deliberate.
+func (s *server) waived() {
+	go spin() //goroguard:ok process-lifetime pump, dies with the process
+}
+
+func process(int) {}

@@ -1,0 +1,33 @@
+// Clean file: the lifecycle-owner pattern the daemons use — spawn
+// under a WaitGroup, stop via a closed done channel. The analyzer must
+// stay silent here.
+package app
+
+import "sync"
+
+type pump struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	out  chan int
+}
+
+func (p *pump) start() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *pump) run() {
+	defer p.wg.Done()
+	for {
+		select {
+		case p.out <- 1:
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+func (p *pump) close() {
+	close(p.stop)
+	p.wg.Wait()
+}

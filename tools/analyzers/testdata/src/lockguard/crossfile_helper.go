@@ -1,0 +1,20 @@
+package lockguard
+
+import "net"
+
+// helperDial performs the blocking operation the callers in
+// crossfile.go must not run under a lock.
+func helperDial() {
+	c, err := net.Dial("tcp", "collector:9618")
+	if err == nil {
+		c.Close()
+	}
+}
+
+// helperIndirect blocks only through helperDial.
+func helperIndirect() {
+	helperDial()
+}
+
+// helperPure never blocks; calls to it under a lock stay silent.
+func helperPure() int { return 42 }

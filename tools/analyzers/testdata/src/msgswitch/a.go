@@ -1,6 +1,7 @@
 // Package msgswitch seeds envelope-type switches for the msgswitch
-// analyzer. The import is never built (testdata is invisible to the go
-// tool); the analyzer only reads syntax.
+// analyzer. The import is invisible to the go tool (testdata is never
+// built) but fully type-checked by the analyzer's own loader: case
+// constants resolve by identity, not by spelling.
 package msgswitch
 
 import "repro/internal/protocol"

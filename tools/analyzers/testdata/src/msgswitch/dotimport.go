@@ -1,0 +1,21 @@
+// A dot import strips the `protocol.` qualifier from the case
+// constants — the old matcher resolved cases by selector text and saw
+// an empty case list here. Constant identity resolves the bare names
+// to the same canonical vocabulary.
+package msgswitch
+
+import . "repro/internal/protocol"
+
+func dotPartial(env *Envelope) {
+	switch env.Type { // want "covers 2 of 28 protocol message types without a default clause"
+	case TypeAdvertise:
+	case TypeQuery:
+	}
+}
+
+func dotDefaulted(env *Envelope) {
+	switch env.Type {
+	case TypeAdvertise:
+	default:
+	}
+}

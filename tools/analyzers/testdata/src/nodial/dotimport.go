@@ -1,0 +1,10 @@
+// A dot import erases the package qualifier entirely — the old
+// syntactic matcher keyed on the written `net.` selector and was blind
+// to this spelling. Typed resolution flags the bare identifier.
+package nodial
+
+import . "net"
+
+func dotDial() (Conn, error) {
+	return Dial("tcp", "collector:9618") // want "net\\.Dial bypasses internal/netx"
+}

@@ -1,0 +1,20 @@
+// A parenthesized receiver type is the same type to go/types but not
+// to a syntax matcher expecting exactly `*ast.StarExpr{Ident}` — the
+// old analyzer skipped these methods entirely. Typed receiver
+// resolution sees (*Histogram).Peek and checks it like any other hook
+// method.
+package obs
+
+type Histogram struct{ sum float64 }
+
+func (h *(Histogram)) Peek() float64 { // want "\\(\\*Histogram\\)\\.Peek is not nil-receiver-safe"
+	return h.sum
+}
+
+// Observe guards first: accepted, parens or not.
+func (h *(Histogram)) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+}

@@ -1,0 +1,16 @@
+// A type alias hides the `*protocol.Envelope` result spelling the old
+// matcher keyed handler signatures on — this handler was simply not a
+// handler to it. Type identity resolves *reply to *protocol.Envelope
+// and the conformance rules apply.
+package app
+
+import "repro/internal/protocol"
+
+type reply = protocol.Envelope
+
+func handleAliased(env *protocol.Envelope) *reply {
+	if env == nil {
+		return nil // want "handler handleAliased returns nil reply"
+	}
+	return &reply{Type: protocol.TypeAck}
+}

@@ -1,0 +1,64 @@
+// Package app seeds dispatch-path backpressure violations for the
+// sendguard analyzer: a protocol handler (or anything it synchronously
+// calls) must never park on a bare channel send — the dispatcher
+// goroutine is what drains the peer's socket.
+package app
+
+import "repro/internal/protocol"
+
+type router struct {
+	out  chan int
+	done chan struct{}
+}
+
+// handleDeliver is a root by name and signature; the bare send blocks
+// the dispatch goroutine when out's consumer is slow.
+func (r *router) handleDeliver(env *protocol.Envelope) *protocol.Envelope {
+	r.out <- 1 // want "blocking channel send on a protocol dispatch path"
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleBuffered sheds load instead of blocking: select with default.
+func (r *router) handleBuffered(env *protocol.Envelope) *protocol.Envelope {
+	select {
+	case r.out <- 1:
+	default:
+	}
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleBounded bounds the wait with a receive alternative: a closed
+// done channel unblocks the send either way.
+func (r *router) handleBounded(env *protocol.Envelope) *protocol.Envelope {
+	select {
+	case r.out <- 1:
+	case <-r.done:
+	}
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleSendOnly has a select, but every clause is a send: no escape.
+func (r *router) handleSendOnly(env *protocol.Envelope) *protocol.Envelope {
+	select {
+	case r.out <- 1: // want "blocking channel send on a protocol dispatch path"
+	}
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleAsync hands the send to another goroutine: the dispatcher
+// itself never blocks (goroguard, not sendguard, owns that spawn).
+func (r *router) handleAsync(env *protocol.Envelope) *protocol.Envelope {
+	go func() {
+		select {
+		case r.out <- 1:
+		case <-r.done:
+		}
+	}()
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}
+
+// handleWaived documents why this send cannot actually block.
+func (r *router) handleWaived(env *protocol.Envelope) *protocol.Envelope {
+	r.out <- 1 //sendguard:ok out is buffered to the maximum in-flight count
+	return &protocol.Envelope{Type: protocol.TypeAck}
+}

@@ -1,0 +1,30 @@
+// The reachability half: dispatchEnvelope is a root because it
+// switches on protocol.MsgType, and the violation lives two calls
+// away in a helper — only call-graph reachability finds it. offPath
+// is the negative control: same send, not reachable from any dispatch
+// root, so no finding.
+package app
+
+import "repro/internal/protocol"
+
+func (r *router) dispatchEnvelope(env *protocol.Envelope) {
+	switch env.Type {
+	case protocol.TypeMatch:
+		r.enqueue()
+	}
+}
+
+func (r *router) enqueue() {
+	r.forward()
+}
+
+func (r *router) forward() {
+	r.out <- 1 // want "blocking channel send on a protocol dispatch path"
+}
+
+// offPath performs the identical send but is never called from a
+// dispatch path: sendguard's scope is the dispatch call graph, not
+// every send in the package.
+func (r *router) offPath() {
+	r.out <- 2
+}

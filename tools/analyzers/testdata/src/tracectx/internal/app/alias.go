@@ -1,0 +1,22 @@
+// A type alias hides the `protocol.Envelope` spelling the old matcher
+// keyed composite literals on. Type identity sees through the alias:
+// an env literal IS a protocol.Envelope literal.
+package app
+
+import "repro/internal/protocol"
+
+type env = protocol.Envelope
+
+func badAliasedMatch(ticket string) *env {
+	return &env{ // want "TypeMatch envelope without Trace"
+		Type:   protocol.TypeMatch,
+		Ticket: ticket,
+	}
+}
+
+func goodAliasedMatch(trace string) *env {
+	return &env{
+		Type:  protocol.TypeMatch,
+		Trace: trace,
+	}
+}

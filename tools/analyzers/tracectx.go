@@ -42,13 +42,12 @@ func runTraceCtx(p *Pass) {
 	if !strings.Contains(dir, "internal/") {
 		return
 	}
-	alias := importName(p.File.Ast, "repro/internal/protocol")
-	if alias == "" {
-		return
-	}
 	ast.Inspect(p.File.Ast, func(n ast.Node) bool {
 		lit, ok := n.(*ast.CompositeLit)
-		if !ok || !isSelector(lit.Type, alias, "Envelope") {
+		// Type identity, not spelling: `protocol.Envelope{...}` under
+		// any import alias, and a composite literal of a local alias
+		// type (`type env = protocol.Envelope`), both resolve here.
+		if !ok || !isEnvelopeType(p.typeOf(lit)) {
 			return true
 		}
 		typ, hasTrace := "", false
@@ -63,11 +62,7 @@ func runTraceCtx(p *Pass) {
 			}
 			switch key.Name {
 			case "Type":
-				if sel, ok := kv.Value.(*ast.SelectorExpr); ok {
-					typ = sel.Sel.Name
-				} else if id, ok := kv.Value.(*ast.Ident); ok {
-					typ = id.Name
-				}
+				typ = p.msgConstName(kv.Value)
 			case "Trace":
 				hasTrace = true
 			}
@@ -83,16 +78,6 @@ func runTraceCtx(p *Pass) {
 			typ)
 		return true
 	})
-}
-
-// isSelector reports whether e is the selector base.name.
-func isSelector(e ast.Expr, base, name string) bool {
-	sel, ok := e.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != name {
-		return false
-	}
-	id, ok := sel.X.(*ast.Ident)
-	return ok && id.Name == base
 }
 
 // directiveAtLine reports whether a comment containing the directive
